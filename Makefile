@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples clean
+
+all: build test
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/resnet_layer.exe
+	dune exec examples/new_accelerator.exe
+	dune exec examples/network_coverage.exe
+	dune exec examples/mini_cnn.exe
+
+clean:
+	dune clean

@@ -1,0 +1,16 @@
+(* Tiny CSV writer: every experiment appends its rows under results/ so
+   the tables can be post-processed without re-running. *)
+
+let dir = "results"
+
+let write name ~header rows =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat dir (name ^ ".csv") in
+  let oc = open_out path in
+  let emit row = output_string oc (String.concat "," row ^ "\n") in
+  emit header;
+  List.iter emit rows;
+  close_out oc;
+  Printf.printf "[written %s]\n%!" path
+
+let f x = Printf.sprintf "%.6g" x

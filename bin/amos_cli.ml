@@ -1,0 +1,401 @@
+(* Command-line interface to the AMOS compilation framework.
+
+     amos_cli accels                    list accelerator presets
+     amos_cli count  --accel a100       Table-6-style mapping counts
+     amos_cli map    --accel a100 --layer C5
+                                        enumerate + describe valid mappings
+     amos_cli tune   --accel a100 --layer C5
+                                        explore mappings x schedules
+     amos_cli verify --accel toy --layer C5
+                                        functional check vs the reference
+     amos_cli abstraction --accel a100  print the hardware abstraction *)
+
+open Cmdliner
+open Amos
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let verbose_arg =
+  let doc = "Log the compiler's per-operator decisions." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+module Ops = Amos_workloads.Ops
+module Suites = Amos_workloads.Suites
+module Resnet = Amos_workloads.Resnet
+module Rng = Amos_tensor.Rng
+
+let accel_by_name = function
+  | "v100" -> Accelerator.v100 ()
+  | "a100" -> Accelerator.a100 ()
+  | "avx512" -> Accelerator.avx512_cpu ()
+  | "mali" -> Accelerator.mali_g76 ()
+  | "ascend" -> Accelerator.ascend_like ()
+  | "axpy" -> Accelerator.virtual_axpy ()
+  | "gemv" -> Accelerator.virtual_gemv ()
+  | "conv" -> Accelerator.virtual_conv ()
+  | "toy" ->
+      let base = Accelerator.v100 () in
+      { base with Accelerator.intrinsics = [ Intrinsic.toy_mma_2x2x2 () ] }
+  | name -> failwith ("unknown accelerator " ^ name ^ " (see `amos_cli accels`)")
+
+let kind_by_name name =
+  match
+    List.find_opt (fun k -> Ops.kind_name k = String.uppercase_ascii name)
+      Ops.all_kinds
+  with
+  | Some k -> k
+  | None -> failwith ("unknown operator kind " ^ name)
+
+let accel_arg =
+  let doc = "Target accelerator: v100, a100, avx512, mali, ascend, axpy, gemv, conv, toy." in
+  Arg.(value & opt string "a100" & info [ "accel" ] ~docv:"NAME" ~doc)
+
+let layer_arg =
+  let doc = "ResNet-18 layer label (C0..C11, Table 5 of the paper)." in
+  Arg.(value & opt (some string) None & info [ "layer" ] ~docv:"LABEL" ~doc)
+
+let kind_arg =
+  let doc = "Operator kind from the evaluation suite (GMM, C2D, DEP, ...)." in
+  Arg.(value & opt (some string) None & info [ "kind" ] ~docv:"KIND" ~doc)
+
+let batch_arg =
+  let doc = "Batch size for suite operators." in
+  Arg.(value & opt int 16 & info [ "batch" ] ~docv:"N" ~doc)
+
+let index_arg =
+  let doc = "Configuration index within the operator kind's suite." in
+  Arg.(value & opt int 0 & info [ "index" ] ~docv:"I" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (results are deterministic per seed)." in
+  Arg.(value & opt int 2022 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc = "Scale layer extents down by this factor (for functional runs)." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"F" ~doc)
+
+let intrinsic_arg =
+  let doc =
+    "Replace the accelerator's intrinsics with one parsed from FILE \
+     (scalar-statement DSL, e.g. 'for {i1:16, i2:16, r1:16r}: Dst[i1,i2] \
+     += Src1[i1,r1] * Src2[r1,i2]')."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "intrinsic" ] ~docv:"FILE" ~doc)
+
+let with_custom_intrinsic accel = function
+  | None -> accel
+  | Some file ->
+      let text = In_channel.with_open_text file In_channel.input_all in
+      let name = Filename.remove_extension (Filename.basename file) in
+      (match Intrinsic.of_dsl ~name text with
+      | Ok intr -> { accel with Accelerator.intrinsics = [ intr ] }
+      | Error msg -> failwith msg)
+
+let dsl_arg =
+  let doc =
+    "Read the operator from a DSL file (the paper's input language, e.g. \
+     'for {i:16, j:16} for {r:32r}: out[i,j] += a[i,r] * b[r,j]')."
+  in
+  Arg.(value & opt (some string) None & info [ "dsl" ] ~docv:"FILE" ~doc)
+
+let pick_op ?dsl ~layer ~kind ~batch ~index ~scale () =
+  match (dsl, layer, kind) with
+  | Some file, _, _ ->
+      let text = In_channel.with_open_text file In_channel.input_all in
+      Amos_ir.Dsl.parse_exn ~name:(Filename.remove_extension (Filename.basename file)) text
+  | None, Some l, _ ->
+      let cfg = Resnet.by_label (String.uppercase_ascii l) in
+      let cfg = if scale > 1 then Resnet.scaled ~factor:scale cfg else cfg in
+      Resnet.config cfg
+  | None, None, Some k ->
+      let configs = Suites.configs_per_kind ~batch (kind_by_name k) in
+      if index < 0 || index >= List.length configs then
+        failwith "config index out of range"
+      else List.nth configs index
+  | None, None, None -> Resnet.config (Resnet.by_label "C5")
+
+(* --- accels ------------------------------------------------------- *)
+
+let accels_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let a = accel_by_name name in
+        let cfg = a.Accelerator.config in
+        Printf.printf "%-8s %-18s cores=%d subcores=%d shared=%dKB bw=%.0fGB/s intrinsic=%s\n"
+          name a.Accelerator.name cfg.Spatial_sim.Machine_config.num_cores
+          cfg.Spatial_sim.Machine_config.subcores_per_core
+          (cfg.Spatial_sim.Machine_config.shared_capacity_bytes / 1024)
+          cfg.Spatial_sim.Machine_config.global_bandwidth_gbs
+          (Accelerator.primary_intrinsic a).Intrinsic.name)
+      [ "v100"; "a100"; "avx512"; "mali"; "ascend"; "axpy"; "gemv"; "conv"; "toy" ]
+  in
+  Cmd.v (Cmd.info "accels" ~doc:"List accelerator presets")
+    Term.(const run $ const ())
+
+(* --- count -------------------------------------------------------- *)
+
+let count_cmd =
+  let run accel_name batch intrinsic =
+    let accel = with_custom_intrinsic (accel_by_name accel_name) intrinsic in
+    let intr = Accelerator.primary_intrinsic accel in
+    Printf.printf "feasible mappings on %s (%s):\n" accel.Accelerator.name
+      intr.Intrinsic.name;
+    List.iter
+      (fun kind ->
+        let op = Suites.representative ~batch kind in
+        Printf.printf "  %-5s %6d\n" (Ops.kind_name kind)
+          (Mapping_gen.count op intr))
+      Ops.all_kinds
+  in
+  Cmd.v (Cmd.info "count" ~doc:"Mapping counts per operator kind (Table 6)")
+    Term.(const run $ accel_arg $ batch_arg $ intrinsic_arg)
+
+(* --- map ---------------------------------------------------------- *)
+
+let map_cmd =
+  let run accel_name layer kind batch index scale dsl intrinsic =
+    let accel = with_custom_intrinsic (accel_by_name accel_name) intrinsic in
+    let op = pick_op ?dsl ~layer ~kind ~batch ~index ~scale () in
+    Format.printf "%a@." Amos_ir.Operator.pp op;
+    let mappings = Compiler.mappings accel op in
+    Printf.printf "%d valid mappings:\n" (List.length mappings);
+    List.iteri
+      (fun i m ->
+        Printf.printf "%3d. %-60s util=%.2f calls=%d\n" i (Mapping.describe m)
+          m.Mapping.utilization (Mapping.intrinsic_calls m))
+      mappings
+  in
+  Cmd.v (Cmd.info "map" ~doc:"Enumerate and describe the valid mapping space")
+    Term.(const run $ accel_arg $ layer_arg $ kind_arg $ batch_arg $ index_arg
+          $ scale_arg $ dsl_arg $ intrinsic_arg)
+
+(* --- tune --------------------------------------------------------- *)
+
+let tune_cmd =
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE" ~doc:"Write the tuned plan to FILE.")
+  in
+  let load_arg =
+    Arg.(value & opt (some string) None
+         & info [ "load" ] ~docv:"FILE"
+             ~doc:"Skip tuning and evaluate the plan stored in FILE.")
+  in
+  let run verbose accel_name layer kind batch index seed save load dsl =
+    setup_logs verbose;
+    let accel = accel_by_name accel_name in
+    let op = pick_op ?dsl ~layer ~kind ~batch ~index ~scale:1 () in
+    match load with
+    | Some file -> (
+        let text = In_channel.with_open_text file In_channel.input_all in
+        match Plan_io.load accel op text with
+        | None -> failwith ("could not bind plan " ^ file ^ " to this operator")
+        | Some (m, sched) ->
+            let k = Codegen.lower accel m sched in
+            Printf.printf "loaded plan: %s\nsimulator: %.4f ms\n"
+              (Mapping.describe m)
+              (1e3
+              *. Spatial_sim.Machine.estimate_seconds accel.Accelerator.config k))
+    | None -> (
+        let plan = Compiler.tune ~rng:(Rng.create seed) accel op in
+        print_endline (Compiler.describe plan);
+        match plan.Compiler.target with
+        | Compiler.Spatial p ->
+            let c = p.Explore.candidate in
+            Printf.printf "schedule: %s\n"
+              (Schedule.describe c.Explore.mapping c.Explore.schedule);
+            Printf.printf "model prediction: %.4f ms, simulator: %.4f ms\n"
+              (1e3 *. p.Explore.predicted) (1e3 *. p.Explore.measured);
+            print_string
+              (Codegen.emit_pseudo accel c.Explore.mapping c.Explore.schedule);
+            (match save with
+            | Some file ->
+                Out_channel.with_open_text file (fun oc ->
+                    Out_channel.output_string oc
+                      (Plan_io.save c.Explore.mapping c.Explore.schedule));
+                Printf.printf "[plan saved to %s]\n" file
+            | None -> ())
+        | Compiler.Scalar _ -> ())
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Explore mappings x schedules and report the best plan")
+    Term.(const run $ verbose_arg $ accel_arg $ layer_arg $ kind_arg
+          $ batch_arg $ index_arg $ seed_arg $ save_arg $ load_arg $ dsl_arg)
+
+(* --- verify ------------------------------------------------------- *)
+
+let verify_cmd =
+  let run accel_name layer kind batch index seed scale dsl =
+    let accel = accel_by_name accel_name in
+    let op = pick_op ?dsl ~layer ~kind ~batch ~index ~scale () in
+    let mappings = Compiler.mappings accel op in
+    Printf.printf "verifying %d mappings of %s against the reference...\n%!"
+      (List.length mappings) op.Amos_ir.Operator.name;
+    let ok = ref 0 in
+    List.iter
+      (fun m ->
+        if Compiler.verify ~rng:(Rng.create seed) accel m (Schedule.default m)
+        then incr ok)
+      mappings;
+    Printf.printf "%d/%d bit-exact (tolerance 1e-4)\n" !ok (List.length mappings);
+    if !ok < List.length mappings then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Execute every mapping functionally and compare to the reference")
+    Term.(const run $ accel_arg $ layer_arg $ kind_arg $ batch_arg $ index_arg
+          $ seed_arg $ scale_arg $ dsl_arg)
+
+(* --- validate ------------------------------------------------------ *)
+
+let validate_cmd =
+  let run accel_name layer kind batch index which dsl =
+    let accel = accel_by_name accel_name in
+    let op = pick_op ?dsl ~layer ~kind ~batch ~index ~scale:1 () in
+    let mappings = Compiler.mappings accel op in
+    match List.nth_opt mappings which with
+    | None ->
+        Printf.printf "mapping index %d out of range (have %d)\n" which
+          (List.length mappings)
+    | Some m ->
+        Printf.printf "%s\n\n%s" (Mapping.describe m)
+          (Matching.explain m.Mapping.matching)
+  in
+  let which_arg =
+    Arg.(value & opt int 0 & info [ "mapping" ] ~docv:"I"
+           ~doc:"Index of the mapping to explain.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Show the Algorithm-1 validation trace (X, Y, Z matrices) of a mapping")
+    Term.(const run $ accel_arg $ layer_arg $ kind_arg $ batch_arg $ index_arg
+          $ which_arg $ dsl_arg)
+
+(* --- networks ------------------------------------------------------ *)
+
+let networks_cmd =
+  let run verbose accel_name batch seed =
+    setup_logs verbose;
+    let accel = accel_by_name accel_name in
+    Printf.printf "%-14s %7s %8s %12s\n" "Network" "Total" "Mapped" "latency(ms)";
+    List.iter
+      (fun net ->
+        let report =
+          Compiler.map_network ~population:8 ~generations:4
+            ~rng:(Rng.create seed) accel net
+        in
+        Printf.printf "%-14s %7d %8d %12.3f\n%!"
+          net.Amos_workloads.Networks.name report.Compiler.total_ops
+          (Compiler.mappable_count accel net)
+          (1e3 *. report.Compiler.network_seconds))
+      (Amos_workloads.Networks.all ~batch)
+  in
+  Cmd.v
+    (Cmd.info "networks"
+       ~doc:"Compile the evaluation networks end-to-end and report coverage + latency")
+    Term.(const run $ verbose_arg $ accel_arg $ batch_arg $ seed_arg)
+
+(* --- abstraction --------------------------------------------------- *)
+
+let abstraction_cmd =
+  let run accel_name =
+    let accel = accel_by_name accel_name in
+    List.iter
+      (fun intr -> Format.printf "%a@.@." Intrinsic.pp intr)
+      accel.Accelerator.intrinsics
+  in
+  Cmd.v
+    (Cmd.info "abstraction"
+       ~doc:"Print the hardware compute and memory abstraction (Sec 4)")
+    Term.(const run $ accel_arg)
+
+(* --- profile -------------------------------------------------------- *)
+
+let profile_cmd =
+  let run accel_name layer kind batch index seed dsl =
+    let accel = accel_by_name accel_name in
+    let op = pick_op ?dsl ~layer ~kind ~batch ~index ~scale:1 () in
+    let plan = Compiler.tune ~rng:(Rng.create seed) accel op in
+    match plan.Compiler.target with
+    | Compiler.Scalar s ->
+        Printf.printf "scalar fallback: %.4f ms
+" (1e3 *. s)
+    | Compiler.Spatial p ->
+        let c = p.Explore.candidate in
+        let k = Codegen.lower accel c.Explore.mapping c.Explore.schedule in
+        let e = Spatial_sim.Machine.estimate accel.Accelerator.config k in
+        let t = k.Spatial_sim.Kernel.timing in
+        let flops = Amos_ir.Operator.flops op in
+        Printf.printf "mapping : %s
+" (Mapping.describe c.Explore.mapping);
+        Printf.printf "schedule: %s
+"
+          (Schedule.describe c.Explore.mapping c.Explore.schedule);
+        Printf.printf "time    : %.4f ms (%.0f GFLOPS)
+"
+          (1e3 *. e.Spatial_sim.Machine.seconds)
+          (flops /. e.Spatial_sim.Machine.seconds /. 1e9);
+        Printf.printf "blocks  : %d  (waves %d, occupancy %d/core)
+"
+          (Spatial_sim.Kernel.blocks k) e.Spatial_sim.Machine.waves
+          e.Spatial_sim.Machine.occupancy;
+        Printf.printf "compute : %.0f cycles  | memory bound %.4f ms
+"
+          e.Spatial_sim.Machine.compute_cycles
+          (1e3 *. e.Spatial_sim.Machine.memory_seconds);
+        Printf.printf
+          "traffic : %.1f KB/block global load, %.1f KB/block store, %d B shared staging
+"
+          (t.Spatial_sim.Kernel.global_load_bytes_per_block /. 1024.)
+          (t.Spatial_sim.Kernel.global_store_bytes_per_block /. 1024.)
+          t.Spatial_sim.Kernel.shared_bytes_per_block;
+        Printf.printf "utilization: %.1f%% of intrinsic compute; coalescing %.2f
+"
+          (100. *. c.Explore.mapping.Mapping.utilization)
+          t.Spatial_sim.Kernel.mem_efficiency;
+        let levels = Perf_model.predict accel.Accelerator.config k in
+        Printf.printf
+          "model levels: L0=%.1f L1=%.1f L2=%.1f L3=%.1f cycles (Sec 5.3)
+"
+          levels.Perf_model.l0 levels.Perf_model.l1 levels.Perf_model.l2
+          levels.Perf_model.l3
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Tune one operator and print the simulator's timing breakdown")
+    Term.(const run $ accel_arg $ layer_arg $ kind_arg $ batch_arg $ index_arg
+          $ seed_arg $ dsl_arg)
+
+(* --- ir ------------------------------------------------------------ *)
+
+let ir_cmd =
+  let run accel_name layer kind batch index dsl =
+    let accel = accel_by_name accel_name in
+    let op = pick_op ?dsl ~layer ~kind ~batch ~index ~scale:1 () in
+    match Compiler.mappings accel op with
+    | [] -> print_endline "no valid mapping"
+    | m :: _ ->
+        Printf.printf "compute mapping: %s\n" (Mapping.describe m);
+        print_endline "physical memory mapping (Fig 3h):";
+        List.iter
+          (fun om -> Format.printf "  %a@." Memory_map.pp om)
+          (Memory_map.of_mapping m);
+        print_endline "IR nodes inserted during lowering (Table 4):";
+        Format.printf "%a@." Ir_nodes.pp_nodes (Ir_nodes.lower m)
+  in
+  Cmd.v
+    (Cmd.info "ir" ~doc:"Show the Compute/Memory IR nodes for a mapping (Sec 6)")
+    Term.(const run $ accel_arg $ layer_arg $ kind_arg $ batch_arg $ index_arg
+          $ dsl_arg)
+
+let () =
+  let doc = "AMOS: automatic mapping for tensor computations on spatial accelerators" in
+  let info = Cmd.info "amos_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ accels_cmd; count_cmd; map_cmd; tune_cmd; verify_cmd;
+            validate_cmd; networks_cmd; profile_cmd; abstraction_cmd;
+            ir_cmd ]))

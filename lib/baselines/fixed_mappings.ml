@@ -1,0 +1,54 @@
+open Amos_ir
+open Amos
+
+let build view intr assign_fn =
+  let op = view.Mac_view.op in
+  let iters = op.Operator.iters in
+  let assign = Array.of_list (List.map assign_fn iters) in
+  let src_perm =
+    Array.init (List.length view.Mac_view.srcs) (fun i -> i)
+  in
+  let m = Matching.create ~view ~intr ~src_perm ~assign in
+  if Matching.validate m then Some m else None
+
+let maximal op intr =
+  match Mac_view.of_operator op with
+  | None -> None
+  | Some view ->
+      let src_perm = [| 0; 1 |] in
+      let cands = Mapping_gen.candidates view intr ~src_perm in
+      build view intr (fun it ->
+          match List.find_opt (fun (s, _) -> Iter.equal s it) cands with
+          | Some (_, k :: _) -> Some k
+          | Some (_, []) | None -> None)
+
+let im2col = maximal
+
+let by_names op intr table =
+  match Mac_view.of_operator op with
+  | None -> None
+  | Some view ->
+      let intr_iters =
+        Array.of_list intr.Intrinsic.compute.Compute_abs.iters
+      in
+      let missing =
+        List.exists
+          (fun (name, _) ->
+            not
+              (List.exists
+                 (fun (it : Iter.t) -> it.Iter.name = name)
+                 op.Operator.iters))
+          table
+      in
+      if missing then None
+      else
+        build view intr (fun (it : Iter.t) ->
+            match List.assoc_opt it.Iter.name table with
+            | Some pos when pos < Array.length intr_iters ->
+                Some intr_iters.(pos)
+            | Some _ | None -> None)
+
+let fuse_hw op intr =
+  let n_intr = List.length intr.Intrinsic.compute.Compute_abs.iters in
+  if n_intr < 3 then by_names op intr [ ("p", 0); ("q", 0); ("c", 1) ]
+  else by_names op intr [ ("p", 0); ("q", 0); ("k", 1); ("c", 2) ]

@@ -1,0 +1,32 @@
+(** The fixed mappings that hand-tuned libraries and template compilers
+    hard-code (Sec 7.6): [im2col] (CuDNN-style — fuse everything
+    compatible into each intrinsic dimension) and [fuse_hw] (UNIT-style —
+    only the spatial output dims to [i1], only the channel to [r1],
+    ignoring the batch dimension). *)
+
+open Amos_ir
+
+val maximal : Operator.t -> Amos.Intrinsic.t -> Amos.Matching.t option
+(** The im2col-style mapping: every software iteration that is compatible
+    with some intrinsic iteration is mapped (first compatible dimension).
+    [None] when invalid or the operator has no MAC view. *)
+
+val im2col : Operator.t -> Amos.Intrinsic.t -> Amos.Matching.t option
+(** Alias of [maximal] (its effect on convolutions is exactly im2col:
+    [n,p,q -> i1], [k -> i2], [c,r,s -> r1]). *)
+
+val fuse_hw :
+  Operator.t -> Amos.Intrinsic.t -> Amos.Matching.t option
+(** UNIT's template: iterations named [p]/[q] to the first spatial
+    dimension, [k] to the second, [c] alone to the reduction; the batch
+    is ignored.  [None] when the operator lacks those iterations or the
+    result is invalid. *)
+
+val by_names :
+  Operator.t ->
+  Amos.Intrinsic.t ->
+  (string * int) list ->
+  Amos.Matching.t option
+(** Generic fixed template: software iteration name -> intrinsic
+    iteration position.  [None] when names are missing or the mapping is
+    invalid (template mismatch — the fragility the paper describes). *)

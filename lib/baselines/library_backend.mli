@@ -1,0 +1,20 @@
+(** A CuDNN/CuBLAS/PyTorch-like hand-optimized library baseline.
+
+    Supported operators (plain GEMM and the standard convolution family)
+    run with the fixed im2col mapping and a well-engineered but fixed
+    schedule; operators the libraries do not implement on the spatial
+    units (grouped / depthwise / per-sample convolutions, grouped FC,
+    reductions, scans) fall back to the scalar units — the behaviour the
+    paper exploits to beat PyTorch on ShuffleNet/MobileNet (Sec 7.4). *)
+
+open Amos_ir
+
+val supported : Operator.t -> bool
+val op_seconds :
+  rng:Amos_tensor.Rng.t -> Amos.Accelerator.t -> Operator.t -> float
+
+val network_seconds :
+  rng:Amos_tensor.Rng.t ->
+  Amos.Accelerator.t ->
+  Amos_workloads.Networks.t ->
+  float

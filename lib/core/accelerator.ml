@@ -1,0 +1,91 @@
+module Mc = Spatial_sim.Machine_config
+
+type t = {
+  name : string;
+  config : Mc.t;
+  intrinsics : Intrinsic.t list;
+}
+
+let create ~name ~config ~intrinsics = { name; config; intrinsics }
+
+let v100 () =
+  create ~name:"V100"
+    ~config:
+      (Mc.create ~name:"V100" ~clock_ghz:1.53 ~num_cores:80
+         ~subcores_per_core:4 ~shared_capacity_bytes:(96 * 1024)
+         ~reg_capacity_elems:512 ~global_bandwidth_gbs:900.
+         ~shared_bandwidth_gbs:200. ~launch_overhead_us:5. ~scalar_flops:15700.
+         ~max_blocks_per_core:16)
+    ~intrinsics:
+      [
+        Intrinsic.wmma_16x16x16 (); Intrinsic.wmma_32x8x16 ();
+        Intrinsic.wmma_8x32x16 ();
+      ]
+
+let a100 () =
+  create ~name:"A100"
+    ~config:
+      (Mc.create ~name:"A100" ~clock_ghz:1.41 ~num_cores:108
+         ~subcores_per_core:4 ~shared_capacity_bytes:(164 * 1024)
+         ~reg_capacity_elems:512 ~global_bandwidth_gbs:1555.
+         ~shared_bandwidth_gbs:260. ~launch_overhead_us:4. ~scalar_flops:19500.
+         ~max_blocks_per_core:16)
+    ~intrinsics:
+      [
+        { (Intrinsic.wmma_16x16x16 ()) with Intrinsic.issue_cycles = 4. };
+        { (Intrinsic.wmma_32x8x16 ()) with Intrinsic.issue_cycles = 4. };
+        { (Intrinsic.wmma_8x32x16 ()) with Intrinsic.issue_cycles = 4. };
+      ]
+
+let avx512_cpu () =
+  create ~name:"Xeon-AVX512"
+    ~config:
+      (Mc.create ~name:"Xeon-AVX512" ~clock_ghz:2.1 ~num_cores:8
+         ~subcores_per_core:2 ~shared_capacity_bytes:(1024 * 1024)
+         ~reg_capacity_elems:128 ~global_bandwidth_gbs:60.
+         ~shared_bandwidth_gbs:100. ~launch_overhead_us:0.5 ~scalar_flops:130.
+         ~max_blocks_per_core:2)
+    ~intrinsics:[ Intrinsic.avx512_vnni () ]
+
+let mali_g76 () =
+  create ~name:"Mali-G76"
+    ~config:
+      (Mc.create ~name:"Mali-G76" ~clock_ghz:0.72 ~num_cores:12
+         ~subcores_per_core:3 ~shared_capacity_bytes:(32 * 1024)
+         ~reg_capacity_elems:64 ~global_bandwidth_gbs:28.
+         ~shared_bandwidth_gbs:40. ~launch_overhead_us:10. ~scalar_flops:100.
+         ~max_blocks_per_core:4)
+    ~intrinsics:[ Intrinsic.mali_dot4 () ]
+
+let ascend_like () =
+  create ~name:"Ascend-like"
+    ~config:
+      (Mc.create ~name:"Ascend-like" ~clock_ghz:1.0 ~num_cores:32
+         ~subcores_per_core:2 ~shared_capacity_bytes:(192 * 1024)
+         ~reg_capacity_elems:512 ~global_bandwidth_gbs:1000.
+         ~shared_bandwidth_gbs:250. ~launch_overhead_us:3. ~scalar_flops:4000.
+         ~max_blocks_per_core:8)
+    ~intrinsics:[ Intrinsic.ascend_cube (); Intrinsic.ascend_vector () ]
+
+let virtual_cfg name =
+  Mc.create ~name ~clock_ghz:1.0 ~num_cores:16 ~subcores_per_core:4
+    ~shared_capacity_bytes:(64 * 1024) ~reg_capacity_elems:512
+    ~global_bandwidth_gbs:400. ~shared_bandwidth_gbs:120.
+    ~launch_overhead_us:2. ~scalar_flops:1000. ~max_blocks_per_core:8
+
+let virtual_axpy () =
+  create ~name:"AXPY-accelerator" ~config:(virtual_cfg "AXPY-accelerator")
+    ~intrinsics:[ Intrinsic.axpy_unit () ]
+
+let virtual_gemv () =
+  create ~name:"GEMV-accelerator" ~config:(virtual_cfg "GEMV-accelerator")
+    ~intrinsics:[ Intrinsic.gemv_unit () ]
+
+let virtual_conv () =
+  create ~name:"CONV-accelerator" ~config:(virtual_cfg "CONV-accelerator")
+    ~intrinsics:[ Intrinsic.conv_unit () ]
+
+let primary_intrinsic t =
+  match t.intrinsics with
+  | [] -> invalid_arg (t.name ^ " has no intrinsics")
+  | i :: _ -> i

@@ -1,0 +1,39 @@
+(** Accelerator descriptions: a simulator machine configuration plus the
+    spatial intrinsics the device exposes.
+
+    The presets model the paper's evaluation platforms (Sec 7.1) at the
+    level of public specifications; absolute performance is not claimed,
+    only the constraint structure (capacities, parallelism, bandwidth
+    ratios) that drives mapping choices.  See DESIGN.md for the
+    substitution rationale. *)
+
+type t = {
+  name : string;
+  config : Spatial_sim.Machine_config.t;
+  intrinsics : Intrinsic.t list;
+}
+
+val create :
+  name:string ->
+  config:Spatial_sim.Machine_config.t ->
+  intrinsics:Intrinsic.t list ->
+  t
+
+val v100 : unit -> t
+val a100 : unit -> t
+val avx512_cpu : unit -> t
+(** Xeon-Silver-4110-like CPU with AVX-512 VNNI dot units. *)
+
+val mali_g76 : unit -> t
+
+val ascend_like : unit -> t
+(** An Ascend-NPU-like device exposing both a cube (matrix) and a vector
+    intrinsic; intrinsic selection picks per operator (Sec 2.1's "cube
+    and vector units" design point). *)
+
+val virtual_axpy : unit -> t
+val virtual_gemv : unit -> t
+val virtual_conv : unit -> t
+
+val primary_intrinsic : t -> Intrinsic.t
+(** The first (main) intrinsic; raises [Invalid_argument] if none. *)

@@ -1,0 +1,23 @@
+(** Lowering: physical mapping + schedule -> executable simulator kernel.
+
+    The lowering realises the paper's code-generation step (Sec 6): outer
+    loops are bound to cores / sub-cores / serial execution per the
+    schedule; each innermost step loads one register tile per operand
+    through the memory mapping, issues one compute intrinsic, and stores
+    the destination tile.
+
+    The register-tile fetch functions emulate hardware dataflow exactly:
+    an operand's tile slot is addressed only by the intrinsic iterations
+    that operand declares (its slots).  If a mapping routes a software
+    iteration an operand needs through an intrinsic iteration the operand
+    cannot see, the load picks a fixed coordinate — as real hardware
+    would — and the kernel computes wrong results.  This is what makes
+    Algorithm-1 validity observable end-to-end. *)
+
+val lower :
+  Accelerator.t -> Mapping.t -> Schedule.t -> Spatial_sim.Kernel.t
+(** Raises [Invalid_argument] when the schedule does not fit the mapping
+    ({!Schedule.validate}). *)
+
+val emit_pseudo : Accelerator.t -> Mapping.t -> Schedule.t -> string
+(** Human-readable pseudo-kernel (CUDA-flavoured) for inspection. *)

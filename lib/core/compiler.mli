@@ -1,0 +1,79 @@
+(** The user-facing compilation driver (the "AMOS" entry points).
+
+    Single operators: [mappings] enumerates the valid mapping space,
+    [tune] explores mappings x schedules and returns the best measured
+    plan (falling back to the scalar units when the operator cannot be
+    mapped, as the paper does for ReLU / MaxPooling), [verify] checks a
+    lowered plan bit-for-bit against the reference interpreter.
+
+    Whole networks: [map_network] compiles every layer, reports how many
+    operators reached the spatial units (the Table 2 quantity) and the
+    end-to-end latency (the Fig 7 quantity). *)
+
+open Amos_ir
+
+type target =
+  | Spatial of Explore.plan
+  | Scalar of float  (** estimated seconds on the scalar units *)
+
+type plan = {
+  op : Operator.t;
+  accel : Accelerator.t;
+  target : target;
+}
+
+val mappings : ?filter:bool -> Accelerator.t -> Operator.t -> Mapping.t list
+(** The union of the valid mapping spaces of every intrinsic the
+    accelerator exposes (e.g. all three WMMA shapes on Tensor Core). *)
+
+val tune :
+  ?population:int ->
+  ?generations:int ->
+  ?measure_top:int ->
+  rng:Amos_tensor.Rng.t ->
+  Accelerator.t ->
+  Operator.t ->
+  plan
+
+val seconds : plan -> float
+val gflops : plan -> float
+val is_mapped : plan -> bool
+val describe : plan -> string
+
+val verify :
+  rng:Amos_tensor.Rng.t ->
+  Accelerator.t ->
+  Mapping.t ->
+  Schedule.t ->
+  bool
+(** Functional check: lower, execute on the simulator, compare with the
+    reference interpreter on random inputs (tolerance 1e-4). *)
+
+type layer_report = {
+  name : string;
+  mult : int;
+  mapped : bool;
+  layer_seconds : float;  (** one instance *)
+}
+
+type network_report = {
+  network_name : string;
+  total_ops : int;
+  mapped_ops : int;
+  network_seconds : float;  (** end-to-end, multiplicities included *)
+  layers : layer_report list;
+}
+
+val mappable_count : Accelerator.t -> Amos_workloads.Networks.t -> int
+(** Number of operator instances with at least one valid mapping for any
+    of the accelerator's intrinsics — the "Our Mapped" column of Table 2
+    (mappability, independent of whether the tuner ultimately prefers the
+    spatial or the scalar plan). *)
+
+val map_network :
+  ?population:int ->
+  ?generations:int ->
+  rng:Amos_tensor.Rng.t ->
+  Accelerator.t ->
+  Amos_workloads.Networks.t ->
+  network_report

@@ -1,0 +1,73 @@
+open Amos_ir
+
+type operand = {
+  name : string;
+  slots : Iter.t list;
+}
+
+type t = {
+  iters : Iter.t list;
+  dst : operand;
+  srcs : operand list;
+}
+
+let operand name slots = { name; slots }
+
+let create ~iters ~dst ~srcs =
+  let check_operand o =
+    List.iter
+      (fun s ->
+        if not (List.exists (Iter.equal s) iters) then
+          invalid_arg
+            (Printf.sprintf "Compute_abs: slot %s of %s not an intrinsic iter"
+               s.Iter.name o.name))
+      o.slots
+  in
+  check_operand dst;
+  List.iter check_operand srcs;
+  List.iter
+    (fun s ->
+      if Iter.is_reduction s then
+        invalid_arg
+          (Printf.sprintf "Compute_abs: dst uses reduction iter %s" s.Iter.name))
+    dst.slots;
+  { iters; dst; srcs }
+
+let uses o it = List.exists (Iter.equal it) o.slots
+
+let access_matrix t =
+  let ops = t.dst :: t.srcs in
+  let m = Bin_matrix.create ~rows:(List.length ops) ~cols:(List.length t.iters) in
+  List.iteri
+    (fun r o ->
+      List.iteri (fun c it -> if uses o it then Bin_matrix.set m r c true) t.iters)
+    ops;
+  m
+
+let problem_size t = List.map (fun it -> (it, it.Iter.extent)) t.iters
+
+let iter_pos t it =
+  let rec go i = function
+    | [] -> raise Not_found
+    | x :: rest -> if Iter.equal x it then i else go (i + 1) rest
+  in
+  go 0 t.iters
+
+let pp_operand ppf o =
+  Format.fprintf ppf "%s[%s]" o.name
+    (String.concat ", " (List.map (fun i -> i.Iter.name) o.slots))
+
+let pp ppf t =
+  Format.fprintf ppf "%a = multiply-add(%s)" pp_operand t.dst
+    (String.concat ", " (List.map (Format.asprintf "%a" pp_operand) t.srcs))
+
+let pp_constraints ppf t =
+  (* Each iteration i with extent E contributes the row  i - E < 0
+     (with implicit i >= 0), matching the paper's Eq (1) layout. *)
+  Format.fprintf ppf "@[<v>s.t.";
+  List.iter
+    (fun (it : Iter.t) ->
+      Format.fprintf ppf "@;<1 2>%s - %d < 0,  -%s <= 0" it.Iter.name
+        it.Iter.extent it.Iter.name)
+    t.iters;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Hardware compute abstraction (Def 4.1).
+
+    One compute intrinsic rewritten as an equivalent scalar statement:
+    {[ Dst[i] = F(Src1[j1], ..., SrcM[jM])   s.t.  A i + Σ B_m j_m + C < 0 ]}
+
+    Intrinsic iterations are {!Amos_ir.Iter.t} values whose extents encode
+    the problem-size constraint; each operand lists the iterations that
+    index it (its {e slots}).  A scalar operand has no slots. *)
+
+open Amos_ir
+
+type operand = {
+  name : string;
+  slots : Iter.t list;
+}
+
+type t = {
+  iters : Iter.t list;  (** all intrinsic iterations, spatial then reduction *)
+  dst : operand;
+  srcs : operand list;
+}
+
+val create : iters:Iter.t list -> dst:operand -> srcs:operand list -> t
+(** Checks that every slot is one of [iters] and that [dst] only uses
+    spatial iterations.  Raises [Invalid_argument] otherwise. *)
+
+val operand : string -> Iter.t list -> operand
+
+val access_matrix : t -> Bin_matrix.t
+(** The intrinsic access matrix [Z] (Fig 4): rows [dst :: srcs], columns
+    [iters]. *)
+
+val problem_size : t -> (Iter.t * int) list
+val iter_pos : t -> Iter.t -> int
+(** Position of an iteration in [iters]; raises [Not_found]. *)
+
+val uses : operand -> Iter.t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints the scalar statement form. *)
+
+val pp_constraints : Format.formatter -> t -> unit
+(** Prints the range constraints in the affine matrix form of Def 4.1
+    (the [A], [B_m], [C] matrices of Eq. (1)). *)

@@ -1,0 +1,213 @@
+module Rng = Amos_tensor.Rng
+
+type candidate = {
+  mapping : Mapping.t;
+  schedule : Schedule.t;
+}
+
+type plan = {
+  candidate : candidate;
+  predicted : float;
+  measured : float;
+}
+
+type result = {
+  best : plan;
+  evaluations : int;
+  history : (float * float) list;
+}
+
+let predict accel c =
+  let k = Codegen.lower accel c.mapping c.schedule in
+  Perf_model.predict_seconds accel.Accelerator.config k
+
+let measure accel c =
+  let k = Codegen.lower accel c.mapping c.schedule in
+  Spatial_sim.Machine.estimate_seconds accel.Accelerator.config k
+
+(* A stable per-mapping seed: the schedule search for a given mapping
+   explores the same schedule sequence no matter which compiler invokes
+   it or what other mappings surround it.  Exploring a superset of
+   mappings therefore can only help -- the property the paper's
+   comparison against fixed-mapping baselines rests on. *)
+let mapping_seed _base (m : Mapping.t) =
+  Hashtbl.hash
+    ( Mapping.describe m,
+      m.Mapping.matching.Matching.intr.Intrinsic.name,
+      0x5eed )
+
+let schedule_search ~population ~generations ~rng ~accel mapping =
+  let score sched = (sched, predict accel { mapping; schedule = sched }) in
+  let initial =
+    score (Schedule.default mapping)
+    :: List.init population (fun _ -> score (Schedule.random rng mapping))
+  in
+  let sorted l = List.sort (fun (_, a) (_, b) -> Float.compare a b) l in
+  let rec go gen pop =
+    if gen = 0 then sorted pop
+    else
+      let ranked = sorted pop in
+      let survivors = List.filteri (fun i _ -> i < max 2 (population / 2)) ranked in
+      let parents = Array.of_list (List.map fst survivors) in
+      let children =
+        List.init population (fun _ ->
+            let a = parents.(Rng.int rng (Array.length parents)) in
+            let sched =
+              if Rng.bool rng then
+                Schedule.crossover rng a
+                  parents.(Rng.int rng (Array.length parents))
+              else Schedule.mutate rng mapping a
+            in
+            score sched)
+      in
+      go (gen - 1) (survivors @ children)
+  in
+  go generations initial
+
+(* Two-phase exploration mirroring the paper's flow: the analytical model
+   first screens the mapping space cheaply, then each surviving mapping
+   gets a full schedule search (the same budget a template compiler would
+   spend on its single hand-written mapping), and the best model-ranked
+   plans are measured on the simulator. *)
+let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3) ~rng ~accel
+    ~mappings () =
+  if mappings = [] then invalid_arg "Explore.tune: no mappings";
+  let base_seed = Rng.int rng 1_000_000_000 in
+  let evals = ref 0 in
+  let history = ref [] in
+  (* phase 1: screen every mapping with its default schedule and a few
+     random ones *)
+  let screened =
+    List.map
+      (fun mapping ->
+        let rng = Rng.create (mapping_seed base_seed mapping) in
+        let quick =
+          Schedule.default mapping
+          :: List.init 6 (fun _ -> Schedule.random rng mapping)
+        in
+        let best =
+          List.fold_left
+            (fun acc sched ->
+              incr evals;
+              Float.min acc (predict accel { mapping; schedule = sched }))
+            infinity quick
+        in
+        (mapping, best))
+      mappings
+  in
+  let by_screen =
+    List.filteri
+      (fun i _ -> i < 12)
+      (List.sort (fun (_, a) (_, b) -> Float.compare a b) screened)
+  in
+  (* high-utilization mappings (im2col-style maximal fusions) always get a
+     full search even when the quick screen is unlucky about them *)
+  let by_utilization =
+    let key (m : Mapping.t) =
+      (-.m.Mapping.utilization, List.length m.Mapping.outer_sw)
+    in
+    List.filteri
+      (fun i _ -> i < 4)
+      (List.sort
+         (fun ((a : Mapping.t), _) (b, _) -> compare (key a) (key b))
+         screened)
+  in
+  let survivors =
+    List.fold_left
+      (fun acc (m, p) ->
+        if List.exists (fun (m', _) -> m' == m) acc then acc
+        else acc @ [ (m, p) ])
+      by_screen by_utilization
+  in
+  (* phase 2: full schedule search per surviving mapping *)
+  let plans =
+    List.concat_map
+      (fun (mapping, _) ->
+        let rng = Rng.create (mapping_seed base_seed mapping) in
+        let ranked = schedule_search ~population ~generations ~rng ~accel mapping in
+        evals := !evals + (population * (generations + 1));
+        List.filteri (fun i _ -> i < measure_top) ranked
+        |> List.map (fun (schedule, predicted) ->
+               let c = { mapping; schedule } in
+               let measured = measure accel c in
+               history := (predicted, measured) :: !history;
+               { candidate = c; predicted; measured }))
+      survivors
+  in
+  let best =
+    match plans with
+    | [] -> invalid_arg "Explore.tune: no feasible plan"
+    | p :: rest ->
+        List.fold_left
+          (fun acc pl -> if pl.measured < acc.measured then pl else acc)
+          p rest
+  in
+  { best; evaluations = !evals; history = List.rev !history }
+
+let tune_op ?population ?generations ?measure_top ?filter ~rng ~accel op =
+  let mappings =
+    List.concat_map
+      (fun intr ->
+        List.map Mapping.make (Mapping_gen.generate_op ?filter op intr))
+      accel.Accelerator.intrinsics
+  in
+  match mappings with
+  | [] -> None
+  | _ -> Some (tune ?population ?generations ?measure_top ~rng ~accel ~mappings ())
+
+let sample ~n ~rng ~accel ~mappings =
+  if mappings = [] then invalid_arg "Explore.sample: no mappings";
+  let mappings = Array.of_list mappings in
+  List.init n (fun _ ->
+      let mapping = mappings.(Rng.int rng (Array.length mappings)) in
+      let c = { mapping; schedule = Schedule.random rng mapping } in
+      (predict accel c, measure accel c))
+
+let trajectory ~flops history =
+  let _, acc =
+    List.fold_left
+      (fun (best, acc) (_, measured) ->
+        let best = Float.min best measured in
+        let gflops = if best = infinity then 0. else flops /. best /. 1e9 in
+        (best, (List.length acc + 1, gflops) :: acc))
+      (infinity, []) history
+  in
+  List.rev acc
+
+let pairwise_accuracy samples =
+  let arr = Array.of_list samples in
+  let n = Array.length arr in
+  if n < 2 then 1.0
+  else begin
+    let agree = ref 0 and total = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let pi, mi = arr.(i) and pj, mj = arr.(j) in
+        if mi <> mj then begin
+          incr total;
+          if (pi < pj) = (mi < mj) then incr agree
+        end
+      done
+    done;
+    if !total = 0 then 1.0 else float_of_int !agree /. float_of_int !total
+  end
+
+let topk_recall ~top_rate samples =
+  let arr = Array.of_list samples in
+  let n = Array.length arr in
+  if n = 0 then 1.0
+  else begin
+    let k = max 1 (int_of_float (ceil (top_rate *. float_of_int n))) in
+    let by_measured =
+      List.sort (fun (_, a) (_, b) -> Float.compare a b) samples
+    in
+    let by_predicted =
+      List.sort (fun (a, _) (b, _) -> Float.compare a b) samples
+    in
+    let take l = List.filteri (fun i _ -> i < k) l in
+    let true_top = take by_measured and model_top = take by_predicted in
+    let hits =
+      List.length (List.filter (fun x -> List.memq x model_top) true_top)
+    in
+    float_of_int hits /. float_of_int k
+  end

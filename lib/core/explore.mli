@@ -1,0 +1,81 @@
+(** Joint exploration of mappings and schedules (Sec 5.3).
+
+    A genetic tuner over (mapping, schedule) candidates: the analytical
+    model ({!Perf_model}) screens every candidate cheaply; the survivors
+    of each generation are mutated and crossed over; finally the best
+    model-ranked candidates are measured on the structural simulator and
+    the best measured plan wins — mirroring the paper's
+    model-plus-tuning flow.
+
+    [rank_metrics] computes the pairwise (rank) accuracy and top-k recall
+    between model predictions and measurements used in the Fig 5 model
+    validation. *)
+
+type candidate = {
+  mapping : Mapping.t;
+  schedule : Schedule.t;
+}
+
+type plan = {
+  candidate : candidate;
+  predicted : float;  (** model seconds *)
+  measured : float;  (** simulator seconds *)
+}
+
+type result = {
+  best : plan;
+  evaluations : int;
+  history : (float * float) list;
+      (** (predicted, measured) per explored candidate, in order *)
+}
+
+val tune :
+  ?population:int ->
+  ?generations:int ->
+  ?measure_top:int ->
+  rng:Amos_tensor.Rng.t ->
+  accel:Accelerator.t ->
+  mappings:Mapping.t list ->
+  unit ->
+  result
+(** Two-phase search: every mapping is screened by the model with a
+    handful of schedules; the 8 best mappings each receive a full
+    genetic schedule search with the given [population] x [generations]
+    budget (what a template compiler spends on its one hand-written
+    mapping); the [measure_top] best schedules per mapping are measured
+    on the simulator.  Raises [Invalid_argument] when [mappings] is
+    empty or no candidate is feasible. *)
+
+val tune_op :
+  ?population:int ->
+  ?generations:int ->
+  ?measure_top:int ->
+  ?filter:bool ->
+  rng:Amos_tensor.Rng.t ->
+  accel:Accelerator.t ->
+  Amos_ir.Operator.t ->
+  result option
+(** Generates the mapping space over {e every} intrinsic the accelerator
+    exposes (intrinsic selection is part of the search) and tunes;
+    [None] when the operator has no valid mapping. *)
+
+val sample :
+  n:int ->
+  rng:Amos_tensor.Rng.t ->
+  accel:Accelerator.t ->
+  mappings:Mapping.t list ->
+  (float * float) list
+(** [n] random candidates, each both predicted and measured — the raw data
+    of the Fig 5 model-validation experiment. *)
+
+val trajectory : flops:float -> (float * float) list -> (int * float) list
+(** Best-so-far measured GFLOPS after each exploration step, from a
+    (predicted, measured seconds) history — the blue curve of Fig 5. *)
+
+val pairwise_accuracy : (float * float) list -> float
+(** Fraction of candidate pairs whose model order matches the measured
+    order (0.5 = chance). *)
+
+val topk_recall : top_rate:float -> (float * float) list -> float
+(** Of the true top-[top_rate] fraction (by measurement), how many the
+    model also places in its own top fraction. *)

@@ -1,0 +1,125 @@
+open Amos_ir
+
+type expr =
+  | Var of string
+  | Int_const of int
+  | Bin of string * expr * expr
+  | Buffer_load of Tensor_decl.t * expr list
+
+type node =
+  | Compute of {
+      dst : Tensor_decl.t;
+      expr : expr;
+      iters : expr list;
+    }
+  | Memory of {
+      dst : Tensor_decl.t;
+      scope : string;
+      src : expr;
+    }
+
+let expr_of_affine a =
+  let terms =
+    List.map
+      (fun (it : Iter.t) ->
+        let c = Affine.coeff a it in
+        if c = 1 then Var it.Iter.name
+        else Bin ("*", Int_const c, Var it.Iter.name))
+      (Affine.iters a)
+  in
+  let base =
+    match terms with
+    | [] -> Int_const (Affine.constant_part a)
+    | t :: rest -> List.fold_left (fun acc e -> Bin ("+", acc, e)) t rest
+  in
+  if Affine.constant_part a <> 0 && Affine.iters a <> [] then
+    Bin ("+", base, Int_const (Affine.constant_part a))
+  else base
+
+let reg_decl (acc : Operator.access) =
+  Tensor_decl.create ("reg." ^ acc.Operator.tensor.Tensor_decl.name)
+    acc.Operator.tensor.Tensor_decl.shape
+
+let lower (m : Mapping.t) =
+  let matching = m.Mapping.matching in
+  let view = matching.Matching.view in
+  let op = view.Mac_view.op in
+  let load_of_source = function
+    | Mac_view.Tensor { acc; _ } | Mac_view.Diff_sq { a = acc; _ } ->
+        Some
+          (Memory
+             {
+               dst = reg_decl acc;
+               scope = "shared";
+               src =
+                 Buffer_load
+                   (acc.Operator.tensor, List.map expr_of_affine acc.Operator.index);
+             })
+    | Mac_view.Ones _ -> None
+  in
+  let loads = List.filter_map load_of_source view.Mac_view.srcs in
+  let out = op.Operator.output in
+  let store =
+    Memory
+      {
+        dst = out.Operator.tensor;
+        scope = "global";
+        src =
+          Buffer_load (reg_decl out, List.map expr_of_affine out.Operator.index);
+      }
+  in
+  let mul =
+    match view.Mac_view.srcs with
+    | [ a; b ] ->
+        let to_expr = function
+          | Mac_view.Tensor { acc; _ } ->
+              Buffer_load (acc.Operator.tensor, List.map expr_of_affine acc.Operator.index)
+          | Mac_view.Ones _ -> Int_const 1
+          | Mac_view.Diff_sq { a; b; _ } ->
+              let la = Buffer_load (a.Operator.tensor, List.map expr_of_affine a.Operator.index) in
+              let lb = Buffer_load (b.Operator.tensor, List.map expr_of_affine b.Operator.index) in
+              Bin ("*", Bin ("-", la, lb), Bin ("-", la, lb))
+        in
+        Bin ("*", to_expr a, to_expr b)
+    | _ -> Int_const 0
+  in
+  let compute =
+    Compute
+      {
+        dst = out.Operator.tensor;
+        expr = mul;
+        iters =
+          List.map
+            (fun (fd : Mapping.fused_dim) -> Var fd.Mapping.intr_iter.Iter.name)
+            (Array.to_list m.Mapping.fused);
+      }
+  in
+  loads @ [ compute; store ]
+
+let rec pp_expr ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Int_const c -> Format.pp_print_int ppf c
+  | Bin (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp_expr a op pp_expr b
+  | Buffer_load (t, idx) ->
+      Format.fprintf ppf "%s[%a]" t.Tensor_decl.name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_expr)
+        idx
+
+let pp_node ppf = function
+  | Compute { dst; expr; iters } ->
+      Format.fprintf ppf "Compute(%s, %a, [%a])" dst.Tensor_decl.name pp_expr
+        expr
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp_expr)
+        iters
+  | Memory { dst; scope; src } ->
+      Format.fprintf ppf "Memory(%s, %S, %a)" dst.Tensor_decl.name scope
+        pp_expr src
+
+let pp_nodes ppf nodes =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    pp_node ppf nodes

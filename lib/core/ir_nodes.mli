@@ -1,0 +1,37 @@
+(** The compiler IR nodes of Sec 6 (Table 4).
+
+    The hardware abstraction is embedded in the compiler IR through two
+    new nodes on top of the basic ones: [Compute (Tensor, Expr,
+    Array<Expr>)] describes a small loop nest matched to a compute
+    intrinsic; [Memory (Tensor, String, BufferLoad)] describes a memory
+    intrinsic (scope-qualified load/store).  [lower] produces the node
+    sequence a mapping inserts into the AST during code generation. *)
+
+open Amos_ir
+
+(** Basic IR nodes (Table 4, top half). *)
+type expr =
+  | Var of string
+  | Int_const of int
+  | Bin of string * expr * expr  (** arithmetic: +,-,*,/ *)
+  | Buffer_load of Tensor_decl.t * expr list
+
+type node =
+  | Compute of {
+      dst : Tensor_decl.t;
+      expr : expr;
+      iters : expr list;  (** the intrinsic iterations *)
+    }
+  | Memory of {
+      dst : Tensor_decl.t;
+      scope : string;  (** "global" / "shared" / "reg" *)
+      src : expr;  (** a [Buffer_load] *)
+    }
+
+val lower : Mapping.t -> node list
+(** The memory nodes (one load per real source operand, one store) and
+    the compute node a physical mapping inserts. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_node : Format.formatter -> node -> unit
+val pp_nodes : Format.formatter -> node list -> unit

@@ -1,0 +1,70 @@
+open Amos_ir
+
+type fused_dim = {
+  intr_iter : Iter.t;
+  intr_pos : int;
+  sw_iters : Iter.t list;
+  fused_extent : int;
+  tiles : int;
+}
+
+type t = {
+  matching : Matching.t;
+  fused : fused_dim array;
+  outer_sw : Iter.t list;
+  utilization : float;
+}
+
+let make (m : Matching.t) =
+  let intr_iters = m.Matching.intr.Intrinsic.compute.Compute_abs.iters in
+  let fused =
+    Array.of_list
+      (List.mapi
+         (fun pos k ->
+           let sw = Matching.sw_iters_of m k in
+           let fused_extent =
+             List.fold_left (fun acc (it : Iter.t) -> acc * it.Iter.extent) 1 sw
+           in
+           let fused_extent = if sw = [] then 1 else fused_extent in
+           let tiles = (fused_extent + k.Iter.extent - 1) / k.Iter.extent in
+           { intr_iter = k; intr_pos = pos; sw_iters = sw; fused_extent; tiles })
+         intr_iters)
+  in
+  let utilization =
+    Array.fold_left
+      (fun acc fd ->
+        acc
+        *. (float_of_int fd.fused_extent
+           /. float_of_int (fd.tiles * fd.intr_iter.Iter.extent)))
+      1. fused
+  in
+  { matching = m; fused; outer_sw = Matching.outer m; utilization }
+
+let intrinsic_calls t =
+  let tile_prod = Array.fold_left (fun acc fd -> acc * fd.tiles) 1 t.fused in
+  List.fold_left
+    (fun acc (it : Iter.t) -> acc * it.Iter.extent)
+    tile_prod t.outer_sw
+
+let describe t = Matching.describe t.matching
+
+let radix_strides sw_iters =
+  (* stride of each fused component; slowest first *)
+  let rec go = function
+    | [] -> []
+    | _ :: rest ->
+        let s =
+          List.fold_left (fun acc (it : Iter.t) -> acc * it.Iter.extent) 1 rest
+        in
+        s :: go rest
+  in
+  go sw_iters
+
+let decode_fused fd g =
+  if g >= fd.fused_extent then None
+  else
+    let strides = radix_strides fd.sw_iters in
+    Some
+      (List.map2
+         (fun (it : Iter.t) stride -> (it, g / stride mod it.Iter.extent))
+         fd.sw_iters strides)

@@ -1,0 +1,39 @@
+(** Physical software-hardware mappings (Sec 5.1 step 2, Fig 3 g/h).
+
+    The virtual mapping fuses the software iterations matched to each
+    intrinsic iteration into one index expression; the physical mapping
+    restricts each fused index to the intrinsic problem size with a modulo
+    split — the quotient becomes a tile loop — and pads the trailing
+    partial tiles with zeros.  Unmatched software iterations become outer
+    loops.  Memory addresses (Fig 3h) follow from the tile indices. *)
+
+open Amos_ir
+
+type fused_dim = {
+  intr_iter : Iter.t;
+  intr_pos : int;  (** position within the intrinsic iteration list *)
+  sw_iters : Iter.t list;  (** mixed-radix fusion, slowest first *)
+  fused_extent : int;
+  tiles : int;  (** ceil(fused_extent / intrinsic extent); 1 when unused *)
+}
+
+type t = {
+  matching : Matching.t;
+  fused : fused_dim array;  (** one per intrinsic iteration, in order *)
+  outer_sw : Iter.t list;  (** unmatched software iterations, op order *)
+  utilization : float;
+      (** useful fraction of intrinsic compute: padding and unused-dim
+          waste combined *)
+}
+
+val make : Matching.t -> t
+val intrinsic_calls : t -> int
+(** Total intrinsic invocations: product of tile counts and outer
+    extents. *)
+
+val describe : t -> string
+(** Table-5-style compute-mapping line. *)
+
+val decode_fused : fused_dim -> int -> (Iter.t * int) list option
+(** [decode_fused fd g] recovers software iteration values from a global
+    fused index; [None] when [g] lands in trailing padding. *)

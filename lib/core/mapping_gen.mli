@@ -1,0 +1,37 @@
+(** Two-step software-hardware mapping generation (Sec 5.1).
+
+    Step 1 maps software iterations onto a virtual accelerator with
+    unlimited resources by matching software iterations to intrinsic
+    iterations (column compatibility of the access matrices).  Step 2 (in
+    {!Mapping}) reintroduces the problem-size and capacity constraints.
+
+    Enumeration rules (DESIGN.md §5):
+    - a software iteration maps to at most one intrinsic iteration whose
+      access-matrix column equals its own;
+    - every intrinsic dimension that has any compatible software iteration
+      must receive a non-empty set (hardware dimensions are not wasted
+      when usable); dimensions with no candidates stay unused and are
+      padded to extent 1;
+    - source-operand correspondences ([src_perm]) are enumerated modulo
+      the intrinsic's automorphisms (so the two mirror-symmetric GEMM
+      mappings on Tensor Core count once, matching Table 6);
+    - every candidate is checked by Algorithm 1 ({!Matching.validate});
+    - with [~filter:true] (default) the feasibility rule
+      ({!Matching.feasible}) is applied. *)
+
+open Amos_ir
+
+val src_perms : Mac_view.t -> Intrinsic.t -> int array list
+(** Source-operand correspondences, deduplicated by intrinsic
+    automorphism.  Empty when the arities differ. *)
+
+val candidates :
+  Mac_view.t -> Intrinsic.t -> src_perm:int array -> (Iter.t * Iter.t list) list
+(** Per software iteration, the compatible intrinsic iterations. *)
+
+val generate : ?filter:bool -> Mac_view.t -> Intrinsic.t -> Matching.t list
+val generate_op : ?filter:bool -> Operator.t -> Intrinsic.t -> Matching.t list
+(** [[]] when the operator has no MAC view (max-accumulation). *)
+
+val count : ?filter:bool -> Operator.t -> Intrinsic.t -> int
+(** Number of feasible mappings — the Table 6 quantity. *)

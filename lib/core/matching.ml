@@ -1,0 +1,182 @@
+open Amos_ir
+
+type t = {
+  view : Mac_view.t;
+  intr : Intrinsic.t;
+  src_perm : int array;
+  assign : Iter.t option array;
+}
+
+let create ~view ~intr ~src_perm ~assign =
+  let n_iters = List.length view.Mac_view.op.Operator.iters in
+  if Array.length assign <> n_iters then
+    invalid_arg "Matching.create: assignment length mismatch";
+  if Array.length src_perm <> List.length view.Mac_view.srcs then
+    invalid_arg "Matching.create: src_perm length mismatch";
+  Array.iter
+    (function
+      | None -> ()
+      | Some k ->
+          if
+            not
+              (List.exists (Iter.equal k)
+                 intr.Intrinsic.compute.Compute_abs.iters)
+          then
+            invalid_arg
+              (Printf.sprintf "Matching.create: %s is not an intrinsic iter"
+                 k.Iter.name))
+    assign;
+  { view; intr; src_perm; assign }
+
+let sw_iters (t : t) = t.view.Mac_view.op.Operator.iters
+
+let mapped t =
+  let res = ref [] in
+  List.iteri
+    (fun i s ->
+      match t.assign.(i) with Some k -> res := (s, k) :: !res | None -> ())
+    (sw_iters t);
+  List.rev !res
+
+let outer t =
+  let res = ref [] in
+  List.iteri
+    (fun i s -> if t.assign.(i) = None then res := s :: !res)
+    (sw_iters t);
+  List.rev !res
+
+let sw_iters_of t k =
+  List.filter_map
+    (fun (s, k') -> if Iter.equal k k' then Some s else None)
+    (mapped t)
+
+let used_intrinsic_iters t =
+  List.filter
+    (fun k -> sw_iters_of t k <> [])
+    t.intr.Intrinsic.compute.Compute_abs.iters
+
+let matrices t =
+  let m = mapped t in
+  let used = used_intrinsic_iters t in
+  let n_rows = 1 + List.length t.view.Mac_view.srcs in
+  (* X: rows = operands (dst :: permuted srcs), cols = mapped sw iters *)
+  let x = Bin_matrix.create ~rows:n_rows ~cols:(List.length m) in
+  List.iteri
+    (fun c (s, _) ->
+      let col = Mac_view.column t.view ~src_perm:t.src_perm s in
+      Array.iteri (fun r v -> if v then Bin_matrix.set x r c true) col)
+    m;
+  (* Y: rows = used intrinsic iters, cols = mapped sw iters *)
+  let y = Bin_matrix.create ~rows:(List.length used) ~cols:(List.length m) in
+  List.iteri
+    (fun c (_, k) ->
+      List.iteri
+        (fun r k' -> if Iter.equal k k' then Bin_matrix.set y r c true)
+        used)
+    m;
+  (* Z: rows = operands, cols = used intrinsic iters *)
+  let z = Bin_matrix.create ~rows:n_rows ~cols:(List.length used) in
+  let operands =
+    t.intr.Intrinsic.compute.Compute_abs.dst
+    :: t.intr.Intrinsic.compute.Compute_abs.srcs
+  in
+  List.iteri
+    (fun r o ->
+      List.iteri
+        (fun c k -> if Compute_abs.uses o k then Bin_matrix.set z r c true)
+        used)
+    operands;
+  (x, y, z)
+
+let validate t =
+  match mapped t with
+  | [] -> false
+  | _ ->
+      let x, y, z = matrices t in
+      let x' = Bin_matrix.mul z y in
+      let z' = Bin_matrix.mul x (Bin_matrix.transpose y) in
+      Bin_matrix.equal x' x && Bin_matrix.equal z' z
+
+let feasible t =
+  List.for_all
+    (fun k ->
+      (not (Iter.is_reduction k))
+      ||
+      match sw_iters_of t k with
+      | [] -> true
+      | [ single ] -> Mac_view.independent t.view single
+      | _ :: _ :: _ -> true)
+    (used_intrinsic_iters t)
+
+let explain t =
+  let x, y, z = matrices t in
+  let x' = Bin_matrix.mul z y in
+  let z' = Bin_matrix.mul x (Bin_matrix.transpose y) in
+  let verdict = Bin_matrix.equal x' x && Bin_matrix.equal z' z in
+  let b = Buffer.create 512 in
+  let add_matrix name m =
+    Buffer.add_string b (Format.asprintf "%s =@.%a@." name Bin_matrix.pp m)
+  in
+  Buffer.add_string b
+    (Printf.sprintf "operands: %s\n"
+       (String.concat ", "
+          (List.map
+             (fun (o : Compute_abs.operand) -> o.Compute_abs.name)
+             (t.intr.Intrinsic.compute.Compute_abs.dst
+             :: t.intr.Intrinsic.compute.Compute_abs.srcs))));
+  Buffer.add_string b
+    (Printf.sprintf "mapped software iterations: %s\n"
+       (String.concat ", "
+          (List.map
+             (fun ((s : Iter.t), (k : Iter.t)) ->
+               s.Iter.name ^ " -> " ^ k.Iter.name)
+             (mapped t))));
+  add_matrix "X (software access)" x;
+  add_matrix "Y (matching)" y;
+  add_matrix "Z (intrinsic access)" z;
+  add_matrix "X' = Z # Y" x';
+  add_matrix "Z' = X # Y^T" z';
+  Buffer.add_string b
+    (Printf.sprintf "X' = X: %b, Z' = Z: %b => %s\n"
+       (Bin_matrix.equal x' x) (Bin_matrix.equal z' z)
+       (if verdict then "VALID" else "INVALID"));
+  Buffer.contents b
+
+let describe t =
+  let used = used_intrinsic_iters t in
+  let lhs = String.concat ", " (List.map (fun k -> k.Iter.name) used) in
+  let fused_text k =
+    (* extent-1 iterations contribute nothing to the fused index; keep the
+       description readable by omitting them (unless everything is 1) *)
+    let sws = sw_iters_of t k in
+    let sws =
+      match List.filter (fun (it : Iter.t) -> it.Iter.extent > 1) sws with
+      | [] -> (match sws with [] -> [] | first :: _ -> [ first ])
+      | nontrivial -> nontrivial
+    in
+    (* mixed-radix fusion: first iter is slowest *)
+    let rec strides = function
+      | [] -> []
+      | [ _ ] -> [ 1 ]
+      | _ :: rest ->
+          let hd_stride =
+            List.fold_left
+              (fun acc (it : Iter.t) -> acc * it.Iter.extent)
+              1 rest
+          in
+          hd_stride :: strides rest
+    in
+    let ss = strides sws in
+    let terms =
+      List.map2
+        (fun (it : Iter.t) stride ->
+          if stride = 1 then it.Iter.name
+          else Printf.sprintf "%s*%d" it.Iter.name stride)
+        sws ss
+    in
+    let body = String.concat " + " terms in
+    let body = if List.length terms > 1 then "(" ^ body ^ ")" else body in
+    Printf.sprintf "%s mod %d" body k.Iter.extent
+  in
+  Printf.sprintf "[%s] <- [%s]" lhs
+    (String.concat ", " (List.map fused_text used))

@@ -1,0 +1,32 @@
+type transfer = {
+  operand : string;
+  to_scope : Scope.t;
+  from_scope : Scope.t;
+}
+
+type t = transfer list
+
+let standard ~srcs ~dst =
+  List.map
+    (fun s -> { operand = s; to_scope = Scope.Reg; from_scope = Scope.Shared })
+    srcs
+  @ [ { operand = dst; to_scope = Scope.Global; from_scope = Scope.Reg } ]
+
+let load_scope t name =
+  let tr =
+    List.find
+      (fun tr -> tr.operand = name && tr.to_scope = Scope.Reg)
+      t
+  in
+  tr.from_scope
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i tr ->
+      if i > 0 then Format.fprintf ppf "@;";
+      Format.fprintf ppf "%a.%s[...] = %a.%s[addr_%s + ... * stride_%s]"
+        Scope.pp tr.to_scope tr.operand Scope.pp tr.from_scope tr.operand
+        tr.operand tr.operand)
+    t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,23 @@
+(** Hardware memory abstraction (Def 4.2): per intrinsic, a list of scoped
+    transfer statements ({[reg.Src1[j1] = shared.Src1[l1]]}, ...,
+    {[global.Dst[k] = reg.Dst[i]]}).  The base addresses and strides are
+    supplied later by the memory mapping (Sec 4.3); here we record the
+    structure: which operand moves between which scopes. *)
+
+type transfer = {
+  operand : string;
+  to_scope : Scope.t;
+  from_scope : Scope.t;
+}
+
+type t = transfer list
+
+val standard : srcs:string list -> dst:string -> t
+(** The common pattern of Eq. (2): each source loads [Shared -> Reg], the
+    destination stores [Reg -> Global]. *)
+
+val load_scope : t -> string -> Scope.t
+(** The scope an operand is loaded from ([Shared] under [standard]);
+    raises [Not_found] for unknown operands. *)
+
+val pp : Format.formatter -> t -> unit

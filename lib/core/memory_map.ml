@@ -1,0 +1,131 @@
+open Amos_ir
+
+type expr =
+  | Const of int
+  | Sw of Iter.t
+  | Add of expr * expr
+  | Mul of expr * int
+  | Div of expr * int
+
+type operand_map = {
+  operand : string;
+  tensor : string;
+  base : expr;
+  strides : (Iter.t * int) list;
+  buffer_elems : int;
+}
+
+let rec eval env = function
+  | Const c -> c
+  | Sw it -> env it
+  | Add (a, b) -> eval env a + eval env b
+  | Mul (a, k) -> eval env a * k
+  | Div (a, k) -> eval env a / k
+
+let add a b =
+  match (a, b) with Const 0, e | e, Const 0 -> e | _ -> Add (a, b)
+
+let mul a k = if k = 1 then a else Mul (a, k)
+
+(* the fused index expression of a dimension, e.g. n*4 + p*2 + q *)
+let fused_expr (fd : Mapping.fused_dim) =
+  let rec strides = function
+    | [] -> []
+    | _ :: rest ->
+        List.fold_left (fun acc (it : Iter.t) -> acc * it.Iter.extent) 1 rest
+        :: strides rest
+  in
+  List.fold_left2
+    (fun acc (it : Iter.t) stride -> add acc (mul (Sw it) stride))
+    (Const 0) fd.Mapping.sw_iters (strides fd.Mapping.sw_iters)
+
+let of_mapping (m : Mapping.t) =
+  let matching = m.Mapping.matching in
+  let view = matching.Matching.view in
+  let intr = matching.Matching.intr in
+  let compute = intr.Intrinsic.compute in
+  let view_srcs = Array.of_list view.Mac_view.srcs in
+  let tensor_of_source = function
+    | Mac_view.Tensor { acc; _ } -> Some acc.Operator.tensor.Tensor_decl.name
+    | Mac_view.Diff_sq { a; _ } -> Some a.Operator.tensor.Tensor_decl.name
+    | Mac_view.Ones _ -> None
+  in
+  let fused_of k =
+    let rec find i =
+      if i >= Array.length m.Mapping.fused then invalid_arg "Memory_map: iter"
+      else if Iter.equal m.Mapping.fused.(i).Mapping.intr_iter k then
+        m.Mapping.fused.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let map_operand (o : Compute_abs.operand) tensor =
+    (* within-tile strides: faster dimensions' extents *)
+    let rec tile_strides = function
+      | [] -> []
+      | (k : Iter.t) :: rest ->
+          let s =
+            List.fold_left (fun acc (j : Iter.t) -> acc * j.Iter.extent) 1 rest
+          in
+          (k, s) :: tile_strides rest
+    in
+    let strides = tile_strides o.Compute_abs.slots in
+    let tile_elems =
+      List.fold_left (fun acc (k : Iter.t) -> acc * k.Iter.extent) 1
+        o.Compute_abs.slots
+    in
+    (* base address: tiles packed row-major across the operand's
+       dimensions, slowest first *)
+    let _, base, total_tiles =
+      List.fold_right
+        (fun (k : Iter.t) (faster_elems, base, tiles) ->
+          let fd = fused_of k in
+          let tile_idx = Div (fused_expr fd, k.Iter.extent) in
+          ( faster_elems * fd.Mapping.tiles,
+            add (mul tile_idx faster_elems) base,
+            tiles * fd.Mapping.tiles ))
+        o.Compute_abs.slots (tile_elems, Const 0, 1)
+    in
+    {
+      operand = o.Compute_abs.name;
+      tensor;
+      base;
+      strides;
+      buffer_elems = total_tiles * tile_elems;
+    }
+  in
+  let srcs =
+    List.concat
+      (List.mapi
+         (fun mi (o : Compute_abs.operand) ->
+           let src = view_srcs.(matching.Matching.src_perm.(mi)) in
+           match tensor_of_source src with
+           | Some tensor -> [ map_operand o tensor ]
+           | None -> [])
+         compute.Compute_abs.srcs)
+  in
+  let dst =
+    map_operand compute.Compute_abs.dst
+      view.Mac_view.op.Operator.output.Operator.tensor.Tensor_decl.name
+  in
+  srcs @ [ dst ]
+
+let rec pp_expr ppf = function
+  | Const c -> Format.pp_print_int ppf c
+  | Sw it -> Format.pp_print_string ppf it.Iter.name
+  | Add (a, b) -> Format.fprintf ppf "%a + %a" pp_expr a pp_expr b
+  | Mul ((Add _ as a), k) -> Format.fprintf ppf "(%a) * %d" pp_expr a k
+  | Mul (a, k) -> Format.fprintf ppf "%a * %d" pp_expr a k
+  | Div ((Add _ as a), k) -> Format.fprintf ppf "(%a) / %d" pp_expr a k
+  | Div (a, k) -> Format.fprintf ppf "%a / %d" pp_expr a k
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>addr_%s (%s) <- %a" t.operand t.tensor pp_expr
+    t.base;
+  List.iter
+    (fun ((k : Iter.t), s) ->
+      Format.fprintf ppf "@;stride_%s.%s <- %d" t.operand k.Iter.name s)
+    t.strides;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

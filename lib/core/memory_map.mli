@@ -1,0 +1,41 @@
+(** The memory mapping half of a software-hardware mapping (Def 4.3,
+    Fig 3 f/h): for every operand, the base address and strides of its
+    staged (tile-packed) layout, as closed-form quasi-affine expressions
+    over the software iterations.
+
+    Tiles are packed row-major: along each intrinsic dimension the
+    operand uses, the tile index is [fused_expr / E] and contributes
+    [tile_index * (elements of the faster tiles)]; within a tile the
+    stride of dimension [k] is the product of the faster dimensions'
+    extents.  For the Fig 3 running example this yields exactly the
+    paper's physical memory mapping:
+    {[ addr_a <- (n*4 + p*2 + q) / 2 * 20 + (c*9 + r*3 + s) / 2 * 4
+       stride_a <- 2 ]} *)
+
+open Amos_ir
+
+(** Quasi-affine address expressions over software iterations. *)
+type expr =
+  | Const of int
+  | Sw of Iter.t  (** the value of a software iteration *)
+  | Add of expr * expr
+  | Mul of expr * int
+  | Div of expr * int  (** floor division *)
+
+type operand_map = {
+  operand : string;  (** intrinsic operand name (Src1, Src2, Dst) *)
+  tensor : string;  (** the software tensor staged into it *)
+  base : expr;  (** element offset of the register tile's origin *)
+  strides : (Iter.t * int) list;
+      (** per intrinsic dimension used: the within-tile stride *)
+  buffer_elems : int;  (** total staged elements (all tiles, one pass) *)
+}
+
+val of_mapping : Mapping.t -> operand_map list
+(** One entry per intrinsic operand carrying a real tensor (virtual ones
+    operands are omitted), destination last. *)
+
+val eval : (Iter.t -> int) -> expr -> int
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> operand_map -> unit
+val to_string : operand_map -> string

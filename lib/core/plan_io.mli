@@ -1,0 +1,28 @@
+(** Textual serialization of tuned plans.
+
+    Tuning is deterministic but not free; production flows cache the
+    chosen (mapping, schedule) per operator and accelerator.  The format
+    is a line-oriented key=value text that is stable across runs and
+    diff-friendly:
+
+    {v
+    intrinsic wmma::mma_sync(16x16x16)
+    src_perm 0,1
+    assign n=i1 p=i1 q=i1 k=i2 c=r1 r=r1 s=r1
+    split n 8 1 2
+    ...
+    stage 2
+    unroll 4
+    vectorize true
+    v} *)
+
+open Amos_ir
+
+val save : Mapping.t -> Schedule.t -> string
+
+val load :
+  Accelerator.t -> Operator.t -> string -> (Mapping.t * Schedule.t) option
+(** Re-binds the plan to the given operator and accelerator: the
+    intrinsic is looked up by name, software iterations by name, and the
+    result is re-validated (Algorithm 1).  [None] when anything fails to
+    resolve — e.g. the plan was saved for a different operator shape. *)

@@ -1,0 +1,143 @@
+open Amos_ir
+module Rng = Amos_tensor.Rng
+
+type dim = {
+  name : string;
+  extent : int;
+  parallelizable : bool;
+  origin : [ `Outer_sw of Iter.t | `Tile of int ];
+}
+
+type split = {
+  block : int;
+  subcore : int;
+  serial : int;
+}
+
+type t = {
+  splits : split array;
+  stage_depth : int;
+  unroll : int;
+  vectorize : bool;
+}
+
+let dims (m : Mapping.t) =
+  let sw =
+    List.map
+      (fun (it : Iter.t) ->
+        {
+          name = it.Iter.name;
+          extent = it.Iter.extent;
+          parallelizable = not (Iter.is_reduction it);
+          origin = `Outer_sw it;
+        })
+      m.Mapping.outer_sw
+  in
+  let tiles =
+    List.filter_map
+      (fun (fd : Mapping.fused_dim) ->
+        if fd.Mapping.tiles > 1 then
+          Some
+            {
+              name = fd.Mapping.intr_iter.Iter.name ^ ".t";
+              extent = fd.Mapping.tiles;
+              parallelizable = not (Iter.is_reduction fd.Mapping.intr_iter);
+              origin = `Tile fd.Mapping.intr_pos;
+            }
+        else None)
+      (Array.to_list m.Mapping.fused)
+  in
+  sw @ tiles
+
+let ceil_div a b = (a + b - 1) / b
+
+let serial_split extent = { block = 1; subcore = 1; serial = extent }
+
+let full_block_split extent = { block = extent; subcore = 1; serial = 1 }
+
+let default m =
+  let ds = dims m in
+  {
+    splits =
+      Array.of_list
+        (List.map
+           (fun d ->
+             if d.parallelizable then full_block_split d.extent
+             else serial_split d.extent)
+           ds);
+    stage_depth = 2;
+    unroll = 4;
+    vectorize = true;
+  }
+
+let factor_choices extent =
+  let rec divisors i acc =
+    if i > extent then acc
+    else divisors (i + 1) (if extent mod i = 0 then i :: acc else acc)
+  in
+  let divs = divisors 1 [] in
+  (* also allow non-dividing powers of two (covered by ceil + padding) *)
+  let pows =
+    List.filter (fun p -> p < extent) [ 2; 4; 8; 16; 32; 64; 128 ]
+  in
+  List.sort_uniq Int.compare (divs @ pows)
+
+let random_split rng d =
+  if not d.parallelizable then serial_split d.extent
+  else
+    let block = Rng.pick rng (factor_choices d.extent) in
+    let rest = ceil_div d.extent block in
+    let subcore = Rng.pick rng (List.filter (fun f -> f <= 8) (factor_choices rest)) in
+    let serial = ceil_div rest subcore in
+    { block; subcore; serial }
+
+let random rng m =
+  let ds = dims m in
+  {
+    splits = Array.of_list (List.map (random_split rng) ds);
+    stage_depth = 1 + Rng.int rng 4;
+    unroll = Rng.pick rng [ 1; 2; 4; 8 ];
+    vectorize = Rng.bool rng;
+  }
+
+let mutate rng m t =
+  let ds = Array.of_list (dims m) in
+  let t = { t with splits = Array.copy t.splits } in
+  match Rng.int rng 4 with
+  | 0 when Array.length ds > 0 ->
+      let i = Rng.int rng (Array.length ds) in
+      t.splits.(i) <- random_split rng ds.(i);
+      t
+  | 1 -> { t with stage_depth = 1 + Rng.int rng 4 }
+  | 2 -> { t with unroll = Rng.pick rng [ 1; 2; 4; 8 ] }
+  | _ -> { t with vectorize = Rng.bool rng }
+
+let crossover rng a b =
+  let n = Array.length a.splits in
+  {
+    splits = Array.init n (fun i -> if Rng.bool rng then a.splits.(i) else b.splits.(i));
+    stage_depth = (if Rng.bool rng then a.stage_depth else b.stage_depth);
+    unroll = (if Rng.bool rng then a.unroll else b.unroll);
+    vectorize = (if Rng.bool rng then a.vectorize else b.vectorize);
+  }
+
+let validate m t =
+  let ds = dims m in
+  List.length ds = Array.length t.splits
+  && List.for_all2
+       (fun d s ->
+         s.block >= 1 && s.subcore >= 1 && s.serial >= 1
+         && s.block * s.subcore * s.serial >= d.extent
+         && (d.parallelizable || (s.block = 1 && s.subcore = 1)))
+       ds (Array.to_list t.splits)
+  && t.stage_depth >= 1 && t.unroll >= 1
+
+let describe m t =
+  let ds = dims m in
+  let parts =
+    List.map2
+      (fun d s -> Printf.sprintf "%s:%dx%dx%d" d.name s.block s.subcore s.serial)
+      ds (Array.to_list t.splits)
+  in
+  Printf.sprintf "splits[%s] stage=%d unroll=%d vec=%b"
+    (String.concat " " parts) t.stage_depth t.unroll t.vectorize

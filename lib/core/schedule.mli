@@ -1,0 +1,49 @@
+(** Optimization schedules (Table 3a): tile / fuse / bind / parallel /
+    cache / unroll / vectorize, applied to the outer loops of a physical
+    mapping.
+
+    The outer loop space of a mapping consists of its unmatched software
+    iterations plus one tile loop per fused intrinsic dimension.  A
+    schedule splits every outer dimension into (core, sub-core, serial)
+    factors — the bind/parallel decisions — and sets the shared-buffer
+    staging depth (cache), unroll factor, and load vectorization.
+    Reduction dimensions are never bound to parallel units (their partial
+    sums accumulate in the register fragment). *)
+
+open Amos_ir
+
+type dim = {
+  name : string;
+  extent : int;
+  parallelizable : bool;  (** false for reduction dimensions *)
+  origin : [ `Outer_sw of Iter.t | `Tile of int (* intrinsic position *) ];
+}
+
+val dims : Mapping.t -> dim list
+(** The outer dimensions of a mapping, in a canonical order (software
+    iterations first, then tile loops by intrinsic position). *)
+
+type split = {
+  block : int;  (** bound to cores *)
+  subcore : int;  (** bound to sub-cores within a core *)
+  serial : int;  (** executed sequentially; block*subcore*serial >= extent *)
+}
+
+type t = {
+  splits : split array;  (** aligned with [dims] *)
+  stage_depth : int;  (** shared-buffer staging (double buffering etc.) *)
+  unroll : int;
+  vectorize : bool;
+}
+
+val default : Mapping.t -> t
+(** A sensible GPU-style schedule: parallel dimensions fully bound to
+    cores, reduction dimensions serial. *)
+
+val random : Amos_tensor.Rng.t -> Mapping.t -> t
+val mutate : Amos_tensor.Rng.t -> Mapping.t -> t -> t
+val crossover : Amos_tensor.Rng.t -> t -> t -> t
+val validate : Mapping.t -> t -> bool
+(** Splits cover extents, reduction dims are serial, factors positive. *)
+
+val describe : Mapping.t -> t -> string

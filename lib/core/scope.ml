@@ -1,0 +1,8 @@
+type t =
+  | Global
+  | Shared
+  | Reg
+
+let name = function Global -> "global" | Shared -> "shared" | Reg -> "reg"
+let level = function Reg -> 0 | Shared -> 1 | Global -> 2
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,13 @@
+(** Memory scopes of the hardware memory hierarchy (Def 4.2 prefixes:
+    [global], [shared], [reg]). *)
+
+type t =
+  | Global
+  | Shared
+  | Reg
+
+val name : t -> string
+val level : t -> int
+(** [Reg] = 0, [Shared] = 1, [Global] = 2. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+type t = {
+  terms : (Iter.t * int) list;
+  const : int;
+}
+
+let normalize terms =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun ((it : Iter.t), c) ->
+      match Hashtbl.find_opt tbl it.Iter.id with
+      | None ->
+          Hashtbl.add tbl it.Iter.id (it, ref c);
+          order := it.Iter.id :: !order
+      | Some (_, r) -> r := !r + c)
+    terms;
+  let ids = List.sort_uniq Int.compare (List.rev !order) in
+  List.filter_map
+    (fun id ->
+      let it, r = Hashtbl.find tbl id in
+      if !r = 0 then None else Some (it, !r))
+    ids
+
+let const c = { terms = []; const = c }
+let of_iter it = { terms = [ (it, 1) ]; const = 0 }
+
+let scaled it c =
+  if c = 0 then const 0 else { terms = [ (it, c) ]; const = 0 }
+
+let add a b =
+  { terms = normalize (a.terms @ b.terms); const = a.const + b.const }
+
+let mul_const k a =
+  if k = 0 then const 0
+  else { terms = List.map (fun (it, c) -> (it, c * k)) a.terms; const = a.const * k }
+
+let sub a b = add a (mul_const (-1) b)
+let sum l = List.fold_left add (const 0) l
+
+let eval env t =
+  List.fold_left (fun acc (it, c) -> acc + (c * env it)) t.const t.terms
+
+let iters t = List.map fst t.terms
+
+let coeff t it =
+  match List.find_opt (fun (j, _) -> Iter.equal it j) t.terms with
+  | Some (_, c) -> c
+  | None -> 0
+
+let is_const t = t.terms = []
+let constant_part t = t.const
+
+let substitute f t =
+  List.fold_left
+    (fun acc (it, c) ->
+      match f it with
+      | Some e -> add acc (mul_const c e)
+      | None -> add acc (scaled it c))
+    (const t.const) t.terms
+
+let max_value t =
+  List.fold_left
+    (fun acc ((it : Iter.t), c) ->
+      if c > 0 then acc + (c * (it.Iter.extent - 1)) else acc)
+    t.const t.terms
+
+let min_value t =
+  List.fold_left
+    (fun acc ((it : Iter.t), c) ->
+      if c < 0 then acc + (c * (it.Iter.extent - 1)) else acc)
+    t.const t.terms
+
+let equal a b =
+  a.const = b.const
+  && List.length a.terms = List.length b.terms
+  && List.for_all2
+       (fun (i1, c1) (i2, c2) -> Iter.equal i1 i2 && c1 = c2)
+       a.terms b.terms
+
+let pp ppf t =
+  let pp_term first ppf (it, c) =
+    if c = 1 then Format.fprintf ppf "%s%s" (if first then "" else " + ") it.Iter.name
+    else if c = -1 then Format.fprintf ppf "%s%s" (if first then "-" else " - ") it.Iter.name
+    else if c >= 0 then
+      Format.fprintf ppf "%s%d*%s" (if first then "" else " + ") c it.Iter.name
+    else Format.fprintf ppf "%s%d*%s" (if first then "" else " - ") (abs c) it.Iter.name
+  in
+  match (t.terms, t.const) with
+  | [], c -> Format.fprintf ppf "%d" c
+  | terms, c ->
+      List.iteri (fun i term -> pp_term (i = 0) ppf term) terms;
+      if c > 0 then Format.fprintf ppf " + %d" c
+      else if c < 0 then Format.fprintf ppf " - %d" (abs c)

@@ -1,0 +1,45 @@
+(** Affine expressions over iteration variables.
+
+    An affine expression is [sum_i coeff_i * iter_i + const].  These are the
+    index expressions of tensor accesses ([p + r], [n * 4 + q], ...) and the
+    base-address/stride expressions of memory mappings. *)
+
+type t = private {
+  terms : (Iter.t * int) list;  (** sorted by iter id, coefficients nonzero *)
+  const : int;
+}
+
+val const : int -> t
+val of_iter : Iter.t -> t
+val scaled : Iter.t -> int -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul_const : int -> t -> t
+val sum : t list -> t
+
+val eval : (Iter.t -> int) -> t -> int
+(** [eval env t] evaluates [t] with iteration values given by [env]. *)
+
+val iters : t -> Iter.t list
+(** Iteration variables with nonzero coefficient, in id order. *)
+
+val coeff : t -> Iter.t -> int
+(** Coefficient of an iteration variable ([0] if absent). *)
+
+val is_const : t -> bool
+val constant_part : t -> int
+
+val substitute : (Iter.t -> t option) -> t -> t
+(** [substitute f t] replaces each iteration [i] with [f i] when it is
+    [Some e]; iterations mapped to [None] are kept. *)
+
+val max_value : t -> int
+(** Maximum value over the full iteration domain (each iter in
+    [0, extent)), assuming all coefficients meaningful; useful for bound
+    checks.  Negative coefficients contribute 0 at their minimum. *)
+
+val min_value : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type t = {
+  rows : int;
+  cols : int;
+  data : bool array;
+}
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Bin_matrix.create";
+  { rows; cols; data = Array.make (rows * cols) false }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let check t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg
+      (Printf.sprintf "Bin_matrix: index (%d,%d) out of %dx%d" i j t.rows t.cols)
+
+let get t i j =
+  check t i j;
+  t.data.((i * t.cols) + j)
+
+let set t i j v =
+  check t i j;
+  t.data.((i * t.cols) + j) <- v
+
+let of_lists rows_l =
+  match rows_l with
+  | [] -> invalid_arg "Bin_matrix.of_lists: empty"
+  | first :: _ ->
+      let cols = List.length first in
+      if List.exists (fun r -> List.length r <> cols) rows_l then
+        invalid_arg "Bin_matrix.of_lists: ragged rows";
+      let t = create ~rows:(List.length rows_l) ~cols in
+      List.iteri (fun i r -> List.iteri (fun j v -> set t i j v) r) rows_l;
+      t
+
+let of_int_lists rows_l =
+  of_lists (List.map (List.map (fun x -> x <> 0)) rows_l)
+
+let mul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Bin_matrix.mul: %dx%d * %dx%d" a.rows a.cols b.rows b.cols);
+  let c = create ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      if a.data.((i * a.cols) + k) then
+        for j = 0 to b.cols - 1 do
+          if b.data.((k * b.cols) + j) then c.data.((i * b.cols) + j) <- true
+        done
+    done
+  done;
+  c
+
+let transpose a =
+  let t = create ~rows:a.cols ~cols:a.rows in
+  for i = 0 to a.rows - 1 do
+    for j = 0 to a.cols - 1 do
+      if a.data.((i * a.cols) + j) then t.data.((j * a.rows) + i) <- true
+    done
+  done;
+  t
+
+let equal a b = a.rows = b.rows && a.cols = b.cols && a.data = b.data
+let copy a = { a with data = Array.copy a.data }
+
+let column t j =
+  Array.init t.rows (fun i -> get t i j)
+
+let row t i = Array.init t.cols (fun j -> get t i j)
+
+let pp ppf t =
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      Format.pp_print_string ppf (if get t i j then "1" else "0");
+      if j < t.cols - 1 then Format.pp_print_char ppf ' '
+    done;
+    if i < t.rows - 1 then Format.pp_print_newline ppf ()
+  done

@@ -1,0 +1,30 @@
+(** Binary (boolean) matrices and the boolean matrix product used by the
+    mapping-validation algorithm (Algorithm 1 of the paper).
+
+    [(a ★ b).(i).(j) = OR_k (a.(i).(k) AND b.(k).(j))] *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** All-false matrix. *)
+
+val of_lists : bool list list -> t
+(** Rows of equal length; raises [Invalid_argument] otherwise or on empty. *)
+
+val of_int_lists : int list list -> t
+(** Convenience: nonzero means true. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> bool
+val set : t -> int -> int -> bool -> unit
+val mul : t -> t -> t
+(** Boolean matrix product ★.  Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val transpose : t -> t
+val equal : t -> t -> bool
+val copy : t -> t
+val column : t -> int -> bool array
+val row : t -> int -> bool array
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,394 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Lbrace | Rbrace | Lbracket | Rbracket | Lparen | Rparen
+  | Comma | Colon | Plus | Minus | Star | Caret
+  | Plus_eq | Max_eq | Le | Bar
+  | Kw_for | Kw_where
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do incr j done;
+      push (Int (int_of_string (String.sub src !i (!j - !i))));
+      i := !j
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      let word = String.sub src !i (!j - !i) in
+      i := !j;
+      match word with
+      | "for" -> push Kw_for
+      | "where" -> push Kw_where
+      | "max" when !i < n && src.[!i] = '=' ->
+          incr i;
+          push Max_eq
+      | _ -> push (Ident word)
+    end
+    else begin
+      incr i;
+      match c with
+      | '{' -> push Lbrace
+      | '}' -> push Rbrace
+      | '[' -> push Lbracket
+      | ']' -> push Rbracket
+      | '(' -> push Lparen
+      | ')' -> push Rparen
+      | ',' -> push Comma
+      | ':' -> push Colon
+      | '*' -> push Star
+      | '^' -> push Caret
+      | '|' -> push Bar
+      | '-' -> push Minus
+      | '+' ->
+          if !i < n && src.[!i] = '=' then begin incr i; push Plus_eq end
+          else push Plus
+      | '<' ->
+          if !i < n && src.[!i] = '=' then begin incr i; push Le end
+          else fail "unexpected '<' (only <= is supported)"
+      | c -> fail "unexpected character %c" c
+    end
+  done;
+  List.rev !toks
+
+(* ---- recursive-descent parser over the token list ---- *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let next st =
+  match st.toks with
+  | [] -> fail "unexpected end of input"
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st t what =
+  let got = next st in
+  if got <> t then fail "expected %s" what
+
+let accept st t =
+  match peek st with
+  | Some t' when t' = t ->
+      ignore (next st);
+      true
+  | Some _ | None -> false
+
+type raw_affine = (string option * int) list
+(* list of (iter name or None for constant, coefficient) *)
+
+let parse_binders st =
+  (* { name : extent [r] , ... } *)
+  expect st Lbrace "'{'";
+  let binders = ref [] in
+  let rec loop () =
+    match next st with
+    | Ident name ->
+        expect st Colon "':' in iteration binder";
+        let extent =
+          match next st with
+          | Int v -> v
+          | _ -> fail "expected an extent after '%s:'" name
+        in
+        let reduction = accept st (Ident "r") in
+        binders := (name, extent, reduction) :: !binders;
+        (match next st with
+        | Comma -> loop ()
+        | Rbrace -> ()
+        | _ -> fail "expected ',' or '}' in iteration binders")
+    | Rbrace -> ()
+    | _ -> fail "expected an iteration name"
+  in
+  loop ();
+  List.rev !binders
+
+(* affine := term (('+'|'-') term)* ;  term := int | ident | int '*' ident
+   | ident '*' int *)
+let parse_affine st =
+  let parse_term sign =
+    match next st with
+    | Int v -> (
+        match peek st with
+        | Some Star -> (
+            ignore (next st);
+            match next st with
+            | Ident id -> (Some id, sign * v)
+            | _ -> fail "expected iteration after '%d *'" v)
+        | Some _ | None -> (None, sign * v))
+    | Ident id -> (
+        match peek st with
+        | Some Star -> (
+            ignore (next st);
+            match next st with
+            | Int v -> (Some id, sign * v)
+            | _ -> fail "expected coefficient after '%s *'" id)
+        | Some _ | None -> (Some id, sign))
+    | Minus -> fail "double minus in index expression"
+    | _ -> fail "expected an index term"
+  in
+  let terms = ref [ parse_term 1 ] in
+  let rec loop () =
+    match peek st with
+    | Some Plus ->
+        ignore (next st);
+        terms := parse_term 1 :: !terms;
+        loop ()
+    | Some Minus ->
+        ignore (next st);
+        terms := parse_term (-1) :: !terms;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  (List.rev !terms : raw_affine)
+
+let parse_access st =
+  match next st with
+  | Ident tensor ->
+      expect st Lbracket "'[' after tensor name";
+      let idx = ref [ parse_affine st ] in
+      let rec loop () =
+        match next st with
+        | Comma ->
+            idx := parse_affine st :: !idx;
+            loop ()
+        | Rbracket -> ()
+        | _ -> fail "expected ',' or ']' in tensor indices"
+      in
+      loop ();
+      (tensor, List.rev !idx)
+  | _ -> fail "expected a tensor access"
+
+type raw_stmt = {
+  dst : string * raw_affine list;
+  arith : Operator.arith;
+  srcs : (string * raw_affine list) list;
+}
+
+let parse_stmt st =
+  let dst = parse_access st in
+  let arith_tok = next st in
+  match arith_tok with
+  | Max_eq ->
+      let a = parse_access st in
+      { dst; arith = Operator.Max_acc; srcs = [ a ] }
+  | Plus_eq -> (
+      match peek st with
+      | Some Lparen ->
+          (* (a - b)^2 *)
+          ignore (next st);
+          let a = parse_access st in
+          expect st Minus "'-' in squared difference";
+          let b = parse_access st in
+          expect st Rparen "')'";
+          expect st Caret "'^2'";
+          (match next st with
+          | Int 2 -> ()
+          | _ -> fail "only '^2' is supported");
+          { dst; arith = Operator.Sq_diff_acc; srcs = [ a; b ] }
+      | Some _ | None -> (
+          let a = parse_access st in
+          match peek st with
+          | Some Star ->
+              ignore (next st);
+              let b = parse_access st in
+              { dst; arith = Operator.Mul_add; srcs = [ a; b ] }
+          | Some _ | None -> { dst; arith = Operator.Add_acc; srcs = [ a ] }))
+  | _ -> fail "expected '+=' or 'max=' after the output access"
+
+type raw_pred =
+  | Raw_le of raw_affine * raw_affine
+  | Raw_div of int * raw_affine
+
+let parse_preds st =
+  if accept st Kw_where then begin
+    let rec one acc =
+      let p =
+        match st.toks with
+        | Int d :: Bar :: rest ->
+            st.toks <- rest;
+            Raw_div (d, parse_affine st)
+        | _ ->
+            let a = parse_affine st in
+            expect st Le "'<=' in predicate";
+            let b = parse_affine st in
+            Raw_le (a, b)
+      in
+      if accept st Comma then one (p :: acc) else List.rev (p :: acc)
+    in
+    one []
+  end
+  else []
+
+(* ---- elaboration ---- *)
+
+let elaborate ?(name = "dsl") binders stmt preds =
+  let iters =
+    List.map
+      (fun (n, extent, red) ->
+        if extent <= 0 then fail "iteration %s has non-positive extent" n;
+        (n, if red then Iter.reduction n extent else Iter.create n extent))
+      binders
+  in
+  List.iteri
+    (fun i (n, _) ->
+      List.iteri
+        (fun j (n', _) -> if i < j && n = n' then fail "duplicate iteration %s" n)
+        iters)
+    iters;
+  let lookup n =
+    match List.assoc_opt n iters with
+    | Some it -> it
+    | None -> fail "unbound iteration '%s' in an index expression" n
+  in
+  let affine (raw : raw_affine) =
+    List.fold_left
+      (fun acc (id, c) ->
+        match id with
+        | None -> Affine.add acc (Affine.const c)
+        | Some n -> Affine.add acc (Affine.scaled (lookup n) c))
+      (Affine.const 0) raw
+  in
+  let shape_of idx =
+    List.map
+      (fun raw ->
+        let a = affine raw in
+        if Affine.min_value a < 0 then
+          fail "index expression can be negative; shift it to start at 0";
+        Affine.max_value a + 1)
+      idx
+  in
+  let access (tensor, idx) =
+    Operator.access (Tensor_decl.create tensor (shape_of idx))
+      (List.map affine idx)
+  in
+  let output = access stmt.dst in
+  let inputs = List.map access stmt.srcs in
+  let preds =
+    List.map
+      (function
+        | Raw_le (a, b) -> Predicate.le (affine a) (affine b)
+        | Raw_div (d, a) -> Predicate.divisible (affine a) d)
+      preds
+  in
+  let init = match stmt.arith with Operator.Max_acc -> neg_infinity | _ -> 0. in
+  Operator.create ~preds ~init ~name ~iters:(List.map snd iters) ~output
+    ~inputs ~arith:stmt.arith ()
+
+let parse ?name src =
+  match
+    let st = { toks = tokenize src } in
+    let binders = ref [] in
+    if not (accept st Kw_for) then fail "a program starts with 'for'";
+    binders := parse_binders st;
+    while accept st Kw_for do
+      binders := !binders @ parse_binders st
+    done;
+    expect st Colon "':' before the statement";
+    let stmt = parse_stmt st in
+    let preds = parse_preds st in
+    if st.toks <> [] then fail "trailing tokens after the statement";
+    elaborate ?name !binders stmt preds
+  with
+  | op -> Ok op
+  | exception Error msg -> Result.Error ("DSL parse error: " ^ msg)
+  | exception Invalid_argument msg -> Result.Error ("DSL error: " ^ msg)
+
+let parse_exn ?name src =
+  match parse ?name src with
+  | Ok op -> op
+  | Result.Error msg -> invalid_arg msg
+
+(* ---- printing ---- *)
+
+let print_affine a =
+  let term (it : Iter.t) =
+    let c = Affine.coeff a it in
+    let mag = abs c in
+    let body =
+      if mag = 1 then it.Iter.name else Printf.sprintf "%d*%s" mag it.Iter.name
+    in
+    (c < 0, body)
+  in
+  let k = Affine.constant_part a in
+  let parts =
+    List.map term (Affine.iters a)
+    @ (if k <> 0 then [ (k < 0, string_of_int (abs k)) ] else [])
+  in
+  match parts with
+  | [] -> "0"
+  | (neg0, body0) :: rest ->
+      List.fold_left
+        (fun acc (neg, body) ->
+          acc ^ (if neg then " - " else " + ") ^ body)
+        ((if neg0 then "0 - " else "") ^ body0)
+        rest
+
+let print_access (acc : Operator.access) =
+  Printf.sprintf "%s[%s]" acc.Operator.tensor.Tensor_decl.name
+    (String.concat ", " (List.map print_affine acc.Operator.index))
+
+let print (op : Operator.t) =
+  let binder (it : Iter.t) =
+    Printf.sprintf "%s:%d%s" it.Iter.name it.Iter.extent
+      (if Iter.is_reduction it then "r" else "")
+  in
+  let spatial = List.filter (fun it -> not (Iter.is_reduction it)) op.Operator.iters in
+  let reduction = List.filter Iter.is_reduction op.Operator.iters in
+  let groups =
+    (if spatial = [] then []
+     else [ "for {" ^ String.concat ", " (List.map binder spatial) ^ "}" ])
+    @
+    if reduction = [] then []
+    else [ "for {" ^ String.concat ", " (List.map binder reduction) ^ "}" ]
+  in
+  let stmt =
+    match (op.Operator.arith, op.Operator.inputs) with
+    | Operator.Mul_add, [ a; b ] ->
+        Printf.sprintf "%s += %s * %s" (print_access op.Operator.output)
+          (print_access a) (print_access b)
+    | Operator.Add_acc, [ a ] ->
+        Printf.sprintf "%s += %s" (print_access op.Operator.output)
+          (print_access a)
+    | Operator.Max_acc, [ a ] ->
+        Printf.sprintf "%s max= %s" (print_access op.Operator.output)
+          (print_access a)
+    | Operator.Sq_diff_acc, [ a; b ] ->
+        Printf.sprintf "%s += (%s - %s)^2" (print_access op.Operator.output)
+          (print_access a) (print_access b)
+    | _ -> invalid_arg "Dsl.print: malformed operator"
+  in
+  let preds =
+    match op.Operator.preds with
+    | [] -> ""
+    | ps ->
+        " where "
+        ^ String.concat ", "
+            (List.map
+               (function
+                 | Predicate.Divisible (a, d) ->
+                     Printf.sprintf "%d | %s" d (print_affine a)
+                 | Predicate.Nonneg a ->
+                     (* render b - a >= 0 as a' <= b' when possible: fall
+                        back to 0 <= expr *)
+                     Printf.sprintf "0 <= %s" (print_affine a))
+               ps)
+  in
+  String.concat " " groups ^ ":\n  " ^ stmt ^ preds

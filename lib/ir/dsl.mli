@@ -1,0 +1,35 @@
+(** The textual DSL front-end (the input language of Fig 2 / Fig 3a).
+
+    An operator is written exactly as the paper renders it:
+
+    {v
+    for {n:16, k:64, p:28, q:28} for {c:64r, r:3r, s:3r}:
+      out[n, k, p, q] += image[n, c, p + r, q + s] * weight[k, c, r, s]
+    v}
+
+    Iteration binders give the name and extent; an [r] suffix marks a
+    reduction iteration (binders in any [for] group may carry it).
+    Statements are [dst += a * b], [dst += a], [dst max= a], or
+    [dst += (a - b)^2]; index expressions are affine in the iteration
+    names with integer coefficients ([2*p + r], [p - 1], ...).
+    An optional final [where] clause adds domain predicates:
+
+    {v
+    for {n:4, i:8} for {j:8r}:
+      out[n, i] += x[n, j] where j <= i
+    v}
+
+    Tensor shapes are inferred from the maximal value of each index
+    expression.  [parse] returns a checked {!Operator.t} or a descriptive
+    [Error]. *)
+
+val parse : ?name:string -> string -> (Operator.t, string) result
+
+val parse_exn : ?name:string -> string -> Operator.t
+(** Raises [Invalid_argument] with the parse error. *)
+
+val print : Operator.t -> string
+(** Renders an operator back to DSL text; [parse (print op)] yields an
+    operator with the same iteration structure, accesses, and
+    predicates.  Non-default [init]/[post_scale] are not representable
+    and are dropped (they only arise from mean/variance post-scaling). *)

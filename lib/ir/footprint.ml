@@ -1,0 +1,43 @@
+
+
+let clamp_cover (it : Iter.t) c = max 1 (min it.Iter.extent c)
+
+let affine_span a ~cover =
+  List.fold_left
+    (fun acc it ->
+      let c = Affine.coeff a it in
+      acc + (abs c * (clamp_cover it (cover it) - 1)))
+    1 (Affine.iters a)
+
+let access_elems (acc : Operator.access) ~cover =
+  List.fold_left
+    (fun prod a -> prod * affine_span a ~cover)
+    1 acc.Operator.index
+
+let exact_elems (acc : Operator.access) ~cover =
+  let iters =
+    List.sort_uniq Iter.compare
+      (List.concat_map Affine.iters acc.Operator.index)
+  in
+  let iters = Array.of_list iters in
+  let values = Array.make (Array.length iters) 0 in
+  let env it =
+    let rec find i =
+      if Iter.equal iters.(i) it then values.(i) else find (i + 1)
+    in
+    find 0
+  in
+  let seen = Hashtbl.create 64 in
+  let rec loop i =
+    if i = Array.length iters then
+      Hashtbl.replace seen
+        (List.map (fun a -> Affine.eval env a) acc.Operator.index)
+        ()
+    else
+      for v = 0 to clamp_cover iters.(i) (cover iters.(i)) - 1 do
+        values.(i) <- v;
+        loop (i + 1)
+      done
+  in
+  loop 0;
+  Hashtbl.length seen

@@ -1,0 +1,25 @@
+(** Bound inference for data footprints (the DataIn/DataOut quantities of
+    the paper's performance model, Sec 5.3).
+
+    Given the number of consecutive values each iteration locally covers,
+    the footprint of an access is the bounding-box product over its index
+    dimensions: an affine index [sum c_i * iter_i + k] spans
+    [sum |c_i| * (cover_i - 1) + 1] elements.  This models the
+    window-overlap reuse of convolutions (an image tile read for [p + r]
+    is shared between adjacent [p] values) that a naive
+    tiles-times-tile-size product misses. *)
+
+
+
+val affine_span : Affine.t -> cover:(Iter.t -> int) -> int
+(** Number of distinct values the affine expression takes when each
+    iteration ranges over [cover] consecutive values (clamped to its
+    extent).  [cover it <= 0] is treated as 1. *)
+
+val access_elems : Operator.access -> cover:(Iter.t -> int) -> int
+(** Bounding-box element count of the access under the given coverage. *)
+
+val exact_elems : Operator.access -> cover:(Iter.t -> int) -> int
+(** Exact count of distinct elements touched, by enumeration — only for
+    small coverages (used to validate the bounding box, which is always
+    an upper bound). *)

@@ -1,0 +1,35 @@
+type kind =
+  | Spatial
+  | Reduction
+
+type t = {
+  id : int;
+  name : string;
+  extent : int;
+  kind : kind;
+}
+
+let counter = ref 0
+
+let create ?(kind = Spatial) name extent =
+  if extent <= 0 then invalid_arg "Iter.create: extent must be positive";
+  incr counter;
+  { id = !counter; name; extent; kind }
+
+let reduction name extent = create ~kind:Reduction name extent
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let is_reduction t = t.kind = Reduction
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d%s" t.name t.extent
+    (match t.kind with Spatial -> "" | Reduction -> "r")
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,33 @@
+(** Iteration variables.
+
+    A tensor computation is a perfectly nested loop; each loop level is an
+    iteration variable with a fixed extent.  Iterations are either [Spatial]
+    (they index the output) or [Reduction] (they are accumulated over).
+    Identity is by a unique id so that two iterations with the same name are
+    still distinct. *)
+
+type kind =
+  | Spatial
+  | Reduction
+
+type t = private {
+  id : int;  (** unique id, assigned at creation *)
+  name : string;
+  extent : int;  (** trip count; iterates over [0, extent) *)
+  kind : kind;
+}
+
+val create : ?kind:kind -> string -> int -> t
+(** [create name extent] makes a fresh iteration variable.  [kind] defaults
+    to [Spatial].  Raises [Invalid_argument] if [extent <= 0]. *)
+
+val reduction : string -> int -> t
+(** [reduction name extent] is [create ~kind:Reduction name extent]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_reduction : t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

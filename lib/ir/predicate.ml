@@ -1,0 +1,22 @@
+type t =
+  | Nonneg of Affine.t
+  | Divisible of Affine.t * int
+
+let nonneg a = Nonneg a
+let le a b = Nonneg (Affine.sub b a)
+
+let divisible a d =
+  if d <= 0 then invalid_arg "Predicate.divisible: divisor must be positive";
+  Divisible (a, d)
+
+let holds env = function
+  | Nonneg a -> Affine.eval env a >= 0
+  | Divisible (a, d) ->
+      let v = Affine.eval env a in
+      v mod d = 0
+
+let iters = function Nonneg a -> Affine.iters a | Divisible (a, _) -> Affine.iters a
+
+let pp ppf = function
+  | Nonneg a -> Format.fprintf ppf "%a >= 0" Affine.pp a
+  | Divisible (a, d) -> Format.fprintf ppf "%d | (%a)" d Affine.pp a

@@ -1,0 +1,19 @@
+(** Guards on the iteration domain.
+
+    Predicates restrict a perfectly nested loop to a sub-domain.  They are
+    used for operators that are not plain rectangles: scan ([j <= i]),
+    transposed convolution (divisibility of [(p - r)] by the stride), and
+    boundary conditions. *)
+
+type t =
+  | Nonneg of Affine.t  (** [affine >= 0] *)
+  | Divisible of Affine.t * int  (** [d | affine], [d > 0] *)
+
+val nonneg : Affine.t -> t
+val le : Affine.t -> Affine.t -> t
+(** [le a b] is the predicate [a <= b]. *)
+
+val divisible : Affine.t -> int -> t
+val holds : (Iter.t -> int) -> t -> bool
+val iters : t -> Iter.t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type dtype =
+  | F16
+  | F32
+  | I8
+  | I32
+
+type t = {
+  name : string;
+  shape : int list;
+  dtype : dtype;
+}
+
+let create ?(dtype = F32) name shape =
+  if shape = [] then invalid_arg "Tensor_decl.create: empty shape";
+  if List.exists (fun d -> d <= 0) shape then
+    invalid_arg "Tensor_decl.create: non-positive dimension";
+  { name; shape; dtype }
+
+let rank t = List.length t.shape
+let num_elems t = List.fold_left ( * ) 1 t.shape
+let elem_bytes = function F16 -> 2 | F32 -> 4 | I8 -> 1 | I32 -> 4
+let size_bytes t = num_elems t * elem_bytes t.dtype
+let equal a b = a.name = b.name && a.shape = b.shape && a.dtype = b.dtype
+
+let pp ppf t =
+  Format.fprintf ppf "%s[%s]" t.name
+    (String.concat ", " (List.map string_of_int t.shape))

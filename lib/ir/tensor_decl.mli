@@ -1,0 +1,24 @@
+(** Tensor declarations: a named, shaped, typed dense buffer. *)
+
+type dtype =
+  | F16
+  | F32
+  | I8
+  | I32
+
+type t = {
+  name : string;
+  shape : int list;
+  dtype : dtype;
+}
+
+val create : ?dtype:dtype -> string -> int list -> t
+(** Raises [Invalid_argument] on an empty shape or non-positive dims.
+    [dtype] defaults to [F32]. *)
+
+val rank : t -> int
+val num_elems : t -> int
+val elem_bytes : dtype -> int
+val size_bytes : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type value_src =
+  | Read of int * int array
+  | Zero
+  | One
+  | Diff_sq of (int * int array) * (int * int array)
+
+type load = {
+  operand : string;
+  slot_extents : int array;
+  bytes_per_tile : int;
+  fetch : int array -> int array -> value_src;
+}
+
+type store = {
+  out_slot_extents : int array;
+  out_bytes_per_tile : int;
+  addr : int array -> int array -> int array option;
+}
+
+type intrinsic_sem = {
+  iter_extents : int array;
+  dst_slot_pos : int array;
+  src_slot_pos : int array array;
+  issue_cycles : float;
+  latency_cycles : float;
+}
+
+type timing = {
+  flops_per_call : float;
+  shared_bytes_per_block : int;
+  global_load_bytes_per_block : float;
+  global_store_bytes_per_block : float;
+  reg_load_bytes_per_call : float;
+  reg_store_bytes_per_call : float;
+  mem_efficiency : float;
+}
+
+type t = {
+  name : string;
+  outer_extents : int array;
+  level_of : int array;
+  sem : intrinsic_sem;
+  loads : load list;
+  store : store;
+  predicate : (int array -> int array -> bool) option;
+  timing : timing;
+  init : float;
+  post_scale : float;
+}
+
+let prod_where t level =
+  let p = ref 1 in
+  Array.iteri
+    (fun i e -> if t.level_of.(i) = level then p := !p * e)
+    t.outer_extents;
+  !p
+
+let blocks t = prod_where t 0
+let subcore_parallelism t = prod_where t 1
+let serial_steps t = prod_where t 2
+let total_calls t = Array.fold_left ( * ) 1 t.outer_extents

@@ -1,0 +1,75 @@
+(** The executable form of a mapped tensor program.
+
+    A kernel is the product of lowering a software–hardware mapping plus a
+    schedule: a set of outer loops (each bound to the core, sub-core, or
+    serial level), and per innermost step one intrinsic call described by
+    register-tile loads, the intrinsic's iteration semantics, and a
+    register-tile store.
+
+    The kernel is executed two ways by {!Machine}: {e functionally}
+    (faithfully emulating the hardware dataflow — register tiles are filled
+    before the MAC, so invalid mappings produce wrong numbers exactly as
+    they would on silicon) and {e structurally} (the cycle model). *)
+
+(** Where a register-tile slot's value comes from when loading. *)
+type value_src =
+  | Read of int * int array  (** input tensor index, element coordinates *)
+  | Zero  (** padding *)
+  | One  (** virtual ones operand *)
+  | Diff_sq of (int * int array) * (int * int array)
+      (** fused [(a - b)^2] element (variance-style reductions) *)
+
+type load = {
+  operand : string;
+  slot_extents : int array;  (** register-tile dims for this operand *)
+  bytes_per_tile : int;
+  fetch : int array -> int array -> value_src;
+      (** [fetch outer slot] — outer-loop coordinates, then tile coords *)
+}
+
+type store = {
+  out_slot_extents : int array;
+  out_bytes_per_tile : int;
+  addr : int array -> int array -> int array option;
+      (** [None] marks a padded slot (no writeback) *)
+}
+
+type intrinsic_sem = {
+  iter_extents : int array;  (** intrinsic iteration space *)
+  dst_slot_pos : int array;  (** positions of Dst slots within a point *)
+  src_slot_pos : int array array;  (** per source *)
+  issue_cycles : float;  (** pipelined issue interval per call *)
+  latency_cycles : float;  (** pipeline depth *)
+}
+
+(** Deterministic timing metadata computed at lowering time. *)
+type timing = {
+  flops_per_call : float;
+  shared_bytes_per_block : int;
+  global_load_bytes_per_block : float;
+  global_store_bytes_per_block : float;
+  reg_load_bytes_per_call : float;
+  reg_store_bytes_per_call : float;
+  mem_efficiency : float;  (** in (0, 1]: coalescing quality of global traffic *)
+}
+
+type t = {
+  name : string;
+  outer_extents : int array;
+  level_of : int array;  (** per outer dim: 0 = core, 1 = sub-core, 2 = serial *)
+  sem : intrinsic_sem;
+  loads : load list;
+  store : store;
+  predicate : (int array -> int array -> bool) option;
+      (** [predicate outer point]: is this scalar MAC active? *)
+  timing : timing;
+  init : float;
+  post_scale : float;
+}
+
+val blocks : t -> int
+(** Product of core-level outer extents. *)
+
+val subcore_parallelism : t -> int
+val serial_steps : t -> int
+val total_calls : t -> int

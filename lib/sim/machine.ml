@@ -1,0 +1,199 @@
+type breakdown = {
+  seconds : float;
+  compute_cycles : float;
+  reg_cycles : float;
+  memory_seconds : float;
+  waves : int;
+  occupancy : int;
+  feasible : bool;
+}
+
+exception Infeasible of string
+
+let check_capacity (cfg : Machine_config.t) (k : Kernel.t) =
+  List.iter
+    (fun (l : Kernel.load) ->
+      let elems = Array.fold_left ( * ) 1 l.Kernel.slot_extents in
+      if elems > cfg.Machine_config.reg_capacity_elems then
+        raise
+          (Infeasible
+             (Printf.sprintf "register tile of %s has %d elems > capacity %d"
+                l.Kernel.operand elems cfg.Machine_config.reg_capacity_elems)))
+    k.Kernel.loads;
+  if k.Kernel.timing.Kernel.shared_bytes_per_block
+     > cfg.Machine_config.shared_capacity_bytes
+  then
+    raise
+      (Infeasible
+         (Printf.sprintf "shared staging %d bytes > capacity %d"
+            k.Kernel.timing.Kernel.shared_bytes_per_block
+            cfg.Machine_config.shared_capacity_bytes))
+
+(* Iterate a rectangular space, calling [f] with the coordinate array
+   (reused in place). *)
+let iterate extents f =
+  let n = Array.length extents in
+  let coords = Array.make n 0 in
+  let rec go i = if i = n then f coords else
+    for v = 0 to extents.(i) - 1 do
+      coords.(i) <- v;
+      go (i + 1)
+    done
+  in
+  go 0
+
+let value_of inputs = function
+  | Kernel.Zero -> 0.
+  | Kernel.One -> 1.
+  | Kernel.Read (t, idx) -> Amos_tensor.Nd.get (List.nth inputs t) idx
+  | Kernel.Diff_sq ((t1, i1), (t2, i2)) ->
+      let d =
+        Amos_tensor.Nd.get (List.nth inputs t1) i1
+        -. Amos_tensor.Nd.get (List.nth inputs t2) i2
+      in
+      d *. d
+
+let run cfg (k : Kernel.t) ~inputs ~out_shape =
+  check_capacity cfg k;
+  let out = Amos_tensor.Nd.create out_shape in
+  Amos_tensor.Nd.fill out k.Kernel.init;
+  let sem = k.Kernel.sem in
+  let tiles =
+    List.map
+      (fun (l : Kernel.load) ->
+        (l, Array.make (Array.fold_left ( * ) 1 l.Kernel.slot_extents) 0.))
+      k.Kernel.loads
+  in
+  let dst_extents =
+    Array.map (fun p -> sem.Kernel.iter_extents.(p)) sem.Kernel.dst_slot_pos
+  in
+  let dst_size = Array.fold_left ( * ) 1 dst_extents in
+  let acc = Array.make dst_size 0. in
+  (* row-major flat index over the given extents *)
+  let flat extents coords =
+    let f = ref 0 in
+    for i = 0 to Array.length coords - 1 do
+      f := (!f * extents.(i)) + coords.(i)
+    done;
+    !f
+  in
+  iterate k.Kernel.outer_extents (fun outer ->
+      (* 1. fill register tiles *)
+      List.iter
+        (fun ((l : Kernel.load), data) ->
+          iterate l.Kernel.slot_extents (fun slot ->
+              data.(flat l.Kernel.slot_extents slot)
+              <- value_of inputs (l.Kernel.fetch outer slot)))
+        tiles;
+      (* 2. run the intrinsic over its full scalar iteration space *)
+      Array.fill acc 0 dst_size 0.;
+      iterate sem.Kernel.iter_extents (fun point ->
+          let active =
+            match k.Kernel.predicate with
+            | None -> true
+            | Some p -> p outer point
+          in
+          if active then begin
+            let v =
+              List.fold_left2
+                (fun prod ((l : Kernel.load), data) pos ->
+                  let slot = Array.map (fun p -> point.(p)) pos in
+                  prod *. data.(flat l.Kernel.slot_extents slot))
+                1. tiles
+                (Array.to_list sem.Kernel.src_slot_pos)
+            in
+            let dslot = Array.map (fun p -> point.(p)) sem.Kernel.dst_slot_pos in
+            let di = flat dst_extents dslot in
+            acc.(di) <- acc.(di) +. v
+          end);
+      (* 3. store with accumulation *)
+      iterate dst_extents (fun dslot ->
+          match k.Kernel.store.Kernel.addr outer dslot with
+          | None -> ()
+          | Some idx ->
+              Amos_tensor.Nd.set out idx
+                (Amos_tensor.Nd.get out idx +. acc.(flat dst_extents dslot))));
+  if k.Kernel.post_scale <> 1. then Amos_tensor.Nd.scale k.Kernel.post_scale out;
+  out
+
+let estimate cfg (k : Kernel.t) =
+  let t = k.Kernel.timing in
+  match check_capacity cfg k with
+  | exception Infeasible _ ->
+      {
+        seconds = infinity; compute_cycles = infinity; reg_cycles = infinity;
+        memory_seconds = infinity; waves = 0; occupancy = 0; feasible = false;
+      }
+  | () ->
+      let clock_hz = cfg.Machine_config.clock_ghz *. 1e9 in
+      let blocks = Kernel.blocks k in
+      let subcores = Kernel.subcore_parallelism k in
+      let serial = Kernel.serial_steps k in
+      let active_subcores = min subcores cfg.Machine_config.subcores_per_core in
+      (* if the schedule asks for more sub-core parallelism than exists,
+         the surplus executes serially *)
+      let serial =
+        serial * ((subcores + active_subcores - 1) / active_subcores)
+      in
+      let shared_bw_bytes_per_cycle =
+        cfg.Machine_config.shared_bandwidth_gbs *. 1e9 /. clock_hz
+      in
+      let per_subcore_bw = shared_bw_bytes_per_cycle /. float_of_int active_subcores in
+      let reg_load_cycles = t.Kernel.reg_load_bytes_per_call /. per_subcore_bw in
+      let reg_store_cycles = t.Kernel.reg_store_bytes_per_call /. per_subcore_bw in
+      let l0 =
+        Float.max k.Kernel.sem.Kernel.issue_cycles
+          (Float.max reg_load_cycles reg_store_cycles)
+      in
+      let block_cycles =
+        (float_of_int serial *. l0) +. k.Kernel.sem.Kernel.latency_cycles
+      in
+      let occupancy =
+        let by_shared =
+          if t.Kernel.shared_bytes_per_block = 0 then
+            cfg.Machine_config.max_blocks_per_core
+          else
+            cfg.Machine_config.shared_capacity_bytes
+            / t.Kernel.shared_bytes_per_block
+        in
+        max 1 (min cfg.Machine_config.max_blocks_per_core by_shared)
+      in
+      let waves =
+        (blocks + (cfg.Machine_config.num_cores * occupancy) - 1)
+        / (cfg.Machine_config.num_cores * occupancy)
+      in
+      (* resident blocks beyond the first hide each other's latency but
+         share the sub-core issue slots: model as issue-bound once >1 *)
+      let per_core_blocks =
+        min occupancy
+          ((blocks + cfg.Machine_config.num_cores - 1)
+          / cfg.Machine_config.num_cores)
+      in
+      let wave_cycles =
+        if per_core_blocks <= 1 then block_cycles
+        else
+          (float_of_int per_core_blocks *. float_of_int serial *. l0)
+          +. k.Kernel.sem.Kernel.latency_cycles
+      in
+      let compute_cycles = float_of_int waves *. wave_cycles in
+      let global_bytes =
+        float_of_int blocks
+        *. (t.Kernel.global_load_bytes_per_block
+           +. t.Kernel.global_store_bytes_per_block)
+        /. t.Kernel.mem_efficiency
+      in
+      let memory_seconds =
+        global_bytes /. (cfg.Machine_config.global_bandwidth_gbs *. 1e9)
+      in
+      let seconds =
+        (cfg.Machine_config.launch_overhead_us *. 1e-6)
+        +. Float.max (compute_cycles /. clock_hz) memory_seconds
+      in
+      {
+        seconds; compute_cycles;
+        reg_cycles = reg_load_cycles +. reg_store_cycles;
+        memory_seconds; waves; occupancy; feasible = true;
+      }
+
+let estimate_seconds cfg k = (estimate cfg k).seconds
+let gflops ~flops ~seconds = flops /. seconds /. 1e9

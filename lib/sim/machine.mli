@@ -1,0 +1,45 @@
+(** The spatial-accelerator simulator.
+
+    [run] executes a {!Kernel.t} functionally, emulating the hardware
+    dataflow: for every innermost step it fills each operand's register
+    tile, runs the intrinsic's scalar iteration space (MAC over the tile
+    slots), and stores the output tile back with accumulation.  Because
+    tiles are materialised before the MAC, a semantically invalid mapping
+    produces wrong results here exactly as it would on hardware.
+
+    [estimate] is the structural cycle model: it never touches data and is
+    O(1) in the iteration-space size, so full-size layers can be timed.
+    It models pipelined sub-core execution (max of compute / register
+    load / store), per-core shared-buffer staging, occupancy limits from
+    shared-buffer capacity, wave quantization across cores, kernel-launch
+    overhead, and a device-wide bandwidth bound. *)
+
+type breakdown = {
+  seconds : float;
+  compute_cycles : float;
+  reg_cycles : float;  (** per-call register traffic cycles *)
+  memory_seconds : float;  (** device-bandwidth-bound time *)
+  waves : int;
+  occupancy : int;  (** resident blocks per core *)
+  feasible : bool;  (** false when shared capacity is exceeded *)
+}
+
+exception Infeasible of string
+
+val run :
+  Machine_config.t ->
+  Kernel.t ->
+  inputs:Amos_tensor.Nd.t list ->
+  out_shape:int list ->
+  Amos_tensor.Nd.t
+(** Functional execution.  Raises [Infeasible] when a register tile exceeds
+    [reg_capacity_elems] or the staging footprint exceeds the shared
+    capacity. *)
+
+val estimate : Machine_config.t -> Kernel.t -> breakdown
+(** Structural timing; [seconds = infinity] and [feasible = false] when the
+    kernel cannot run (capacity violations). *)
+
+val estimate_seconds : Machine_config.t -> Kernel.t -> float
+
+val gflops : flops:float -> seconds:float -> float

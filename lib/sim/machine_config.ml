@@ -1,0 +1,25 @@
+type t = {
+  name : string;
+  clock_ghz : float;
+  num_cores : int;
+  subcores_per_core : int;
+  shared_capacity_bytes : int;
+  reg_capacity_elems : int;
+  global_bandwidth_gbs : float;
+  shared_bandwidth_gbs : float;
+  launch_overhead_us : float;
+  scalar_flops : float;
+  max_blocks_per_core : int;
+}
+
+let create ~name ~clock_ghz ~num_cores ~subcores_per_core
+    ~shared_capacity_bytes ~reg_capacity_elems ~global_bandwidth_gbs
+    ~shared_bandwidth_gbs ~launch_overhead_us ~scalar_flops
+    ~max_blocks_per_core =
+  if num_cores <= 0 || subcores_per_core <= 0 then
+    invalid_arg "Machine_config.create: non-positive core counts";
+  {
+    name; clock_ghz; num_cores; subcores_per_core; shared_capacity_bytes;
+    reg_capacity_elems; global_bandwidth_gbs; shared_bandwidth_gbs;
+    launch_overhead_us; scalar_flops; max_blocks_per_core;
+  }

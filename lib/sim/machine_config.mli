@@ -1,0 +1,34 @@
+(** Numeric description of a spatial accelerator for the simulator.
+
+    A 3-level hierarchy as in Fig 1a of the paper: a device made of
+    [num_cores] cores (SMs), each core containing [subcores_per_core]
+    sub-cores that own the spatial PE array executing one intrinsic call at
+    a time, a per-core shared buffer, and a device-wide global memory. *)
+
+type t = {
+  name : string;
+  clock_ghz : float;
+  num_cores : int;
+  subcores_per_core : int;
+  shared_capacity_bytes : int;  (** per core *)
+  reg_capacity_elems : int;  (** per operand fragment, per sub-core *)
+  global_bandwidth_gbs : float;  (** device-wide, GB/s *)
+  shared_bandwidth_gbs : float;  (** per core, GB/s *)
+  launch_overhead_us : float;
+  scalar_flops : float;  (** device-wide scalar (non-spatial) GFLOP/s *)
+  max_blocks_per_core : int;
+}
+
+val create :
+  name:string ->
+  clock_ghz:float ->
+  num_cores:int ->
+  subcores_per_core:int ->
+  shared_capacity_bytes:int ->
+  reg_capacity_elems:int ->
+  global_bandwidth_gbs:float ->
+  shared_bandwidth_gbs:float ->
+  launch_overhead_us:float ->
+  scalar_flops:float ->
+  max_blocks_per_core:int ->
+  t

@@ -1,0 +1,25 @@
+open Amos_ir
+
+let run op ~inputs = Amos_tensor.Reference.run op ~inputs
+
+let footprint_bytes (op : Operator.t) =
+  List.fold_left
+    (fun acc t -> acc + Tensor_decl.size_bytes t)
+    0 (Operator.tensors op)
+
+let estimate_seconds ?(efficiency = 0.35) ?(memory_efficiency = 0.85)
+    ?(dispatch_overhead_us = 0.) (cfg : Machine_config.t) op =
+  let compute =
+    Operator.flops op /. (cfg.Machine_config.scalar_flops *. 1e9 *. efficiency)
+  in
+  let memory =
+    float_of_int (footprint_bytes op)
+    /. (cfg.Machine_config.global_bandwidth_gbs *. 1e9 *. memory_efficiency)
+  in
+  ((cfg.Machine_config.launch_overhead_us +. dispatch_overhead_us) *. 1e-6)
+  +. Float.max compute memory
+
+let estimate_elementwise (cfg : Machine_config.t) ~elems =
+  let bytes = float_of_int (elems * 8) in
+  (cfg.Machine_config.launch_overhead_us *. 1e-6)
+  +. (bytes /. (cfg.Machine_config.global_bandwidth_gbs *. 1e9))

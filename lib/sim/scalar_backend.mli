@@ -1,0 +1,24 @@
+(** The scalar ("CUDA core") fallback: operators that cannot be mapped to
+    the spatial units run here — like XLA falling back to scalar units in
+    the paper's motivating example (Sec 2.3). *)
+
+val run :
+  Amos_ir.Operator.t -> inputs:Amos_tensor.Nd.t list -> Amos_tensor.Nd.t
+(** Functionally identical to {!Amos_tensor.Reference.run}. *)
+
+val estimate_seconds :
+  ?efficiency:float ->
+  ?memory_efficiency:float ->
+  ?dispatch_overhead_us:float ->
+  Machine_config.t ->
+  Amos_ir.Operator.t ->
+  float
+(** Roofline estimate: max of compute time at [efficiency] (default 0.35)
+    of peak scalar throughput and memory time at [memory_efficiency]
+    (default 0.85) of peak bandwidth, plus launch and
+    [dispatch_overhead_us] (default 0: framework dispatch cost for
+    eager-mode libraries). *)
+
+val estimate_elementwise : Machine_config.t -> elems:int -> float
+(** Time for a bandwidth-bound elementwise op (read + write one float per
+    element). *)

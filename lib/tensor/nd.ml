@@ -1,0 +1,81 @@
+type t = {
+  shape : int array;
+  strides : int array;
+  data : float array;
+}
+
+let compute_strides shape =
+  let n = Array.length shape in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * shape.(i + 1)
+  done;
+  strides
+
+let create shape_l =
+  if shape_l = [] then invalid_arg "Nd.create: empty shape";
+  if List.exists (fun d -> d <= 0) shape_l then
+    invalid_arg "Nd.create: non-positive dimension";
+  let shape = Array.of_list shape_l in
+  let n = Array.fold_left ( * ) 1 shape in
+  { shape; strides = compute_strides shape; data = Array.make n 0. }
+
+let of_decl (d : Amos_ir.Tensor_decl.t) = create d.Amos_ir.Tensor_decl.shape
+let shape t = Array.to_list t.shape
+let num_elems t = Array.length t.data
+
+let flat_index t idx =
+  if Array.length idx <> Array.length t.shape then
+    invalid_arg "Nd: rank mismatch";
+  let flat = ref 0 in
+  for i = 0 to Array.length idx - 1 do
+    if idx.(i) < 0 || idx.(i) >= t.shape.(i) then
+      invalid_arg
+        (Printf.sprintf "Nd: index %d out of bounds [0,%d) at dim %d" idx.(i)
+           t.shape.(i) i);
+    flat := !flat + (idx.(i) * t.strides.(i))
+  done;
+  !flat
+
+let get t idx = t.data.(flat_index t idx)
+let set t idx v = t.data.(flat_index t idx) <- v
+let get_flat t i = t.data.(i)
+let set_flat t i v = t.data.(i) <- v
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let random rng shape_l =
+  let t = create shape_l in
+  for i = 0 to Array.length t.data - 1 do
+    t.data.(i) <- Rng.float rng 2.0 -. 1.0
+  done;
+  t
+
+let random_of_decl rng (d : Amos_ir.Tensor_decl.t) =
+  random rng d.Amos_ir.Tensor_decl.shape
+
+let copy t = { t with data = Array.copy t.data }
+
+let map2 f a b =
+  if a.shape <> b.shape then invalid_arg "Nd.map2: shape mismatch";
+  { a with data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
+
+let scale k t =
+  for i = 0 to Array.length t.data - 1 do
+    t.data.(i) <- t.data.(i) *. k
+  done
+
+let max_abs_diff a b =
+  if a.shape <> b.shape then invalid_arg "Nd.max_abs_diff: shape mismatch";
+  let m = ref 0. in
+  for i = 0 to Array.length a.data - 1 do
+    let d = abs_float (a.data.(i) -. b.data.(i)) in
+    if d > !m then m := d
+  done;
+  !m
+
+let approx_equal ?(tol = 1e-4) a b = max_abs_diff a b <= tol
+
+let pp ppf t =
+  Format.fprintf ppf "Nd[%s]{%d elems}"
+    (String.concat "x" (List.map string_of_int (shape t)))
+    (num_elems t)

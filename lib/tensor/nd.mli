@@ -1,0 +1,33 @@
+(** Dense n-dimensional float tensors (row-major).
+
+    The functional substrate for the reference interpreter and the
+    simulator: values are stored as [float array]; indexing is by an
+    [int array] of coordinates. *)
+
+type t
+
+val create : int list -> t
+(** Zero-filled tensor of the given shape.  Raises [Invalid_argument] on an
+    empty shape or non-positive dims. *)
+
+val of_decl : Amos_ir.Tensor_decl.t -> t
+val shape : t -> int list
+val num_elems : t -> int
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+val get_flat : t -> int -> float
+val set_flat : t -> int -> float -> unit
+val fill : t -> float -> unit
+val flat_index : t -> int array -> int
+val random : Rng.t -> int list -> t
+(** Uniform values in [-1, 1). *)
+
+val random_of_decl : Rng.t -> Amos_ir.Tensor_decl.t -> t
+val copy : t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val scale : float -> t -> unit
+val max_abs_diff : t -> t -> float
+(** Raises [Invalid_argument] on shape mismatch. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

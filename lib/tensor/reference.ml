@@ -1,0 +1,66 @@
+open Amos_ir
+
+let check_inputs (op : Operator.t) inputs =
+  if List.length inputs <> List.length op.Operator.inputs then
+    invalid_arg "Reference.run: input count mismatch";
+  List.iter2
+    (fun (acc : Operator.access) nd ->
+      if Nd.shape nd <> acc.Operator.tensor.Tensor_decl.shape then
+        invalid_arg
+          (Printf.sprintf "Reference.run: shape mismatch for %s"
+             acc.Operator.tensor.Tensor_decl.name))
+    op.Operator.inputs inputs
+
+let run (op : Operator.t) ~inputs =
+  check_inputs op inputs;
+  let out = Nd.of_decl op.Operator.output.Operator.tensor in
+  Nd.fill out op.Operator.init;
+  let iters = Array.of_list op.Operator.iters in
+  let values = Array.make (Array.length iters) 0 in
+  let env it =
+    (* iteration count is small (<= ~10); linear scan is fine *)
+    let rec find i =
+      if i >= Array.length iters then
+        invalid_arg ("Reference.run: unbound iter " ^ it.Iter.name)
+      else if Iter.equal iters.(i) it then values.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let index_of (acc : Operator.access) =
+    Array.of_list (List.map (Affine.eval env) acc.Operator.index)
+  in
+  let apply () =
+    if List.for_all (Predicate.holds env) op.Operator.preds then begin
+      let out_idx = index_of op.Operator.output in
+      let cur = Nd.get out out_idx in
+      let v =
+        match (op.Operator.arith, op.Operator.inputs, inputs) with
+        | Operator.Mul_add, [ a; b ], [ ta; tb ] ->
+            cur +. (Nd.get ta (index_of a) *. Nd.get tb (index_of b))
+        | Operator.Add_acc, [ a ], [ ta ] -> cur +. Nd.get ta (index_of a)
+        | Operator.Max_acc, [ a ], [ ta ] -> Float.max cur (Nd.get ta (index_of a))
+        | Operator.Sq_diff_acc, [ a; b ], [ ta; tb ] ->
+            let d = Nd.get ta (index_of a) -. Nd.get tb (index_of b) in
+            cur +. (d *. d)
+        | _ -> invalid_arg "Reference.run: arity mismatch"
+      in
+      Nd.set out out_idx v
+    end
+  in
+  let rec loop level =
+    if level = Array.length iters then apply ()
+    else
+      for v = 0 to iters.(level).Iter.extent - 1 do
+        values.(level) <- v;
+        loop (level + 1)
+      done
+  in
+  loop 0;
+  if op.Operator.post_scale <> 1. then Nd.scale op.Operator.post_scale out;
+  out
+
+let random_inputs rng (op : Operator.t) =
+  List.map
+    (fun (acc : Operator.access) -> Nd.random_of_decl rng acc.Operator.tensor)
+    op.Operator.inputs

@@ -1,0 +1,13 @@
+(** Reference interpreter: executes an {!Amos_ir.Operator.t} naively over
+    its full (predicated) iteration domain.  This is the ground truth every
+    generated mapping is verified against. *)
+
+val run : Amos_ir.Operator.t -> inputs:Nd.t list -> Nd.t
+(** [run op ~inputs] allocates the output (initialised to [op.init]),
+    iterates the full domain in canonical order, skips points where a
+    predicate fails, applies the accumulation arithmetic, and finally
+    multiplies by [op.post_scale].  Raises [Invalid_argument] when the
+    input count or shapes do not match the operator. *)
+
+val random_inputs : Rng.t -> Amos_ir.Operator.t -> Nd.t list
+(** Fresh random input tensors matching the operator's input declarations. *)

@@ -1,0 +1,28 @@
+(** Deterministic splitmix64 random number generator.
+
+    All randomized components (data generation, schedule sampling, the
+    genetic tuner) take an explicit [Rng.t] so that every experiment and
+    test is reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — equal seeds give equal streams. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  Raises [Invalid_argument] when
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice; raises [Invalid_argument] on the empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** An independent stream derived from the current state. *)

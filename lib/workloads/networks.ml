@@ -1,0 +1,203 @@
+type layer =
+  | Tensor_op of Amos_ir.Operator.t
+  | Elementwise of { name : string; elems : int }
+
+type t = {
+  name : string;
+  batch : int;
+  layers : (layer * int) list;
+}
+
+let op_count t = List.fold_left (fun acc (_, m) -> acc + m) 0 t.layers
+
+let tensor_ops t =
+  List.filter_map
+    (function Tensor_op op, m -> Some (op, m) | Elementwise _, _ -> None)
+    t.layers
+
+let ew name elems = (Elementwise { name; elems }, 1)
+let ewn name elems n = (Elementwise { name; elems }, n)
+let top ?(mult = 1) op = (Tensor_op op, mult)
+
+let shufflenet ~batch =
+  (* ShuffleNet v1-like (g = 4): stem conv, 16 units of
+     (1x1 grouped, 3x3 depthwise, 1x1 grouped), global pool, fc.
+     49 convs + 1 fc = 50 mappable; 20 elementwise = 70 total (Table 2). *)
+  let b = batch in
+  let unit_convs ~c ~p ~stride =
+    [
+      top (Ops.grouped_conv2d ~name:"shuffle-g1x1a" ~groups:4 ~n:b ~c:(c / 4)
+             ~k:(c / 4) ~p ~q:p ~r:1 ~s:1 ());
+      top (Ops.depthwise_conv2d ~name:"shuffle-dw3x3" ~stride ~n:b ~c
+             ~p:(p / stride) ~q:(p / stride) ~r:3 ~s:3 ());
+      top (Ops.grouped_conv2d ~name:"shuffle-g1x1b" ~groups:4 ~n:b ~c:(c / 4)
+             ~k:(c / 4) ~p:(p / stride) ~q:(p / stride) ~r:1 ~s:1 ());
+    ]
+  in
+  let stage ~units ~c ~p =
+    List.concat (List.init units (fun i -> unit_convs ~c ~p ~stride:(if i = 0 then 2 else 1)))
+  in
+  let layers =
+    [ top (Ops.conv2d ~name:"stem" ~stride:2 ~n:b ~c:3 ~k:24 ~p:56 ~q:56 ~r:3 ~s:3 ()) ]
+    @ stage ~units:4 ~c:96 ~p:56
+    @ stage ~units:8 ~c:192 ~p:28
+    @ stage ~units:4 ~c:384 ~p:14
+    @ [
+        top (Ops.gemm ~name:"fc" ~m:b ~n:1000 ~k:768 ());
+        ewn "channel-shuffle" (b * 192 * 28 * 28) 16;
+        ewn "relu" (b * 192 * 28 * 28) 2;
+        ew "maxpool-stem" (b * 24 * 56 * 56);
+        ew "global-pool" (b * 768 * 7 * 7);
+      ]
+  in
+  { name = "ShuffleNet"; batch; layers }
+
+let resnet18 ~batch =
+  let conv label mult = top ~mult (Resnet.config ~batch (Resnet.by_label label)) in
+  let layers =
+    [
+      conv "C0" 1; conv "C1" 4; conv "C3" 1; conv "C4" 1; conv "C5" 3;
+      conv "C6" 1; conv "C7" 1; conv "C8" 3; conv "C9" 1; conv "C10" 1;
+      conv "C11" 3;
+      top (Ops.gemm ~name:"fc" ~m:batch ~n:1000 ~k:512 ());
+      top (Ops.maxpool2d ~name:"maxpool" ~n:batch ~c:64 ~p:56 ~q:56 ~r:3 ~s:3 ());
+      ewn "relu" (batch * 64 * 56 * 56) 17;
+      ewn "residual-add" (batch * 128 * 28 * 28) 8;
+      ew "global-pool" (batch * 512 * 7 * 7);
+    ]
+  in
+  { name = "ResNet-18"; batch; layers }
+
+let resnet50 ~batch =
+  let b = batch in
+  let bottleneck ~cin ~cmid ~p ~stride ~mult =
+    [
+      top ~mult (Ops.conv2d ~name:"res50-1x1a" ~n:b ~c:cin ~k:cmid ~p ~q:p ~r:1 ~s:1 ());
+      top ~mult
+        (Ops.conv2d ~name:"res50-3x3" ~stride ~n:b ~c:cmid ~k:cmid
+           ~p:(p / stride) ~q:(p / stride) ~r:3 ~s:3 ());
+      top ~mult
+        (Ops.conv2d ~name:"res50-1x1b" ~n:b ~c:cmid ~k:(cmid * 4)
+           ~p:(p / stride) ~q:(p / stride) ~r:1 ~s:1 ());
+    ]
+  in
+  let downsample ~cin ~cout ~p ~stride =
+    top (Ops.conv2d ~name:"res50-down" ~stride ~n:b ~c:cin ~k:cout
+           ~p:(p / stride) ~q:(p / stride) ~r:1 ~s:1 ())
+  in
+  let layers =
+    [ top (Resnet.config ~batch (Resnet.by_label "C0")) ]
+    @ bottleneck ~cin:64 ~cmid:64 ~p:56 ~stride:1 ~mult:3
+    @ [ downsample ~cin:64 ~cout:256 ~p:56 ~stride:1 ]
+    @ bottleneck ~cin:256 ~cmid:128 ~p:56 ~stride:2 ~mult:4
+    @ [ downsample ~cin:256 ~cout:512 ~p:56 ~stride:2 ]
+    @ bottleneck ~cin:512 ~cmid:256 ~p:28 ~stride:2 ~mult:6
+    @ [ downsample ~cin:512 ~cout:1024 ~p:28 ~stride:2 ]
+    @ bottleneck ~cin:1024 ~cmid:512 ~p:14 ~stride:2 ~mult:3
+    @ [ downsample ~cin:1024 ~cout:2048 ~p:14 ~stride:2 ]
+    @ [
+        top (Ops.gemm ~name:"fc" ~m:b ~n:1000 ~k:2048 ());
+        ewn "relu" (b * 256 * 56 * 56) 10;
+        ewn "residual-add" (b * 512 * 28 * 28) 5;
+        ew "maxpool" (b * 64 * 112 * 112);
+        ew "global-pool" (b * 2048 * 7 * 7);
+      ]
+  in
+  { name = "ResNet-50"; batch; layers }
+
+let mobilenet_v1 ~batch =
+  let b = batch in
+  let dw_pw ~c ~k ~p ~stride ~mult =
+    [
+      top ~mult
+        (Ops.depthwise_conv2d ~name:"mbv1-dw" ~stride ~n:b ~c ~p:(p / stride)
+           ~q:(p / stride) ~r:3 ~s:3 ());
+      top ~mult
+        (Ops.conv2d ~name:"mbv1-pw" ~n:b ~c ~k ~p:(p / stride) ~q:(p / stride)
+           ~r:1 ~s:1 ());
+    ]
+  in
+  let layers =
+    [ top (Ops.conv2d ~name:"stem" ~stride:2 ~n:b ~c:3 ~k:32 ~p:112 ~q:112 ~r:3 ~s:3 ()) ]
+    @ dw_pw ~c:32 ~k:64 ~p:112 ~stride:1 ~mult:1
+    @ dw_pw ~c:64 ~k:128 ~p:112 ~stride:2 ~mult:1
+    @ dw_pw ~c:128 ~k:128 ~p:56 ~stride:1 ~mult:1
+    @ dw_pw ~c:128 ~k:256 ~p:56 ~stride:2 ~mult:1
+    @ dw_pw ~c:256 ~k:256 ~p:28 ~stride:1 ~mult:1
+    @ dw_pw ~c:256 ~k:512 ~p:28 ~stride:2 ~mult:1
+    @ dw_pw ~c:512 ~k:512 ~p:14 ~stride:1 ~mult:5
+    @ dw_pw ~c:512 ~k:1024 ~p:14 ~stride:2 ~mult:1
+    @ dw_pw ~c:1024 ~k:1024 ~p:7 ~stride:1 ~mult:1
+    @ [
+        top (Ops.mean ~name:"global-avg-pool" ~rows:49 ~cols:(b * 1024) ());
+        top (Ops.gemm ~name:"fc" ~m:b ~n:1000 ~k:1024 ());
+        ew "softmax" (b * 1000);
+      ]
+  in
+  { name = "MobileNet-V1"; batch; layers }
+
+let bert_base ~batch =
+  let b = batch in
+  let seq = 128 and hidden = 768 and heads = 12 and ffn = 3072 in
+  let head_dim = hidden / heads in
+  let per_layer =
+    [
+      top (Ops.gemm ~name:"q-proj" ~m:(b * seq) ~n:hidden ~k:hidden ());
+      top (Ops.gemm ~name:"k-proj" ~m:(b * seq) ~n:hidden ~k:hidden ());
+      top (Ops.gemm ~name:"v-proj" ~m:(b * seq) ~n:hidden ~k:hidden ());
+      top (Ops.batched_gemm ~name:"attn-scores" ~b:(b * heads) ~m:seq ~n:seq ~k:head_dim ());
+      top (Ops.batched_gemm ~name:"attn-context" ~b:(b * heads) ~m:seq ~n:head_dim ~k:seq ());
+      top (Ops.gemm ~name:"out-proj" ~m:(b * seq) ~n:hidden ~k:hidden ());
+      top (Ops.gemm ~name:"ffn-1" ~m:(b * seq) ~n:ffn ~k:hidden ());
+      top (Ops.gemm ~name:"ffn-2" ~m:(b * seq) ~n:hidden ~k:ffn ());
+      ew "softmax" (b * heads * seq * seq);
+      ew "gelu" (b * seq * ffn);
+      ewn "layernorm" (b * seq * hidden) 2;
+      ewn "residual-add" (b * seq * hidden) 2;
+      ewn "dropout-mask" (b * seq * hidden) 3;
+    ]
+  in
+  { name = "Bert-Base"; batch; layers = List.concat (List.init 12 (fun _ -> per_layer)) }
+
+let mi_lstm ~batch =
+  let b = batch in
+  let hidden = 512 in
+  let linear name = top (Ops.gemm ~name ~m:b ~n:hidden ~k:hidden ()) in
+  let layers =
+    [
+      linear "Wx-i"; linear "Wx-f"; linear "Wx-o"; linear "Wx-c";
+      linear "Uh-i"; linear "Uh-f"; linear "Uh-o"; linear "Uh-c";
+      linear "proj";
+      ew "gates-mul-int" (b * hidden * 4);
+      ew "state-update" (b * hidden);
+    ]
+  in
+  { name = "MI-LSTM"; batch; layers }
+
+let mobilenet_v2_depthwise ~batch =
+  let b = batch in
+  let dep i c p stride =
+    ( Printf.sprintf "dep%d" i,
+      Ops.depthwise_conv2d ~name:(Printf.sprintf "mbv2-dw%d" i) ~stride ~n:b
+        ~c ~p:(p / stride) ~q:(p / stride) ~r:3 ~s:3 () )
+  in
+  let pw i c k p =
+    ( Printf.sprintf "conv%d" i,
+      Ops.conv2d ~name:(Printf.sprintf "mbv2-pw%d" i) ~n:b ~c ~k ~p ~q:p ~r:1
+        ~s:1 () )
+  in
+  [
+    dep 1 32 112 1;   pw 1 32 16 112;
+    dep 2 96 112 2;   pw 2 96 24 56;
+    dep 3 144 56 1;   pw 3 144 24 56;
+    dep 4 144 56 2;   pw 4 144 32 28;
+    dep 5 192 28 1;   pw 5 192 32 28;
+    dep 6 384 14 1;   pw 6 384 64 14;
+    dep 7 576 14 2;   pw 7 576 96 7;
+  ]
+
+let all ~batch =
+  [
+    shufflenet ~batch; resnet18 ~batch; resnet50 ~batch;
+    mobilenet_v1 ~batch; bert_base ~batch; mi_lstm ~batch;
+  ]

@@ -1,0 +1,38 @@
+(** Network inventories for the whole-model experiments (Table 2, Fig 7).
+
+    A network is an ordered list of layers with multiplicities.  Layers are
+    either tensor operators (candidates for spatial-accelerator mapping) or
+    pure elementwise/data-movement ops (ReLU, residual add, softmax,
+    channel shuffle, ...) that always run on the scalar units. *)
+
+type layer =
+  | Tensor_op of Amos_ir.Operator.t
+  | Elementwise of { name : string; elems : int }
+
+type t = {
+  name : string;
+  batch : int;
+  layers : (layer * int) list;  (** layer, multiplicity *)
+}
+
+val op_count : t -> int
+(** Total number of operator instances (multiplicities included). *)
+
+val tensor_ops : t -> (Amos_ir.Operator.t * int) list
+
+val shufflenet : batch:int -> t
+val resnet18 : batch:int -> t
+val resnet50 : batch:int -> t
+val mobilenet_v1 : batch:int -> t
+val bert_base : batch:int -> t
+(** seq_len 128, hidden 768, 12 layers, 12 heads. *)
+
+val mi_lstm : batch:int -> t
+(** One unrolled step of MI-LSTM, hidden 512; linear layers become
+    matrix-vector products at batch 1 (the case XLA fails to map). *)
+
+val mobilenet_v2_depthwise : batch:int -> (string * Amos_ir.Operator.t) list
+(** The 7 depthwise layers of MobileNet-V2 used in Fig 8b, plus their
+    matching pointwise convolutions ("Conv2d" series of Fig 8b). *)
+
+val all : batch:int -> t list

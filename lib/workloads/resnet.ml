@@ -1,0 +1,48 @@
+type config = {
+  label : string;
+  n : int;
+  c : int;
+  k : int;
+  p : int;
+  q : int;
+  r : int;
+  s : int;
+  stride : int;
+}
+
+let mk label c k p r stride =
+  { label; n = 16; c; k; p; q = p; r; s = r; stride }
+
+let table5 =
+  [
+    mk "C0" 3 64 112 7 2;
+    mk "C1" 64 64 56 3 1;
+    mk "C2" 64 64 56 1 1;
+    mk "C3" 64 128 28 3 2;
+    mk "C4" 64 128 28 1 2;
+    mk "C5" 128 128 28 3 1;
+    mk "C6" 128 256 14 3 2;
+    mk "C7" 128 256 14 1 2;
+    mk "C8" 256 256 14 3 1;
+    mk "C9" 256 512 7 3 2;
+    mk "C10" 256 512 7 1 2;
+    mk "C11" 512 512 7 3 1;
+  ]
+
+let config ?batch c =
+  let n = match batch with Some b -> b | None -> c.n in
+  Ops.conv2d ~name:c.label ~stride:c.stride ~n ~c:c.c ~k:c.k ~p:c.p ~q:c.q
+    ~r:c.r ~s:c.s ()
+
+let scaled ~factor c =
+  let f x = max 1 (x / factor) in
+  {
+    c with
+    n = f c.n;
+    c = f c.c;
+    k = f c.k;
+    p = f c.p;
+    q = f c.q;
+  }
+
+let by_label l = List.find (fun c -> c.label = l) table5

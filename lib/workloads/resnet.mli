@@ -1,0 +1,30 @@
+(** ResNet convolution layer configurations.
+
+    [c0]..[c11] are the twelve distinct 2D-convolution layers of ResNet-18
+    exactly as listed in Table 5 of the paper (n, c, k, p, q, r, s, stride).
+    The batch size defaults to 16 as in the table. *)
+
+type config = {
+  label : string;
+  n : int;
+  c : int;
+  k : int;
+  p : int;
+  q : int;
+  r : int;
+  s : int;
+  stride : int;
+}
+
+val table5 : config list
+(** C0 .. C11, in order. *)
+
+val config : ?batch:int -> config -> Amos_ir.Operator.t
+(** Instantiate a config as a C2D operator (optionally overriding batch). *)
+
+val scaled : factor:int -> config -> config
+(** Divide channels and spatial sizes by [factor] (min 1 each); used to run
+    functional checks at tractable sizes while keeping the structure. *)
+
+val by_label : string -> config
+(** Raises [Not_found] for an unknown label. *)

@@ -1,0 +1,102 @@
+open Ops
+
+(* Shapes are drawn from the models cited in the paper: ResNet-18/50,
+   MobileNet-V1/V2, ShuffleNet, Bert, MI-LSTM, DeepLab (dilated), Matrix
+   Capsules, CondConv, WeightNet, and the scan/statistics kernels. *)
+
+let configs_per_kind ~batch kind =
+  let b = batch in
+  match kind with
+  | GMV ->
+      List.map (fun (m, k) -> gemv ~m ~k ())
+        [ (512, 512); (1024, 1024); (768, 768); (1000, 512); (2048, 1024);
+          (4096, 4096); (512, 2048); (3072, 768) ]
+  | GMM ->
+      List.map (fun (m, n, k) -> gemm ~m:(b * m) ~n ~k ())
+        [ (128, 768, 768); (128, 3072, 768); (128, 768, 3072); (64, 512, 512);
+          (256, 1024, 1024); (16, 1000, 2048); (32, 4096, 4096); (512, 512, 64) ]
+  | C1D ->
+      List.map (fun (c, k, p, r) -> conv1d ~n:b ~c ~k ~p ~r ())
+        [ (64, 64, 256, 3); (128, 128, 128, 3); (256, 256, 64, 3);
+          (64, 128, 256, 5); (512, 512, 32, 3); (32, 64, 512, 7);
+          (128, 256, 128, 9); (256, 512, 64, 3) ]
+  | C2D ->
+      List.map
+        (fun (c, k, p, r, stride) ->
+          conv2d ~stride ~n:b ~c ~k ~p ~q:p ~r ~s:r ())
+        [ (3, 64, 112, 7, 2); (64, 64, 56, 3, 1); (64, 128, 28, 3, 2);
+          (128, 128, 28, 3, 1); (128, 256, 14, 3, 2); (256, 256, 14, 3, 1);
+          (256, 512, 7, 3, 2); (512, 512, 7, 3, 1) ]
+  | C3D ->
+      List.map
+        (fun (c, k, d, p, t, r) -> conv3d ~n:b ~c ~k ~d ~p ~q:p ~t ~r ~s:r ())
+        [ (3, 64, 8, 56, 3, 3); (64, 64, 8, 28, 3, 3); (64, 128, 4, 28, 3, 3);
+          (128, 128, 4, 14, 3, 3); (128, 256, 2, 14, 3, 3);
+          (256, 256, 2, 7, 3, 3); (256, 512, 2, 7, 1, 3); (32, 32, 16, 56, 3, 3) ]
+  | T2D ->
+      List.map
+        (fun (c, k, p, r, stride) ->
+          transposed_conv2d ~stride ~n:b ~c ~k ~p ~q:p ~r ~s:r ())
+        [ (512, 256, 14, 3, 2); (256, 128, 28, 3, 2); (128, 64, 56, 3, 2);
+          (64, 32, 112, 3, 2); (512, 512, 7, 3, 1); (1024, 512, 14, 4, 2);
+          (256, 256, 28, 4, 2); (64, 64, 112, 3, 2) ]
+  | GRP ->
+      List.map
+        (fun (groups, c, k, p, r) ->
+          grouped_conv2d ~groups ~n:b ~c ~k ~p ~q:p ~r ~s:r ())
+        [ (4, 24, 24, 56, 1); (4, 48, 48, 28, 1); (4, 96, 96, 14, 1);
+          (8, 32, 32, 28, 3); (32, 4, 4, 56, 3); (8, 64, 64, 14, 3);
+          (16, 16, 16, 28, 1) ]
+  | DIL ->
+      List.map
+        (fun (c, k, p, r, dilation) ->
+          dilated_conv2d ~dilation ~n:b ~c ~k ~p ~q:p ~r ~s:r ())
+        [ (256, 256, 28, 3, 2); (512, 512, 14, 3, 2); (512, 512, 14, 3, 4);
+          (1024, 1024, 7, 3, 2); (256, 512, 28, 3, 3); (128, 128, 56, 3, 2);
+          (64, 64, 56, 3, 4) ]
+  | DEP ->
+      List.map
+        (fun (c, p, r, stride) ->
+          depthwise_conv2d ~stride ~n:b ~c ~p ~q:p ~r ~s:r ())
+        [ (32, 112, 3, 1); (96, 56, 3, 2); (144, 56, 3, 1); (192, 28, 3, 2);
+          (384, 14, 3, 1); (576, 7, 3, 2); (1024, 7, 3, 1); (512, 14, 3, 1) ]
+  | CAP ->
+      List.map
+        (fun (c, k, p, r) -> capsule_conv2d ~n:b ~c ~k ~p ~q:p ~r ~s:r ~cap:4 ())
+        [ (8, 16, 12, 3); (16, 16, 6, 3); (16, 32, 6, 3); (32, 32, 4, 3);
+          (8, 8, 14, 3); (4, 8, 28, 3); (32, 32, 6, 1) ]
+  | BCV ->
+      List.map
+        (fun (c, k, p, r) -> batched_conv2d ~n:b ~c ~k ~p ~q:p ~r ~s:r ())
+        [ (16, 16, 28, 3); (32, 32, 14, 3); (64, 64, 14, 3); (32, 64, 28, 3);
+          (64, 128, 7, 3); (128, 128, 7, 3); (16, 32, 56, 3) ]
+  | GFC ->
+      List.map (fun (g, m, k) -> grouped_fc ~g ~m ~k ())
+        [ (8, 64, 64); (16, 64, 64); (8, 128, 128); (16, 128, 128);
+          (32, 64, 64); (4, 256, 256); (64, 16, 16) ]
+  | MEN ->
+      List.map (fun (rows, cols) -> mean ~rows ~cols ())
+        [ (64, 1024); (128, 1024); (256, 2048); (49, 1024); (196, 512);
+          (784, 256); (512, 4096) ]
+  | VAR ->
+      List.map (fun (rows, cols) -> variance ~rows ~cols ())
+        [ (64, 1024); (128, 1024); (256, 2048); (49, 1024); (196, 512);
+          (784, 256); (512, 4096) ]
+  | SCN ->
+      List.map (fun (n, len) -> scan ~n ~len ())
+        [ (64, 128); (128, 128); (64, 256); (32, 512); (256, 64); (16, 1024);
+          (128, 256); (8, 2048) ]
+
+let operator_suite ~batch =
+  List.concat_map
+    (fun kind ->
+      List.map (fun op -> (kind, op)) (configs_per_kind ~batch kind))
+    all_kinds
+
+let total ~batch = List.length (operator_suite ~batch)
+
+let representative ~batch kind =
+  match configs_per_kind ~batch kind with
+  | [] -> invalid_arg "Suites.representative: empty kind"
+  | _ :: second :: _ -> second
+  | [ only ] -> only

@@ -1,0 +1,11 @@
+(** The single-operator benchmark suite of Sec 7.3: 113 configurations
+    drawn from real networks, 7–8 per operator kind. *)
+
+val operator_suite : batch:int -> (Ops.kind * Amos_ir.Operator.t) list
+(** All configurations, grouped by kind in the order of Fig 6. *)
+
+val configs_per_kind : batch:int -> Ops.kind -> Amos_ir.Operator.t list
+val total : batch:int -> int
+val representative : batch:int -> Ops.kind -> Amos_ir.Operator.t
+(** One mid-sized configuration per kind (used for mapping counts,
+    Table 6). *)

@@ -1,0 +1,230 @@
+open Amos_ir
+open Amos
+module Ops = Amos_workloads.Ops
+module Rng = Amos_tensor.Rng
+module Machine = Spatial_sim.Machine
+
+(* A small accelerator whose primary intrinsic is the toy 2x2x2 Tensor
+   Core, so functional runs stay fast. *)
+let toy_accel () =
+  let base = Accelerator.v100 () in
+  { base with Accelerator.intrinsics = [ Intrinsic.toy_mma_2x2x2 () ] }
+
+let check_all_mappings ?(sched = `Default) name op =
+  let accel = toy_accel () in
+  let intr = Accelerator.primary_intrinsic accel in
+  let rng = Rng.create 99 in
+  let inputs = Amos_tensor.Reference.random_inputs rng op in
+  let expected = Amos_tensor.Reference.run op ~inputs in
+  let matchings = Mapping_gen.generate_op op intr in
+  Alcotest.(check bool) (name ^ " has mappings") true (matchings <> []);
+  List.iter
+    (fun matching ->
+      let m = Mapping.make matching in
+      let schedule =
+        match sched with
+        | `Default -> Schedule.default m
+        | `Random -> Schedule.random rng m
+      in
+      let k = Codegen.lower accel m schedule in
+      let got =
+        Machine.run accel.Accelerator.config k ~inputs
+          ~out_shape:op.Operator.output.Operator.tensor.Tensor_decl.shape
+      in
+      if not (Amos_tensor.Nd.approx_equal ~tol:1e-3 expected got) then
+        Alcotest.failf "%s: mapping %s produced wrong results (diff %g)" name
+          (Mapping.describe m)
+          (Amos_tensor.Nd.max_abs_diff expected got))
+    matchings
+
+let equivalence_tests =
+  [
+    Alcotest.test_case "gemm-all-mappings" `Quick (fun () ->
+        check_all_mappings "gemm" (Ops.gemm ~m:5 ~n:3 ~k:4 ()));
+    Alcotest.test_case "gemv-all-mappings" `Quick (fun () ->
+        check_all_mappings "gemv" (Ops.gemv ~m:5 ~k:3 ()));
+    Alcotest.test_case "conv2d-all-35-mappings" `Quick (fun () ->
+        check_all_mappings "conv2d"
+          (Ops.conv2d ~n:2 ~c:3 ~k:4 ~p:3 ~q:3 ~r:2 ~s:2 ()));
+    Alcotest.test_case "conv2d-strided" `Quick (fun () ->
+        check_all_mappings "strided"
+          (Ops.conv2d ~stride:2 ~n:1 ~c:2 ~k:3 ~p:3 ~q:3 ~r:3 ~s:3 ()));
+    Alcotest.test_case "conv2d-dilated" `Quick (fun () ->
+        check_all_mappings "dilated"
+          (Ops.dilated_conv2d ~dilation:2 ~n:1 ~c:2 ~k:3 ~p:3 ~q:3 ~r:2 ~s:2 ()));
+    Alcotest.test_case "depthwise-all-mappings" `Quick (fun () ->
+        check_all_mappings "depthwise"
+          (Ops.depthwise_conv2d ~n:2 ~c:3 ~p:3 ~q:3 ~r:2 ~s:2 ()));
+    Alcotest.test_case "grouped-all-mappings" `Quick (fun () ->
+        check_all_mappings "grouped"
+          (Ops.grouped_conv2d ~groups:2 ~n:1 ~c:2 ~k:2 ~p:3 ~q:3 ~r:2 ~s:2 ()));
+    Alcotest.test_case "batched-conv" `Quick (fun () ->
+        check_all_mappings "bcv" (Ops.batched_conv2d ~n:2 ~c:2 ~k:2 ~p:3 ~q:3 ~r:2 ~s:2 ()));
+    Alcotest.test_case "grouped-fc" `Quick (fun () ->
+        check_all_mappings "gfc" (Ops.grouped_fc ~g:3 ~m:4 ~k:5 ()));
+    Alcotest.test_case "mean-via-ones" `Quick (fun () ->
+        check_all_mappings "mean" (Ops.mean ~rows:5 ~cols:6 ()));
+    Alcotest.test_case "variance-via-diffsq" `Quick (fun () ->
+        check_all_mappings "variance" (Ops.variance ~rows:5 ~cols:6 ()));
+    Alcotest.test_case "scan-with-predicate" `Quick (fun () ->
+        check_all_mappings "scan" (Ops.scan ~n:3 ~len:5 ()));
+    Alcotest.test_case "conv1d-random-schedules" `Quick (fun () ->
+        check_all_mappings ~sched:`Random "conv1d"
+          (Ops.conv1d ~n:2 ~c:3 ~k:4 ~p:5 ~r:3 ()));
+    Alcotest.test_case "conv2d-random-schedules" `Quick (fun () ->
+        check_all_mappings ~sched:`Random "conv2d-rand"
+          (Ops.conv2d ~n:2 ~c:2 ~k:3 ~p:3 ~q:3 ~r:2 ~s:2 ()));
+  ]
+
+(* On a broadcast-dot intrinsic (VNNI-like) the source permutation matters;
+   check functional correctness there too. *)
+let vnni_tests =
+  [
+    Alcotest.test_case "conv2d-on-vnni-like" `Quick (fun () ->
+        let base = Accelerator.avx512_cpu () in
+        let small =
+          Intrinsic.create ~name:"dot-toy"
+            ~compute:(Intrinsic.avx512_vnni ()).Intrinsic.compute
+            ~issue_cycles:1. ~latency_cycles:4. ()
+        in
+        let accel = { base with Accelerator.intrinsics = [ small ] } in
+        let op = Ops.conv2d ~n:1 ~c:3 ~k:4 ~p:3 ~q:3 ~r:2 ~s:2 () in
+        let rng = Rng.create 5 in
+        let inputs = Amos_tensor.Reference.random_inputs rng op in
+        let expected = Amos_tensor.Reference.run op ~inputs in
+        let ms = Mapping_gen.generate_op op small in
+        Alcotest.(check bool) "has mappings" true (ms <> []);
+        List.iter
+          (fun matching ->
+            let m = Mapping.make matching in
+            let k = Codegen.lower accel m (Schedule.default m) in
+            let got =
+              Machine.run accel.Accelerator.config k ~inputs
+                ~out_shape:op.Operator.output.Operator.tensor.Tensor_decl.shape
+            in
+            if not (Amos_tensor.Nd.approx_equal ~tol:1e-3 expected got) then
+              Alcotest.failf "vnni mapping %s wrong (diff %g)"
+                (Mapping.describe m)
+                (Amos_tensor.Nd.max_abs_diff expected got))
+          ms);
+  ]
+
+(* The central negative test: a mapping that fails Algorithm 1 executes to
+   WRONG results on the simulator (the hardware-dataflow emulation), which
+   is exactly why validation is necessary. *)
+let invalid_mapping_tests =
+  [
+    Alcotest.test_case "invalid-mapping-computes-garbage" `Quick (fun () ->
+        let op = Ops.conv2d ~n:2 ~c:2 ~k:2 ~p:2 ~q:2 ~r:2 ~s:2 () in
+        let intr = Intrinsic.toy_mma_2x2x2 () in
+        let view = Option.get (Mac_view.of_operator op) in
+        let intr_iter i = List.nth intr.Intrinsic.compute.Compute_abs.iters i in
+        (* n -> i1 and k -> i1: the Sec 5.2 counterexample *)
+        let assign =
+          Array.of_list
+            (List.map
+               (fun (it : Iter.t) ->
+                 match it.Iter.name with
+                 | "n" | "k" -> Some (intr_iter 0)
+                 | "c" | "r" | "s" -> Some (intr_iter 2)
+                 | _ -> None)
+               op.Operator.iters)
+        in
+        let matching =
+          Matching.create ~view ~intr ~src_perm:[| 0; 1 |] ~assign
+        in
+        Alcotest.(check bool) "algorithm 1 rejects" false
+          (Matching.validate matching);
+        let m = Mapping.make matching in
+        let accel = toy_accel () in
+        let k = Codegen.lower accel m (Schedule.default m) in
+        let rng = Rng.create 17 in
+        let inputs = Amos_tensor.Reference.random_inputs rng op in
+        let expected = Amos_tensor.Reference.run op ~inputs in
+        let got =
+          Machine.run accel.Accelerator.config k ~inputs
+            ~out_shape:op.Operator.output.Operator.tensor.Tensor_decl.shape
+        in
+        Alcotest.(check bool) "results differ from reference" false
+          (Amos_tensor.Nd.approx_equal ~tol:1e-3 expected got));
+  ]
+
+let pseudo_tests =
+  [
+    Alcotest.test_case "emit-pseudo-mentions-intrinsic" `Quick (fun () ->
+        let accel = toy_accel () in
+        let op = Ops.gemm ~m:4 ~n:4 ~k:4 () in
+        match Compiler.mappings accel op with
+        | m :: _ ->
+            let text = Codegen.emit_pseudo accel m (Schedule.default m) in
+            Alcotest.(check bool) "mentions mma" true
+              (String.length text > 0
+              &&
+              try
+                ignore (Str.search_forward (Str.regexp_string "toy_mma") text 0);
+                true
+              with Not_found -> false)
+        | [] -> Alcotest.fail "no mapping");
+  ]
+
+let suites =
+  [
+    ("codegen.equivalence", equivalence_tests);
+    ("codegen.vnni", vnni_tests);
+    ("codegen.invalid", invalid_mapping_tests);
+    ("codegen.pseudo", pseudo_tests);
+  ]
+
+let nhwc_tests =
+  [
+    Alcotest.test_case "nhwc-all-mappings-correct" `Quick (fun () ->
+        check_all_mappings "nhwc"
+          (Ops.conv2d_nhwc ~n:2 ~c:3 ~k:4 ~p:3 ~q:3 ~r:2 ~s:2 ()));
+    Alcotest.test_case "nhwc-matches-nchw-transposed" `Quick (fun () ->
+        (* the two layouts compute the same convolution up to data order *)
+        let n = 2 and c = 3 and k = 4 and p = 3 and q = 3 and r = 2 and s = 2 in
+        let nchw = Ops.conv2d ~n ~c ~k ~p ~q ~r ~s () in
+        let nhwc = Ops.conv2d_nhwc ~n ~c ~k ~p ~q ~r ~s () in
+        let rng = Rng.create 12 in
+        let img_nchw = Amos_tensor.Nd.random rng [ n; c; p + r - 1; q + s - 1 ] in
+        let w_nchw = Amos_tensor.Nd.random rng [ k; c; r; s ] in
+        let img_nhwc = Amos_tensor.Nd.create [ n; p + r - 1; q + s - 1; c ] in
+        let w_nhwc = Amos_tensor.Nd.create [ r; s; c; k ] in
+        for a = 0 to n - 1 do
+          for b = 0 to c - 1 do
+            for y = 0 to p + r - 2 do
+              for x = 0 to q + s - 2 do
+                Amos_tensor.Nd.set img_nhwc [| a; y; x; b |]
+                  (Amos_tensor.Nd.get img_nchw [| a; b; y; x |])
+              done
+            done
+          done
+        done;
+        for a = 0 to k - 1 do
+          for b = 0 to c - 1 do
+            for y = 0 to r - 1 do
+              for x = 0 to s - 1 do
+                Amos_tensor.Nd.set w_nhwc [| y; x; b; a |]
+                  (Amos_tensor.Nd.get w_nchw [| a; b; y; x |])
+              done
+            done
+          done
+        done;
+        let out1 = Amos_tensor.Reference.run nchw ~inputs:[ img_nchw; w_nchw ] in
+        let out2 = Amos_tensor.Reference.run nhwc ~inputs:[ img_nhwc; w_nhwc ] in
+        let ok = ref true in
+        for a = 0 to n - 1 do
+          for b = 0 to k - 1 do
+            for y = 0 to p - 1 do
+              for x = 0 to q - 1 do
+                let v1 = Amos_tensor.Nd.get out1 [| a; b; y; x |] in
+                let v2 = Amos_tensor.Nd.get out2 [| a; y; x; b |] in
+                if abs_float (v1 -. v2) > 1e-6 then ok := false
+              done
+            done
+          done
+        done;
+        Alcotest.(check bool) "same results" true !ok);
+  ]
+
+let suites = suites @ [ ("codegen.nhwc", nhwc_tests) ]

@@ -1,0 +1,233 @@
+open Amos_ir
+module Ops = Amos_workloads.Ops
+
+let parse = Dsl.parse_exn
+
+let parse_tests =
+  [
+    Alcotest.test_case "fig3a-conv2d" `Quick (fun () ->
+        (* the paper's Fig 3a program, verbatim modulo extents *)
+        let op =
+          parse
+            "for {n:1, k:4, p:2, q:2} for {c:1r, r:3r, s:3r}:\n\
+             out[n, k, p, q] += image[n, c, p + r, q + s] * weight[k, c, r, s]"
+        in
+        Alcotest.(check int) "7 iters" 7 (List.length op.Operator.iters);
+        let reference = Ops.conv2d ~n:1 ~c:1 ~k:4 ~p:2 ~q:2 ~r:3 ~s:3 () in
+        Alcotest.(check bool) "same access matrix" true
+          (Bin_matrix.equal
+             (Access_matrix.of_operator op)
+             (Access_matrix.of_operator reference));
+        let image = List.nth (Operator.tensors op) 1 in
+        Alcotest.(check (list int)) "inferred image shape" [ 1; 1; 4; 4 ]
+          image.Tensor_decl.shape);
+    Alcotest.test_case "gemm" `Quick (fun () ->
+        let op =
+          parse "for {i:16, j:16} for {r:32r}: out[i,j] += a[i,r] * b[r,j]"
+        in
+        Alcotest.(check int) "3 iters" 3 (List.length op.Operator.iters);
+        Alcotest.(check bool) "r is reduction" true
+          (List.exists
+             (fun (it : Iter.t) -> it.Iter.name = "r" && Iter.is_reduction it)
+             op.Operator.iters));
+    Alcotest.test_case "strided-access-coefficient" `Quick (fun () ->
+        let op =
+          parse "for {p:4} for {r:3r}: out[p] += x[2*p + r] * w[r]"
+        in
+        let x = List.nth (Operator.tensors op) 1 in
+        (* max index = 2*3 + 2 = 8 -> shape 9 *)
+        Alcotest.(check (list int)) "shape" [ 9 ] x.Tensor_decl.shape);
+    Alcotest.test_case "scan-with-where" `Quick (fun () ->
+        let op = parse "for {n:2, i:8} for {j:8r}: out[n,i] += x[n,j] where j <= i" in
+        Alcotest.(check int) "one predicate" 1 (List.length op.Operator.preds));
+    Alcotest.test_case "divisibility-where" `Quick (fun () ->
+        let op =
+          parse "for {p:4} for {r:3r}: out[p] += x[p + r] * w[r] where 2 | p + r"
+        in
+        Alcotest.(check int) "one predicate" 1 (List.length op.Operator.preds));
+    Alcotest.test_case "max-accumulate" `Quick (fun () ->
+        let op = parse "for {p:4} for {r:2r}: out[p] max= x[p + r]" in
+        Alcotest.(check bool) "max arith" true
+          (op.Operator.arith = Operator.Max_acc);
+        Alcotest.(check bool) "init -inf" true
+          (op.Operator.init = neg_infinity));
+    Alcotest.test_case "squared-difference" `Quick (fun () ->
+        let op =
+          parse "for {j:4} for {i:8r}: out[j] += (x[i, j] - mu[j])^2"
+        in
+        Alcotest.(check bool) "sq-diff arith" true
+          (op.Operator.arith = Operator.Sq_diff_acc));
+    Alcotest.test_case "single-input-accumulation" `Quick (fun () ->
+        let op = parse "for {j:4} for {i:8r}: out[j] += x[i, j]" in
+        Alcotest.(check bool) "add-acc" true (op.Operator.arith = Operator.Add_acc));
+  ]
+
+let error_tests =
+  let expect_error src =
+    match Dsl.parse src with
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+    | Error _ -> ()
+  in
+  [
+    Alcotest.test_case "unbound-iteration" `Quick (fun () ->
+        expect_error "for {i:4}: out[i] += x[z]");
+    Alcotest.test_case "missing-colon" `Quick (fun () ->
+        expect_error "for {i:4} out[i] += x[i]");
+    Alcotest.test_case "negative-index" `Quick (fun () ->
+        expect_error "for {i:4} for {r:2r}: out[i] += x[i - r] * w[r]");
+    Alcotest.test_case "reduction-in-output" `Quick (fun () ->
+        expect_error "for {i:4} for {r:2r}: out[r] += x[i] * w[r]");
+    Alcotest.test_case "duplicate-binder" `Quick (fun () ->
+        expect_error "for {i:4, i:2}: out[i] += x[i]");
+    Alcotest.test_case "zero-extent" `Quick (fun () ->
+        expect_error "for {i:0}: out[i] += x[i]");
+    Alcotest.test_case "trailing-garbage" `Quick (fun () ->
+        expect_error "for {i:4}: out[i] += x[i] banana");
+  ]
+
+(* the front door composes with the whole pipeline: parse, map, lower,
+   execute, verify *)
+let integration_tests =
+  [
+    Alcotest.test_case "parsed-conv-compiles-and-verifies" `Quick (fun () ->
+        let op =
+          parse
+            "for {n:2, k:3, p:3, q:3} for {c:2r, r:2r, s:2r}:\n\
+             out[n,k,p,q] += image[n, c, p + r, q + s] * weight[k, c, r, s]"
+        in
+        let accel =
+          let base = Amos.Accelerator.v100 () in
+          {
+            base with
+            Amos.Accelerator.intrinsics = [ Amos.Intrinsic.toy_mma_2x2x2 () ];
+          }
+        in
+        let mappings = Amos.Compiler.mappings accel op in
+        Alcotest.(check int) "35 mappings" 35 (List.length mappings);
+        let rng = Amos_tensor.Rng.create 55 in
+        List.iteri
+          (fun i m ->
+            if i mod 5 = 0 then
+              Alcotest.(check bool) "verifies" true
+                (Amos.Compiler.verify ~rng accel m (Amos.Schedule.default m)))
+          mappings);
+  ]
+
+let suites =
+  [
+    ("dsl.parse", parse_tests);
+    ("dsl.errors", error_tests);
+    ("dsl.integration", integration_tests);
+  ]
+
+let roundtrip_tests =
+  let same_structure a b =
+    List.length a.Operator.iters = List.length b.Operator.iters
+    && Bin_matrix.equal (Access_matrix.of_operator a) (Access_matrix.of_operator b)
+    && List.map2
+         (fun (x : Iter.t) (y : Iter.t) ->
+           x.Iter.extent = y.Iter.extent && x.Iter.kind = y.Iter.kind)
+         a.Operator.iters b.Operator.iters
+       |> List.for_all (fun x -> x)
+    && List.map2
+         (fun (x : Operator.access) (y : Operator.access) ->
+           x.Operator.tensor.Tensor_decl.shape = y.Operator.tensor.Tensor_decl.shape)
+         (Operator.tensors a |> List.map (fun t -> Operator.access t (List.map (fun d -> Affine.const (d-1)) t.Tensor_decl.shape)))
+         (Operator.tensors b |> List.map (fun t -> Operator.access t (List.map (fun d -> Affine.const (d-1)) t.Tensor_decl.shape)))
+       |> List.for_all (fun x -> x)
+  in
+  let check op =
+    let text = Dsl.print op in
+    match Dsl.parse text with
+    | Error msg -> Alcotest.failf "reparse of %S failed: %s" text msg
+    | Ok op' ->
+        if not (same_structure op op') then
+          Alcotest.failf "round trip changed structure for %S" text
+  in
+  [
+    Alcotest.test_case "print-parse-roundtrip" `Quick (fun () ->
+        List.iter check
+          [
+            Ops.gemm ~m:8 ~n:8 ~k:8 ();
+            Ops.conv2d ~stride:2 ~n:2 ~c:3 ~k:4 ~p:3 ~q:3 ~r:2 ~s:2 ();
+            Ops.depthwise_conv2d ~n:2 ~c:3 ~p:3 ~q:3 ~r:2 ~s:2 ();
+            Ops.scan ~n:2 ~len:5 ();
+            Ops.maxpool2d ~n:1 ~c:2 ~p:2 ~q:2 ~r:2 ~s:2 ();
+            Ops.variance ~rows:4 ~cols:3 ();
+            Ops.capsule_conv2d ~n:1 ~c:2 ~k:2 ~p:2 ~q:2 ~r:2 ~s:2 ~cap:2 ();
+          ]);
+    Alcotest.test_case "roundtrip-suite" `Quick (fun () ->
+        (* every operator of the evaluation suite survives the text form *)
+        List.iter
+          (fun (_, op) -> check op)
+          (Amos_workloads.Suites.operator_suite ~batch:2));
+  ]
+
+let suites = suites @ [ ("dsl.roundtrip", roundtrip_tests) ]
+
+let intrinsic_dsl_tests =
+  [
+    Alcotest.test_case "wmma-from-text" `Quick (fun () ->
+        match
+          Amos.Intrinsic.of_dsl ~name:"my_mma"
+            "for {i1:16, i2:16, r1:16r}:\n\
+             Dst[i1, i2] += Src1[i1, r1] * Src2[r1, i2]"
+        with
+        | Error m -> Alcotest.fail m
+        | Ok intr ->
+            let z = Amos.Compute_abs.access_matrix intr.Amos.Intrinsic.compute in
+            let expected =
+              Bin_matrix.of_int_lists [ [ 1; 1; 0 ]; [ 1; 0; 1 ]; [ 0; 1; 1 ] ]
+            in
+            Alcotest.(check bool) "Z matches wmma" true
+              (Bin_matrix.equal z expected);
+            (* the text-defined intrinsic behaves exactly like the
+               built-in: same C2D mapping count *)
+            let op = Ops.conv2d ~n:2 ~c:4 ~k:4 ~p:4 ~q:4 ~r:3 ~s:3 () in
+            Alcotest.(check int) "35 mappings" 35
+              (Amos.Mapping_gen.count op intr));
+    Alcotest.test_case "scalar-operand" `Quick (fun () ->
+        match
+          Amos.Intrinsic.of_dsl ~name:"axpyish"
+            "for {i1:64}: Dst[i1] += Src1[i1] * Alpha[0]"
+        with
+        | Error m -> Alcotest.fail m
+        | Ok intr ->
+            let src2 = List.nth intr.Amos.Intrinsic.compute.Amos.Compute_abs.srcs 1 in
+            Alcotest.(check int) "no slots" 0
+              (List.length src2.Amos.Compute_abs.slots));
+    Alcotest.test_case "rejects-compound-index" `Quick (fun () ->
+        match
+          Amos.Intrinsic.of_dsl ~name:"bad"
+            "for {i1:8} for {r1:4r}: Dst[i1] += Src1[i1 + r1] * Src2[r1]"
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    Alcotest.test_case "rejects-non-mac" `Quick (fun () ->
+        match
+          Amos.Intrinsic.of_dsl ~name:"bad" "for {i1:8}: Dst[i1] max= Src1[i1]"
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    Alcotest.test_case "text-intrinsic-verifies-functionally" `Quick (fun () ->
+        match
+          Amos.Intrinsic.of_dsl ~name:"toyish" ~issue_cycles:1. ~latency_cycles:4.
+            "for {i1:2, i2:2, r1:2r}: Dst[i1, i2] += Src1[i1, r1] * Src2[r1, i2]"
+        with
+        | Error m -> Alcotest.fail m
+        | Ok intr ->
+            let accel =
+              let base = Amos.Accelerator.v100 () in
+              { base with Amos.Accelerator.intrinsics = [ intr ] }
+            in
+            let op = Ops.conv2d ~n:2 ~c:2 ~k:3 ~p:3 ~q:3 ~r:2 ~s:2 () in
+            let rng = Amos_tensor.Rng.create 66 in
+            List.iteri
+              (fun i m ->
+                if i mod 7 = 0 then
+                  Alcotest.(check bool) "verifies" true
+                    (Amos.Compiler.verify ~rng accel m (Amos.Schedule.default m)))
+              (Amos.Compiler.mappings accel op));
+  ]
+
+let suites = suites @ [ ("dsl.intrinsic", intrinsic_dsl_tests) ]

@@ -1,0 +1,188 @@
+open Amos_ir
+open Amos
+
+let compute_abs_tests =
+  [
+    Alcotest.test_case "mma-access-matrix" `Quick (fun () ->
+        (* Z of Fig 4: rows Dst/Src1/Src2, cols i1 i2 r1 *)
+        let intr = Intrinsic.mma ~m:2 ~n:2 ~k:2 () in
+        let z = Compute_abs.access_matrix intr.Intrinsic.compute in
+        let expected =
+          Bin_matrix.of_int_lists [ [ 1; 1; 0 ]; [ 1; 0; 1 ]; [ 0; 1; 1 ] ]
+        in
+        Alcotest.(check bool) "matches Fig 4 Z" true (Bin_matrix.equal z expected));
+    Alcotest.test_case "rejects-foreign-slot" `Quick (fun () ->
+        let i = Iter.create "i" 4 and j = Iter.create "j" 4 in
+        match
+          Compute_abs.create ~iters:[ i ]
+            ~dst:(Compute_abs.operand "Dst" [ j ])
+            ~srcs:[]
+        with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "rejects-reduction-dst" `Quick (fun () ->
+        let r = Iter.reduction "r" 4 in
+        match
+          Compute_abs.create ~iters:[ r ]
+            ~dst:(Compute_abs.operand "Dst" [ r ])
+            ~srcs:[]
+        with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "problem-size" `Quick (fun () ->
+        let intr = Intrinsic.wmma_16x16x16 () in
+        let sizes = List.map snd (Compute_abs.problem_size intr.Intrinsic.compute) in
+        Alcotest.(check (list int)) "16x16x16" [ 16; 16; 16 ] sizes);
+  ]
+
+let memory_abs_tests =
+  [
+    Alcotest.test_case "standard-scopes" `Quick (fun () ->
+        let m = Memory_abs.standard ~srcs:[ "Src1"; "Src2" ] ~dst:"Dst" in
+        Alcotest.(check int) "3 transfers" 3 (List.length m);
+        Alcotest.(check string) "src from shared" "shared"
+          (Scope.name (Memory_abs.load_scope m "Src1")));
+    Alcotest.test_case "unknown-operand" `Quick (fun () ->
+        let m = Memory_abs.standard ~srcs:[ "a" ] ~dst:"d" in
+        match Memory_abs.load_scope m "zzz" with
+        | _ -> Alcotest.fail "expected Not_found"
+        | exception Not_found -> ());
+  ]
+
+let intrinsic_tests =
+  [
+    Alcotest.test_case "flops-per-call" `Quick (fun () ->
+        let intr = Intrinsic.wmma_16x16x16 () in
+        Alcotest.(check (float 0.1)) "2*16^3" 8192. (Intrinsic.flops_per_call intr));
+    Alcotest.test_case "vnni-shape" `Quick (fun () ->
+        let intr = Intrinsic.avx512_vnni () in
+        let sizes = List.map snd (Compute_abs.problem_size intr.Intrinsic.compute) in
+        Alcotest.(check (list int)) "16 lanes x 4" [ 16; 4 ] sizes);
+    Alcotest.test_case "axpy-scalar-operand" `Quick (fun () ->
+        let intr = Intrinsic.axpy_unit () in
+        let src2 = List.nth intr.Intrinsic.compute.Compute_abs.srcs 1 in
+        Alcotest.(check int) "no slots" 0 (List.length src2.Compute_abs.slots));
+    Alcotest.test_case "all-presets-have-memory-abs" `Quick (fun () ->
+        List.iter
+          (fun intr ->
+            Alcotest.(check bool)
+              (intr.Intrinsic.name ^ " memory")
+              true
+              (List.length intr.Intrinsic.memory = 3))
+          [
+            Intrinsic.wmma_16x16x16 (); Intrinsic.toy_mma_2x2x2 ();
+            Intrinsic.avx512_vnni (); Intrinsic.mali_dot4 ();
+            Intrinsic.axpy_unit (); Intrinsic.gemv_unit ();
+            Intrinsic.conv_unit ();
+          ]);
+  ]
+
+let accelerator_tests =
+  [
+    Alcotest.test_case "presets" `Quick (fun () ->
+        List.iter
+          (fun accel ->
+            Alcotest.(check bool)
+              (accel.Accelerator.name ^ " has intrinsic")
+              true
+              (List.length accel.Accelerator.intrinsics >= 1))
+          [
+            Accelerator.v100 (); Accelerator.a100 (); Accelerator.avx512_cpu ();
+            Accelerator.mali_g76 (); Accelerator.virtual_axpy ();
+            Accelerator.virtual_gemv (); Accelerator.virtual_conv ();
+          ]);
+    Alcotest.test_case "a100-larger-shared" `Quick (fun () ->
+        let v = (Accelerator.v100 ()).Accelerator.config in
+        let a = (Accelerator.a100 ()).Accelerator.config in
+        Alcotest.(check bool) "A100 > V100 shared" true
+          Spatial_sim.Machine_config.(
+            a.shared_capacity_bytes > v.shared_capacity_bytes));
+  ]
+
+let mac_view_tests =
+  [
+    Alcotest.test_case "mul-add-two-tensors" `Quick (fun () ->
+        let op = Amos_workloads.Ops.gemm ~m:2 ~n:2 ~k:2 () in
+        match Mac_view.of_operator op with
+        | Some v -> Alcotest.(check int) "2 srcs" 2 (List.length v.Mac_view.srcs)
+        | None -> Alcotest.fail "expected a view");
+    Alcotest.test_case "add-acc-gets-ones" `Quick (fun () ->
+        let op = Amos_workloads.Ops.mean ~rows:4 ~cols:4 () in
+        match Mac_view.of_operator op with
+        | Some { Mac_view.srcs = [ _; Mac_view.Ones iters ]; _ } ->
+            Alcotest.(check int) "ones over reduction" 1 (List.length iters)
+        | Some _ | None -> Alcotest.fail "expected ones source");
+    Alcotest.test_case "variance-gets-diff-sq" `Quick (fun () ->
+        let op = Amos_workloads.Ops.variance ~rows:4 ~cols:4 () in
+        match Mac_view.of_operator op with
+        | Some { Mac_view.srcs = [ Mac_view.Diff_sq _; Mac_view.Ones _ ]; _ } -> ()
+        | Some _ | None -> Alcotest.fail "expected diff_sq + ones");
+    Alcotest.test_case "maxpool-not-mac" `Quick (fun () ->
+        let op = Amos_workloads.Ops.maxpool2d ~n:1 ~c:1 ~p:2 ~q:2 ~r:2 ~s:2 () in
+        Alcotest.(check bool) "no view" true (Mac_view.of_operator op = None));
+  ]
+
+let ir_nodes_tests =
+  [
+    Alcotest.test_case "lower-produces-table4-nodes" `Quick (fun () ->
+        let op = Amos_workloads.Ops.gemm ~m:32 ~n:32 ~k:32 () in
+        let intr = Intrinsic.wmma_16x16x16 () in
+        match Mapping_gen.generate_op op intr with
+        | m :: _ ->
+            let nodes = Ir_nodes.lower (Mapping.make m) in
+            let computes =
+              List.filter (function Ir_nodes.Compute _ -> true | Ir_nodes.Memory _ -> false) nodes
+            in
+            let memories =
+              List.filter (function Ir_nodes.Memory _ -> true | Ir_nodes.Compute _ -> false) nodes
+            in
+            Alcotest.(check int) "1 compute node" 1 (List.length computes);
+            Alcotest.(check int) "2 loads + 1 store" 3 (List.length memories)
+        | [] -> Alcotest.fail "no mapping");
+  ]
+
+let suites =
+  [
+    ("hwabs.compute_abs", compute_abs_tests);
+    ("hwabs.memory_abs", memory_abs_tests);
+    ("hwabs.intrinsic", intrinsic_tests);
+    ("hwabs.accelerator", accelerator_tests);
+    ("hwabs.mac_view", mac_view_tests);
+    ("hwabs.ir_nodes", ir_nodes_tests);
+  ]
+
+let ascend_tests =
+  [
+    Alcotest.test_case "ascend-exposes-two-intrinsics" `Quick (fun () ->
+        let a = Accelerator.ascend_like () in
+        Alcotest.(check int) "cube + vector" 2
+          (List.length a.Accelerator.intrinsics));
+    Alcotest.test_case "cube-and-vector-split-the-work" `Quick (fun () ->
+        (* matmul-like ops map to the cube, elementwise-reduction ops have
+           valid mappings only through ones-augmentation; the vector unit
+           picks up AXPY-shaped work the cube handles poorly *)
+        let a = Accelerator.ascend_like () in
+        let gemm = Amos_workloads.Ops.gemm ~m:256 ~n:256 ~k:256 () in
+        let cube_mappings =
+          Mapping_gen.generate_op gemm (Intrinsic.ascend_cube ())
+        in
+        Alcotest.(check bool) "gemm on cube" true (cube_mappings <> []);
+        let mean = Amos_workloads.Ops.mean ~rows:64 ~cols:2048 () in
+        let vec_mappings =
+          Mapping_gen.generate_op mean (Intrinsic.ascend_vector ())
+        in
+        Alcotest.(check bool) "mean on vector unit" true (vec_mappings <> []);
+        Alcotest.(check bool) "union space is larger" true
+          (List.length (Compiler.mappings a gemm) >= List.length cube_mappings));
+    Alcotest.test_case "ascend-tunes-and-verifies" `Quick (fun () ->
+        let a = Accelerator.ascend_like () in
+        let op = Amos_workloads.Ops.gemm ~m:7 ~n:5 ~k:6 () in
+        let rng = Amos_tensor.Rng.create 9 in
+        List.iter
+          (fun m ->
+            Alcotest.(check bool) "verifies" true
+              (Compiler.verify ~rng a m (Schedule.default m)))
+          (Compiler.mappings a op));
+  ]
+
+let suites = suites @ [ ("hwabs.ascend", ascend_tests) ]

@@ -1,0 +1,326 @@
+open Amos_ir
+
+let fresh_iters () =
+  let n = Iter.create "n" 4 in
+  let p = Iter.create "p" 2 in
+  let c = Iter.reduction "c" 3 in
+  (n, p, c)
+
+let affine_tests =
+  let n, p, _ = fresh_iters () in
+  let env = function
+    | it when Iter.equal it n -> 3
+    | it when Iter.equal it p -> 1
+    | _ -> 0
+  in
+  [
+    Alcotest.test_case "eval" `Quick (fun () ->
+        let e = Affine.(add (scaled n 2) (add (of_iter p) (const 5))) in
+        Alcotest.(check int) "2n+p+5" 12 (Affine.eval env e));
+    Alcotest.test_case "coeff-merge" `Quick (fun () ->
+        let e = Affine.(add (of_iter n) (of_iter n)) in
+        Alcotest.(check int) "n+n" 2 (Affine.coeff e n));
+    Alcotest.test_case "cancel" `Quick (fun () ->
+        let e = Affine.(sub (of_iter n) (of_iter n)) in
+        Alcotest.(check bool) "is_const" true (Affine.is_const e));
+    Alcotest.test_case "max-value" `Quick (fun () ->
+        let e = Affine.(add (of_iter n) (of_iter p)) in
+        Alcotest.(check int) "max" 4 (Affine.max_value e));
+    Alcotest.test_case "min-value-negative" `Quick (fun () ->
+        let e = Affine.(sub (const 0) (of_iter n)) in
+        Alcotest.(check int) "min" (-3) (Affine.min_value e));
+    Alcotest.test_case "substitute" `Quick (fun () ->
+        let e = Affine.(add (scaled n 2) (of_iter p)) in
+        let e' =
+          Affine.substitute
+            (fun it -> if Iter.equal it n then Some (Affine.const 5) else None)
+            e
+        in
+        Alcotest.(check int) "subst" 11 (Affine.eval env e'));
+    Alcotest.test_case "scaled-zero-is-const" `Quick (fun () ->
+        Alcotest.(check bool) "0*n" true (Affine.is_const (Affine.scaled n 0)));
+  ]
+
+let affine_props =
+  let n, p, c = fresh_iters () in
+  let iters = [| n; p; c |] in
+  let gen_affine =
+    QCheck.Gen.(
+      map2
+        (fun coeffs k ->
+          let terms =
+            List.mapi (fun i co -> Affine.scaled iters.(i) co) coeffs
+          in
+          Affine.add (Affine.sum terms) (Affine.const k))
+        (list_size (return 3) (int_range (-5) 5))
+        (int_range (-10) 10))
+  in
+  let gen_env =
+    QCheck.Gen.(
+      map
+        (fun l ->
+          let arr = Array.of_list l in
+          fun it ->
+            if Iter.equal it n then arr.(0)
+            else if Iter.equal it p then arr.(1)
+            else arr.(2))
+        (list_size (return 3) (int_range 0 10)))
+  in
+  let arb = QCheck.make QCheck.Gen.(pair gen_affine (pair gen_affine gen_env)) in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"affine-add-linear" ~count:200 arb
+         (fun (a, (b, env)) ->
+           Affine.eval env (Affine.add a b)
+           = Affine.eval env a + Affine.eval env b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"affine-sub-linear" ~count:200 arb
+         (fun (a, (b, env)) ->
+           Affine.eval env (Affine.sub a b)
+           = Affine.eval env a - Affine.eval env b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"affine-mul-const" ~count:200 arb
+         (fun (a, (_, env)) ->
+           Affine.eval env (Affine.mul_const 3 a) = 3 * Affine.eval env a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"affine-bounds" ~count:200 arb
+         (fun (a, (_, env)) ->
+           (* env values are within iteration domains by construction of
+              the generator only when <= extent-1; clamp *)
+           let env it =
+             min (env it) (it.Iter.extent - 1)
+           in
+           let v = Affine.eval env a in
+           Affine.min_value a <= v && v <= Affine.max_value a));
+  ]
+
+let predicate_tests =
+  let n, p, _ = fresh_iters () in
+  let env v1 v2 = function
+    | it when Iter.equal it n -> v1
+    | it when Iter.equal it p -> v2
+    | _ -> 0
+  in
+  [
+    Alcotest.test_case "le" `Quick (fun () ->
+        let pr = Predicate.le (Affine.of_iter p) (Affine.of_iter n) in
+        Alcotest.(check bool) "1<=3" true (Predicate.holds (env 3 1) pr);
+        Alcotest.(check bool) "3<=1 fails" false (Predicate.holds (env 1 3) pr));
+    Alcotest.test_case "divisible" `Quick (fun () ->
+        let pr = Predicate.divisible (Affine.of_iter n) 2 in
+        Alcotest.(check bool) "2|2" true (Predicate.holds (env 2 0) pr);
+        Alcotest.(check bool) "2|3" false (Predicate.holds (env 3 0) pr));
+    Alcotest.test_case "divisible-invalid" `Quick (fun () ->
+        Alcotest.check_raises "d=0" (Invalid_argument
+          "Predicate.divisible: divisor must be positive") (fun () ->
+            ignore (Predicate.divisible (Affine.of_iter n) 0)));
+  ]
+
+let bin_matrix_tests =
+  [
+    Alcotest.test_case "mul-basic" `Quick (fun () ->
+        let a = Bin_matrix.of_int_lists [ [ 1; 0 ]; [ 1; 1 ] ] in
+        let b = Bin_matrix.of_int_lists [ [ 0; 1 ]; [ 1; 0 ] ] in
+        let c = Bin_matrix.mul a b in
+        Alcotest.(check bool) "c00" false (Bin_matrix.get c 0 0);
+        Alcotest.(check bool) "c01" true (Bin_matrix.get c 0 1);
+        Alcotest.(check bool) "c10" true (Bin_matrix.get c 1 0);
+        Alcotest.(check bool) "c11" true (Bin_matrix.get c 1 1));
+    Alcotest.test_case "mul-mismatch" `Quick (fun () ->
+        let a = Bin_matrix.of_int_lists [ [ 1; 0 ] ] in
+        let b = Bin_matrix.of_int_lists [ [ 1; 0 ] ] in
+        match Bin_matrix.mul a b with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "transpose" `Quick (fun () ->
+        let a = Bin_matrix.of_int_lists [ [ 1; 0; 1 ]; [ 0; 1; 0 ] ] in
+        let t = Bin_matrix.transpose a in
+        Alcotest.(check int) "rows" 3 (Bin_matrix.rows t);
+        Alcotest.(check bool) "t20" true (Bin_matrix.get t 2 0));
+    Alcotest.test_case "ragged-rejected" `Quick (fun () ->
+        match Bin_matrix.of_int_lists [ [ 1 ]; [ 1; 0 ] ] with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+  ]
+
+let bin_matrix_props =
+  let gen =
+    QCheck.Gen.(
+      let dims = int_range 1 5 in
+      dims >>= fun r ->
+      dims >>= fun c ->
+      map
+        (fun bits -> Bin_matrix.of_lists bits)
+        (list_size (return r) (list_size (return c) bool)))
+  in
+  let naive_mul a b =
+    let c = Bin_matrix.create ~rows:(Bin_matrix.rows a) ~cols:(Bin_matrix.cols b) in
+    for i = 0 to Bin_matrix.rows a - 1 do
+      for j = 0 to Bin_matrix.cols b - 1 do
+        let v = ref false in
+        for k = 0 to Bin_matrix.cols a - 1 do
+          if Bin_matrix.get a i k && Bin_matrix.get b k j then v := true
+        done;
+        Bin_matrix.set c i j !v
+      done
+    done;
+    c
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"binmul-matches-naive" ~count:100
+         (QCheck.make QCheck.Gen.(pair gen gen))
+         (fun (a, b) ->
+           QCheck.assume (Bin_matrix.cols a = Bin_matrix.rows b);
+           Bin_matrix.equal (Bin_matrix.mul a b) (naive_mul a b)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"transpose-involutive" ~count:100
+         (QCheck.make gen) (fun a ->
+           Bin_matrix.equal a (Bin_matrix.transpose (Bin_matrix.transpose a))));
+  ]
+
+let operator_tests =
+  [
+    Alcotest.test_case "rejects-oob-index" `Quick (fun () ->
+        let i = Iter.create "i" 8 in
+        let out = Tensor_decl.create "o" [ 8 ] in
+        let src = Tensor_decl.create "x" [ 4 ] in
+        match
+          Operator.create ~name:"bad" ~iters:[ i ]
+            ~output:(Operator.access out [ Affine.of_iter i ])
+            ~inputs:[ Operator.access src [ Affine.of_iter i ] ]
+            ~arith:Operator.Add_acc ()
+        with
+        | _ -> Alcotest.fail "expected bounds failure"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "rejects-rank-mismatch" `Quick (fun () ->
+        let t = Tensor_decl.create "x" [ 2; 2 ] in
+        match Operator.access t [ Affine.const 0 ] with
+        | _ -> Alcotest.fail "expected rank failure"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "rejects-reduction-in-output" `Quick (fun () ->
+        let i = Iter.reduction "i" 4 in
+        let out = Tensor_decl.create "o" [ 4 ] in
+        match
+          Operator.create ~name:"bad" ~iters:[ i ]
+            ~output:(Operator.access out [ Affine.of_iter i ])
+            ~inputs:[ Operator.access out [ Affine.of_iter i ] ]
+            ~arith:Operator.Add_acc ()
+        with
+        | _ -> Alcotest.fail "expected reduction-in-output failure"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "conv2d-independence" `Quick (fun () ->
+        let op = Amos_workloads.Ops.conv2d ~n:2 ~c:4 ~k:4 ~p:4 ~q:4 ~r:3 ~s:3 () in
+        let by_name name =
+          List.find (fun (it : Iter.t) -> it.Iter.name = name) op.Operator.iters
+        in
+        Alcotest.(check bool) "c independent" true
+          (Operator.independent_in_sources op (by_name "c"));
+        Alcotest.(check bool) "r not independent" false
+          (Operator.independent_in_sources op (by_name "r"));
+        Alcotest.(check bool) "k independent" true
+          (Operator.independent_in_sources op (by_name "k")));
+    Alcotest.test_case "flops" `Quick (fun () ->
+        let op = Amos_workloads.Ops.gemm ~m:4 ~n:4 ~k:4 () in
+        Alcotest.(check (float 0.01)) "2mnk" 128. (Operator.flops op));
+  ]
+
+let access_matrix_tests =
+  [
+    Alcotest.test_case "fig4-conv2d" `Quick (fun () ->
+        (* Fig 4: rows out/image/weight, cols n k p q c r s *)
+        let op = Amos_workloads.Ops.conv2d ~n:2 ~c:2 ~k:2 ~p:2 ~q:2 ~r:2 ~s:2 () in
+        let x = Access_matrix.of_operator op in
+        let expected =
+          Bin_matrix.of_int_lists
+            [
+              [ 1; 1; 1; 1; 0; 0; 0 ] (* out *);
+              [ 1; 0; 1; 1; 1; 1; 1 ] (* image *);
+              [ 0; 1; 0; 0; 1; 1; 1 ] (* weight *);
+            ]
+        in
+        Alcotest.(check bool) "matches Fig 4" true (Bin_matrix.equal x expected));
+    Alcotest.test_case "restrict-columns" `Quick (fun () ->
+        let m = Bin_matrix.of_int_lists [ [ 1; 0; 1 ]; [ 0; 1; 1 ] ] in
+        let r = Access_matrix.restrict_columns m ~keep:[| true; false; true |] in
+        Alcotest.(check int) "cols" 2 (Bin_matrix.cols r);
+        Alcotest.(check bool) "r01" true (Bin_matrix.get r 0 1));
+  ]
+
+let suites =
+  [
+    ("ir.affine", affine_tests @ affine_props);
+    ("ir.predicate", predicate_tests);
+    ("ir.bin_matrix", bin_matrix_tests @ bin_matrix_props);
+    ("ir.operator", operator_tests);
+    ("ir.access_matrix", access_matrix_tests);
+  ]
+
+let footprint_tests =
+  [
+    Alcotest.test_case "window-overlap-smaller-than-product" `Quick (fun () ->
+        (* image access p + r with p covering 4 and r covering 3 touches
+           6 elements, not 12 *)
+        let p = Iter.create "p" 8 and r = Iter.reduction "r" 3 in
+        let t = Tensor_decl.create "img" [ 16 ] in
+        let acc = Operator.access t [ Affine.add (Affine.of_iter p) (Affine.of_iter r) ] in
+        let cover it = if Iter.equal it p then 4 else 3 in
+        Alcotest.(check int) "span" 6 (Footprint.access_elems acc ~cover));
+    Alcotest.test_case "strided-span" `Quick (fun () ->
+        let p = Iter.create "p" 4 in
+        let t = Tensor_decl.create "x" [ 8 ] in
+        let acc = Operator.access t [ Affine.scaled p 2 ] in
+        Alcotest.(check int) "2*(3)+1" 7
+          (Footprint.access_elems acc ~cover:(fun _ -> 4)));
+    Alcotest.test_case "cover-clamped-to-extent" `Quick (fun () ->
+        let p = Iter.create "p" 3 in
+        let t = Tensor_decl.create "x" [ 3 ] in
+        let acc = Operator.access t [ Affine.of_iter p ] in
+        Alcotest.(check int) "clamped" 3
+          (Footprint.access_elems acc ~cover:(fun _ -> 100)));
+    Alcotest.test_case "multi-dim-product" `Quick (fun () ->
+        let a = Iter.create "a" 4 and b = Iter.create "b" 4 in
+        let t = Tensor_decl.create "x" [ 4; 4 ] in
+        let acc = Operator.access t [ Affine.of_iter a; Affine.of_iter b ] in
+        let cover it = if Iter.equal it a then 2 else 3 in
+        Alcotest.(check int) "2*3" 6 (Footprint.access_elems acc ~cover));
+    Alcotest.test_case "zero-cover-treated-as-one" `Quick (fun () ->
+        let a = Iter.create "a" 4 in
+        Alcotest.(check int) "1" 1
+          (Footprint.affine_span (Affine.of_iter a) ~cover:(fun _ -> 0)));
+  ]
+
+let suites = suites @ [ ("ir.footprint", footprint_tests) ]
+
+let footprint_exact_props =
+  let p = Iter.create "p" 6 and r = Iter.reduction "r" 3 in
+  let t = Tensor_decl.create "img" [ 16; 8 ] in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"bbox-upper-bounds-exact" ~count:100
+         (QCheck.make
+            QCheck.Gen.(pair (int_range 1 6) (pair (int_range 1 3) (int_range 1 3))))
+         (fun (cp, (cr, coeff)) ->
+           let acc =
+             Operator.access t
+               [
+                 Affine.add (Affine.scaled p coeff) (Affine.of_iter r);
+                 Affine.of_iter r;
+               ]
+           in
+           let cover it = if Iter.equal it p then cp else cr in
+           Footprint.access_elems acc ~cover
+           >= Footprint.exact_elems acc ~cover));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"bbox-exact-when-independent" ~count:50
+         (QCheck.make QCheck.Gen.(pair (int_range 1 6) (int_range 1 3)))
+         (fun (cp, cr) ->
+           let acc =
+             Operator.access t [ Affine.of_iter p; Affine.of_iter r ]
+           in
+           let cover it = if Iter.equal it p then cp else cr in
+           Footprint.access_elems acc ~cover
+           = Footprint.exact_elems acc ~cover));
+  ]
+
+let suites = suites @ [ ("ir.footprint_exact", footprint_exact_props) ]

@@ -1,0 +1,173 @@
+(* Physical-mapping invariants: mixed-radix decode, utilization,
+   call counts, and fused-dimension coverage. *)
+
+open Amos_ir
+open Amos
+module Ops = Amos_workloads.Ops
+
+let all_c2d_mappings () =
+  let op = Ops.conv2d ~n:2 ~c:3 ~k:4 ~p:3 ~q:3 ~r:2 ~s:2 () in
+  let intr = Intrinsic.toy_mma_2x2x2 () in
+  (op, List.map Mapping.make (Mapping_gen.generate_op op intr))
+
+let decode_tests =
+  [
+    Alcotest.test_case "decode-bijective-in-range" `Quick (fun () ->
+        let _, mappings = all_c2d_mappings () in
+        List.iter
+          (fun (m : Mapping.t) ->
+            Array.iter
+              (fun (fd : Mapping.fused_dim) ->
+                let seen = Hashtbl.create 16 in
+                for g = 0 to fd.Mapping.fused_extent - 1 do
+                  match Mapping.decode_fused fd g with
+                  | None -> Alcotest.failf "g=%d unexpectedly padded" g
+                  | Some binding ->
+                      let key =
+                        List.map (fun ((it : Iter.t), v) -> (it.Iter.id, v)) binding
+                      in
+                      if Hashtbl.mem seen key then
+                        Alcotest.failf "decode collision at g=%d" g;
+                      Hashtbl.add seen key ();
+                      (* every component within its extent *)
+                      List.iter
+                        (fun ((it : Iter.t), v) ->
+                          if v < 0 || v >= it.Iter.extent then
+                            Alcotest.failf "component %s=%d out of range"
+                              it.Iter.name v)
+                        binding
+                done)
+              m.Mapping.fused)
+          mappings);
+    Alcotest.test_case "decode-pads-beyond-extent" `Quick (fun () ->
+        let _, mappings = all_c2d_mappings () in
+        List.iter
+          (fun (m : Mapping.t) ->
+            Array.iter
+              (fun (fd : Mapping.fused_dim) ->
+                Alcotest.(check bool) "padded" true
+                  (Mapping.decode_fused fd fd.Mapping.fused_extent = None))
+              m.Mapping.fused)
+          mappings);
+    Alcotest.test_case "decode-roundtrips-fused-expr" `Quick (fun () ->
+        (* decoding g and re-fusing via mixed radix gives back g *)
+        let _, mappings = all_c2d_mappings () in
+        List.iter
+          (fun (m : Mapping.t) ->
+            Array.iter
+              (fun (fd : Mapping.fused_dim) ->
+                for g = 0 to fd.Mapping.fused_extent - 1 do
+                  match Mapping.decode_fused fd g with
+                  | None -> ()
+                  | Some binding ->
+                      let refused =
+                        List.fold_left
+                          (fun acc ((it : Iter.t), v) ->
+                            (acc * it.Iter.extent) + v)
+                          0 binding
+                      in
+                      Alcotest.(check int) "roundtrip" g refused
+                done)
+              m.Mapping.fused)
+          mappings);
+  ]
+
+let structure_tests =
+  [
+    Alcotest.test_case "utilization-in-unit-interval" `Quick (fun () ->
+        let _, mappings = all_c2d_mappings () in
+        List.iter
+          (fun (m : Mapping.t) ->
+            Alcotest.(check bool) "0 < u <= 1" true
+              (m.Mapping.utilization > 0. && m.Mapping.utilization <= 1.))
+          mappings);
+    Alcotest.test_case "calls-match-tiles-times-outer" `Quick (fun () ->
+        let _, mappings = all_c2d_mappings () in
+        List.iter
+          (fun (m : Mapping.t) ->
+            let tiles =
+              Array.fold_left
+                (fun acc (fd : Mapping.fused_dim) -> acc * fd.Mapping.tiles)
+                1 m.Mapping.fused
+            in
+            let outer =
+              List.fold_left
+                (fun acc (it : Iter.t) -> acc * it.Iter.extent)
+                1 m.Mapping.outer_sw
+            in
+            Alcotest.(check int) "calls" (tiles * outer)
+              (Mapping.intrinsic_calls m))
+          mappings);
+    Alcotest.test_case "iters-partitioned" `Quick (fun () ->
+        (* every software iteration appears in exactly one fused dim or in
+           the outer list, never both *)
+        let op, mappings = all_c2d_mappings () in
+        List.iter
+          (fun (m : Mapping.t) ->
+            List.iter
+              (fun (it : Iter.t) ->
+                let in_fused =
+                  Array.fold_left
+                    (fun acc (fd : Mapping.fused_dim) ->
+                      acc
+                      + List.length
+                          (List.filter (Iter.equal it) fd.Mapping.sw_iters))
+                    0 m.Mapping.fused
+                in
+                let in_outer =
+                  List.length (List.filter (Iter.equal it) m.Mapping.outer_sw)
+                in
+                Alcotest.(check int) ("once: " ^ it.Iter.name) 1
+                  (in_fused + in_outer))
+              op.Operator.iters)
+          mappings);
+    Alcotest.test_case "perfect-fit-has-full-utilization" `Quick (fun () ->
+        (* 16x16x16 gemm on 16x16x16 mma: no padding at all *)
+        let op = Ops.gemm ~m:16 ~n:16 ~k:16 () in
+        let intr = Intrinsic.wmma_16x16x16 () in
+        match Mapping_gen.generate_op op intr with
+        | matching :: _ ->
+            let m = Mapping.make matching in
+            Alcotest.(check (float 1e-9)) "util" 1.0 m.Mapping.utilization;
+            Alcotest.(check int) "one call" 1 (Mapping.intrinsic_calls m)
+        | [] -> Alcotest.fail "no mapping");
+    Alcotest.test_case "gemv-wastes-one-dimension" `Quick (fun () ->
+        let op = Ops.gemv ~m:16 ~k:16 () in
+        let intr = Intrinsic.wmma_16x16x16 () in
+        match Mapping_gen.generate_op op intr with
+        | matching :: _ ->
+            let m = Mapping.make matching in
+            Alcotest.(check (float 1e-9)) "util = 1/16" (1. /. 16.)
+              m.Mapping.utilization
+        | [] -> Alcotest.fail "no mapping");
+  ]
+
+let memory_map_consistency =
+  [
+    Alcotest.test_case "memory-maps-exist-for-all-mappings" `Quick (fun () ->
+        let _, mappings = all_c2d_mappings () in
+        List.iter
+          (fun m ->
+            let maps = Memory_map.of_mapping m in
+            Alcotest.(check int) "2 srcs + dst" 3 (List.length maps);
+            List.iter
+              (fun (om : Memory_map.operand_map) ->
+                Alcotest.(check bool) "positive buffer" true
+                  (om.Memory_map.buffer_elems > 0);
+                (* strides strictly decreasing (row-major) *)
+                let rec decreasing = function
+                  | (_, a) :: ((_, b) :: _ as rest) -> a > b && decreasing rest
+                  | [ _ ] | [] -> true
+                in
+                Alcotest.(check bool) "strides decrease" true
+                  (decreasing om.Memory_map.strides))
+              maps)
+          mappings);
+  ]
+
+let suites =
+  [
+    ("mapping2.decode", decode_tests);
+    ("mapping2.structure", structure_tests);
+    ("mapping2.memory", memory_map_consistency);
+  ]

@@ -1,0 +1,116 @@
+open Amos_ir
+open Amos
+module Ops = Amos_workloads.Ops
+
+(* the Fig 3 running example: conv2d(n=1,c=1,k=4,p=2,q=2,r=3,s=3) mapped
+   n,p,q -> i1; k -> i2; c,r,s -> r1 on the 2x2x2 toy Tensor Core *)
+let fig3_mapping () =
+  let op = Ops.conv2d ~n:1 ~c:1 ~k:4 ~p:2 ~q:2 ~r:3 ~s:3 () in
+  let intr = Intrinsic.toy_mma_2x2x2 () in
+  let view = Option.get (Mac_view.of_operator op) in
+  let it i = List.nth intr.Intrinsic.compute.Compute_abs.iters i in
+  let assign =
+    Array.of_list
+      (List.map
+         (fun (iter : Iter.t) ->
+           match iter.Iter.name with
+           | "n" | "p" | "q" -> Some (it 0)
+           | "k" -> Some (it 1)
+           | "c" | "r" | "s" -> Some (it 2)
+           | _ -> None)
+         op.Operator.iters)
+  in
+  Mapping.make (Matching.create ~view ~intr ~src_perm:[| 0; 1 |] ~assign)
+
+let fig3h_tests =
+  [
+    Alcotest.test_case "image-base-address" `Quick (fun () ->
+        (* paper Fig 3h:
+           addr_a <- (n*4 + p*2 + q)/2 * 20 + (c*9 + r*3 + s)/2 * 4 *)
+        let maps = Memory_map.of_mapping (fig3_mapping ()) in
+        let src1 = List.find (fun m -> m.Memory_map.operand = "Src1") maps in
+        Alcotest.(check string) "addr_a"
+          "addr_Src1 (image) <- (n * 4 + p * 2 + q) / 2 * 20 + (c * 9 + r * 3 + s) / 2 * 4\nstride_Src1.i1 <- 2\nstride_Src1.r1 <- 1"
+          (Memory_map.to_string src1));
+    Alcotest.test_case "weight-base-address" `Quick (fun () ->
+        (* addr_b <- (c*9 + r*3 + s)/2 * 8 + k/2 * 4 *)
+        let maps = Memory_map.of_mapping (fig3_mapping ()) in
+        let src2 = List.find (fun m -> m.Memory_map.operand = "Src2") maps in
+        let env_zero _ = 0 in
+        Alcotest.(check int) "base at origin" 0
+          (Memory_map.eval env_zero src2.Memory_map.base);
+        Alcotest.(check int) "buffer elems (2x5 and 2x2 tiles)" (5 * 2 * 4)
+          src2.Memory_map.buffer_elems);
+    Alcotest.test_case "out-base-address" `Quick (fun () ->
+        (* addr_c <- (n*4 + p*2 + q)/2 * 8 + k/2 * 4 *)
+        let maps = Memory_map.of_mapping (fig3_mapping ()) in
+        let dst = List.find (fun m -> m.Memory_map.operand = "Dst") maps in
+        Alcotest.(check int) "buffer elems" (2 * 2 * 4)
+          dst.Memory_map.buffer_elems);
+    Alcotest.test_case "strides-are-problem-size" `Quick (fun () ->
+        (* Fig 3h: stride_a <- 2 (all strides equal the intrinsic extent
+           of the faster dimension, here 2, and 1 innermost) *)
+        let maps = Memory_map.of_mapping (fig3_mapping ()) in
+        List.iter
+          (fun m ->
+            match m.Memory_map.strides with
+            | [ (_, s0); (_, s1) ] ->
+                Alcotest.(check int) "outer stride" 2 s0;
+                Alcotest.(check int) "inner stride" 1 s1
+            | _ -> Alcotest.fail "expected 2 strides")
+          maps);
+  ]
+
+let packing_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"tile-packing-is-injective" ~count:30
+         (QCheck.make QCheck.Gen.(pair (int_range 1 4) (int_range 1 4)))
+         (fun (c, k) ->
+           let op = Ops.conv2d ~n:2 ~c ~k ~p:3 ~q:3 ~r:2 ~s:2 () in
+           let intr = Intrinsic.toy_mma_2x2x2 () in
+           match Mapping_gen.generate_op op intr with
+           | [] -> false
+           | matching :: _ ->
+               let m = Mapping.make matching in
+               let maps = Memory_map.of_mapping m in
+               (* distinct tile origins map to distinct, in-bounds base
+                  addresses *)
+               List.for_all
+                 (fun (om : Memory_map.operand_map) ->
+                   let seen = Hashtbl.create 64 in
+                   let ok = ref true in
+                   (* enumerate the full software domain; bases at tile
+                      granularity must stay within the staged buffer *)
+                   let iters = Array.of_list op.Operator.iters in
+                   let values = Array.make (Array.length iters) 0 in
+                   let env it =
+                     let rec find i =
+                       if Iter.equal iters.(i) it then values.(i)
+                       else find (i + 1)
+                     in
+                     find 0
+                   in
+                   let rec loop lvl =
+                     if lvl = Array.length iters then begin
+                       let b = Memory_map.eval env om.Memory_map.base in
+                       if b < 0 || b >= om.Memory_map.buffer_elems then
+                         ok := false;
+                       Hashtbl.replace seen b ()
+                     end
+                     else
+                       for v = 0 to iters.(lvl).Iter.extent - 1 do
+                         values.(lvl) <- v;
+                         loop (lvl + 1)
+                       done
+                   in
+                   loop 0;
+                   !ok)
+                 maps));
+  ]
+
+let suites =
+  [
+    ("memory_map.fig3h", fig3h_tests);
+    ("memory_map.packing", packing_props);
+  ]

@@ -1,0 +1,120 @@
+(* Remaining edge cases: pretty-printers, accessors, network shapes, and
+   CLI-adjacent helpers. *)
+
+open Amos_ir
+open Amos
+module Ops = Amos_workloads.Ops
+module Networks = Amos_workloads.Networks
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let pp_tests =
+  [
+    Alcotest.test_case "operator-pp-shows-statement" `Quick (fun () ->
+        let op = Ops.conv2d ~n:1 ~c:2 ~k:2 ~p:2 ~q:2 ~r:2 ~s:2 () in
+        let text = Format.asprintf "%a" Operator.pp op in
+        Alcotest.(check bool) "mentions accesses" true
+          (contains text "image[n, c, p + r, q + s]"));
+    Alcotest.test_case "intrinsic-pp-shows-constraints" `Quick (fun () ->
+        let text = Format.asprintf "%a" Intrinsic.pp (Intrinsic.wmma_16x16x16 ()) in
+        Alcotest.(check bool) "scalar statement" true
+          (contains text "Dst[i1, i2] = multiply-add(Src1[i1, r1], Src2[r1, i2])");
+        Alcotest.(check bool) "range constraint" true (contains text "i1 - 16 < 0");
+        Alcotest.(check bool) "memory statements" true (contains text "reg.Src1"));
+    Alcotest.test_case "predicate-pp" `Quick (fun () ->
+        let i = Iter.create "i" 4 in
+        Alcotest.(check string) "divisible" "2 | (i)"
+          (Format.asprintf "%a" Predicate.pp
+             (Predicate.divisible (Affine.of_iter i) 2)));
+    Alcotest.test_case "schedule-describe-mentions-knobs" `Quick (fun () ->
+        let op = Ops.gemm ~m:32 ~n:32 ~k:32 () in
+        let accel = Accelerator.a100 () in
+        match Compiler.mappings accel op with
+        | m :: _ ->
+            let text = Schedule.describe m (Schedule.default m) in
+            Alcotest.(check bool) "stage" true (contains text "stage=");
+            Alcotest.(check bool) "unroll" true (contains text "unroll=")
+        | [] -> Alcotest.fail "no mapping");
+  ]
+
+let accessor_tests =
+  [
+    Alcotest.test_case "bin-matrix-row-column" `Quick (fun () ->
+        let m = Bin_matrix.of_int_lists [ [ 1; 0; 1 ]; [ 0; 1; 1 ] ] in
+        Alcotest.(check (array bool)) "row 0" [| true; false; true |]
+          (Bin_matrix.row m 0);
+        Alcotest.(check (array bool)) "col 2" [| true; true |]
+          (Bin_matrix.column m 2));
+    Alcotest.test_case "bin-matrix-copy-isolates" `Quick (fun () ->
+        let m = Bin_matrix.create ~rows:2 ~cols:2 in
+        let c = Bin_matrix.copy m in
+        Bin_matrix.set c 0 0 true;
+        Alcotest.(check bool) "original untouched" false (Bin_matrix.get m 0 0));
+    Alcotest.test_case "tensor-decl-bytes" `Quick (fun () ->
+        let t = Tensor_decl.create ~dtype:Tensor_decl.F16 "x" [ 4; 4 ] in
+        Alcotest.(check int) "32 bytes" 32 (Tensor_decl.size_bytes t));
+    Alcotest.test_case "iter-pp" `Quick (fun () ->
+        Alcotest.(check string) "reduction suffix" "c:8r"
+          (Format.asprintf "%a" Iter.pp (Iter.reduction "c" 8)));
+  ]
+
+let network_shape_tests =
+  [
+    Alcotest.test_case "bert-gemm-shapes" `Quick (fun () ->
+        let net = Networks.bert_base ~batch:2 in
+        let ffn1 =
+          List.find_map
+            (fun (layer, _) ->
+              match layer with
+              | Networks.Tensor_op op when op.Operator.name = "ffn-1" -> Some op
+              | Networks.Tensor_op _ | Networks.Elementwise _ -> None)
+            net.Networks.layers
+        in
+        match ffn1 with
+        | Some op ->
+            Alcotest.(check (list int)) "out [b*seq; ffn]" [ 256; 3072 ]
+              op.Operator.output.Operator.tensor.Tensor_decl.shape
+        | None -> Alcotest.fail "ffn-1 not found");
+    Alcotest.test_case "mappable-counts-match-table2" `Quick (fun () ->
+        let accel = Accelerator.a100 () in
+        Alcotest.(check int) "shufflenet 50" 50
+          (Compiler.mappable_count accel (Networks.shufflenet ~batch:1));
+        Alcotest.(check int) "resnet50 54" 54
+          (Compiler.mappable_count accel (Networks.resnet50 ~batch:1));
+        Alcotest.(check int) "mobilenet 29" 29
+          (Compiler.mappable_count accel (Networks.mobilenet_v1 ~batch:1)));
+    Alcotest.test_case "xla-zero-on-shufflenet-and-milstm" `Quick (fun () ->
+        Alcotest.(check int) "shufflenet" 0
+          (Amos_baselines.Pattern_xla.mapped_count (Networks.shufflenet ~batch:1));
+        Alcotest.(check int) "milstm" 0
+          (Amos_baselines.Pattern_xla.mapped_count (Networks.mi_lstm ~batch:1)));
+  ]
+
+let ops_error_tests =
+  [
+    Alcotest.test_case "conv2d-zero-channel-rejected" `Quick (fun () ->
+        match Ops.conv2d ~n:1 ~c:0 ~k:2 ~p:2 ~q:2 ~r:2 ~s:2 () with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "iter-zero-extent-rejected" `Quick (fun () ->
+        match Iter.create "z" 0 with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "kind-names-unique" `Quick (fun () ->
+        let names = List.map Ops.kind_name Ops.all_kinds in
+        Alcotest.(check int) "15 distinct" 15
+          (List.length (List.sort_uniq String.compare names)));
+  ]
+
+let suites =
+  [
+    ("misc.pp", pp_tests);
+    ("misc.accessors", accessor_tests);
+    ("misc.network_shapes", network_shape_tests);
+    ("misc.ops_errors", ops_error_tests);
+  ]

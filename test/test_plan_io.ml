@@ -1,0 +1,74 @@
+open Amos
+module Ops = Amos_workloads.Ops
+module Rng = Amos_tensor.Rng
+
+let toy_accel () =
+  let base = Accelerator.v100 () in
+  { base with Accelerator.intrinsics = [ Intrinsic.toy_mma_2x2x2 () ] }
+
+let roundtrip_tests =
+  [
+    Alcotest.test_case "save-load-roundtrip" `Quick (fun () ->
+        let accel = Accelerator.a100 () in
+        let op = Ops.conv2d ~n:4 ~c:16 ~k:16 ~p:8 ~q:8 ~r:3 ~s:3 () in
+        let plan = Compiler.tune ~rng:(Rng.create 300) accel op in
+        match plan.Compiler.target with
+        | Compiler.Scalar _ -> Alcotest.fail "expected spatial plan"
+        | Compiler.Spatial p ->
+            let c = p.Explore.candidate in
+            let text = Plan_io.save c.Explore.mapping c.Explore.schedule in
+            (match Plan_io.load accel op text with
+            | None -> Alcotest.fail "failed to reload plan"
+            | Some (m, sched) ->
+                Alcotest.(check string) "same compute mapping"
+                  (Mapping.describe c.Explore.mapping)
+                  (Mapping.describe m);
+                let t_orig =
+                  Spatial_sim.Machine.estimate_seconds accel.Accelerator.config
+                    (Codegen.lower accel c.Explore.mapping c.Explore.schedule)
+                in
+                let t_loaded =
+                  Spatial_sim.Machine.estimate_seconds accel.Accelerator.config
+                    (Codegen.lower accel m sched)
+                in
+                Alcotest.(check (float 1e-12)) "same performance" t_orig t_loaded));
+    Alcotest.test_case "load-rejects-wrong-operator" `Quick (fun () ->
+        let accel = toy_accel () in
+        let op1 = Ops.conv2d ~n:2 ~c:2 ~k:2 ~p:2 ~q:2 ~r:2 ~s:2 () in
+        let op2 = Ops.gemm ~m:4 ~n:4 ~k:4 () in
+        match Compiler.mappings accel op1 with
+        | m :: _ ->
+            let text = Plan_io.save m (Schedule.default m) in
+            Alcotest.(check bool) "rejected" true
+              (Plan_io.load accel op2 text = None)
+        | [] -> Alcotest.fail "no mapping");
+    Alcotest.test_case "load-rejects-unknown-intrinsic" `Quick (fun () ->
+        let toy = toy_accel () in
+        let op = Ops.conv2d ~n:2 ~c:2 ~k:2 ~p:2 ~q:2 ~r:2 ~s:2 () in
+        match Compiler.mappings toy op with
+        | m :: _ ->
+            let text = Plan_io.save m (Schedule.default m) in
+            (* the A100 has no 2x2x2 toy intrinsic *)
+            Alcotest.(check bool) "rejected" true
+              (Plan_io.load (Accelerator.a100 ()) op text = None)
+        | [] -> Alcotest.fail "no mapping");
+    Alcotest.test_case "load-rejects-garbage" `Quick (fun () ->
+        let accel = toy_accel () in
+        let op = Ops.gemm ~m:4 ~n:4 ~k:4 () in
+        Alcotest.(check bool) "rejected" true
+          (Plan_io.load accel op "nonsense\n" = None));
+    Alcotest.test_case "loaded-plan-verifies-functionally" `Quick (fun () ->
+        let accel = toy_accel () in
+        let op = Ops.conv2d ~n:2 ~c:2 ~k:3 ~p:3 ~q:3 ~r:2 ~s:2 () in
+        match Compiler.mappings accel op with
+        | m :: _ -> (
+            let text = Plan_io.save m (Schedule.default m) in
+            match Plan_io.load accel op text with
+            | Some (m', sched') ->
+                Alcotest.(check bool) "verifies" true
+                  (Compiler.verify ~rng:(Rng.create 301) accel m' sched')
+            | None -> Alcotest.fail "reload failed")
+        | [] -> Alcotest.fail "no mapping");
+  ]
+
+let suites = [ ("plan_io.roundtrip", roundtrip_tests) ]

@@ -1,0 +1,70 @@
+open Amos
+module Ops = Amos_workloads.Ops
+module Rng = Amos_tensor.Rng
+
+let small_mapping () =
+  let op = Ops.conv2d ~n:2 ~c:3 ~k:4 ~p:4 ~q:4 ~r:3 ~s:3 () in
+  let intr = Intrinsic.toy_mma_2x2x2 () in
+  match Mapping_gen.generate_op op intr with
+  | m :: _ -> Mapping.make m
+  | [] -> Alcotest.fail "no mapping"
+
+let basic_tests =
+  [
+    Alcotest.test_case "default-validates" `Quick (fun () ->
+        let m = small_mapping () in
+        Alcotest.(check bool) "valid" true (Schedule.validate m (Schedule.default m)));
+    Alcotest.test_case "reduction-dims-serial" `Quick (fun () ->
+        let m = small_mapping () in
+        let s = Schedule.default m in
+        List.iteri
+          (fun i (d : Schedule.dim) ->
+            if not d.Schedule.parallelizable then begin
+              Alcotest.(check int) (d.Schedule.name ^ " block") 1
+                s.Schedule.splits.(i).Schedule.block;
+              Alcotest.(check int) (d.Schedule.name ^ " subcore") 1
+                s.Schedule.splits.(i).Schedule.subcore
+            end)
+          (Schedule.dims m));
+    Alcotest.test_case "dims-cover-outer-and-tiles" `Quick (fun () ->
+        let m = small_mapping () in
+        let ds = Schedule.dims m in
+        let n_outer = List.length m.Mapping.outer_sw in
+        let n_tiles =
+          Array.fold_left
+            (fun acc (fd : Mapping.fused_dim) ->
+              if fd.Mapping.tiles > 1 then acc + 1 else acc)
+            0 m.Mapping.fused
+        in
+        Alcotest.(check int) "dims" (n_outer + n_tiles) (List.length ds));
+  ]
+
+let random_props =
+  let rng = Rng.create 123 in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random-schedules-validate" ~count:100
+         (QCheck.make QCheck.Gen.(int_range 0 1000))
+         (fun seed ->
+           ignore seed;
+           let m = small_mapping () in
+           Schedule.validate m (Schedule.random rng m)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mutation-preserves-validity" ~count:100
+         (QCheck.make QCheck.Gen.(int_range 0 1000))
+         (fun seed ->
+           ignore seed;
+           let m = small_mapping () in
+           let s = Schedule.random rng m in
+           Schedule.validate m (Schedule.mutate rng m s)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"crossover-preserves-validity" ~count:100
+         (QCheck.make QCheck.Gen.(int_range 0 1000))
+         (fun seed ->
+           ignore seed;
+           let m = small_mapping () in
+           let a = Schedule.random rng m and b = Schedule.random rng m in
+           Schedule.validate m (Schedule.crossover rng a b)));
+  ]
+
+let suites = [ ("schedule.basic", basic_tests); ("schedule.random", random_props) ]

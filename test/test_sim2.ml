@@ -1,0 +1,96 @@
+(* Cycle-model invariants of the simulator. *)
+
+open Amos
+module Ops = Amos_workloads.Ops
+module Machine = Spatial_sim.Machine
+module Mc = Spatial_sim.Machine_config
+module K = Spatial_sim.Kernel
+
+let a100_kernel ?(label = "C5") ?sched () =
+  let accel = Accelerator.a100 () in
+  let op = Amos_workloads.Resnet.config (Amos_workloads.Resnet.by_label label) in
+  let m =
+    match Compiler.mappings accel op with
+    | m :: _ -> m
+    | [] -> Alcotest.fail "no mapping"
+  in
+  let sched = match sched with Some s -> s | None -> Schedule.default m in
+  (accel, Codegen.lower accel m sched)
+
+let model_tests =
+  [
+    Alcotest.test_case "occupancy-bounded" `Quick (fun () ->
+        let accel, k = a100_kernel () in
+        let e = Machine.estimate accel.Accelerator.config k in
+        Alcotest.(check bool) "1 <= occ <= max" true
+          (e.Machine.occupancy >= 1
+          && e.Machine.occupancy
+             <= accel.Accelerator.config.Mc.max_blocks_per_core));
+    Alcotest.test_case "seconds-dominate-memory-bound" `Quick (fun () ->
+        let accel, k = a100_kernel () in
+        let e = Machine.estimate accel.Accelerator.config k in
+        Alcotest.(check bool) "time >= memory bound" true
+          (e.Machine.seconds >= e.Machine.memory_seconds));
+    Alcotest.test_case "kernel-structure-consistent" `Quick (fun () ->
+        let _, k = a100_kernel () in
+        Alcotest.(check int) "blocks*subcores*serial = calls"
+          (K.total_calls k)
+          (K.blocks k * K.subcore_parallelism k * K.serial_steps k));
+    Alcotest.test_case "mem-efficiency-in-unit-interval" `Quick (fun () ->
+        List.iter
+          (fun label ->
+            let _, k = a100_kernel ~label () in
+            let e = k.K.timing.K.mem_efficiency in
+            Alcotest.(check bool) (label ^ " eff") true (e > 0. && e <= 1.))
+          [ "C0"; "C2"; "C5"; "C9" ]);
+    Alcotest.test_case "waves-grow-with-blocks" `Quick (fun () ->
+        let accel, k = a100_kernel () in
+        let cfg = accel.Accelerator.config in
+        let half = { cfg with Mc.num_cores = max 1 (cfg.Mc.num_cores / 8) } in
+        Alcotest.(check bool) "fewer cores, more waves" true
+          ((Machine.estimate half k).Machine.waves
+          >= (Machine.estimate cfg k).Machine.waves));
+    Alcotest.test_case "higher-clock-not-slower" `Quick (fun () ->
+        let accel, k = a100_kernel () in
+        let cfg = accel.Accelerator.config in
+        let fast = { cfg with Mc.clock_ghz = cfg.Mc.clock_ghz *. 2. } in
+        Alcotest.(check bool) "monotone in clock" true
+          ((Machine.estimate fast k).Machine.seconds
+          <= (Machine.estimate cfg k).Machine.seconds +. 1e-12));
+    Alcotest.test_case "reg-capacity-infeasible" `Quick (fun () ->
+        let accel, k = a100_kernel () in
+        let cfg = { accel.Accelerator.config with Mc.reg_capacity_elems = 1 } in
+        let e = Machine.estimate cfg k in
+        Alcotest.(check bool) "infeasible" false e.Machine.feasible);
+  ]
+
+let scalar_param_tests =
+  [
+    Alcotest.test_case "efficiency-params-monotone" `Quick (fun () ->
+        let cfg = (Accelerator.a100 ()).Accelerator.config in
+        let op = Ops.gemm ~m:2048 ~n:2048 ~k:2048 () in
+        let t eff =
+          Spatial_sim.Scalar_backend.estimate_seconds ~efficiency:eff cfg op
+        in
+        Alcotest.(check bool) "higher eff faster" true (t 0.9 < t 0.2));
+    Alcotest.test_case "memory-efficiency-matters-when-bound" `Quick (fun () ->
+        let cfg = (Accelerator.a100 ()).Accelerator.config in
+        (* a bandwidth-bound op: big tensors, few flops per byte *)
+        let op = Ops.mean ~rows:4 ~cols:4_000_000 () in
+        let t me =
+          Spatial_sim.Scalar_backend.estimate_seconds ~memory_efficiency:me cfg op
+        in
+        Alcotest.(check bool) "higher mem eff faster" true (t 0.9 < t 0.3));
+    Alcotest.test_case "dispatch-overhead-additive" `Quick (fun () ->
+        let cfg = (Accelerator.a100 ()).Accelerator.config in
+        let op = Ops.gemm ~m:8 ~n:8 ~k:8 () in
+        let base = Spatial_sim.Scalar_backend.estimate_seconds cfg op in
+        let with_dispatch =
+          Spatial_sim.Scalar_backend.estimate_seconds ~dispatch_overhead_us:10.
+            cfg op
+        in
+        Alcotest.(check (float 1e-9)) "adds 10us" (base +. 1e-5) with_dispatch);
+  ]
+
+let suites =
+  [ ("sim2.model", model_tests); ("sim2.scalar_params", scalar_param_tests) ]

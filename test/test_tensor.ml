@@ -1,0 +1,141 @@
+open Amos_tensor
+open Amos_ir
+
+let rng_tests =
+  [
+    Alcotest.test_case "deterministic" `Quick (fun () ->
+        let a = Rng.create 5 and b = Rng.create 5 in
+        for _ = 1 to 100 do
+          Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+        done);
+    Alcotest.test_case "bounds" `Quick (fun () ->
+        let r = Rng.create 9 in
+        for _ = 1 to 1000 do
+          let v = Rng.int r 7 in
+          Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+        done);
+    Alcotest.test_case "float-bounds" `Quick (fun () ->
+        let r = Rng.create 11 in
+        for _ = 1 to 1000 do
+          let v = Rng.float r 2.0 in
+          Alcotest.(check bool) "in range" true (v >= 0. && v < 2.)
+        done);
+    Alcotest.test_case "pick-empty" `Quick (fun () ->
+        let r = Rng.create 1 in
+        match Rng.pick r [] with
+        | (_ : int) -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "split-independent" `Quick (fun () ->
+        let a = Rng.create 5 in
+        let b = Rng.split a in
+        let va = Rng.int a 1000000 and vb = Rng.int b 1000000 in
+        Alcotest.(check bool) "differ" true (va <> vb));
+  ]
+
+let nd_tests =
+  [
+    Alcotest.test_case "get-set" `Quick (fun () ->
+        let t = Nd.create [ 2; 3 ] in
+        Nd.set t [| 1; 2 |] 5.0;
+        Alcotest.(check (float 0.)) "roundtrip" 5.0 (Nd.get t [| 1; 2 |]);
+        Alcotest.(check (float 0.)) "other zero" 0.0 (Nd.get t [| 0; 0 |]));
+    Alcotest.test_case "row-major" `Quick (fun () ->
+        let t = Nd.create [ 2; 3 ] in
+        Alcotest.(check int) "flat(1,2)" 5 (Nd.flat_index t [| 1; 2 |]));
+    Alcotest.test_case "oob" `Quick (fun () ->
+        let t = Nd.create [ 2 ] in
+        match Nd.get t [| 2 |] with
+        | _ -> Alcotest.fail "expected oob"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "empty-shape-rejected" `Quick (fun () ->
+        match Nd.create [] with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "max-abs-diff" `Quick (fun () ->
+        let a = Nd.create [ 3 ] and b = Nd.create [ 3 ] in
+        Nd.set b [| 1 |] 0.5;
+        Alcotest.(check (float 1e-9)) "diff" 0.5 (Nd.max_abs_diff a b));
+    Alcotest.test_case "scale" `Quick (fun () ->
+        let a = Nd.create [ 2 ] in
+        Nd.fill a 3.0;
+        Nd.scale 0.5 a;
+        Alcotest.(check (float 1e-9)) "scaled" 1.5 (Nd.get a [| 0 |]));
+  ]
+
+let reference_tests =
+  [
+    Alcotest.test_case "gemm-2x2" `Quick (fun () ->
+        let op = Amos_workloads.Ops.gemm ~m:2 ~n:2 ~k:2 () in
+        let a = Nd.create [ 2; 2 ] and b = Nd.create [ 2; 2 ] in
+        (* a = [[1,2],[3,4]], b = [[5,6],[7,8]] -> [[19,22],[43,50]] *)
+        Nd.set a [| 0; 0 |] 1.; Nd.set a [| 0; 1 |] 2.;
+        Nd.set a [| 1; 0 |] 3.; Nd.set a [| 1; 1 |] 4.;
+        Nd.set b [| 0; 0 |] 5.; Nd.set b [| 0; 1 |] 6.;
+        Nd.set b [| 1; 0 |] 7.; Nd.set b [| 1; 1 |] 8.;
+        let out = Reference.run op ~inputs:[ a; b ] in
+        Alcotest.(check (float 1e-9)) "00" 19. (Nd.get out [| 0; 0 |]);
+        Alcotest.(check (float 1e-9)) "11" 50. (Nd.get out [| 1; 1 |]));
+    Alcotest.test_case "conv1d-hand" `Quick (fun () ->
+        (* out[p] = sum_r in[p+r] * w[r], n=k=c=1, p=2, r=2 *)
+        let op = Amos_workloads.Ops.conv1d ~n:1 ~c:1 ~k:1 ~p:2 ~r:2 () in
+        let img = Nd.create [ 1; 1; 3 ] and w = Nd.create [ 1; 1; 2 ] in
+        Nd.set img [| 0; 0; 0 |] 1.; Nd.set img [| 0; 0; 1 |] 2.;
+        Nd.set img [| 0; 0; 2 |] 3.;
+        Nd.set w [| 0; 0; 0 |] 10.; Nd.set w [| 0; 0; 1 |] 20.;
+        let out = Reference.run op ~inputs:[ img; w ] in
+        Alcotest.(check (float 1e-9)) "p0" 50. (Nd.get out [| 0; 0; 0 |]);
+        Alcotest.(check (float 1e-9)) "p1" 80. (Nd.get out [| 0; 0; 1 |]));
+    Alcotest.test_case "scan-predicate" `Quick (fun () ->
+        let op = Amos_workloads.Ops.scan ~n:1 ~len:4 () in
+        let x = Nd.create [ 1; 4 ] in
+        for i = 0 to 3 do Nd.set x [| 0; i |] (float_of_int (i + 1)) done;
+        let out = Reference.run op ~inputs:[ x ] in
+        Alcotest.(check (float 1e-9)) "prefix3" 10. (Nd.get out [| 0; 3 |]);
+        Alcotest.(check (float 1e-9)) "prefix0" 1. (Nd.get out [| 0; 0 |]));
+    Alcotest.test_case "mean-post-scale" `Quick (fun () ->
+        let op = Amos_workloads.Ops.mean ~rows:4 ~cols:1 () in
+        let x = Nd.create [ 4; 1 ] in
+        for i = 0 to 3 do Nd.set x [| i; 0 |] (float_of_int i) done;
+        let out = Reference.run op ~inputs:[ x ] in
+        Alcotest.(check (float 1e-9)) "mean" 1.5 (Nd.get out [| 0 |]));
+    Alcotest.test_case "variance" `Quick (fun () ->
+        let op = Amos_workloads.Ops.variance ~rows:2 ~cols:1 () in
+        let x = Nd.create [ 2; 1 ] and mu = Nd.create [ 1 ] in
+        Nd.set x [| 0; 0 |] 1.; Nd.set x [| 1; 0 |] 3.;
+        Nd.set mu [| 0 |] 2.;
+        let out = Reference.run op ~inputs:[ x; mu ] in
+        Alcotest.(check (float 1e-9)) "var" 1. (Nd.get out [| 0 |]));
+    Alcotest.test_case "maxpool" `Quick (fun () ->
+        let op =
+          Amos_workloads.Ops.maxpool2d ~stride:2 ~n:1 ~c:1 ~p:1 ~q:1 ~r:2 ~s:2 ()
+        in
+        let x = Nd.create [ 1; 1; 2; 2 ] in
+        Nd.set x [| 0; 0; 1; 0 |] 7.;
+        Nd.set x [| 0; 0; 0; 1 |] (-3.);
+        let out = Reference.run op ~inputs:[ x ] in
+        Alcotest.(check (float 1e-9)) "max" 7. (Nd.get out [| 0; 0; 0; 0 |]));
+    Alcotest.test_case "input-count-mismatch" `Quick (fun () ->
+        let op = Amos_workloads.Ops.gemm ~m:2 ~n:2 ~k:2 () in
+        match Reference.run op ~inputs:[ Nd.create [ 2; 2 ] ] with
+        | _ -> Alcotest.fail "expected mismatch"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "strided-conv" `Quick (fun () ->
+        (* stride 2: out[p] = sum_r in[2p+r]*w[r] *)
+        let op = Amos_workloads.Ops.conv1d ~stride:2 ~n:1 ~c:1 ~k:1 ~p:2 ~r:2 () in
+        let img = Nd.create [ 1; 1; 4 ] and w = Nd.create [ 1; 1; 2 ] in
+        for i = 0 to 3 do Nd.set img [| 0; 0; i |] (float_of_int i) done;
+        Nd.set w [| 0; 0; 0 |] 1.; Nd.set w [| 0; 0; 1 |] 1.;
+        let out = Reference.run op ~inputs:[ img; w ] in
+        Alcotest.(check (float 1e-9)) "p0" 1. (Nd.get out [| 0; 0; 0 |]);
+        Alcotest.(check (float 1e-9)) "p1" 5. (Nd.get out [| 0; 0; 1 |]));
+  ]
+
+let suites =
+  [
+    ("tensor.rng", rng_tests);
+    ("tensor.nd", nd_tests);
+    ("tensor.reference", reference_tests);
+  ]
+
+(* silence unused-module warnings for the shared open *)
+let _ = Iter.create

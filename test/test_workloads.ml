@@ -1,0 +1,88 @@
+open Amos_ir
+module Ops = Amos_workloads.Ops
+module Suites = Amos_workloads.Suites
+module Networks = Amos_workloads.Networks
+module Resnet = Amos_workloads.Resnet
+
+let ops_tests =
+  [
+    Alcotest.test_case "conv2d-shapes" `Quick (fun () ->
+        let op = Ops.conv2d ~stride:2 ~n:1 ~c:3 ~k:8 ~p:4 ~q:4 ~r:3 ~s:3 () in
+        let image = List.nth (Operator.tensors op) 1 in
+        (* input extent = (4-1)*2 + (3-1)*1 + 1 = 9 *)
+        Alcotest.(check (list int)) "image" [ 1; 3; 9; 9 ] image.Tensor_decl.shape);
+    Alcotest.test_case "dilated-shapes" `Quick (fun () ->
+        let op = Ops.dilated_conv2d ~dilation:2 ~n:1 ~c:2 ~k:2 ~p:4 ~q:4 ~r:3 ~s:3 () in
+        let image = List.nth (Operator.tensors op) 1 in
+        Alcotest.(check (list int)) "image" [ 1; 2; 8; 8 ] image.Tensor_decl.shape);
+    Alcotest.test_case "iter-counts" `Quick (fun () ->
+        let check name op n =
+          Alcotest.(check int) name n (List.length op.Operator.iters)
+        in
+        check "gemm" (Ops.gemm ~m:4 ~n:4 ~k:4 ()) 3;
+        check "c2d" (Ops.conv2d ~n:1 ~c:2 ~k:2 ~p:2 ~q:2 ~r:2 ~s:2 ()) 7;
+        check "c3d" (Ops.conv3d ~n:1 ~c:2 ~k:2 ~d:2 ~p:2 ~q:2 ~t:2 ~r:2 ~s:2 ()) 9;
+        check "cap" (Ops.capsule_conv2d ~n:1 ~c:2 ~k:2 ~p:2 ~q:2 ~r:2 ~s:2 ~cap:2 ()) 10);
+    Alcotest.test_case "grouped-has-shared-iter" `Quick (fun () ->
+        let op = Ops.grouped_conv2d ~groups:2 ~n:1 ~c:2 ~k:2 ~p:2 ~q:2 ~r:1 ~s:1 () in
+        let g = List.find (fun (it : Iter.t) -> it.Iter.name = "g") op.Operator.iters in
+        let accs = op.Operator.output :: op.Operator.inputs in
+        Alcotest.(check int) "g in all 3" 3
+          (List.length (List.filter (fun a -> Operator.uses_iter a g) accs)));
+    Alcotest.test_case "scan-has-predicate" `Quick (fun () ->
+        let op = Ops.scan ~n:1 ~len:4 () in
+        Alcotest.(check int) "one predicate" 1 (List.length op.Operator.preds));
+    Alcotest.test_case "suite-total-113" `Quick (fun () ->
+        Alcotest.(check int) "113 configs" 113 (Suites.total ~batch:1));
+    Alcotest.test_case "all-kinds-covered" `Quick (fun () ->
+        List.iter
+          (fun kind ->
+            let n = List.length (Suites.configs_per_kind ~batch:1 kind) in
+            Alcotest.(check bool)
+              (Ops.kind_name kind ^ " has 7-8 configs")
+              true (n >= 7 && n <= 8))
+          Ops.all_kinds);
+  ]
+
+let resnet_tests =
+  [
+    Alcotest.test_case "table5-has-12-layers" `Quick (fun () ->
+        Alcotest.(check int) "12" 12 (List.length Resnet.table5));
+    Alcotest.test_case "c0-config" `Quick (fun () ->
+        let c = Resnet.by_label "C0" in
+        Alcotest.(check int) "c" 3 c.Resnet.c;
+        Alcotest.(check int) "k" 64 c.Resnet.k;
+        Alcotest.(check int) "stride" 2 c.Resnet.stride);
+    Alcotest.test_case "scaled-keeps-structure" `Quick (fun () ->
+        let c = Resnet.scaled ~factor:8 (Resnet.by_label "C5") in
+        Alcotest.(check int) "c" 16 c.Resnet.c;
+        Alcotest.(check int) "r unchanged" 3 c.Resnet.r);
+  ]
+
+let networks_tests =
+  let check_counts name net total =
+    Alcotest.test_case (name ^ "-op-count") `Quick (fun () ->
+        Alcotest.(check int) "total ops" total (Networks.op_count net))
+  in
+  [
+    check_counts "shufflenet" (Networks.shufflenet ~batch:1) 70;
+    check_counts "resnet50" (Networks.resnet50 ~batch:1) 71;
+    check_counts "mobilenet" (Networks.mobilenet_v1 ~batch:1) 30;
+    check_counts "bert" (Networks.bert_base ~batch:1) 204;
+    check_counts "milstm" (Networks.mi_lstm ~batch:1) 11;
+    Alcotest.test_case "mobilenet-v2-fig8b-layers" `Quick (fun () ->
+        Alcotest.(check int) "7 dep + 7 conv" 14
+          (List.length (Networks.mobilenet_v2_depthwise ~batch:1)));
+    Alcotest.test_case "resnet18-conv-set" `Quick (fun () ->
+        let net = Networks.resnet18 ~batch:16 in
+        let tensor_ops = Networks.tensor_ops net in
+        Alcotest.(check bool) "has 20 conv instances" true
+          (List.fold_left (fun acc (_, m) -> acc + m) 0 tensor_ops >= 20));
+  ]
+
+let suites =
+  [
+    ("workloads.ops", ops_tests);
+    ("workloads.resnet", resnet_tests);
+    ("workloads.networks", networks_tests);
+  ]

@@ -1,0 +1,223 @@
+(* Semantic cross-checks between operators: different formulations of the
+   same mathematics must agree under the reference interpreter. *)
+
+open Amos_ir
+module Ops = Amos_workloads.Ops
+module Nd = Amos_tensor.Nd
+module Rng = Amos_tensor.Rng
+module Reference = Amos_tensor.Reference
+
+let grouped_vs_blockdiag =
+  Alcotest.test_case "grouped-conv-equals-block-diagonal-dense" `Quick
+    (fun () ->
+      let g = 2 and c = 2 and k = 2 and n = 1 and p = 3 and q = 3 in
+      let rng = Rng.create 100 in
+      let grp = Ops.grouped_conv2d ~groups:g ~n ~c ~k ~p ~q ~r:2 ~s:2 () in
+      let dense = Ops.conv2d ~n ~c:(g * c) ~k:(g * k) ~p ~q ~r:2 ~s:2 () in
+      let img_g = Nd.random rng [ n; g; c; 4; 4 ] in
+      let w_g = Nd.random rng [ g; k; c; 2; 2 ] in
+      (* dense image: channels laid out group-major *)
+      let img_d = Nd.create [ n; g * c; 4; 4 ] in
+      for gi = 0 to g - 1 do
+        for ci = 0 to c - 1 do
+          for y = 0 to 3 do
+            for x = 0 to 3 do
+              Nd.set img_d [| 0; (gi * c) + ci; y; x |]
+                (Nd.get img_g [| 0; gi; ci; y; x |])
+            done
+          done
+        done
+      done;
+      (* dense weight: block-diagonal over groups *)
+      let w_d = Nd.create [ g * k; g * c; 2; 2 ] in
+      for gi = 0 to g - 1 do
+        for ki = 0 to k - 1 do
+          for ci = 0 to c - 1 do
+            for y = 0 to 1 do
+              for x = 0 to 1 do
+                Nd.set w_d [| (gi * k) + ki; (gi * c) + ci; y; x |]
+                  (Nd.get w_g [| gi; ki; ci; y; x |])
+              done
+            done
+          done
+        done
+      done;
+      let out_g = Reference.run grp ~inputs:[ img_g; w_g ] in
+      let out_d = Reference.run dense ~inputs:[ img_d; w_d ] in
+      for gi = 0 to g - 1 do
+        for ki = 0 to k - 1 do
+          for y = 0 to p - 1 do
+            for x = 0 to q - 1 do
+              let a = Nd.get out_g [| 0; gi; ki; y; x |] in
+              let b = Nd.get out_d [| 0; (gi * k) + ki; y; x |] in
+              if abs_float (a -. b) > 1e-6 then
+                Alcotest.failf "mismatch at g=%d k=%d (%g vs %g)" gi ki a b
+            done
+          done
+        done
+      done)
+
+let conv3d_vs_conv2d =
+  Alcotest.test_case "conv3d-with-unit-depth-equals-conv2d" `Quick (fun () ->
+      let rng = Rng.create 101 in
+      let c3 = Ops.conv3d ~n:1 ~c:2 ~k:3 ~d:1 ~p:3 ~q:3 ~t:1 ~r:2 ~s:2 () in
+      let c2 = Ops.conv2d ~n:1 ~c:2 ~k:3 ~p:3 ~q:3 ~r:2 ~s:2 () in
+      let img = Nd.random rng [ 1; 2; 4; 4 ] in
+      let w = Nd.random rng [ 3; 2; 2; 2 ] in
+      let img3 = Nd.create [ 1; 2; 1; 4; 4 ] in
+      let w3 = Nd.create [ 3; 2; 1; 2; 2 ] in
+      for ci = 0 to 1 do
+        for y = 0 to 3 do
+          for x = 0 to 3 do
+            Nd.set img3 [| 0; ci; 0; y; x |] (Nd.get img [| 0; ci; y; x |])
+          done
+        done
+      done;
+      for ki = 0 to 2 do
+        for ci = 0 to 1 do
+          for y = 0 to 1 do
+            for x = 0 to 1 do
+              Nd.set w3 [| ki; ci; 0; y; x |] (Nd.get w [| ki; ci; y; x |])
+            done
+          done
+        done
+      done;
+      let o3 = Reference.run c3 ~inputs:[ img3; w3 ] in
+      let o2 = Reference.run c2 ~inputs:[ img; w ] in
+      for ki = 0 to 2 do
+        for y = 0 to 2 do
+          for x = 0 to 2 do
+            Alcotest.(check (float 1e-6)) "elem"
+              (Nd.get o2 [| 0; ki; y; x |])
+              (Nd.get o3 [| 0; ki; 0; y; x |])
+          done
+        done
+      done)
+
+let bcv_vs_conv2d =
+  Alcotest.test_case "batched-conv-with-tied-weights-equals-conv2d" `Quick
+    (fun () ->
+      let rng = Rng.create 102 in
+      let n = 2 and c = 2 and k = 2 and p = 3 and q = 3 in
+      let bcv = Ops.batched_conv2d ~n ~c ~k ~p ~q ~r:2 ~s:2 () in
+      let c2d = Ops.conv2d ~n ~c ~k ~p ~q ~r:2 ~s:2 () in
+      let img = Nd.random rng [ n; c; 4; 4 ] in
+      let w = Nd.random rng [ k; c; 2; 2 ] in
+      let w_b = Nd.create [ n; k; c; 2; 2 ] in
+      for ni = 0 to n - 1 do
+        for ki = 0 to k - 1 do
+          for ci = 0 to c - 1 do
+            for y = 0 to 1 do
+              for x = 0 to 1 do
+                Nd.set w_b [| ni; ki; ci; y; x |] (Nd.get w [| ki; ci; y; x |])
+              done
+            done
+          done
+        done
+      done;
+      let o1 = Reference.run bcv ~inputs:[ img; w_b ] in
+      let o2 = Reference.run c2d ~inputs:[ img; w ] in
+      Alcotest.(check bool) "equal" true (Nd.approx_equal ~tol:1e-6 o1 o2))
+
+let gfc_vs_gemv =
+  Alcotest.test_case "grouped-fc-equals-per-group-gemv" `Quick (fun () ->
+      let rng = Rng.create 103 in
+      let g = 3 and m = 4 and k = 5 in
+      let gfc = Ops.grouped_fc ~g ~m ~k () in
+      let x = Nd.random rng [ g; k ] in
+      let w = Nd.random rng [ g; m; k ] in
+      let out = Reference.run gfc ~inputs:[ x; w ] in
+      for gi = 0 to g - 1 do
+        let gemv = Ops.gemv ~m ~k () in
+        let a = Nd.create [ m; k ] and v = Nd.create [ k ] in
+        for mi = 0 to m - 1 do
+          for ki = 0 to k - 1 do
+            Nd.set a [| mi; ki |] (Nd.get w [| gi; mi; ki |])
+          done
+        done;
+        for ki = 0 to k - 1 do
+          Nd.set v [| ki |] (Nd.get x [| gi; ki |])
+        done;
+        let o = Reference.run gemv ~inputs:[ a; v ] in
+        for mi = 0 to m - 1 do
+          Alcotest.(check (float 1e-6)) "elem" (Nd.get o [| mi |])
+            (Nd.get out [| gi; mi |])
+        done
+      done)
+
+let scan_of_ones =
+  Alcotest.test_case "scan-of-ones-is-arange" `Quick (fun () ->
+      let op = Ops.scan ~n:1 ~len:6 () in
+      let x = Nd.create [ 1; 6 ] in
+      Nd.fill x 1.;
+      let out = Amos_tensor.Reference.run op ~inputs:[ x ] in
+      for i = 0 to 5 do
+        Alcotest.(check (float 1e-9)) "prefix" (float_of_int (i + 1))
+          (Nd.get out [| 0; i |])
+      done)
+
+let variance_formula =
+  Alcotest.test_case "variance-equals-mean-of-squared-deviations" `Quick
+    (fun () ->
+      let rng = Rng.create 104 in
+      let rows = 8 and cols = 3 in
+      let x = Nd.random rng [ rows; cols ] in
+      let mean_op = Ops.mean ~rows ~cols () in
+      let mu = Reference.run mean_op ~inputs:[ x ] in
+      let var_op = Ops.variance ~rows ~cols () in
+      let v = Reference.run var_op ~inputs:[ x; mu ] in
+      for j = 0 to cols - 1 do
+        let m = Nd.get mu [| j |] in
+        let expect = ref 0. in
+        for i = 0 to rows - 1 do
+          let d = Nd.get x [| i; j |] -. m in
+          expect := !expect +. (d *. d)
+        done;
+        Alcotest.(check (float 1e-6)) "var"
+          (!expect /. float_of_int rows)
+          (Nd.get v [| j |])
+      done)
+
+let capsule_is_matmul_per_window =
+  Alcotest.test_case "capsule-conv-1x1-window-is-pose-matmul" `Quick
+    (fun () ->
+      (* with p=q=r=s=1 and c=1 the capsule conv reduces to a single
+         cap x cap matrix product per (n, k) *)
+      let cap = 3 in
+      let op = Ops.capsule_conv2d ~n:1 ~c:1 ~k:1 ~p:1 ~q:1 ~r:1 ~s:1 ~cap () in
+      let rng = Rng.create 105 in
+      let img = Nd.random rng [ 1; 1; 1; 1; cap; cap ] in
+      let w = Nd.random rng [ 1; 1; 1; 1; cap; cap ] in
+      let out = Reference.run op ~inputs:[ img; w ] in
+      for u = 0 to cap - 1 do
+        for v = 0 to cap - 1 do
+          let expect = ref 0. in
+          for wdim = 0 to cap - 1 do
+            expect :=
+              !expect
+              +. Nd.get img [| 0; 0; 0; 0; u; wdim |]
+                 *. Nd.get w [| 0; 0; 0; 0; wdim; v |]
+          done;
+          Alcotest.(check (float 1e-6)) "pose matmul" !expect
+            (Nd.get out [| 0; 0; 0; 0; u; v |])
+        done
+      done)
+
+let t2d_structure =
+  Alcotest.test_case "transposed-conv-shares-c2d-structure" `Quick (fun () ->
+      let t2d = Ops.transposed_conv2d ~stride:2 ~n:1 ~c:2 ~k:2 ~p:4 ~q:4 ~r:3 ~s:3 () in
+      Alcotest.(check int) "7 iters" 7 (List.length t2d.Operator.iters);
+      let x = Access_matrix.of_operator t2d in
+      let c2d = Ops.conv2d ~n:1 ~c:2 ~k:2 ~p:4 ~q:4 ~r:3 ~s:3 () in
+      let y = Access_matrix.of_operator c2d in
+      Alcotest.(check bool) "same access structure" true (Bin_matrix.equal x y))
+
+let suites =
+  [
+    ( "workloads.semantics",
+      [
+        grouped_vs_blockdiag; conv3d_vs_conv2d; bcv_vs_conv2d; gfc_vs_gemv;
+        scan_of_ones; variance_formula; capsule_is_matmul_per_window;
+        t2d_structure;
+      ] );
+  ]

@@ -521,6 +521,57 @@ let ablate () =
     [ Ops.C1D; Ops.C2D; Ops.C3D; Ops.DEP ]
 
 (* ------------------------------------------------------------------ *)
+(* Plan service: cold vs warm whole-network compile times               *)
+
+let service () =
+  header "Plan service: cold vs warm network compiles (A100, batch 1)";
+  let module Plan_cache = Amos_service.Plan_cache in
+  let module Batch_compile = Amos_service.Batch_compile in
+  let module Fingerprint = Amos_service.Fingerprint in
+  let accel = Accelerator.a100 () in
+  let budget =
+    { Fingerprint.default_budget with Fingerprint.population = 8;
+      generations = 4; seed = 2100 }
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "amos-bench-cache-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  let cache = Plan_cache.create ~dir () in
+  Printf.printf "%-14s %10s %10s %10s %8s %8s\n" "Network" "cold(s)"
+    "warm(s)" "speedup" "hits" "evals";
+  let rows =
+    List.map
+      (fun net ->
+        let compile () =
+          let t0 = Unix.gettimeofday () in
+          let _, report =
+            Batch_compile.compile_network ~budget ~cache accel net
+          in
+          (Unix.gettimeofday () -. t0, report)
+        in
+        let cold_s, cold = compile () in
+        let warm_s, warm = compile () in
+        Printf.printf "%-14s %10.3f %10.3f %9.1fx %4d/%-3d %8d\n%!"
+          net.Networks.name cold_s warm_s (cold_s /. warm_s)
+          warm.Batch_compile.cache_hits warm.Batch_compile.tensor_stages
+          warm.Batch_compile.evaluations;
+        assert (warm.Batch_compile.evaluations = 0);
+        [ net.Networks.name; Csv.f cold_s; Csv.f warm_s;
+          string_of_int cold.Batch_compile.evaluations;
+          string_of_int warm.Batch_compile.cache_hits ])
+      (Networks.all ~batch:1)
+  in
+  Printf.printf "(warm compiles run zero tuner evaluations by construction)\n%!";
+  Csv.write "service"
+    ~header:[ "network"; "cold_s"; "warm_s"; "cold_evals"; "warm_hits" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler hot paths                  *)
 
 let micro () =
@@ -595,7 +646,8 @@ let experiments =
     ("table2", table2); ("table5", table5); ("table6", table6);
     ("fig5", fig5); ("fig6ab", fig6ab); ("fig6c", fig6c); ("fig7", fig7);
     ("fig7e", fig7e); ("fig8a", fig8a); ("fig8b", fig8b); ("fig9", fig9);
-    ("layout", layout); ("newaccel", newaccel); ("ablate", ablate); ("micro", micro);
+    ("layout", layout); ("newaccel", newaccel); ("ablate", ablate);
+    ("service", service); ("micro", micro);
   ]
 
 let () =

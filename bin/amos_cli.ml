@@ -4,8 +4,10 @@
      amos_cli count  --accel a100       Table-6-style mapping counts
      amos_cli map    --accel a100 --layer C5
                                         enumerate + describe valid mappings
-     amos_cli tune   --accel a100 --layer C5
+     amos_cli tune   --accel a100 --layer C5 --jobs 4 --cache-dir ~/.amos
                                         explore mappings x schedules
+                                        (parallel, plan-cache backed)
+     amos_cli cache  stats|clear|warm   manage the persistent tuning cache
      amos_cli verify --accel toy --layer C5
                                         functional check vs the reference
      amos_cli abstraction --accel a100  print the hardware abstraction *)
@@ -74,6 +76,67 @@ let seed_arg =
 let scale_arg =
   let doc = "Scale layer extents down by this factor (for functional runs)." in
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"F" ~doc)
+
+module Fingerprint = Amos_service.Fingerprint
+module Plan_cache = Amos_service.Plan_cache
+module Batch_compile = Amos_service.Batch_compile
+
+let jobs_arg =
+  let doc =
+    "Tune with this many parallel worker domains.  Results are \
+     deterministic: any value, including 1, finds the same plans."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Persistent plan-cache directory: tuned plans are stored there and \
+     reused on later runs (keyed by operator structure, accelerator, \
+     tuning budget and seed)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let cache_dir_required =
+  let doc = "Plan-cache directory." in
+  Arg.(required & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+(* every tuning entry point funnels through the plan service: a
+   [--cache-dir] makes the cache persistent, otherwise a throwaway
+   in-memory cache still provides dedup and the parallel tuner *)
+let make_cache = function
+  | Some dir -> Plan_cache.create ~dir ()
+  | None -> Plan_cache.create ()
+
+let budget_with ?(population = 16) ?(generations = 8) seed =
+  { Fingerprint.default_budget with
+    Fingerprint.population; generations; seed }
+
+(* rebuild the [Compiler.plan] view of a cached value so the reporting
+   code paths (describe / profile) work unchanged; the estimates are
+   deterministic, so a cached plan reports the numbers it was tuned at *)
+let compiler_plan accel op = function
+  | Plan_cache.Spatial (m, sched) ->
+      let k = Codegen.lower accel m sched in
+      {
+        Compiler.op;
+        accel;
+        target =
+          Compiler.Spatial
+            {
+              Explore.candidate = { Explore.mapping = m; schedule = sched };
+              predicted = Perf_model.predict_seconds accel.Accelerator.config k;
+              measured =
+                Spatial_sim.Machine.estimate_seconds accel.Accelerator.config k;
+            };
+      }
+  | Plan_cache.Scalar ->
+      {
+        Compiler.op;
+        accel;
+        target = Compiler.Scalar (Batch_compile.scalar_seconds accel op);
+      }
 
 let intrinsic_arg =
   let doc =
@@ -184,7 +247,8 @@ let tune_cmd =
          & info [ "load" ] ~docv:"FILE"
              ~doc:"Skip tuning and evaluate the plan stored in FILE.")
   in
-  let run verbose accel_name layer kind batch index seed save load dsl =
+  let run verbose accel_name layer kind batch index seed save load dsl jobs
+      cache_dir =
     setup_logs verbose;
     let accel = accel_by_name accel_name in
     let op = pick_op ?dsl ~layer ~kind ~batch ~index ~scale:1 () in
@@ -200,7 +264,17 @@ let tune_cmd =
               (1e3
               *. Spatial_sim.Machine.estimate_seconds accel.Accelerator.config k))
     | None -> (
-        let plan = Compiler.tune ~rng:(Rng.create seed) accel op in
+        let cache = make_cache cache_dir in
+        let value, source =
+          Batch_compile.tune_op ~jobs ~budget:(budget_with seed) ~cache accel
+            op
+        in
+        (match (source, cache_dir) with
+        | Batch_compile.Hit, _ -> print_endline "[served from plan cache]"
+        | Batch_compile.Tuned, Some dir ->
+            Printf.printf "[tuned and cached in %s]\n" dir
+        | _ -> ());
+        let plan = compiler_plan accel op value in
         print_endline (Compiler.describe plan);
         match plan.Compiler.target with
         | Compiler.Spatial p ->
@@ -222,7 +296,8 @@ let tune_cmd =
   in
   Cmd.v (Cmd.info "tune" ~doc:"Explore mappings x schedules and report the best plan")
     Term.(const run $ verbose_arg $ accel_arg $ layer_arg $ kind_arg
-          $ batch_arg $ index_arg $ seed_arg $ save_arg $ load_arg $ dsl_arg)
+          $ batch_arg $ index_arg $ seed_arg $ save_arg $ load_arg $ dsl_arg
+          $ jobs_arg $ cache_dir_arg)
 
 (* --- verify ------------------------------------------------------- *)
 
@@ -276,26 +351,106 @@ let validate_cmd =
 (* --- networks ------------------------------------------------------ *)
 
 let networks_cmd =
-  let run verbose accel_name batch seed =
+  let run verbose accel_name batch seed jobs cache_dir =
     setup_logs verbose;
     let accel = accel_by_name accel_name in
-    Printf.printf "%-14s %7s %8s %12s\n" "Network" "Total" "Mapped" "latency(ms)";
+    let cache = make_cache cache_dir in
+    let budget = budget_with ~population:8 ~generations:4 seed in
+    Printf.printf "%-14s %7s %8s %12s %6s %6s %10s\n" "Network" "Total"
+      "Mapped" "latency(ms)" "hit" "miss" "tuning(s)";
     List.iter
       (fun net ->
-        let report =
-          Compiler.map_network ~population:8 ~generations:4
-            ~rng:(Rng.create seed) accel net
+        let report, service =
+          Batch_compile.compile_network ~jobs ~budget ~cache accel net
         in
-        Printf.printf "%-14s %7d %8d %12.3f\n%!"
+        Printf.printf "%-14s %7d %8d %12.3f %6d %6d %10.2f\n%!"
           net.Amos_workloads.Networks.name report.Compiler.total_ops
           (Compiler.mappable_count accel net)
-          (1e3 *. report.Compiler.network_seconds))
+          (1e3 *. report.Compiler.network_seconds)
+          service.Batch_compile.cache_hits service.Batch_compile.cache_misses
+          service.Batch_compile.tuning_seconds)
       (Amos_workloads.Networks.all ~batch)
   in
   Cmd.v
     (Cmd.info "networks"
        ~doc:"Compile the evaluation networks end-to-end and report coverage + latency")
-    Term.(const run $ verbose_arg $ accel_arg $ batch_arg $ seed_arg)
+    Term.(const run $ verbose_arg $ accel_arg $ batch_arg $ seed_arg $ jobs_arg
+          $ cache_dir_arg)
+
+(* --- cache --------------------------------------------------------- *)
+
+let cache_stats_cmd =
+  let run dir =
+    let cache = Plan_cache.create ~dir () in
+    Printf.printf "cache directory : %s\n" dir;
+    Printf.printf "live entries    : %d\n" (Plan_cache.disk_size cache);
+    Printf.printf "disk bytes      : %d\n" (Plan_cache.disk_bytes cache)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Report the plan cache's live entries and size")
+    Term.(const run $ cache_dir_required)
+
+let cache_clear_cmd =
+  let run dir =
+    let cache = Plan_cache.create ~dir () in
+    let n = Plan_cache.disk_size cache in
+    Plan_cache.clear cache;
+    Printf.printf "evicted %d entries from %s\n" n dir
+  in
+  Cmd.v (Cmd.info "clear" ~doc:"Drop every cached plan")
+    Term.(const run $ cache_dir_required)
+
+let network_arg =
+  let doc =
+    "Network to warm the cache with (shufflenet, resnet18, resnet50, \
+     mobilenet-v1, bert-base, mi-lstm) or 'all'."
+  in
+  Arg.(value & opt string "all" & info [ "network" ] ~docv:"NAME" ~doc)
+
+let cache_warm_cmd =
+  let run verbose dir accel_name network batch seed jobs =
+    setup_logs verbose;
+    let accel = accel_by_name accel_name in
+    let cache = Plan_cache.create ~dir () in
+    let budget = budget_with seed in
+    let nets =
+      let all = Amos_workloads.Networks.all ~batch in
+      if network = "all" then all
+      else
+        match
+          List.filter
+            (fun (n : Amos_workloads.Networks.t) ->
+              String.lowercase_ascii n.Amos_workloads.Networks.name
+              = String.lowercase_ascii network)
+            all
+        with
+        | [] ->
+            failwith
+              ("unknown network " ^ network ^ " (see `amos_cli cache warm --help`)")
+        | nets -> nets
+    in
+    List.iter
+      (fun (net : Amos_workloads.Networks.t) ->
+        let _, service =
+          Batch_compile.compile_network ~jobs ~budget ~cache accel net
+        in
+        Printf.printf "%-14s %s\n%!" net.Amos_workloads.Networks.name
+          (Batch_compile.describe_report service))
+      nets;
+    Printf.printf "cache now holds %d plans (%d bytes)\n"
+      (Plan_cache.disk_size cache) (Plan_cache.disk_bytes cache)
+  in
+  Cmd.v
+    (Cmd.info "warm"
+       ~doc:"Pre-tune a network's operators into the plan cache")
+    Term.(const run $ verbose_arg $ cache_dir_required $ accel_arg
+          $ network_arg $ batch_arg $ seed_arg $ jobs_arg)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Inspect, clear or warm the persistent tuning cache")
+    [ cache_stats_cmd; cache_clear_cmd; cache_warm_cmd ]
 
 (* --- abstraction --------------------------------------------------- *)
 
@@ -314,10 +469,14 @@ let abstraction_cmd =
 (* --- profile -------------------------------------------------------- *)
 
 let profile_cmd =
-  let run accel_name layer kind batch index seed dsl =
+  let run accel_name layer kind batch index seed dsl jobs cache_dir =
     let accel = accel_by_name accel_name in
     let op = pick_op ?dsl ~layer ~kind ~batch ~index ~scale:1 () in
-    let plan = Compiler.tune ~rng:(Rng.create seed) accel op in
+    let cache = make_cache cache_dir in
+    let value, _ =
+      Batch_compile.tune_op ~jobs ~budget:(budget_with seed) ~cache accel op
+    in
+    let plan = compiler_plan accel op value in
     match plan.Compiler.target with
     | Compiler.Scalar s ->
         Printf.printf "scalar fallback: %.4f ms
@@ -366,7 +525,7 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:"Tune one operator and print the simulator's timing breakdown")
     Term.(const run $ accel_arg $ layer_arg $ kind_arg $ batch_arg $ index_arg
-          $ seed_arg $ dsl_arg)
+          $ seed_arg $ dsl_arg $ jobs_arg $ cache_dir_arg)
 
 (* --- ir ------------------------------------------------------------ *)
 
@@ -397,5 +556,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ accels_cmd; count_cmd; map_cmd; tune_cmd; verify_cmd;
-            validate_cmd; networks_cmd; profile_cmd; abstraction_cmd;
-            ir_cmd ]))
+            validate_cmd; networks_cmd; cache_cmd; profile_cmd;
+            abstraction_cmd; ir_cmd ]))

@@ -29,8 +29,11 @@ let measure accel c =
    explores the same schedule sequence no matter which compiler invokes
    it or what other mappings surround it.  Exploring a superset of
    mappings therefore can only help -- the property the paper's
-   comparison against fixed-mapping baselines rests on. *)
-let mapping_seed _base (m : Mapping.t) =
+   comparison against fixed-mapping baselines rests on.  It is also what
+   makes the search embarrassingly parallel: every per-mapping work unit
+   derives its RNG stream from the mapping itself, so any partition of
+   the mappings over workers produces identical results. *)
+let mapping_seed (m : Mapping.t) =
   Hashtbl.hash
     ( Mapping.describe m,
       m.Mapping.matching.Matching.intr.Intrinsic.name,
@@ -64,37 +67,24 @@ let schedule_search ~population ~generations ~rng ~accel mapping =
   in
   go generations initial
 
-(* Two-phase exploration mirroring the paper's flow: the analytical model
-   first screens the mapping space cheaply, then each surviving mapping
-   gets a full schedule search (the same budget a template compiler would
-   spend on its single hand-written mapping), and the best model-ranked
-   plans are measured on the simulator. *)
-let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3) ~rng ~accel
-    ~mappings () =
-  if mappings = [] then invalid_arg "Explore.tune: no mappings";
-  let base_seed = Rng.int rng 1_000_000_000 in
-  let evals = ref 0 in
-  let history = ref [] in
-  (* phase 1: screen every mapping with its default schedule and a few
-     random ones *)
-  let screened =
-    List.map
-      (fun mapping ->
-        let rng = Rng.create (mapping_seed base_seed mapping) in
-        let quick =
-          Schedule.default mapping
-          :: List.init 6 (fun _ -> Schedule.random rng mapping)
-        in
-        let best =
-          List.fold_left
-            (fun acc sched ->
-              incr evals;
-              Float.min acc (predict accel { mapping; schedule = sched }))
-            infinity quick
-        in
-        (mapping, best))
-      mappings
+(* phase 1 unit: screen one mapping with its default schedule and a few
+   random ones.  Returns the best predicted time and the number of model
+   evaluations spent; deterministic per mapping (see [mapping_seed]). *)
+let screen_mapping ~accel mapping =
+  let rng = Rng.create (mapping_seed mapping) in
+  let quick =
+    Schedule.default mapping
+    :: List.init 6 (fun _ -> Schedule.random rng mapping)
   in
+  let best =
+    List.fold_left
+      (fun acc sched ->
+        Float.min acc (predict accel { mapping; schedule = sched }))
+      infinity quick
+  in
+  (best, List.length quick)
+
+let select_survivors screened =
   let by_screen =
     List.filteri
       (fun i _ -> i < 12)
@@ -112,28 +102,28 @@ let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3) ~rng ~accel
          (fun ((a : Mapping.t), _) (b, _) -> compare (key a) (key b))
          screened)
   in
-  let survivors =
-    List.fold_left
-      (fun acc (m, p) ->
-        if List.exists (fun (m', _) -> m' == m) acc then acc
-        else acc @ [ (m, p) ])
-      by_screen by_utilization
-  in
-  (* phase 2: full schedule search per surviving mapping *)
+  List.fold_left
+    (fun acc (m, p) ->
+      if List.exists (fun (m', _) -> m' == m) acc then acc
+      else acc @ [ (m, p) ])
+    by_screen by_utilization
+
+(* phase 2 unit: full genetic schedule search for one mapping, measuring
+   the [measure_top] best model-ranked schedules on the simulator.
+   Deterministic per mapping, like [screen_mapping]. *)
+let search_mapping ~population ~generations ~measure_top ~accel mapping =
+  let rng = Rng.create (mapping_seed mapping) in
+  let ranked = schedule_search ~population ~generations ~rng ~accel mapping in
   let plans =
-    List.concat_map
-      (fun (mapping, _) ->
-        let rng = Rng.create (mapping_seed base_seed mapping) in
-        let ranked = schedule_search ~population ~generations ~rng ~accel mapping in
-        evals := !evals + (population * (generations + 1));
-        List.filteri (fun i _ -> i < measure_top) ranked
-        |> List.map (fun (schedule, predicted) ->
-               let c = { mapping; schedule } in
-               let measured = measure accel c in
-               history := (predicted, measured) :: !history;
-               { candidate = c; predicted; measured }))
-      survivors
+    List.filteri (fun i _ -> i < measure_top) ranked
+    |> List.map (fun (schedule, predicted) ->
+           let c = { mapping; schedule } in
+           let measured = measure accel c in
+           { candidate = c; predicted; measured })
   in
+  (plans, population * (generations + 1))
+
+let assemble plans ~evaluations =
   let best =
     match plans with
     | [] -> invalid_arg "Explore.tune: no feasible plan"
@@ -142,7 +132,43 @@ let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3) ~rng ~accel
           (fun acc pl -> if pl.measured < acc.measured then pl else acc)
           p rest
   in
-  { best; evaluations = !evals; history = List.rev !history }
+  {
+    best;
+    evaluations;
+    history = List.map (fun p -> (p.predicted, p.measured)) plans;
+  }
+
+(* Two-phase exploration mirroring the paper's flow: the analytical model
+   first screens the mapping space cheaply, then each surviving mapping
+   gets a full schedule search (the same budget a template compiler would
+   spend on its single hand-written mapping), and the best model-ranked
+   plans are measured on the simulator. *)
+let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3) ~rng ~accel
+    ~mappings () =
+  if mappings = [] then invalid_arg "Explore.tune: no mappings";
+  (* historical draw, kept so callers sharing an rng see the same stream *)
+  let _base_seed = Rng.int rng 1_000_000_000 in
+  let evals = ref 0 in
+  let screened =
+    List.map
+      (fun mapping ->
+        let best, n = screen_mapping ~accel mapping in
+        evals := !evals + n;
+        (mapping, best))
+      mappings
+  in
+  let survivors = select_survivors screened in
+  let plans =
+    List.concat_map
+      (fun (mapping, _) ->
+        let plans, n =
+          search_mapping ~population ~generations ~measure_top ~accel mapping
+        in
+        evals := !evals + n;
+        plans)
+      survivors
+  in
+  assemble plans ~evaluations:!evals
 
 let tune_op ?population ?generations ?measure_top ?filter ~rng ~accel op =
   let mappings =

@@ -59,6 +59,43 @@ val tune_op :
     exposes (intrinsic selection is part of the search) and tunes;
     [None] when the operator has no valid mapping. *)
 
+(** {2 Decomposed search primitives}
+
+    [tune] is the sequential composition of the functions below.  Each
+    per-mapping unit derives its RNG stream from {!mapping_seed}, so the
+    work units are independent and deterministic: any partition of the
+    mapping list over parallel workers — see [Amos_service.Par_tune] —
+    reproduces [tune]'s results exactly. *)
+
+val mapping_seed : Mapping.t -> int
+(** Stable seed of a mapping's schedule-search stream: a hash of the
+    mapping structure, independent of surrounding mappings, callers and
+    workers. *)
+
+val screen_mapping : accel:Accelerator.t -> Mapping.t -> float * int
+(** Phase-1 unit: best predicted seconds of the default plus a few
+    random schedules, and the number of model evaluations spent. *)
+
+val select_survivors :
+  (Mapping.t * float) list -> (Mapping.t * float) list
+(** The mappings that earn a full schedule search: the best dozen by
+    screen score plus the highest-utilization fusions. *)
+
+val search_mapping :
+  population:int ->
+  generations:int ->
+  measure_top:int ->
+  accel:Accelerator.t ->
+  Mapping.t ->
+  plan list * int
+(** Phase-2 unit: genetic schedule search over one mapping; returns the
+    [measure_top] best plans (model rank order, simulator-measured) and
+    the evaluations spent. *)
+
+val assemble : plan list -> evaluations:int -> result
+(** Combine measured plans (in exploration order) into a [result];
+    raises [Invalid_argument] on the empty list. *)
+
 val sample :
   n:int ->
   rng:Amos_tensor.Rng.t ->

@@ -103,6 +103,28 @@ let run_compiled ~rng accel t ~input ~weights =
   in
   run_with exec t ~input ~weights
 
+let tensor_stages t =
+  List.mapi (fun i stage -> (i, stage)) t.stages
+  |> List.filter_map (function
+       | i, Op op -> Some (i, op)
+       | _, Relu -> None)
+
+let run_with_plans accel t ~plan_for ~input ~weights =
+  let idx = ref (-1) in
+  let exec op inputs =
+    match plan_for !idx op with
+    | Some (mapping, schedule) ->
+        let kernel = Codegen.lower accel mapping schedule in
+        Spatial_sim.Machine.run accel.Accelerator.config kernel ~inputs
+          ~out_shape:(op_output_shape op)
+    | None -> Spatial_sim.Scalar_backend.run op ~inputs
+  in
+  List.fold_left2
+    (fun data stage ws ->
+      incr idx;
+      match stage with Relu -> relu data | Op op -> exec op (data :: ws))
+    input t.stages weights
+
 let mini_cnn ?(channels = 4) () =
   let c = channels in
   (* spatial sizes chosen so outputs chain into the next 3x3 window *)

@@ -43,6 +43,23 @@ val run_compiled :
     preferring them, so the lowered kernels are exercised end-to-end);
     stages without a valid mapping execute on the scalar backend. *)
 
+val tensor_stages : t -> (int * Operator.t) list
+(** The [Op] stages with their positions in [stages], in order. *)
+
+val run_with_plans :
+  Accelerator.t ->
+  t ->
+  plan_for:(int -> Operator.t -> (Mapping.t * Schedule.t) option) ->
+  input:Amos_tensor.Nd.t ->
+  weights:Amos_tensor.Nd.t list list ->
+  Amos_tensor.Nd.t
+(** Execute with externally supplied plans (e.g. from a plan cache):
+    [plan_for idx op] is called once per tensor stage with the stage's
+    position in [stages]; [Some (mapping, schedule)] lowers and runs on
+    the spatial units, [None] falls back to the scalar backend.  No
+    tuning happens here, so the run is bit-reproducible from the plans
+    alone. *)
+
 val mini_cnn : ?channels:int -> unit -> t
 (** A small chainable CNN: conv3x3 -> relu -> conv3x3 -> relu ->
     depthwise3x3 -> pointwise 1x1. *)

@@ -1,0 +1,206 @@
+open Amos
+module Rng = Amos_tensor.Rng
+module Networks = Amos_workloads.Networks
+
+type source =
+  | Hit
+  | Tuned
+  | Repeat
+
+type stage_plan = {
+  stage_index : int;
+  op : Amos_ir.Operator.t;
+  fingerprint : string;
+  value : Plan_cache.value;
+  source : source;
+}
+
+type report = {
+  tensor_stages : int;
+  unique_stages : int;
+  cache_hits : int;
+  cache_misses : int;
+  evaluations : int;
+  tuning_seconds : float;
+}
+
+type t = {
+  accel : Accelerator.t;
+  pipeline : Pipeline.t;
+  plans : stage_plan list;
+  report : report;
+}
+
+(* the same scalar roofline [Compiler.tune] races the spatial plan
+   against; a cached Scalar marker records that the scalar units won *)
+let scalar_seconds accel op =
+  Spatial_sim.Scalar_backend.estimate_seconds ~efficiency:0.5
+    ~memory_efficiency:0.9 accel.Accelerator.config op
+
+let tune_fresh ~jobs ~(budget : Fingerprint.budget) accel op =
+  let rng = Rng.create budget.Fingerprint.seed in
+  match
+    Par_tune.tune_op ?jobs ~population:budget.Fingerprint.population
+      ~generations:budget.Fingerprint.generations
+      ~measure_top:budget.Fingerprint.measure_top ~rng ~accel op
+  with
+  | Some result
+    when result.Explore.best.Explore.measured < infinity
+         && result.Explore.best.Explore.measured <= scalar_seconds accel op ->
+      let c = result.Explore.best.Explore.candidate in
+      ( Plan_cache.Spatial (c.Explore.mapping, c.Explore.schedule),
+        result.Explore.evaluations )
+  | Some result -> (Plan_cache.Scalar, result.Explore.evaluations)
+  | None -> (Plan_cache.Scalar, 0)
+
+(* one compile run: a within-run memo over the cache, with counters *)
+type ctx = {
+  cache : Plan_cache.t;
+  budget : Fingerprint.budget;
+  jobs : int option;
+  memo : (string, Plan_cache.value) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evaluations : int;
+  mutable tuning_seconds : float;
+}
+
+let make_ctx ?jobs ?(budget = Fingerprint.default_budget) cache =
+  {
+    cache;
+    budget;
+    jobs;
+    memo = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+    evaluations = 0;
+    tuning_seconds = 0.;
+  }
+
+let tune_cached ctx accel op =
+  let fingerprint = Fingerprint.key ~accel ~op ~budget:ctx.budget in
+  let value, source =
+    match Hashtbl.find_opt ctx.memo fingerprint with
+    | Some v ->
+        ctx.hits <- ctx.hits + 1;
+        (v, Repeat)
+    | None -> (
+        match
+          Plan_cache.lookup ctx.cache ~accel ~op ~budget:ctx.budget
+        with
+        | Some v ->
+            ctx.hits <- ctx.hits + 1;
+            (v, Hit)
+        | None ->
+            ctx.misses <- ctx.misses + 1;
+            let t0 = Unix.gettimeofday () in
+            let v, evals = tune_fresh ~jobs:ctx.jobs ~budget:ctx.budget accel op in
+            ctx.tuning_seconds <-
+              ctx.tuning_seconds +. (Unix.gettimeofday () -. t0);
+            ctx.evaluations <- ctx.evaluations + evals;
+            Plan_cache.store ctx.cache ~accel ~op ~budget:ctx.budget v;
+            (v, Tuned))
+  in
+  Hashtbl.replace ctx.memo fingerprint value;
+  (fingerprint, value, source)
+
+let report_of ctx ~tensor_stages =
+  {
+    tensor_stages;
+    unique_stages = Hashtbl.length ctx.memo;
+    cache_hits = ctx.hits;
+    cache_misses = ctx.misses;
+    evaluations = ctx.evaluations;
+    tuning_seconds = ctx.tuning_seconds;
+  }
+
+let tune_op ?jobs ?budget ~cache accel op =
+  let ctx = make_ctx ?jobs ?budget cache in
+  let _, value, source = tune_cached ctx accel op in
+  (value, source)
+
+let compile ?jobs ?budget ~cache accel pipeline =
+  let ctx = make_ctx ?jobs ?budget cache in
+  let plans =
+    List.map
+      (fun (stage_index, op) ->
+        let fingerprint, value, source = tune_cached ctx accel op in
+        { stage_index; op; fingerprint; value; source })
+      (Pipeline.tensor_stages pipeline)
+  in
+  let report = report_of ctx ~tensor_stages:(List.length plans) in
+  { accel; pipeline; plans; report }
+
+let run t ~input ~weights =
+  let by_index = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace by_index p.stage_index p.value) t.plans;
+  Pipeline.run_with_plans t.accel t.pipeline
+    ~plan_for:(fun idx _op ->
+      match Hashtbl.find_opt by_index idx with
+      | Some (Plan_cache.Spatial (m, sched)) -> Some (m, sched)
+      | Some Plan_cache.Scalar | None -> None)
+    ~input ~weights
+
+(* network-inventory variant: the whole-model flow of [Compiler.map_network]
+   with dedup + caching.  Spatial layer times are re-derived from the plan
+   (the structural estimate the tuner measured), so a warm compile needs
+   no tuner at all. *)
+let compile_network ?jobs ?budget ~cache accel (net : Networks.t) =
+  let ctx = make_ctx ?jobs ?budget cache in
+  let tensor_layers = ref 0 in
+  let layers =
+    List.map
+      (fun (layer, mult) ->
+        match layer with
+        | Networks.Tensor_op op ->
+            incr tensor_layers;
+            let _, value, _ = tune_cached ctx accel op in
+            let mapped, layer_seconds =
+              match value with
+              | Plan_cache.Spatial (m, sched) ->
+                  ( true,
+                    Spatial_sim.Machine.estimate_seconds
+                      accel.Accelerator.config (Codegen.lower accel m sched) )
+              | Plan_cache.Scalar -> (false, scalar_seconds accel op)
+            in
+            {
+              Compiler.name = op.Amos_ir.Operator.name;
+              mult;
+              mapped;
+              layer_seconds;
+            }
+        | Networks.Elementwise { name; elems } ->
+            {
+              Compiler.name;
+              mult;
+              mapped = false;
+              layer_seconds =
+                Spatial_sim.Scalar_backend.estimate_elementwise
+                  accel.Accelerator.config ~elems;
+            })
+      net.Networks.layers
+  in
+  let report = report_of ctx ~tensor_stages:!tensor_layers in
+  ( {
+      Compiler.network_name = net.Networks.name;
+      total_ops = Networks.op_count net;
+      mapped_ops =
+        List.fold_left
+          (fun acc (l : Compiler.layer_report) ->
+            if l.Compiler.mapped then acc + l.Compiler.mult else acc)
+          0 layers;
+      network_seconds =
+        List.fold_left
+          (fun acc (l : Compiler.layer_report) ->
+            acc +. (float_of_int l.Compiler.mult *. l.Compiler.layer_seconds))
+          0. layers;
+      layers;
+    },
+    report )
+
+let describe_report r =
+  Printf.sprintf
+    "%d tensor stages (%d unique): %d served from cache, %d tuned (%d \
+     evaluations, %.2fs tuning)"
+    r.tensor_stages r.unique_stages r.cache_hits r.cache_misses r.evaluations
+    r.tuning_seconds

@@ -1,0 +1,84 @@
+(** Whole-network compilation through the plan service.
+
+    Walks a {!Amos.Pipeline.t}, fingerprints every tensor stage,
+    deduplicates stages that are structurally identical (real networks
+    repeat the same operator shape dozens of times), serves repeats and
+    previously tuned operators from a {!Plan_cache}, and tunes only the
+    genuinely new ones — in parallel via {!Par_tune}.  The report says
+    how much of the compile was served from cache and how much wall
+    clock went into tuning; a fully warm cache compiles with zero tuner
+    evaluations. *)
+
+open Amos
+
+type source =
+  | Hit  (** served from the cache *)
+  | Tuned  (** tuned this run (and stored) *)
+  | Repeat  (** duplicate of an earlier stage in the same network *)
+
+type stage_plan = {
+  stage_index : int;  (** position in [Pipeline.stages] *)
+  op : Amos_ir.Operator.t;
+  fingerprint : string;
+  value : Plan_cache.value;
+  source : source;
+}
+
+type report = {
+  tensor_stages : int;
+  unique_stages : int;  (** distinct fingerprints *)
+  cache_hits : int;  (** stages served without tuning (Hit + Repeat) *)
+  cache_misses : int;  (** stages that required tuning *)
+  evaluations : int;  (** tuner evaluations spent *)
+  tuning_seconds : float;  (** wall clock spent in the tuner *)
+}
+
+type t = {
+  accel : Accelerator.t;
+  pipeline : Pipeline.t;
+  plans : stage_plan list;
+  report : report;
+}
+
+val compile :
+  ?jobs:int ->
+  ?budget:Fingerprint.budget ->
+  cache:Plan_cache.t ->
+  Accelerator.t ->
+  Pipeline.t ->
+  t
+
+val scalar_seconds : Accelerator.t -> Amos_ir.Operator.t -> float
+(** The tuned-scalar roofline spatial plans must beat (the same one
+    [Compiler.tune] uses). *)
+
+val tune_op :
+  ?jobs:int ->
+  ?budget:Fingerprint.budget ->
+  cache:Plan_cache.t ->
+  Accelerator.t ->
+  Amos_ir.Operator.t ->
+  Plan_cache.value * source
+(** Single-operator entry: serve from the cache or tune and store.  The
+    value races the spatial plan against the scalar roofline exactly as
+    [Compiler.tune] does, so [Scalar] means the scalar units won. *)
+
+val compile_network :
+  ?jobs:int ->
+  ?budget:Fingerprint.budget ->
+  cache:Plan_cache.t ->
+  Accelerator.t ->
+  Amos_workloads.Networks.t ->
+  Compiler.network_report * report
+(** [Compiler.map_network] through the plan service: structurally
+    identical layers tune once, repeats and warm-cache layers are free. *)
+
+val run :
+  t ->
+  input:Amos_tensor.Nd.t ->
+  weights:Amos_tensor.Nd.t list list ->
+  Amos_tensor.Nd.t
+(** Execute the compiled network on the simulator.  No tuning happens
+    here, so results are bit-reproducible from the plans alone. *)
+
+val describe_report : report -> string

@@ -1,0 +1,32 @@
+(** Content-addressed keys for tuned plans.
+
+    A plan is reusable exactly when the tuner would reproduce it: same
+    operator {e structure and shape} (names do not matter — the conv3x3
+    repeated 4x inside ResNet hits one cache line no matter what each
+    layer is called), same accelerator, same tuning budget and seed.
+    The fingerprint is an MD5 over a canonical rendering of those four
+    components; iteration variables are referred to by position, never
+    by their globally unique ids, so two structurally identical
+    operators built at different times fingerprint identically. *)
+
+open Amos
+open Amos_ir
+
+type budget = {
+  population : int;
+  generations : int;
+  measure_top : int;
+  seed : int;  (** tuning seed; part of the key for reproducibility *)
+}
+
+val default_budget : budget
+(** [Explore.tune]'s defaults with seed 2022 (the CLI default). *)
+
+val operator : Operator.t -> string
+(** Canonical structural rendering of an operator (name-independent). *)
+
+val accelerator : Accelerator.t -> string
+(** Canonical rendering of the machine config and intrinsic set. *)
+
+val key : accel:Accelerator.t -> op:Operator.t -> budget:budget -> string
+(** 32-hex-char content fingerprint. *)

@@ -1,0 +1,78 @@
+open Amos
+module Rng = Amos_tensor.Rng
+
+let default_jobs () = min 8 (Domain.recommended_domain_count ())
+
+(* Order-preserving parallel map: [jobs - 1] spawned domains plus the
+   calling one pull task indices from a shared atomic counter and write
+   into a per-index slot, so the merge order — and therefore the final
+   result — is independent of scheduling.  The work units themselves are
+   deterministic (their RNG streams derive from the mapping, not the
+   worker), which is what makes this fan-out safe. *)
+let parallel_map ~jobs f arr =
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f arr.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let tune ?jobs ?(population = 16) ?(generations = 8) ?(measure_top = 3) ~rng
+    ~accel ~mappings () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if mappings = [] then invalid_arg "Par_tune.tune: no mappings";
+  (* same historical draw as [Explore.tune], so a shared rng advances
+     identically whichever front-end the caller picks *)
+  let _base_seed = Rng.int rng 1_000_000_000 in
+  let marr = Array.of_list mappings in
+  let screened =
+    parallel_map ~jobs (fun m -> (m, Explore.screen_mapping ~accel m)) marr
+  in
+  let screen_evals =
+    Array.fold_left (fun acc (_, (_, n)) -> acc + n) 0 screened
+  in
+  let survivors =
+    Explore.select_survivors
+      (Array.to_list (Array.map (fun (m, (best, _)) -> (m, best)) screened))
+  in
+  let searched =
+    parallel_map ~jobs
+      (fun (m, _) ->
+        Explore.search_mapping ~population ~generations ~measure_top ~accel m)
+      (Array.of_list survivors)
+  in
+  let evaluations =
+    Array.fold_left (fun acc (_, n) -> acc + n) screen_evals searched
+  in
+  let plans = List.concat_map fst (Array.to_list searched) in
+  Explore.assemble plans ~evaluations
+
+let tune_op ?jobs ?population ?generations ?measure_top ?filter ~rng ~accel op
+    =
+  let mappings =
+    List.concat_map
+      (fun intr ->
+        List.map Mapping.make (Mapping_gen.generate_op ?filter op intr))
+      accel.Accelerator.intrinsics
+  in
+  match mappings with
+  | [] -> None
+  | _ ->
+      Some
+        (tune ?jobs ?population ?generations ?measure_top ~rng ~accel
+           ~mappings ())

@@ -1,0 +1,41 @@
+(** Domain-parallel mapping x schedule exploration.
+
+    A drop-in front-end to {!Amos.Explore.tune} that fans the
+    per-mapping work units (model screening, then the genetic schedule
+    searches) out across OCaml 5 domains.  Determinism is preserved by
+    construction: every work unit draws its RNG stream from
+    [Explore.mapping_seed] — a hash of the mapping itself — and results
+    are merged back in the sequential order, so the result is the same
+    for any [jobs], including [jobs = 1] which is bit-identical to
+    [Explore.tune]. *)
+
+open Amos
+open Amos_ir
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count], capped at 8. *)
+
+val tune :
+  ?jobs:int ->
+  ?population:int ->
+  ?generations:int ->
+  ?measure_top:int ->
+  rng:Amos_tensor.Rng.t ->
+  accel:Accelerator.t ->
+  mappings:Mapping.t list ->
+  unit ->
+  Explore.result
+(** Same contract as [Explore.tune]; [jobs] defaults to
+    {!default_jobs}. *)
+
+val tune_op :
+  ?jobs:int ->
+  ?population:int ->
+  ?generations:int ->
+  ?measure_top:int ->
+  ?filter:bool ->
+  rng:Amos_tensor.Rng.t ->
+  accel:Accelerator.t ->
+  Operator.t ->
+  Explore.result option
+(** Same contract as [Explore.tune_op]. *)

@@ -1,0 +1,288 @@
+open Amos
+
+type value =
+  | Spatial of Mapping.t * Schedule.t
+  | Scalar
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  lru_evictions : int;
+  corrupt_evictions : int;
+}
+
+(* memory entries keep the serialized text, not the parsed plan: parsing
+   through [Plan_io.load] on every hit is what re-runs the Algorithm-1
+   validation against the operator actually being compiled *)
+type entry = {
+  kind : [ `Spatial of string (* Plan_io text *) | `Scalar ];
+  mutable last_use : int;
+}
+
+type t = {
+  dir : string option;
+  mem_capacity : int;
+  mem : (string, entry) Hashtbl.t;
+  index : (string, unit) Hashtbl.t;  (** live on-disk fingerprints *)
+  mutable tick : int;
+  mutable journal_ops : int;  (** lines in the journal file *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable lru_evictions : int;
+  mutable corrupt_evictions : int;
+}
+
+let dir t = t.dir
+let journal_path dir = Filename.concat dir "journal.txt"
+let entry_path dir fp = Filename.concat dir (fp ^ ".plan")
+
+let append_journal t op fp =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+      let oc =
+        open_out_gen [ Open_append; Open_creat ] 0o644 (journal_path dir)
+      in
+      Printf.fprintf oc "%s %s\n" op fp;
+      close_out oc;
+      t.journal_ops <- t.journal_ops + 1
+
+let write_journal dir fps =
+  let tmp = journal_path dir ^ ".tmp" in
+  let oc = open_out tmp in
+  List.iter (fun fp -> Printf.fprintf oc "add %s\n" fp) fps;
+  close_out oc;
+  Sys.rename tmp (journal_path dir)
+
+let replay_journal dir index =
+  let path = journal_path dir in
+  let ops = ref 0 in
+  (if Sys.file_exists path then
+     In_channel.with_open_text path (fun ic ->
+         try
+           while true do
+             (match String.split_on_char ' ' (input_line ic) with
+             | [ "add"; fp ] -> Hashtbl.replace index fp ()
+             | [ "del"; fp ] -> Hashtbl.remove index fp
+             | _ -> () (* torn trailing line: ignore *));
+             incr ops
+           done
+         with End_of_file -> ()));
+  !ops
+
+let create ?(mem_capacity = 256) ?dir () =
+  let index = Hashtbl.create 64 in
+  let journal_ops = ref 0 in
+  (match dir with
+  | None -> ()
+  | Some d ->
+      if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+      journal_ops := replay_journal d index;
+      (* drop index entries whose file vanished behind our back *)
+      Hashtbl.iter
+        (fun fp () ->
+          if not (Sys.file_exists (entry_path d fp)) then
+            Hashtbl.remove index fp)
+        (Hashtbl.copy index);
+      (* compact a journal bloated by dead add/del pairs *)
+      if !journal_ops > (2 * Hashtbl.length index) + 16 then begin
+        write_journal d (Hashtbl.fold (fun fp () acc -> fp :: acc) index []);
+        journal_ops := Hashtbl.length index
+      end);
+  {
+    dir;
+    mem_capacity = max 1 mem_capacity;
+    mem = Hashtbl.create 64;
+    index;
+    tick = 0;
+    journal_ops = !journal_ops;
+    hits = 0;
+    misses = 0;
+    stores = 0;
+    lru_evictions = 0;
+    corrupt_evictions = 0;
+  }
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick
+
+let lru_insert t fp kind =
+  if not (Hashtbl.mem t.mem fp) && Hashtbl.length t.mem >= t.mem_capacity
+  then begin
+    let victim =
+      Hashtbl.fold
+        (fun fp e acc ->
+          match acc with
+          | Some (_, best) when best <= e.last_use -> acc
+          | _ -> Some (fp, e.last_use))
+        t.mem None
+    in
+    match victim with
+    | Some (vfp, _) ->
+        Hashtbl.remove t.mem vfp;
+        t.lru_evictions <- t.lru_evictions + 1
+    | None -> ()
+  end;
+  let e = { kind; last_use = 0 } in
+  touch t e;
+  Hashtbl.replace t.mem fp e
+
+(* --- disk layer ---------------------------------------------------- *)
+
+let header_magic = "amos-plan-cache 1"
+
+let write_entry dir fp ~op_name ~accel_name kind =
+  let body =
+    match kind with
+    | `Scalar -> "kind scalar\n---\n"
+    | `Spatial text -> Printf.sprintf "kind spatial\n---\n%s" text
+  in
+  let content =
+    Printf.sprintf "%s\nfingerprint %s\nop %s\naccel %s\n%s" header_magic fp
+      op_name accel_name body
+  in
+  let tmp = entry_path dir fp ^ ".tmp" in
+  Out_channel.with_open_text tmp (fun oc -> Out_channel.output_string oc content);
+  Sys.rename tmp (entry_path dir fp)
+
+let read_entry dir fp =
+  let path = entry_path dir fp in
+  if not (Sys.file_exists path) then None
+  else
+    let content = In_channel.with_open_text path In_channel.input_all in
+    let lines = String.split_on_char '\n' content in
+    let rec split_header acc = function
+      | "---" :: body -> Some (List.rev acc, String.concat "\n" body)
+      | l :: rest -> split_header (l :: acc) rest
+      | [] -> None
+    in
+    match split_header [] lines with
+    | Some (header, body)
+      when List.mem header_magic header
+           && List.mem ("fingerprint " ^ fp) header ->
+        if List.mem "kind scalar" header then Some `Scalar
+        else if List.mem "kind spatial" header then Some (`Spatial body)
+        else None
+    | Some _ | None -> None
+
+let evict_everywhere t fp =
+  Hashtbl.remove t.mem fp;
+  match t.dir with
+  | None -> ()
+  | Some d ->
+      if Hashtbl.mem t.index fp then begin
+        Hashtbl.remove t.index fp;
+        (try Sys.remove (entry_path d fp) with Sys_error _ -> ());
+        append_journal t "del" fp
+      end
+
+(* --- public API ----------------------------------------------------- *)
+
+let validate ~accel ~op kind =
+  match kind with
+  | `Scalar -> Some Scalar
+  | `Spatial text -> (
+      match Plan_io.load accel op text with
+      | Some (m, sched) -> Some (Spatial (m, sched))
+      | None -> None)
+
+let lookup t ~accel ~op ~budget =
+  let fp = Fingerprint.key ~accel ~op ~budget in
+  let kind =
+    match Hashtbl.find_opt t.mem fp with
+    | Some e ->
+        touch t e;
+        Some e.kind
+    | None -> (
+        match t.dir with
+        | Some d when Hashtbl.mem t.index fp -> (
+            match read_entry d fp with
+            | Some kind ->
+                lru_insert t fp kind;
+                Some kind
+            | None ->
+                (* unreadable / corrupt header *)
+                t.corrupt_evictions <- t.corrupt_evictions + 1;
+                evict_everywhere t fp;
+                None)
+        | _ -> None)
+  in
+  match kind with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some kind -> (
+      match validate ~accel ~op kind with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          Some v
+      | None ->
+          (* loaded but failed to re-bind / re-validate (Algorithm 1) *)
+          t.corrupt_evictions <- t.corrupt_evictions + 1;
+          evict_everywhere t fp;
+          t.misses <- t.misses + 1;
+          None)
+
+let store t ~accel ~op ~budget v =
+  let fp = Fingerprint.key ~accel ~op ~budget in
+  let kind =
+    match v with
+    | Scalar -> `Scalar
+    | Spatial (m, sched) -> `Spatial (Plan_io.save m sched)
+  in
+  lru_insert t fp kind;
+  (match t.dir with
+  | None -> ()
+  | Some d ->
+      write_entry d fp ~op_name:op.Amos_ir.Operator.name
+        ~accel_name:accel.Accelerator.name kind;
+      if not (Hashtbl.mem t.index fp) then begin
+        Hashtbl.replace t.index fp ();
+        append_journal t "add" fp
+      end);
+  t.stores <- t.stores + 1
+
+let mem_size t = Hashtbl.length t.mem
+let disk_size t = Hashtbl.length t.index
+
+let disk_bytes t =
+  match t.dir with
+  | None -> 0
+  | Some d ->
+      Hashtbl.fold
+        (fun fp () acc ->
+          acc
+          + (try (Unix.stat (entry_path d fp)).Unix.st_size
+             with Unix.Unix_error _ -> 0))
+        t.index 0
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    stores = t.stores;
+    lru_evictions = t.lru_evictions;
+    corrupt_evictions = t.corrupt_evictions;
+  }
+
+let clear t =
+  Hashtbl.reset t.mem;
+  (match t.dir with
+  | None -> ()
+  | Some d ->
+      Hashtbl.iter
+        (fun fp () ->
+          try Sys.remove (entry_path d fp) with Sys_error _ -> ())
+        t.index;
+      Hashtbl.reset t.index;
+      write_journal d [];
+      t.journal_ops <- 0);
+  t.tick <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.stores <- 0;
+  t.lru_evictions <- 0;
+  t.corrupt_evictions <- 0

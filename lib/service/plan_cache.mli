@@ -1,0 +1,65 @@
+(** Persistent, content-addressed store of tuned plans.
+
+    Two layers: an in-memory LRU of recently used entries over an
+    on-disk directory of {!Amos.Plan_io} text files (one file per
+    fingerprint, atomically written) plus an append-only journaled index
+    ([journal.txt], [add]/[del] lines, compacted on open when it grows
+    past twice the live set).
+
+    Every lookup re-binds the stored text to the requesting operator and
+    accelerator through [Plan_io.load], which re-runs the Algorithm-1
+    mapping validation — a corrupt, truncated or stale entry therefore
+    fails to load, is {e evicted} (memory, disk and journal) and the
+    caller falls back to tuning.  The cache can never serve a plan that
+    does not validate against the operator in hand.
+
+    Scalar decisions ("the tuner chose the scalar units for this
+    operator") are cached as explicit markers so that a warm cache
+    avoids re-tuning unmappable operators too.
+
+    A cache value is owned by one domain: share it across parallel
+    tuning by doing lookups/stores on the coordinating domain (as
+    {!Batch_compile} does), not from workers. *)
+
+open Amos
+open Amos_ir
+
+type t
+
+type value =
+  | Spatial of Mapping.t * Schedule.t
+  | Scalar  (** the tuner decided this operator runs on the scalar units *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  lru_evictions : int;  (** memory-layer capacity evictions *)
+  corrupt_evictions : int;
+      (** entries that failed re-validation and were deleted *)
+}
+
+val create : ?mem_capacity:int -> ?dir:string -> unit -> t
+(** [dir] is created if missing; omit it for a memory-only cache.
+    [mem_capacity] bounds the in-memory layer (default 256 entries); the
+    disk layer is unbounded. *)
+
+val dir : t -> string option
+
+val lookup :
+  t -> accel:Accelerator.t -> op:Operator.t -> budget:Fingerprint.budget ->
+  value option
+(** [None] is a miss (absent, or present but failed re-validation). *)
+
+val store :
+  t -> accel:Accelerator.t -> op:Operator.t -> budget:Fingerprint.budget ->
+  value -> unit
+
+val mem_size : t -> int
+val disk_size : t -> int
+(** Number of live fingerprints in the index (0 for memory-only). *)
+
+val disk_bytes : t -> int
+val stats : t -> stats
+val clear : t -> unit
+(** Drop every entry, on disk too; resets statistics. *)

@@ -71,4 +71,53 @@ let roundtrip_tests =
         | [] -> Alcotest.fail "no mapping");
   ]
 
-let suites = [ ("plan_io.roundtrip", roundtrip_tests) ]
+(* Every operator of the evaluation suite (Sec 7.2's 15 kinds x ~8
+   configs) must round-trip: for each op that has a valid mapping on
+   some accelerator, saving the default plan and loading it back yields
+   the same mapping and a validating schedule.  The ascend preset's
+   cube + vector intrinsics cover the reduction kinds (MEN/VAR/SCN/GMV)
+   the A100's matrix intrinsics cannot map. *)
+let suite_roundtrip_tests =
+  let accels = [ Accelerator.a100 (); Accelerator.ascend_like () ] in
+  let roundtrips = ref 0 and unmappable = ref 0 in
+  let check_op (kind, (op : Amos_ir.Operator.t)) =
+    let accel =
+      List.find_opt (fun a -> Compiler.mappings a op <> []) accels
+    in
+    match accel with
+    | None -> incr unmappable
+    | Some accel -> (
+        let m = List.hd (Compiler.mappings accel op) in
+        let sched = Schedule.default m in
+        let text = Plan_io.save m sched in
+        match Plan_io.load accel op text with
+        | None ->
+            Alcotest.failf "%s op %s failed to reload"
+              (Ops.kind_name kind) op.Amos_ir.Operator.name
+        | Some (m', sched') ->
+            incr roundtrips;
+            Alcotest.(check string)
+              (op.Amos_ir.Operator.name ^ " mapping preserved")
+              (Mapping.describe m) (Mapping.describe m');
+            Alcotest.(check bool)
+              (op.Amos_ir.Operator.name ^ " schedule validates")
+              true
+              (Schedule.validate m' sched'))
+  in
+  [
+    Alcotest.test_case "whole-suite-roundtrip" `Quick (fun () ->
+        List.iter check_op (Amos_workloads.Suites.operator_suite ~batch:1);
+        (* the suite is overwhelmingly mappable; a regression that
+           silently skips most ops must not pass as vacuous success *)
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtripped %d ops (%d unmappable)" !roundtrips
+             !unmappable)
+          true
+          (!roundtrips > 80 && !unmappable < 40));
+  ]
+
+let suites =
+  [
+    ("plan_io.roundtrip", roundtrip_tests);
+    ("plan_io.suite", suite_roundtrip_tests);
+  ]

@@ -572,6 +572,85 @@ let service () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: crash-recovery cost and degradation overhead             *)
+
+let robustness () =
+  header "Robustness: injected crashes, fsck repair cost, scalar degradation";
+  let module Fs_io = Amos_service.Fs_io in
+  let module Plan_cache = Amos_service.Plan_cache in
+  let module Batch_compile = Amos_service.Batch_compile in
+  let module Fingerprint = Amos_service.Fingerprint in
+  let accel =
+    let base = Accelerator.v100 () in
+    { base with Accelerator.intrinsics = [ Intrinsic.toy_mma_2x2x2 () ] }
+  in
+  let budget =
+    { Fingerprint.default_budget with Fingerprint.population = 4;
+      generations = 2; seed = 2200 }
+  in
+  let fresh_dir tag =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "amos-bench-robust-%s-%d" tag (Unix.getpid ()))
+    in
+    if Sys.file_exists d then
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    d
+  in
+  (* fsck wall clock over a populated directory *)
+  let dir = fresh_dir "fsck" in
+  let cache = Plan_cache.create ~dir () in
+  List.iter
+    (fun k ->
+      let op = Ops.gemm ~m:4 ~n:4 ~k () in
+      Plan_cache.store cache ~accel ~op ~budget Plan_cache.Scalar)
+    (List.init 100 (fun i -> 2 * (i + 1)));
+  let t0 = Unix.gettimeofday () in
+  let r = Plan_cache.fsck ~dir () in
+  let fsck_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "fsck over %d entries: %.1f ms (clean=%b)\n%!"
+    r.Plan_cache.live (1e3 *. fsck_s) (Plan_cache.fsck_clean r);
+  (* crash at each injected fault point, then time the repair *)
+  let crash_points =
+    [ ("torn entry write", { Fs_io.op = Fs_io.Write; after = 0; mode = Fs_io.Torn 10 });
+      ("lost entry rename", { Fs_io.op = Fs_io.Rename; after = 0; mode = Fs_io.Crash_before });
+      ("torn journal append", { Fs_io.op = Fs_io.Append; after = 0; mode = Fs_io.Torn 3 });
+    ]
+  in
+  let op = Ops.conv2d ~n:2 ~c:2 ~k:2 ~p:4 ~q:4 ~r:3 ~s:3 () in
+  List.iter
+    (fun (name, fault) ->
+      let dir = fresh_dir "crash" in
+      let faulty = Plan_cache.create ~fs:(Fs_io.faulty [ fault ]) ~dir () in
+      (try
+         let v, _ = Batch_compile.tune_op ~budget ~cache:faulty accel op in
+         Plan_cache.store faulty ~accel ~op ~budget v
+       with Fs_io.Crashed _ | Fs_io.Injected _ -> ());
+      let t0 = Unix.gettimeofday () in
+      let r = Plan_cache.fsck ~dir () in
+      let ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+      Printf.printf
+        "crash at %-20s -> fsck %.1f ms: %d live, %d adopted, %d \
+         quarantined, %d tmp swept\n%!"
+        name ms r.Plan_cache.live r.Plan_cache.adopted
+        r.Plan_cache.quarantined r.Plan_cache.tmp_removed)
+    crash_points;
+  (* degradation: a broken tuner (measure_top = 0 yields no plans) must
+     cost only the failed attempts, not the network *)
+  let broken = { budget with Fingerprint.measure_top = 0 } in
+  let net = Networks.resnet18 ~batch:1 in
+  let cache = Plan_cache.create () in
+  let t0 = Unix.gettimeofday () in
+  let report, service = Batch_compile.compile_network ~budget:broken ~cache accel net in
+  let s = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "degraded resnet18 compile: %.2fs, %d/%d stages degraded to scalar, \
+     latency still reported (%.3f ms)\n%!"
+    s service.Batch_compile.degraded_stages
+    service.Batch_compile.tensor_stages
+    (1e3 *. report.Compiler.network_seconds)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler hot paths                  *)
 
 let micro () =
@@ -647,7 +726,7 @@ let experiments =
     ("fig5", fig5); ("fig6ab", fig6ab); ("fig6c", fig6c); ("fig7", fig7);
     ("fig7e", fig7e); ("fig8a", fig8a); ("fig8b", fig8b); ("fig9", fig9);
     ("layout", layout); ("newaccel", newaccel); ("ablate", ablate);
-    ("service", service); ("micro", micro);
+    ("service", service); ("robustness", robustness); ("micro", micro);
   ]
 
 let () =

@@ -273,6 +273,8 @@ let tune_cmd =
         | Batch_compile.Hit, _ -> print_endline "[served from plan cache]"
         | Batch_compile.Tuned, Some dir ->
             Printf.printf "[tuned and cached in %s]\n" dir
+        | Batch_compile.Degraded, _ ->
+            print_endline "[tuning failed; degraded to scalar fallback]"
         | _ -> ());
         let plan = compiler_plan accel op value in
         print_endline (Compiler.describe plan);
@@ -446,11 +448,31 @@ let cache_warm_cmd =
     Term.(const run $ verbose_arg $ cache_dir_required $ accel_arg
           $ network_arg $ batch_arg $ seed_arg $ jobs_arg)
 
+let cache_fsck_cmd =
+  let run dir =
+    let r = Plan_cache.fsck ~dir () in
+    print_string (Plan_cache.describe_fsck r);
+    if not (Plan_cache.fsck_clean r) then begin
+      print_endline
+        "fsck: anomalies found and repaired (corrupt entries quarantined, \
+         dead journal lines dropped)";
+      exit 1
+    end
+    else print_endline "fsck: clean"
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Replay the journal, validate every entry header, adopt orphans, \
+          quarantine corruption and sweep abandoned temp files.  Exits 1 \
+          when anomalies were found (they are repaired regardless).")
+    Term.(const run $ cache_dir_required)
+
 let cache_cmd =
   Cmd.group
     (Cmd.info "cache"
-       ~doc:"Inspect, clear or warm the persistent tuning cache")
-    [ cache_stats_cmd; cache_clear_cmd; cache_warm_cmd ]
+       ~doc:"Inspect, clear, warm or repair the persistent tuning cache")
+    [ cache_stats_cmd; cache_clear_cmd; cache_warm_cmd; cache_fsck_cmd ]
 
 (* --- abstraction --------------------------------------------------- *)
 

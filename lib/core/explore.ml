@@ -15,6 +15,7 @@ type result = {
   best : plan;
   evaluations : int;
   history : (float * float) list;
+  failures : (string * string) list;
 }
 
 let predict accel c =
@@ -123,10 +124,17 @@ let search_mapping ~population ~generations ~measure_top ~accel mapping =
   in
   (plans, population * (generations + 1))
 
-let assemble plans ~evaluations =
+let assemble ?(failures = []) plans ~evaluations =
   let best =
     match plans with
-    | [] -> invalid_arg "Explore.tune: no feasible plan"
+    | [] -> (
+        match failures with
+        | [] -> invalid_arg "Explore.tune: no feasible plan"
+        | fs ->
+            failwith
+              (Printf.sprintf "Explore.tune: every mapping failed: %s"
+                 (String.concat "; "
+                    (List.map (fun (m, e) -> m ^ ": " ^ e) fs))))
     | p :: rest ->
         List.fold_left
           (fun acc pl -> if pl.measured < acc.measured then pl else acc)
@@ -136,6 +144,7 @@ let assemble plans ~evaluations =
     best;
     evaluations;
     history = List.map (fun p -> (p.predicted, p.measured)) plans;
+    failures;
   }
 
 (* Two-phase exploration mirroring the paper's flow: the analytical model
@@ -149,26 +158,40 @@ let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3) ~rng ~accel
   (* historical draw, kept so callers sharing an rng see the same stream *)
   let _base_seed = Rng.int rng 1_000_000_000 in
   let evals = ref 0 in
+  let failures = ref [] in
+  let record mapping e =
+    failures := (Mapping.describe mapping, Printexc.to_string e) :: !failures
+  in
+  (* a raising per-mapping unit loses that mapping, not the search: the
+     siblings' results survive and the failure is reported by name *)
   let screened =
-    List.map
+    List.filter_map
       (fun mapping ->
-        let best, n = screen_mapping ~accel mapping in
-        evals := !evals + n;
-        (mapping, best))
+        match screen_mapping ~accel mapping with
+        | best, n ->
+            evals := !evals + n;
+            Some (mapping, best)
+        | exception e ->
+            record mapping e;
+            None)
       mappings
   in
   let survivors = select_survivors screened in
   let plans =
     List.concat_map
       (fun (mapping, _) ->
-        let plans, n =
+        match
           search_mapping ~population ~generations ~measure_top ~accel mapping
-        in
-        evals := !evals + n;
-        plans)
+        with
+        | plans, n ->
+            evals := !evals + n;
+            plans
+        | exception e ->
+            record mapping e;
+            [])
       survivors
   in
-  assemble plans ~evaluations:!evals
+  assemble ~failures:(List.rev !failures) plans ~evaluations:!evals
 
 let tune_op ?population ?generations ?measure_top ?filter ~rng ~accel op =
   let mappings =

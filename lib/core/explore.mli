@@ -27,6 +27,10 @@ type result = {
   evaluations : int;
   history : (float * float) list;
       (** (predicted, measured) per explored candidate, in order *)
+  failures : (string * string) list;
+      (** per-mapping search errors, as ([Mapping.describe], error
+          message) pairs: a raising work unit loses that mapping only —
+          the siblings' plans still compete for [best] *)
 }
 
 val tune :
@@ -92,9 +96,11 @@ val search_mapping :
     [measure_top] best plans (model rank order, simulator-measured) and
     the evaluations spent. *)
 
-val assemble : plan list -> evaluations:int -> result
+val assemble :
+  ?failures:(string * string) list -> plan list -> evaluations:int -> result
 (** Combine measured plans (in exploration order) into a [result];
-    raises [Invalid_argument] on the empty list. *)
+    raises [Invalid_argument] on the empty list with no failures, and
+    [Failure] (naming every failed mapping) when all mappings failed. *)
 
 val sample :
   n:int ->

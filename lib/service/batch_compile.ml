@@ -2,10 +2,16 @@ open Amos
 module Rng = Amos_tensor.Rng
 module Networks = Amos_workloads.Networks
 
+let log_src =
+  Logs.Src.create "amos.service" ~doc:"AMOS plan service degradation events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type source =
   | Hit
   | Tuned
   | Repeat
+  | Degraded
 
 type stage_plan = {
   stage_index : int;
@@ -22,6 +28,7 @@ type report = {
   cache_misses : int;
   evaluations : int;
   tuning_seconds : float;
+  degraded_stages : int;
 }
 
 type t = {
@@ -63,6 +70,7 @@ type ctx = {
   mutable misses : int;
   mutable evaluations : int;
   mutable tuning_seconds : float;
+  mutable degraded : int;
 }
 
 let make_ctx ?jobs ?(budget = Fingerprint.default_budget) cache =
@@ -75,31 +83,68 @@ let make_ctx ?jobs ?(budget = Fingerprint.default_budget) cache =
     misses = 0;
     evaluations = 0;
     tuning_seconds = 0.;
+    degraded = 0;
   }
 
+(* Graceful degradation: a stage whose cache lookup, tuning, or plan
+   store raises must not abort the whole network compile.  A failing
+   lookup falls through to tuning; failing tuning falls back to the
+   scalar plan (marked [Degraded], never cached, so a later run
+   retries); a failing store keeps the freshly tuned plan in memory
+   and moves on. *)
 let tune_cached ctx accel op =
   let fingerprint = Fingerprint.key ~accel ~op ~budget:ctx.budget in
+  let op_name = op.Amos_ir.Operator.name in
   let value, source =
     match Hashtbl.find_opt ctx.memo fingerprint with
     | Some v ->
         ctx.hits <- ctx.hits + 1;
         (v, Repeat)
     | None -> (
-        match
-          Plan_cache.lookup ctx.cache ~accel ~op ~budget:ctx.budget
-        with
+        let cached =
+          match Plan_cache.lookup ctx.cache ~accel ~op ~budget:ctx.budget with
+          | v -> v
+          (* a simulated process death must stay fatal or fault-plan
+             tests would "survive" their own crash *)
+          | exception (Fs_io.Crashed _ as e) -> raise e
+          | exception e ->
+              Log.warn (fun m ->
+                  m "cache lookup failed for %s (%s); tuning instead" op_name
+                    (Printexc.to_string e));
+              None
+        in
+        match cached with
         | Some v ->
             ctx.hits <- ctx.hits + 1;
             (v, Hit)
-        | None ->
+        | None -> (
             ctx.misses <- ctx.misses + 1;
             let t0 = Unix.gettimeofday () in
-            let v, evals = tune_fresh ~jobs:ctx.jobs ~budget:ctx.budget accel op in
+            let outcome =
+              match tune_fresh ~jobs:ctx.jobs ~budget:ctx.budget accel op with
+              | v, evals -> Ok (v, evals)
+              | exception (Fs_io.Crashed _ as e) -> raise e
+              | exception e -> Error e
+            in
             ctx.tuning_seconds <-
               ctx.tuning_seconds +. (Unix.gettimeofday () -. t0);
-            ctx.evaluations <- ctx.evaluations + evals;
-            Plan_cache.store ctx.cache ~accel ~op ~budget:ctx.budget v;
-            (v, Tuned))
+            match outcome with
+            | Ok (v, evals) ->
+                ctx.evaluations <- ctx.evaluations + evals;
+                (try Plan_cache.store ctx.cache ~accel ~op ~budget:ctx.budget v
+                 with
+                | Fs_io.Crashed _ as e -> raise e
+                | e ->
+                    Log.warn (fun m ->
+                        m "plan store failed for %s (%s); continuing uncached"
+                          op_name (Printexc.to_string e)));
+                (v, Tuned)
+            | Error e ->
+                ctx.degraded <- ctx.degraded + 1;
+                Log.warn (fun m ->
+                    m "tuning failed for %s (%s); degrading to scalar plan"
+                      op_name (Printexc.to_string e));
+                (Plan_cache.Scalar, Degraded)))
   in
   Hashtbl.replace ctx.memo fingerprint value;
   (fingerprint, value, source)
@@ -112,6 +157,7 @@ let report_of ctx ~tensor_stages =
     cache_misses = ctx.misses;
     evaluations = ctx.evaluations;
     tuning_seconds = ctx.tuning_seconds;
+    degraded_stages = ctx.degraded;
   }
 
 let tune_op ?jobs ?budget ~cache accel op =
@@ -201,6 +247,9 @@ let compile_network ?jobs ?budget ~cache accel (net : Networks.t) =
 let describe_report r =
   Printf.sprintf
     "%d tensor stages (%d unique): %d served from cache, %d tuned (%d \
-     evaluations, %.2fs tuning)"
+     evaluations, %.2fs tuning)%s"
     r.tensor_stages r.unique_stages r.cache_hits r.cache_misses r.evaluations
     r.tuning_seconds
+    (if r.degraded_stages > 0 then
+       Printf.sprintf ", %d DEGRADED to scalar" r.degraded_stages
+     else "")

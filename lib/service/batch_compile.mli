@@ -7,7 +7,15 @@
     genuinely new ones — in parallel via {!Par_tune}.  The report says
     how much of the compile was served from cache and how much wall
     clock went into tuning; a fully warm cache compiles with zero tuner
-    evaluations. *)
+    evaluations.
+
+    Failure policy: a stage whose cache lookup, tuning, or plan store
+    raises never aborts the compile.  Lookup failures fall through to
+    tuning; tuning failures fall back to the always-available scalar
+    plan and mark the stage {!Degraded} (the fallback is not cached, so
+    a later run retries); store failures keep the tuned plan for this
+    run and continue.  Degradation events are counted in the report and
+    logged on the ["amos.service"] source. *)
 
 open Amos
 
@@ -15,6 +23,8 @@ type source =
   | Hit  (** served from the cache *)
   | Tuned  (** tuned this run (and stored) *)
   | Repeat  (** duplicate of an earlier stage in the same network *)
+  | Degraded
+      (** tuning failed; the stage runs on the scalar fallback plan *)
 
 type stage_plan = {
   stage_index : int;  (** position in [Pipeline.stages] *)
@@ -31,6 +41,9 @@ type report = {
   cache_misses : int;  (** stages that required tuning *)
   evaluations : int;  (** tuner evaluations spent *)
   tuning_seconds : float;  (** wall clock spent in the tuner *)
+  degraded_stages : int;
+      (** unique stages that fell back to the scalar plan because
+          tuning failed *)
 }
 
 type t = {

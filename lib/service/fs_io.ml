@@ -1,0 +1,150 @@
+type op = Append | Write | Rename | Remove | Read | Lock
+
+type mode =
+  | Fail of string
+  | Crash_before
+  | Crash_after
+  | Torn of int
+
+type fault = {
+  op : op;
+  after : int;
+  mode : mode;
+}
+
+exception Injected of string
+exception Crashed of string
+
+type t = {
+  mutable faults : fault list;
+  counts : (op, int) Hashtbl.t;
+}
+
+let real () = { faults = []; counts = Hashtbl.create 8 }
+let faulty faults = { faults; counts = Hashtbl.create 8 }
+
+let op_count t opk =
+  match Hashtbl.find_opt t.counts opk with Some c -> c | None -> 0
+
+(* Count the call and return the armed fault mode, if any.  Faults are
+   one-shot: a fired trigger is removed so recovery code running over
+   the same handle does not re-trip it. *)
+let trip t opk =
+  let c = op_count t opk in
+  Hashtbl.replace t.counts opk (c + 1);
+  let rec pick acc = function
+    | [] -> None
+    | f :: rest when f.op = opk && f.after = c ->
+        t.faults <- List.rev_append acc rest;
+        Some f.mode
+    | f :: rest -> pick (f :: acc) rest
+  in
+  pick [] t.faults
+
+let crashed what path = raise (Crashed (what ^ " " ^ path))
+
+(* --- non-faulting probes ------------------------------------------- *)
+
+let exists _t path = Sys.file_exists path
+
+let file_size _t path =
+  match Unix.stat path with
+  | { Unix.st_size; _ } -> st_size
+  | exception Unix.Unix_error _ -> 0
+
+let mkdir_p _t path = if not (Sys.file_exists path) then Sys.mkdir path 0o755
+
+let list_dir _t path =
+  match Sys.readdir path with
+  | names -> Array.to_list names
+  | exception Sys_error _ -> []
+
+(* --- faultable operations ------------------------------------------ *)
+
+let write_payload ~what t opk flags path payload =
+  match trip t opk with
+  | Some (Fail msg) -> raise (Injected msg)
+  | Some Crash_before -> crashed what path
+  | (None | Some Crash_after | Some (Torn _)) as mode ->
+      let fd = Unix.openfile path flags 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          match mode with
+          | Some (Torn n) ->
+              let n = max 0 (min n (String.length payload)) in
+              ignore (Unix.write_substring fd payload 0 n)
+          | _ ->
+              let len = String.length payload in
+              let written = Unix.write_substring fd payload 0 len in
+              if written <> len then
+                raise (Injected (Printf.sprintf "short write on %s" path)));
+      (match mode with
+      | Some (Torn _) | Some Crash_after -> crashed what path
+      | _ -> ())
+
+let write_file t path content =
+  write_payload ~what:"write" t Write
+    [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+    path content
+
+let append_line t path line =
+  write_payload ~what:"append" t Append
+    [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
+    path (line ^ "\n")
+
+let read_file t path =
+  match trip t Read with
+  | Some (Fail msg) -> raise (Injected msg)
+  | Some (Crash_before | Crash_after | Torn _) -> crashed "read" path
+  | None -> In_channel.with_open_bin path In_channel.input_all
+
+let rename t src dst =
+  match trip t Rename with
+  | Some (Fail msg) -> raise (Injected msg)
+  | Some (Crash_before | Torn _) -> crashed "rename" src
+  | Some Crash_after ->
+      Sys.rename src dst;
+      crashed "rename" src
+  | None -> Sys.rename src dst
+
+let remove t path =
+  match trip t Remove with
+  | Some (Fail msg) -> raise (Injected msg)
+  | Some (Crash_before | Torn _) -> crashed "remove" path
+  | Some Crash_after ->
+      Sys.remove path;
+      crashed "remove" path
+  | None -> Sys.remove path
+
+let with_lock t path f =
+  match trip t Lock with
+  | Some (Fail msg) -> raise (Injected msg)
+  | Some (Crash_before | Crash_after | Torn _) -> crashed "lock" path
+  | None ->
+      let fd =
+        Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+          Unix.close fd)
+        (fun () ->
+          Unix.lockf fd Unix.F_LOCK 0;
+          f ())
+
+(* --- unique temp names --------------------------------------------- *)
+
+let tmp_counter = Atomic.make 0
+
+let fresh_tmp base =
+  Printf.sprintf "%s.tmp-%d-%d" base (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_counter 1)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let is_tmp name =
+  Filename.check_suffix name ".tmp" || contains_sub name ".tmp-"

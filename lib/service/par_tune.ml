@@ -3,16 +3,29 @@ module Rng = Amos_tensor.Rng
 
 let default_jobs () = min 8 (Domain.recommended_domain_count ())
 
+(* one retry per task: transient failures (an OOM blip, a flaky
+   measurement harness) heal silently; a deterministic failure raises
+   identically twice and is reported once *)
+let attempt f x =
+  match f x with
+  | v -> Ok v
+  | exception _first -> ( match f x with v -> Ok v | exception e -> Error e)
+
 (* Order-preserving parallel map: [jobs - 1] spawned domains plus the
    calling one pull task indices from a shared atomic counter and write
    into a per-index slot, so the merge order — and therefore the final
    result — is independent of scheduling.  The work units themselves are
    deterministic (their RNG streams derive from the mapping, not the
-   worker), which is what makes this fan-out safe. *)
-let parallel_map ~jobs f arr =
+   worker), which is what makes this fan-out safe.
+
+   Every task's outcome is captured as a [Result] inside the worker, so
+   one raising task can neither kill its worker domain nor discard the
+   slots its siblings already filled; the spawned domains are joined in
+   a [Fun.protect] finalizer, so no exit path leaks a running domain. *)
+let parallel_map_result ~jobs f arr =
   let n = Array.length arr in
   let jobs = max 1 (min jobs n) in
-  if jobs = 1 then Array.map f arr
+  if jobs = 1 then Array.map (attempt f) arr
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -20,47 +33,72 @@ let parallel_map ~jobs f arr =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          results.(i) <- Some (f arr.(i));
+          results.(i) <- Some (attempt f arr.(i));
           loop ()
         end
       in
       loop ()
     in
     let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains;
-    Array.map (function Some v -> v | None -> assert false) results
+    Fun.protect
+      ~finally:(fun () -> List.iter Domain.join domains)
+      worker;
+    Array.map
+      (function
+        | Some r -> r
+        | None -> Error (Failure "Par_tune: task never executed"))
+      results
   end
+
+let tune_with ?jobs ~screen ~search ~mappings () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if mappings = [] then invalid_arg "Par_tune.tune: no mappings";
+  let failures = ref [] in
+  (* mutated on the calling domain only, after all workers joined *)
+  let record m e =
+    failures := (Mapping.describe m, Printexc.to_string e) :: !failures
+  in
+  let marr = Array.of_list mappings in
+  let screened_r = parallel_map_result ~jobs (fun m -> screen m) marr in
+  let screened = ref [] in
+  let screen_evals = ref 0 in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok (best, n) ->
+          screen_evals := !screen_evals + n;
+          screened := (marr.(i), best) :: !screened
+      | Error e -> record marr.(i) e)
+    screened_r;
+  let survivors = Explore.select_survivors (List.rev !screened) in
+  let sarr = Array.of_list survivors in
+  let searched_r = parallel_map_result ~jobs (fun (m, _) -> search m) sarr in
+  let evaluations = ref !screen_evals in
+  let plans = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok (ps, n) ->
+          evaluations := !evaluations + n;
+          plans := ps :: !plans
+      | Error e -> record (fst sarr.(i)) e)
+    searched_r;
+  Explore.assemble
+    ~failures:(List.rev !failures)
+    (List.concat (List.rev !plans))
+    ~evaluations:!evaluations
 
 let tune ?jobs ?(population = 16) ?(generations = 8) ?(measure_top = 3) ~rng
     ~accel ~mappings () =
-  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   if mappings = [] then invalid_arg "Par_tune.tune: no mappings";
   (* same historical draw as [Explore.tune], so a shared rng advances
      identically whichever front-end the caller picks *)
   let _base_seed = Rng.int rng 1_000_000_000 in
-  let marr = Array.of_list mappings in
-  let screened =
-    parallel_map ~jobs (fun m -> (m, Explore.screen_mapping ~accel m)) marr
-  in
-  let screen_evals =
-    Array.fold_left (fun acc (_, (_, n)) -> acc + n) 0 screened
-  in
-  let survivors =
-    Explore.select_survivors
-      (Array.to_list (Array.map (fun (m, (best, _)) -> (m, best)) screened))
-  in
-  let searched =
-    parallel_map ~jobs
-      (fun (m, _) ->
-        Explore.search_mapping ~population ~generations ~measure_top ~accel m)
-      (Array.of_list survivors)
-  in
-  let evaluations =
-    Array.fold_left (fun acc (_, n) -> acc + n) screen_evals searched
-  in
-  let plans = List.concat_map fst (Array.to_list searched) in
-  Explore.assemble plans ~evaluations
+  tune_with ?jobs
+    ~screen:(fun m -> Explore.screen_mapping ~accel m)
+    ~search:(fun m ->
+      Explore.search_mapping ~population ~generations ~measure_top ~accel m)
+    ~mappings ()
 
 let tune_op ?jobs ?population ?generations ?measure_top ?filter ~rng ~accel op
     =

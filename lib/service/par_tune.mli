@@ -7,13 +7,25 @@
     [Explore.mapping_seed] — a hash of the mapping itself — and results
     are merged back in the sequential order, so the result is the same
     for any [jobs], including [jobs = 1] which is bit-identical to
-    [Explore.tune]. *)
+    [Explore.tune].
+
+    Failure isolation: every work unit's outcome is captured as a
+    [Result] inside its worker and retried once, so one raising mapping
+    can neither kill a worker domain, leak unjoined domains (joins run
+    in a [Fun.protect] finalizer), nor discard the plans its siblings
+    found.  Per-mapping failures surface in [Explore.result.failures]. *)
 
 open Amos
 open Amos_ir
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count], capped at 8. *)
+
+val parallel_map_result :
+  jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** Order-preserving parallel map with per-task failure capture and one
+    retry.  All spawned domains are joined before this returns, on every
+    exit path. *)
 
 val tune :
   ?jobs:int ->
@@ -26,7 +38,21 @@ val tune :
   unit ->
   Explore.result
 (** Same contract as [Explore.tune]; [jobs] defaults to
-    {!default_jobs}. *)
+    {!default_jobs}.  Mappings whose work unit raises (twice) are
+    dropped and reported in [failures]; raises [Failure] only when
+    {e every} mapping failed. *)
+
+val tune_with :
+  ?jobs:int ->
+  screen:(Mapping.t -> float * int) ->
+  search:(Mapping.t -> Explore.plan list * int) ->
+  mappings:Mapping.t list ->
+  unit ->
+  Explore.result
+(** The fan-out skeleton of {!tune} with the two per-mapping work units
+    supplied by the caller — [tune] passes [Explore.screen_mapping] and
+    [Explore.search_mapping].  Exposed so the failure-isolation
+    contract is directly testable with units that raise on demand. *)
 
 val tune_op :
   ?jobs:int ->

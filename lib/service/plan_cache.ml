@@ -22,11 +22,15 @@ type entry = {
 
 type t = {
   dir : string option;
+  fs : Fs_io.t;
   mem_capacity : int;
   mem : (string, entry) Hashtbl.t;
   index : (string, unit) Hashtbl.t;  (** live on-disk fingerprints *)
   mutable tick : int;
   mutable journal_ops : int;  (** lines in the journal file *)
+  mutable journal_bytes : int;
+      (** journal size we have replayed; a mismatch with the file means
+          another process appended (or compacted) behind our back *)
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
@@ -36,74 +40,128 @@ type t = {
 
 let dir t = t.dir
 let journal_path dir = Filename.concat dir "journal.txt"
+let lock_path dir = Filename.concat dir "lock"
 let entry_path dir fp = Filename.concat dir (fp ^ ".plan")
+let quarantine_path dir fp = Filename.concat dir (fp ^ ".plan.quarantined")
 
 let append_journal t op fp =
   match t.dir with
   | None -> ()
   | Some dir ->
-      let oc =
-        open_out_gen [ Open_append; Open_creat ] 0o644 (journal_path dir)
-      in
-      Printf.fprintf oc "%s %s\n" op fp;
-      close_out oc;
-      t.journal_ops <- t.journal_ops + 1
+      let line = Printf.sprintf "%s %s" op fp in
+      Fs_io.append_line t.fs (journal_path dir) line;
+      t.journal_ops <- t.journal_ops + 1;
+      (* track our own append; if another process interleaved, the size
+         mismatch makes the next [refresh] re-replay the whole file *)
+      t.journal_bytes <- t.journal_bytes + String.length line + 1
 
-let write_journal dir fps =
-  let tmp = journal_path dir ^ ".tmp" in
-  let oc = open_out tmp in
-  List.iter (fun fp -> Printf.fprintf oc "add %s\n" fp) fps;
-  close_out oc;
-  Sys.rename tmp (journal_path dir)
-
-let replay_journal dir index =
+(* full journal rewrite: callers must hold the directory lock *)
+let write_journal fs dir fps =
   let path = journal_path dir in
-  let ops = ref 0 in
-  (if Sys.file_exists path then
-     In_channel.with_open_text path (fun ic ->
-         try
-           while true do
-             (match String.split_on_char ' ' (input_line ic) with
-             | [ "add"; fp ] -> Hashtbl.replace index fp ()
-             | [ "del"; fp ] -> Hashtbl.remove index fp
-             | _ -> () (* torn trailing line: ignore *));
-             incr ops
-           done
-         with End_of_file -> ()));
-  !ops
+  let tmp = Fs_io.fresh_tmp path in
+  let content =
+    String.concat "" (List.map (fun fp -> "add " ^ fp ^ "\n") fps)
+  in
+  Fs_io.write_file fs tmp content;
+  Fs_io.rename fs tmp path
 
-let create ?(mem_capacity = 256) ?dir () =
+(* Replay the journal into [index].  Only complete (newline-terminated)
+   lines count: a torn trailing line — a writer died mid-append — is
+   reported, not parsed.  Returns (ops, bytes_replayed, torn). *)
+let replay_journal fs dir index =
+  let path = journal_path dir in
+  if not (Fs_io.exists fs path) then (0, 0, false)
+  else begin
+    let text = Fs_io.read_file fs path in
+    let len = String.length text in
+    let torn = len > 0 && text.[len - 1] <> '\n' in
+    let lines = String.split_on_char '\n' text in
+    (* drop the element after the last newline: "" when the file is
+       well-formed, the torn fragment otherwise *)
+    let complete =
+      match List.rev lines with [] -> [] | _ :: rest -> List.rev rest
+    in
+    let ops = ref 0 in
+    List.iter
+      (fun line ->
+        (match String.split_on_char ' ' line with
+        | [ "add"; fp ] -> Hashtbl.replace index fp ()
+        | [ "del"; fp ] -> Hashtbl.remove index fp
+        | _ -> () (* garbage line (healed torn write): ignore *));
+        if line <> "" then incr ops)
+      complete;
+    (!ops, len, torn)
+  end
+
+(* drop index entries whose file vanished behind our back *)
+let drop_vanished fs dir index =
+  Hashtbl.iter
+    (fun fp () ->
+      if not (Fs_io.exists fs (entry_path dir fp)) then
+        Hashtbl.remove index fp)
+    (Hashtbl.copy index)
+
+let index_fps index = Hashtbl.fold (fun fp () acc -> fp :: acc) index []
+
+let create ?(mem_capacity = 256) ?fs ?dir () =
+  let fs = match fs with Some fs -> fs | None -> Fs_io.real () in
   let index = Hashtbl.create 64 in
   let journal_ops = ref 0 in
+  let journal_bytes = ref 0 in
   (match dir with
   | None -> ()
   | Some d ->
-      if not (Sys.file_exists d) then Sys.mkdir d 0o755;
-      journal_ops := replay_journal d index;
-      (* drop index entries whose file vanished behind our back *)
-      Hashtbl.iter
-        (fun fp () ->
-          if not (Sys.file_exists (entry_path d fp)) then
-            Hashtbl.remove index fp)
-        (Hashtbl.copy index);
-      (* compact a journal bloated by dead add/del pairs *)
-      if !journal_ops > (2 * Hashtbl.length index) + 16 then begin
-        write_journal d (Hashtbl.fold (fun fp () acc -> fp :: acc) index []);
-        journal_ops := Hashtbl.length index
-      end);
+      Fs_io.mkdir_p fs d;
+      let ops, bytes, torn = replay_journal fs d index in
+      journal_ops := ops;
+      journal_bytes := bytes;
+      (* heal a torn trailing line by terminating it: the fragment
+         becomes an ignorable garbage line instead of corrupting the
+         next writer's append *)
+      if torn then begin
+        Fs_io.append_line fs (journal_path d) "";
+        journal_bytes := !journal_bytes + 1
+      end;
+      drop_vanished fs d index;
+      (* compact a journal bloated by dead add/del pairs.  The rewrite
+         happens under the directory lock, from a fresh replay, so a
+         concurrent compactor cannot resurrect deleted entries. *)
+      if !journal_ops > (2 * Hashtbl.length index) + 16 then
+        Fs_io.with_lock fs (lock_path d) (fun () ->
+            Hashtbl.reset index;
+            let _, _, _ = replay_journal fs d index in
+            drop_vanished fs d index;
+            write_journal fs d (index_fps index);
+            journal_ops := Hashtbl.length index;
+            journal_bytes := Fs_io.file_size fs (journal_path d)));
   {
     dir;
+    fs;
     mem_capacity = max 1 mem_capacity;
     mem = Hashtbl.create 64;
     index;
     tick = 0;
     journal_ops = !journal_ops;
+    journal_bytes = !journal_bytes;
     hits = 0;
     misses = 0;
     stores = 0;
     lru_evictions = 0;
     corrupt_evictions = 0;
   }
+
+let refresh t =
+  match t.dir with
+  | None -> ()
+  | Some d ->
+      let sz = Fs_io.file_size t.fs (journal_path d) in
+      if sz <> t.journal_bytes then begin
+        Hashtbl.reset t.index;
+        let ops, bytes, _torn = replay_journal t.fs d t.index in
+        drop_vanished t.fs d t.index;
+        t.journal_ops <- ops;
+        t.journal_bytes <- bytes
+      end
 
 let touch t e =
   t.tick <- t.tick + 1;
@@ -134,39 +192,56 @@ let lru_insert t fp kind =
 
 let header_magic = "amos-plan-cache 1"
 
-let write_entry dir fp ~op_name ~accel_name kind =
+let entry_content fp ~op_name ~accel_name kind =
   let body =
     match kind with
     | `Scalar -> "kind scalar\n---\n"
     | `Spatial text -> Printf.sprintf "kind spatial\n---\n%s" text
   in
-  let content =
-    Printf.sprintf "%s\nfingerprint %s\nop %s\naccel %s\n%s" header_magic fp
-      op_name accel_name body
-  in
-  let tmp = entry_path dir fp ^ ".tmp" in
-  Out_channel.with_open_text tmp (fun oc -> Out_channel.output_string oc content);
-  Sys.rename tmp (entry_path dir fp)
+  Printf.sprintf "%s\nfingerprint %s\nop %s\naccel %s\n%s" header_magic fp
+    op_name accel_name body
 
-let read_entry dir fp =
+let write_entry fs dir fp ~op_name ~accel_name kind =
+  let content = entry_content fp ~op_name ~accel_name kind in
+  let target = entry_path dir fp in
+  let tmp = Fs_io.fresh_tmp target in
+  Fs_io.write_file fs tmp content;
+  Fs_io.rename fs tmp target
+
+(* split an entry file's text into (header lines, body) *)
+let split_entry content =
+  let lines = String.split_on_char '\n' content in
+  let rec split_header acc = function
+    | "---" :: body -> Some (List.rev acc, String.concat "\n" body)
+    | l :: rest -> split_header (l :: acc) rest
+    | [] -> None
+  in
+  split_header [] lines
+
+let parse_entry fp content =
+  match split_entry content with
+  | Some (header, body)
+    when List.mem header_magic header
+         && List.mem ("fingerprint " ^ fp) header ->
+      if List.mem "kind scalar" header then Some `Scalar
+      else if List.mem "kind spatial" header then Some (`Spatial body)
+      else None
+  | Some _ | None -> None
+
+(* [`Absent] / [`Unreadable] are transient conditions (vanished file, IO
+   error): the lookup misses but the entry is left alone.  [`Invalid] is
+   positive evidence of corruption and triggers eviction. *)
+let read_entry fs dir fp =
   let path = entry_path dir fp in
-  if not (Sys.file_exists path) then None
+  if not (Fs_io.exists fs path) then `Absent
   else
-    let content = In_channel.with_open_text path In_channel.input_all in
-    let lines = String.split_on_char '\n' content in
-    let rec split_header acc = function
-      | "---" :: body -> Some (List.rev acc, String.concat "\n" body)
-      | l :: rest -> split_header (l :: acc) rest
-      | [] -> None
-    in
-    match split_header [] lines with
-    | Some (header, body)
-      when List.mem header_magic header
-           && List.mem ("fingerprint " ^ fp) header ->
-        if List.mem "kind scalar" header then Some `Scalar
-        else if List.mem "kind spatial" header then Some (`Spatial body)
-        else None
-    | Some _ | None -> None
+    match Fs_io.read_file fs path with
+    | exception Sys_error _ -> `Unreadable
+    | exception Fs_io.Injected _ -> `Unreadable
+    | content -> (
+        match parse_entry fp content with
+        | Some kind -> `Ok kind
+        | None -> `Invalid)
 
 let evict_everywhere t fp =
   Hashtbl.remove t.mem fp;
@@ -175,8 +250,9 @@ let evict_everywhere t fp =
   | Some d ->
       if Hashtbl.mem t.index fp then begin
         Hashtbl.remove t.index fp;
-        (try Sys.remove (entry_path d fp) with Sys_error _ -> ());
-        append_journal t "del" fp
+        (try Fs_io.remove t.fs (entry_path d fp) with
+        | Sys_error _ | Fs_io.Injected _ -> ());
+        try append_journal t "del" fp with Fs_io.Injected _ -> ()
       end
 
 (* --- public API ----------------------------------------------------- *)
@@ -198,17 +274,22 @@ let lookup t ~accel ~op ~budget =
         Some e.kind
     | None -> (
         match t.dir with
-        | Some d when Hashtbl.mem t.index fp -> (
-            match read_entry d fp with
-            | Some kind ->
-                lru_insert t fp kind;
-                Some kind
-            | None ->
-                (* unreadable / corrupt header *)
-                t.corrupt_evictions <- t.corrupt_evictions + 1;
-                evict_everywhere t fp;
-                None)
-        | _ -> None)
+        | Some d ->
+            (* absent from our view of the index: another process may
+               have tuned and stored it since we last replayed *)
+            if not (Hashtbl.mem t.index fp) then refresh t;
+            if not (Hashtbl.mem t.index fp) then None
+            else (
+              match read_entry t.fs d fp with
+              | `Ok kind ->
+                  lru_insert t fp kind;
+                  Some kind
+              | `Absent | `Unreadable -> None
+              | `Invalid ->
+                  t.corrupt_evictions <- t.corrupt_evictions + 1;
+                  evict_everywhere t fp;
+                  None)
+        | None -> None)
   in
   match kind with
   | None ->
@@ -237,7 +318,10 @@ let store t ~accel ~op ~budget v =
   (match t.dir with
   | None -> ()
   | Some d ->
-      write_entry d fp ~op_name:op.Amos_ir.Operator.name
+      (* entry file first (atomic tmp+rename), journal add second: a
+         crash between the two leaves an orphan entry file that fsck
+         adopts — never a journal line pointing at nothing served *)
+      write_entry t.fs d fp ~op_name:op.Amos_ir.Operator.name
         ~accel_name:accel.Accelerator.name kind;
       if not (Hashtbl.mem t.index fp) then begin
         Hashtbl.replace t.index fp ();
@@ -253,10 +337,7 @@ let disk_bytes t =
   | None -> 0
   | Some d ->
       Hashtbl.fold
-        (fun fp () acc ->
-          acc
-          + (try (Unix.stat (entry_path d fp)).Unix.st_size
-             with Unix.Unix_error _ -> 0))
+        (fun fp () acc -> acc + Fs_io.file_size t.fs (entry_path d fp))
         t.index 0
 
 let stats t =
@@ -273,16 +354,115 @@ let clear t =
   (match t.dir with
   | None -> ()
   | Some d ->
-      Hashtbl.iter
-        (fun fp () ->
-          try Sys.remove (entry_path d fp) with Sys_error _ -> ())
-        t.index;
-      Hashtbl.reset t.index;
-      write_journal d [];
-      t.journal_ops <- 0);
+      Fs_io.with_lock t.fs (lock_path d) (fun () ->
+          (* include entries other processes added since our replay *)
+          Hashtbl.reset t.index;
+          let _ = replay_journal t.fs d t.index in
+          Hashtbl.iter
+            (fun fp () ->
+              try Fs_io.remove t.fs (entry_path d fp) with
+              | Sys_error _ -> ())
+            (Hashtbl.copy t.index);
+          Hashtbl.reset t.index;
+          write_journal t.fs d [];
+          t.journal_ops <- 0;
+          t.journal_bytes <- Fs_io.file_size t.fs (journal_path d)));
   t.tick <- 0;
   t.hits <- 0;
   t.misses <- 0;
   t.stores <- 0;
   t.lru_evictions <- 0;
   t.corrupt_evictions <- 0
+
+(* --- fsck ----------------------------------------------------------- *)
+
+type fsck_report = {
+  live : int;
+  adopted : int;
+  quarantined : int;
+  dropped : int;
+  tmp_removed : int;
+  torn_repaired : bool;
+}
+
+let fsck ?fs ~dir () =
+  let fs = match fs with Some fs -> fs | None -> Fs_io.real () in
+  if not (Fs_io.exists fs dir) then
+    {
+      live = 0;
+      adopted = 0;
+      quarantined = 0;
+      dropped = 0;
+      tmp_removed = 0;
+      torn_repaired = false;
+    }
+  else
+    Fs_io.with_lock fs (lock_path dir) (fun () ->
+        let index = Hashtbl.create 64 in
+        let _, _, torn = replay_journal fs dir index in
+        let adopted = ref 0
+        and quarantined = ref 0
+        and dropped = ref 0
+        and tmp_removed = ref 0 in
+        List.iter
+          (fun name ->
+            let path = Filename.concat dir name in
+            if Fs_io.is_tmp name then begin
+              (* abandoned by a crashed writer: targets were never
+                 renamed into place, so the content is unreferenced *)
+              (try Fs_io.remove fs path with Sys_error _ -> ());
+              incr tmp_removed
+            end
+            else if Filename.check_suffix name ".plan" then begin
+              let fp = Filename.chop_suffix name ".plan" in
+              let valid =
+                match Fs_io.read_file fs path with
+                | exception (Sys_error _ | Fs_io.Injected _) -> false
+                | content -> parse_entry fp content <> None
+              in
+              if not valid then begin
+                (* positive corruption: quarantine, never serve *)
+                (try Fs_io.rename fs path (quarantine_path dir fp)
+                 with Sys_error _ -> ());
+                Hashtbl.remove index fp;
+                incr quarantined
+              end
+              else if not (Hashtbl.mem index fp) then begin
+                (* orphan: entry landed, journal add did not (crash
+                   between rename and append) — adopt it *)
+                Hashtbl.replace index fp ();
+                incr adopted
+              end
+            end)
+          (Fs_io.list_dir fs dir);
+        (* journal adds whose entry file is gone or was quarantined *)
+        Hashtbl.iter
+          (fun fp () ->
+            if not (Fs_io.exists fs (entry_path dir fp)) then begin
+              Hashtbl.remove index fp;
+              incr dropped
+            end)
+          (Hashtbl.copy index);
+        (* the rewrite repairs torn lines and compacts in one stroke *)
+        write_journal fs dir (index_fps index);
+        {
+          live = Hashtbl.length index;
+          adopted = !adopted;
+          quarantined = !quarantined;
+          dropped = !dropped;
+          tmp_removed = !tmp_removed;
+          torn_repaired = torn;
+        })
+
+let describe_fsck r =
+  Printf.sprintf
+    "live entries     : %d\n\
+     adopted orphans  : %d\n\
+     quarantined      : %d\n\
+     dropped adds     : %d\n\
+     tmp files swept  : %d\n\
+     torn journal     : %s\n"
+    r.live r.adopted r.quarantined r.dropped r.tmp_removed
+    (if r.torn_repaired then "repaired" else "no")
+
+let fsck_clean r = r.quarantined = 0 && r.dropped = 0

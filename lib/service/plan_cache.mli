@@ -2,9 +2,9 @@
 
     Two layers: an in-memory LRU of recently used entries over an
     on-disk directory of {!Amos.Plan_io} text files (one file per
-    fingerprint, atomically written) plus an append-only journaled index
-    ([journal.txt], [add]/[del] lines, compacted on open when it grows
-    past twice the live set).
+    fingerprint, atomically written via a unique temp name + rename)
+    plus an append-only journaled index ([journal.txt], [add]/[del]
+    lines, compacted on open when it grows past twice the live set).
 
     Every lookup re-binds the stored text to the requesting operator and
     accelerator through [Plan_io.load], which re-runs the Algorithm-1
@@ -17,9 +17,28 @@
     operator") are cached as explicit markers so that a warm cache
     avoids re-tuning unmappable operators too.
 
+    {2 Crash consistency and multi-process sharing}
+
+    The directory is safe to share between concurrent compiler
+    processes.  The write protocol orders every store as {e entry file
+    first} (tmp write + rename, with a PID-and-counter-unique temp
+    name), {e journal add second} (a single [O_APPEND] write): a crash
+    at any point leaves either nothing, an abandoned temp file, or an
+    orphan entry file — never a journal line pointing at a plan that
+    does not exist, and never a half-written plan served.  Journal
+    rewrites (compaction, [clear], {!fsck}) run under an exclusive
+    [lockf] lock on [<dir>/lock]; appends deliberately do not take the
+    lock.  Lookups that miss the local index re-replay the journal, so
+    one process observes another's stores without reopening.
+
+    All disk traffic goes through an {!Fs_io} handle, so every one of
+    these claims is exercised by deterministic fault injection in the
+    test suite rather than assumed.
+
     A cache value is owned by one domain: share it across parallel
     tuning by doing lookups/stores on the coordinating domain (as
-    {!Batch_compile} does), not from workers. *)
+    {!Batch_compile} does), not from workers.  Cross-{e process} sharing
+    needs no coordination beyond pointing at the same directory. *)
 
 open Amos
 open Amos_ir
@@ -39,21 +58,33 @@ type stats = {
       (** entries that failed re-validation and were deleted *)
 }
 
-val create : ?mem_capacity:int -> ?dir:string -> unit -> t
+val create : ?mem_capacity:int -> ?fs:Fs_io.t -> ?dir:string -> unit -> t
 (** [dir] is created if missing; omit it for a memory-only cache.
     [mem_capacity] bounds the in-memory layer (default 256 entries); the
-    disk layer is unbounded. *)
+    disk layer is unbounded.  [fs] (default {!Fs_io.real}) mediates all
+    disk operations — pass a {!Fs_io.faulty} handle to test crash
+    consistency.  Opening self-heals a torn trailing journal line. *)
 
 val dir : t -> string option
 
 val lookup :
   t -> accel:Accelerator.t -> op:Operator.t -> budget:Fingerprint.budget ->
   value option
-(** [None] is a miss (absent, or present but failed re-validation). *)
+(** [None] is a miss (absent, unreadable, or present but failed
+    re-validation).  A miss on the local index triggers a journal
+    {!refresh} first, so stores from concurrent processes are found. *)
 
 val store :
   t -> accel:Accelerator.t -> op:Operator.t -> budget:Fingerprint.budget ->
   value -> unit
+(** May raise [Fs_io.Injected] (disk errors): the in-memory layer is
+    already updated when that happens, and the on-disk state is left
+    consistent (possibly without the new entry). *)
+
+val refresh : t -> unit
+(** Re-replay the journal if its size changed since we last read it —
+    i.e. pick up entries stored by other processes.  Called
+    automatically by [lookup] on index misses. *)
 
 val mem_size : t -> int
 val disk_size : t -> int
@@ -62,4 +93,30 @@ val disk_size : t -> int
 val disk_bytes : t -> int
 val stats : t -> stats
 val clear : t -> unit
-(** Drop every entry, on disk too; resets statistics. *)
+(** Drop every entry, on disk too (under the directory lock, including
+    entries added by other processes); resets statistics. *)
+
+(** {2 Offline checking and repair} *)
+
+type fsck_report = {
+  live : int;  (** valid entries referenced by the rewritten journal *)
+  adopted : int;
+      (** orphan entry files (valid header, no journal line) re-added *)
+  quarantined : int;
+      (** corrupt entry files renamed to [*.plan.quarantined] *)
+  dropped : int;  (** journal adds whose entry file is gone or corrupt *)
+  tmp_removed : int;  (** abandoned temp files swept *)
+  torn_repaired : bool;  (** the journal did not end in a newline *)
+}
+
+val fsck : ?fs:Fs_io.t -> dir:string -> unit -> fsck_report
+(** Replay the journal, validate every entry file's header against its
+    fingerprint, adopt orphans, quarantine corruption, sweep abandoned
+    temp files, and rewrite a compact journal — all under the directory
+    lock.  Safe to run against a live directory (writers only append).
+    Never deletes plan content: corrupt files are renamed, not removed. *)
+
+val fsck_clean : fsck_report -> bool
+(** No quarantined entries and no dropped journal lines. *)
+
+val describe_fsck : fsck_report -> string

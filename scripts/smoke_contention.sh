@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Two-process plan-cache contention smoke test.
+#
+# Launches two concurrent `amos_cli tune --cache-dir` runs against the
+# same cache directory, with the same operator and seed so both race on
+# the same fingerprint: same entry file, same journal, same compaction
+# lock.  Both must succeed, fsck must come back clean, and a third run
+# must be served from the cache.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+dune build bin/amos_cli.exe
+CLI=_build/default/bin/amos_cli.exe
+
+DIR="$(mktemp -d "${TMPDIR:-/tmp}/amos-contention.XXXXXX")"
+trap 'rm -rf "$DIR"' EXIT
+CACHE="$DIR/cache"
+
+OP="$DIR/gemm.dsl"
+cat > "$OP" <<'EOF'
+for {i:16, j:16} for {r:32r}: out[i,j] += a[i,r] * b[r,j]
+EOF
+
+"$CLI" tune --accel toy --dsl "$OP" --seed 7 --cache-dir "$CACHE" \
+  > "$DIR/a.log" 2>&1 &
+pid_a=$!
+"$CLI" tune --accel toy --dsl "$OP" --seed 7 --cache-dir "$CACHE" \
+  > "$DIR/b.log" 2>&1 &
+pid_b=$!
+
+fail=0
+wait "$pid_a" || { echo "FAIL: tune process A exited non-zero"; fail=1; }
+wait "$pid_b" || { echo "FAIL: tune process B exited non-zero"; fail=1; }
+if [ "$fail" -ne 0 ]; then
+  sed 's/^/  A| /' "$DIR/a.log"
+  sed 's/^/  B| /' "$DIR/b.log"
+  exit 1
+fi
+
+if ! "$CLI" cache fsck --cache-dir "$CACHE"; then
+  echo "FAIL: fsck found anomalies after concurrent tunes"
+  exit 1
+fi
+
+"$CLI" cache stats --cache-dir "$CACHE"
+live=$("$CLI" cache stats --cache-dir "$CACHE" | awk '/live entries/ { print $NF }')
+if [ "$live" -lt 1 ]; then
+  echo "FAIL: expected at least one live cache entry, got $live"
+  exit 1
+fi
+
+"$CLI" tune --accel toy --dsl "$OP" --seed 7 --cache-dir "$CACHE" \
+  > "$DIR/warm.log" 2>&1
+if ! grep -q "served from plan cache" "$DIR/warm.log"; then
+  echo "FAIL: warm run was not served from the cache"
+  sed 's/^/  warm| /' "$DIR/warm.log"
+  exit 1
+fi
+
+echo "contention smoke test: OK (both writers succeeded, fsck clean, warm hit)"

@@ -1,0 +1,481 @@
+(* Deterministic fault injection over the plan service's disk layer.
+
+   Every test drives [Plan_cache] through an [Fs_io.faulty] handle that
+   fails or "crashes the process" at one scheduled operation, then
+   reopens the directory with a clean handle — exactly what a compiler
+   restarting after a power cut does — and asserts the crash-consistency
+   contract: the cache reopens cleanly, [fsck] repairs or quarantines
+   (never serves) whatever the crash left behind, and a warm lookup
+   either hits a validated plan or misses into a re-tune. *)
+
+open Amos
+module Ops = Amos_workloads.Ops
+module Rng = Amos_tensor.Rng
+module Fs_io = Amos_service.Fs_io
+module Fingerprint = Amos_service.Fingerprint
+module Plan_cache = Amos_service.Plan_cache
+module Par_tune = Amos_service.Par_tune
+module Batch_compile = Amos_service.Batch_compile
+
+let toy_accel () =
+  let base = Accelerator.v100 () in
+  { base with Accelerator.intrinsics = [ Intrinsic.toy_mma_2x2x2 () ] }
+
+let small_budget =
+  { Fingerprint.population = 4; generations = 2; measure_top = 2; seed = 42 }
+
+let temp_dir prefix =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  Sys.mkdir d 0o755;
+  d
+
+let an_op () = Ops.conv2d ~n:2 ~c:2 ~k:2 ~p:4 ~q:4 ~r:3 ~s:3 ()
+
+let tune_value accel op =
+  let rng = Rng.create small_budget.Fingerprint.seed in
+  match Explore.tune_op ~population:4 ~generations:2 ~rng ~accel op with
+  | Some result ->
+      let c = result.Explore.best.Explore.candidate in
+      Plan_cache.Spatial (c.Explore.mapping, c.Explore.schedule)
+  | None -> Plan_cache.Scalar
+
+(* the recovery contract every fault point must satisfy *)
+let assert_recovers ~dir ~accel ~op ~value ~expect_live ~expect_hit () =
+  (* 1. reopen with a clean handle: must not raise *)
+  let reopened = Plan_cache.create ~dir () in
+  ignore (Plan_cache.disk_size reopened);
+  (* 2. fsck repairs; nothing corrupt may survive unquarantined *)
+  let r = Plan_cache.fsck ~dir () in
+  Alcotest.(check int) "no quarantined entries" 0 r.Plan_cache.quarantined;
+  (* 3. after repair the cache is fully clean *)
+  let r2 = Plan_cache.fsck ~dir () in
+  Alcotest.(check bool) "second fsck clean" true (Plan_cache.fsck_clean r2);
+  Alcotest.(check int) "live entries after repair" expect_live
+    r2.Plan_cache.live;
+  (* 4. a warm lookup either hits a validated plan or misses into a
+     re-tune that stores successfully *)
+  let warm = Plan_cache.create ~dir () in
+  (match Plan_cache.lookup warm ~accel ~op ~budget:small_budget with
+  | Some (Plan_cache.Spatial (m, sched)) ->
+      Alcotest.(check bool) "warm hit expected" true expect_hit;
+      Alcotest.(check bool) "hit validates" true (Schedule.validate m sched)
+  | Some Plan_cache.Scalar ->
+      Alcotest.(check bool) "warm hit expected" true expect_hit
+  | None ->
+      Alcotest.(check bool) "warm miss expected" false expect_hit;
+      Plan_cache.store warm ~accel ~op ~budget:small_budget value;
+      (match Plan_cache.lookup warm ~accel ~op ~budget:small_budget with
+      | Some _ -> ()
+      | None -> Alcotest.fail "re-tune after recovery must hit"));
+  (* 5. and the re-tuned/recovered state checks out too *)
+  let r3 = Plan_cache.fsck ~dir () in
+  Alcotest.(check bool) "final fsck clean" true (Plan_cache.fsck_clean r3)
+
+(* store one entry through a fault plan; returns whether the store
+   visibly failed (Injected or simulated crash) *)
+let store_under_faults ~dir faults =
+  let accel = toy_accel () in
+  let op = an_op () in
+  let value = tune_value accel op in
+  let fs = Fs_io.faulty faults in
+  let cache = Plan_cache.create ~fs ~dir () in
+  let failed =
+    match Plan_cache.store cache ~accel ~op ~budget:small_budget value with
+    | () -> false
+    | exception (Fs_io.Injected _ | Fs_io.Crashed _) -> true
+  in
+  (accel, op, value, failed)
+
+let fault_point_tests =
+  let mk name faults ~must_fail ~expect_live ~expect_hit =
+    Alcotest.test_case name `Quick (fun () ->
+        let dir = temp_dir ("amos-fault-" ^ name) in
+        let accel, op, value, failed = store_under_faults ~dir faults in
+        Alcotest.(check bool) "store outcome" must_fail failed;
+        assert_recovers ~dir ~accel ~op ~value ~expect_live ~expect_hit ())
+  in
+  [
+    (* 1: ENOSPC on the entry tmp write — nothing lands *)
+    mk "enospc-on-entry-write"
+      [ { Fs_io.op = Fs_io.Write; after = 0; mode = Fs_io.Fail "ENOSPC" } ]
+      ~must_fail:true ~expect_live:0 ~expect_hit:false;
+    (* 2: torn entry tmp write (crash mid-write) — partial tmp left *)
+    mk "torn-entry-tmp-write"
+      [ { Fs_io.op = Fs_io.Write; after = 0; mode = Fs_io.Torn 10 } ]
+      ~must_fail:true ~expect_live:0 ~expect_hit:false;
+    (* 3: crash before the entry rename — full tmp left, target absent *)
+    mk "crash-before-entry-rename"
+      [ { Fs_io.op = Fs_io.Rename; after = 0; mode = Fs_io.Crash_before } ]
+      ~must_fail:true ~expect_live:0 ~expect_hit:false;
+    (* 4: crash after rename, before the journal add — orphan entry
+       that fsck adopts, after which the warm lookup hits *)
+    mk "orphan-entry-no-journal-line"
+      [ { Fs_io.op = Fs_io.Append; after = 0; mode = Fs_io.Crash_before } ]
+      ~must_fail:true ~expect_live:1 ~expect_hit:true;
+    (* 5: torn journal add (crash mid-append) — entry file landed, the
+       add line is a fragment; replay ignores it, fsck adopts *)
+    mk "torn-journal-append"
+      [ { Fs_io.op = Fs_io.Append; after = 0; mode = Fs_io.Torn 3 } ]
+      ~must_fail:true ~expect_live:1 ~expect_hit:true;
+    (* 6: ENOSPC on the journal add — same shape as the orphan case but
+       through the survivable-error path *)
+    mk "enospc-on-journal-append"
+      [ { Fs_io.op = Fs_io.Append; after = 0; mode = Fs_io.Fail "ENOSPC" } ]
+      ~must_fail:true ~expect_live:1 ~expect_hit:true;
+  ]
+
+let journal_tests =
+  [
+    Alcotest.test_case "add-without-entry-file-dropped" `Quick (fun () ->
+        let accel = toy_accel () in
+        let op = an_op () in
+        let value = tune_value accel op in
+        let dir = temp_dir "amos-fault-dangling-add" in
+        let cache = Plan_cache.create ~dir () in
+        Plan_cache.store cache ~accel ~op ~budget:small_budget value;
+        (* the entry file vanishes (crash ordering, external deletion)
+           while its journal add survives *)
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".plan" then
+              Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        let r = Plan_cache.fsck ~dir () in
+        Alcotest.(check int) "dangling add dropped" 1 r.Plan_cache.dropped;
+        Alcotest.(check int) "nothing quarantined" 0 r.Plan_cache.quarantined;
+        let r2 = Plan_cache.fsck ~dir () in
+        Alcotest.(check bool) "clean after repair" true
+          (Plan_cache.fsck_clean r2);
+        let warm = Plan_cache.create ~dir () in
+        Alcotest.(check bool) "miss, never a phantom hit" true
+          (Plan_cache.lookup warm ~accel ~op ~budget:small_budget = None));
+    Alcotest.test_case "compaction-interrupted-before-rename" `Quick
+      (fun () ->
+        let accel = toy_accel () in
+        let op = an_op () in
+        let value = tune_value accel op in
+        let dir = temp_dir "amos-fault-compaction" in
+        let cache = Plan_cache.create ~dir () in
+        Plan_cache.store cache ~accel ~op ~budget:small_budget value;
+        (* bloat the journal with dead adds so reopening compacts *)
+        let real = Fs_io.real () in
+        for i = 0 to 39 do
+          Fs_io.append_line real
+            (Filename.concat dir "journal.txt")
+            (Printf.sprintf "add deadbeef%04d" i)
+        done;
+        (* the compacting process dies between tmp write and rename *)
+        (match
+           Plan_cache.create
+             ~fs:
+               (Fs_io.faulty
+                  [
+                    {
+                      Fs_io.op = Fs_io.Rename;
+                      after = 0;
+                      mode = Fs_io.Crash_before;
+                    };
+                  ])
+             ~dir ()
+         with
+        | _ -> Alcotest.fail "expected simulated crash during compaction"
+        | exception Fs_io.Crashed _ -> ());
+        (* the old journal is intact: reopen compacts successfully *)
+        let reopened = Plan_cache.create ~dir () in
+        Alcotest.(check int) "one live entry" 1
+          (Plan_cache.disk_size reopened);
+        (match Plan_cache.lookup reopened ~accel ~op ~budget:small_budget with
+        | Some _ -> ()
+        | None -> Alcotest.fail "entry must survive interrupted compaction");
+        let r = Plan_cache.fsck ~dir () in
+        Alcotest.(check int) "abandoned compaction tmp swept" 1
+          r.Plan_cache.tmp_removed;
+        Alcotest.(check bool) "clean" true (Plan_cache.fsck_clean r));
+    Alcotest.test_case "crash-during-clear" `Quick (fun () ->
+        let accel = toy_accel () in
+        let a = Ops.conv2d ~n:2 ~c:2 ~k:2 ~p:4 ~q:4 ~r:3 ~s:3 () in
+        let b = Ops.gemm ~m:4 ~n:4 ~k:4 () in
+        let dir = temp_dir "amos-fault-clear" in
+        let cache = Plan_cache.create ~dir () in
+        Plan_cache.store cache ~accel ~op:a ~budget:small_budget
+          (tune_value accel a);
+        Plan_cache.store cache ~accel ~op:b ~budget:small_budget
+          Plan_cache.Scalar;
+        (* die after removing the first entry file, journal unrewritten *)
+        let faulty_cache =
+          Plan_cache.create
+            ~fs:
+              (Fs_io.faulty
+                 [
+                   {
+                     Fs_io.op = Fs_io.Remove;
+                     after = 0;
+                     mode = Fs_io.Crash_after;
+                   };
+                 ])
+            ~dir ()
+        in
+        (match Plan_cache.clear faulty_cache with
+        | _ -> Alcotest.fail "expected simulated crash during clear"
+        | exception Fs_io.Crashed _ -> ());
+        (* journal still lists both; one file is gone.  fsck drops the
+           dangling add; the surviving entry is served, the removed one
+           misses — never an error, never a wrong plan *)
+        let r = Plan_cache.fsck ~dir () in
+        Alcotest.(check int) "one dangling add dropped" 1 r.Plan_cache.dropped;
+        Alcotest.(check int) "one survivor" 1 r.Plan_cache.live;
+        let warm = Plan_cache.create ~dir () in
+        let got_a =
+          Plan_cache.lookup warm ~accel ~op:a ~budget:small_budget <> None
+        in
+        let got_b =
+          Plan_cache.lookup warm ~accel ~op:b ~budget:small_budget <> None
+        in
+        Alcotest.(check bool) "exactly one entry survives" true
+          (got_a <> got_b));
+    Alcotest.test_case "torn-line-healed-for-next-writer" `Quick (fun () ->
+        (* a torn trailing line must not corrupt the NEXT append: the
+           reopening cache terminates it, so new adds parse cleanly *)
+        let accel = toy_accel () in
+        let a = an_op () in
+        let b = Ops.gemm ~m:4 ~n:4 ~k:4 () in
+        let dir = temp_dir "amos-fault-heal" in
+        let _, _, _, failed =
+          store_under_faults ~dir
+            [ { Fs_io.op = Fs_io.Append; after = 0; mode = Fs_io.Torn 3 } ]
+        in
+        Alcotest.(check bool) "append tore" true failed;
+        let cache = Plan_cache.create ~dir () in
+        Plan_cache.store cache ~accel ~op:b ~budget:small_budget
+          Plan_cache.Scalar;
+        let reopened = Plan_cache.create ~dir () in
+        (match Plan_cache.lookup reopened ~accel ~op:b ~budget:small_budget with
+        | Some Plan_cache.Scalar -> ()
+        | _ -> Alcotest.fail "append after healed torn line must round-trip");
+        (* fsck then also adopts the orphan from the torn store *)
+        let r = Plan_cache.fsck ~dir () in
+        Alcotest.(check int) "orphan adopted" 1 r.Plan_cache.adopted;
+        let warm = Plan_cache.create ~dir () in
+        Alcotest.(check bool) "both entries served" true
+          (Plan_cache.lookup warm ~accel ~op:a ~budget:small_budget <> None
+          && Plan_cache.lookup warm ~accel ~op:b ~budget:small_budget <> None));
+  ]
+
+(* --- multi-process behavior, simulated with two handles ------------- *)
+
+let multiprocess_tests =
+  [
+    Alcotest.test_case "second-handle-sees-first-handles-store" `Quick
+      (fun () ->
+        let accel = toy_accel () in
+        let op = an_op () in
+        let dir = temp_dir "amos-mp-refresh" in
+        let writer = Plan_cache.create ~dir () in
+        let reader = Plan_cache.create ~dir () in
+        Alcotest.(check bool) "reader cold-misses" true
+          (Plan_cache.lookup reader ~accel ~op ~budget:small_budget = None);
+        Plan_cache.store writer ~accel ~op ~budget:small_budget
+          (tune_value accel op);
+        (* the reader's next miss re-replays the journal and hits *)
+        (match Plan_cache.lookup reader ~accel ~op ~budget:small_budget with
+        | Some _ -> ()
+        | None -> Alcotest.fail "reader must observe writer's store"));
+    Alcotest.test_case "concurrent-same-fingerprint-stores" `Quick (fun () ->
+        (* the regression the fixed-name tmp file made possible: two
+           writers storing the same fingerprint raced on
+           [fp ^ ".plan.tmp"].  With unique temp names both must
+           succeed and leave a valid, servable entry. *)
+        let accel = toy_accel () in
+        let op = an_op () in
+        let value = tune_value accel op in
+        let dir = temp_dir "amos-mp-race" in
+        let store_repeatedly () =
+          let cache = Plan_cache.create ~dir () in
+          for _ = 1 to 20 do
+            Plan_cache.store cache ~accel ~op ~budget:small_budget value
+          done
+        in
+        let d1 = Domain.spawn store_repeatedly in
+        let d2 = Domain.spawn store_repeatedly in
+        Domain.join d1;
+        Domain.join d2;
+        let r = Plan_cache.fsck ~dir () in
+        Alcotest.(check bool) "fsck clean after race" true
+          (Plan_cache.fsck_clean r);
+        Alcotest.(check int) "exactly one live entry" 1 r.Plan_cache.live;
+        let warm = Plan_cache.create ~dir () in
+        match Plan_cache.lookup warm ~accel ~op ~budget:small_budget with
+        | Some (Plan_cache.Spatial (m, sched)) ->
+            Alcotest.(check bool) "entry validates" true
+              (Schedule.validate m sched)
+        | Some Plan_cache.Scalar -> Alcotest.fail "expected spatial"
+        | None -> Alcotest.fail "expected hit after concurrent stores");
+  ]
+
+(* --- graceful degradation ------------------------------------------- *)
+
+let boom = Failure "injected evaluation failure"
+
+let degradation_tests =
+  [
+    Alcotest.test_case "parallel-map-captures-per-task-failures" `Quick
+      (fun () ->
+        let arr = Array.init 8 Fun.id in
+        let results =
+          Par_tune.parallel_map_result ~jobs:4
+            (fun i -> if i = 3 then raise boom else i * 10)
+            arr
+        in
+        Array.iteri
+          (fun i r ->
+            match (i, r) with
+            | 3, Error (Failure _) -> ()
+            | 3, _ -> Alcotest.fail "task 3 must report its failure"
+            | i, Ok v -> Alcotest.(check int) "sibling result" (i * 10) v
+            | _, Error _ -> Alcotest.fail "sibling must not fail")
+          results);
+    Alcotest.test_case "parallel-map-retries-transient-failure" `Quick
+      (fun () ->
+        let attempts = Array.init 4 (fun _ -> Atomic.make 0) in
+        let results =
+          Par_tune.parallel_map_result ~jobs:2
+            (fun i ->
+              (* every task fails its first attempt, succeeds its second *)
+              if Atomic.fetch_and_add attempts.(i) 1 = 0 then raise boom
+              else i)
+            (Array.init 4 Fun.id)
+        in
+        Array.iteri
+          (fun i r ->
+            match r with
+            | Ok v -> Alcotest.(check int) "retried into success" i v
+            | Error _ -> Alcotest.fail "one retry must absorb the failure")
+          results);
+    Alcotest.test_case "one-raising-mapping-keeps-sibling-plans" `Quick
+      (fun () ->
+        let accel = toy_accel () in
+        let op = an_op () in
+        let mappings =
+          List.concat_map
+            (fun intr ->
+              List.map Mapping.make (Mapping_gen.generate_op op intr))
+            accel.Accelerator.intrinsics
+        in
+        Alcotest.(check bool) "needs several mappings" true
+          (List.length mappings >= 2);
+        let victim = Mapping.describe (List.hd mappings) in
+        let result =
+          Par_tune.tune_with ~jobs:4
+            ~screen:(fun m -> Explore.screen_mapping ~accel m)
+            ~search:(fun m ->
+              if Mapping.describe m = victim then raise boom
+              else
+                Explore.search_mapping ~population:4 ~generations:2
+                  ~measure_top:2 ~accel m)
+            ~mappings ()
+        in
+        (* the victim is reported, the siblings' plans still competed *)
+        Alcotest.(check int) "one failure reported" 1
+          (List.length result.Explore.failures);
+        Alcotest.(check string) "failure names the mapping" victim
+          (fst (List.hd result.Explore.failures));
+        Alcotest.(check bool) "a best plan still exists" true
+          (result.Explore.best.Explore.measured < infinity);
+        Alcotest.(check bool) "sibling history survives" true
+          (List.length result.Explore.history > 0));
+    Alcotest.test_case "batch-compile-degrades-failing-stage" `Quick
+      (fun () ->
+        let accel = toy_accel () in
+        let p = Pipeline.mini_cnn ~channels:2 () in
+        (* measure_top = 0 makes every search return zero plans, so
+           tuning raises for every unique stage: the compile must
+           complete on scalar fallbacks, not abort *)
+        let broken = { small_budget with Fingerprint.measure_top = 0 } in
+        let cache = Plan_cache.create () in
+        let t = Batch_compile.compile ~jobs:1 ~budget:broken ~cache accel p in
+        let r = t.Batch_compile.report in
+        Alcotest.(check bool) "degraded stages reported" true
+          (r.Batch_compile.degraded_stages > 0);
+        Alcotest.(check bool) "some stage marked Degraded" true
+          (List.exists
+             (fun sp -> sp.Batch_compile.source = Batch_compile.Degraded)
+             t.Batch_compile.plans);
+        List.iter
+          (fun sp ->
+            match sp.Batch_compile.value with
+            | Plan_cache.Scalar -> ()
+            | Plan_cache.Spatial _ ->
+                Alcotest.fail "degraded run must use scalar plans")
+          t.Batch_compile.plans;
+        (* the network still runs end-to-end on the fallback plans *)
+        let rng = Rng.create 5 in
+        let input = Amos_tensor.Nd.random rng (Pipeline.input_shape p) in
+        let weights = Pipeline.random_weights rng p in
+        let out = Batch_compile.run t ~input ~weights in
+        let expected = Pipeline.run_reference p ~input ~weights in
+        Alcotest.(check bool) "degraded output matches reference" true
+          (Amos_tensor.Nd.approx_equal ~tol:1e-3 expected out));
+    Alcotest.test_case "degraded-network-compile-completes" `Quick (fun () ->
+        let accel = toy_accel () in
+        let broken = { small_budget with Fingerprint.measure_top = 0 } in
+        let cache = Plan_cache.create () in
+        let module Networks = Amos_workloads.Networks in
+        let net =
+          {
+            Networks.name = "tiny";
+            batch = 1;
+            layers =
+              [
+                (Networks.Tensor_op (an_op ()), 1);
+                (Networks.Elementwise { name = "relu"; elems = 128 }, 1);
+              ];
+          }
+        in
+        let report, service =
+          Batch_compile.compile_network ~jobs:1 ~budget:broken ~cache accel
+            net
+        in
+        Alcotest.(check bool) "stages degraded, compile completed" true
+          (service.Batch_compile.degraded_stages > 0);
+        Alcotest.(check bool) "network latency still reported" true
+          (report.Compiler.network_seconds > 0.);
+        (* degraded fallbacks are never cached: a healthy budget later
+           must not be poisoned (different fingerprint anyway), and the
+           same broken budget re-degrades rather than hitting *)
+        Alcotest.(check int) "nothing stored" 0 (Plan_cache.mem_size cache));
+    Alcotest.test_case "store-failure-does-not-abort-compile" `Quick
+      (fun () ->
+        let accel = toy_accel () in
+        let p = Pipeline.mini_cnn ~channels:2 () in
+        let dir = temp_dir "amos-store-fail" in
+        (* every entry write fails: tuning succeeds, persistence keeps
+           failing, compile must still complete with tuned plans *)
+        let faults =
+          List.init 64 (fun i ->
+              { Fs_io.op = Fs_io.Write; after = i; mode = Fs_io.Fail "EIO" })
+        in
+        let cache = Plan_cache.create ~fs:(Fs_io.faulty faults) ~dir () in
+        let t =
+          Batch_compile.compile ~jobs:1 ~budget:small_budget ~cache accel p
+        in
+        let r = t.Batch_compile.report in
+        Alcotest.(check bool) "tuned despite store failures" true
+          (r.Batch_compile.evaluations > 0);
+        Alcotest.(check int) "no stage degraded (plans are good)" 0
+          r.Batch_compile.degraded_stages;
+        let fsck = Plan_cache.fsck ~dir () in
+        Alcotest.(check bool) "directory consistent" true
+          (Plan_cache.fsck_clean fsck));
+  ]
+
+let suites =
+  [
+    ("service.faults", fault_point_tests);
+    ("service.journal", journal_tests);
+    ("service.multiprocess", multiprocess_tests);
+    ("service.degradation", degradation_tests);
+  ]

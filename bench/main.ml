@@ -651,6 +651,106 @@ let robustness () =
     (1e3 *. report.Compiler.network_seconds)
 
 (* ------------------------------------------------------------------ *)
+(* Plan migration: cold vs migrated tuning convergence                  *)
+
+let smoke_flag = ref false
+let seed_ref = ref 2022
+
+let migration () =
+  header "Plan migration: cold vs migrated tuning convergence";
+  let module Migrate = Amos_service.Migrate in
+  let seed = !seed_ref in
+  let gens = if !smoke_flag then 3 else 6 in
+  let population = if !smoke_flag then 6 else 12 in
+  Printf.printf "(seed %d, population %d, generations 0..%d%s)\n" seed
+    population gens (if !smoke_flag then ", smoke" else "");
+  let tune ?initial_population ~generations accel op =
+    (Explore.tune ~population ~generations ?initial_population
+       ~rng:(Rng.create seed) ~accel ~mappings:(Compiler.mappings accel op) ())
+      .Explore.best.Explore.measured
+  in
+  let cases =
+    [
+      ("GMM32", Ops.gemm ~m:32 ~n:32 ~k:32 (),
+       Accelerator.v100 (), Accelerator.a100 ());
+      ("C2D", Ops.conv2d ~n:2 ~c:4 ~k:8 ~p:8 ~q:8 ~r:3 ~s:3 (),
+       Accelerator.a100 (), Accelerator.v100 ());
+      ("GMM48", Ops.gemm ~m:48 ~n:48 ~k:48 (),
+       Accelerator.a100 (), Accelerator.ascend_like ());
+    ]
+  in
+  let wins = ref 0 in
+  Printf.printf "%-6s %-10s %-12s %-10s %5s %10s %10s %7s %7s %5s\n" "Case"
+    "source" "target" "transfer" "seeds" "cold(ms)" "migr(ms)" "g_cold"
+    "g_migr" "win";
+  let rows =
+    List.map
+      (fun (name, op, source, target) ->
+        (* tune on the source at the full budget, save, migrate *)
+        let src =
+          Explore.tune ~population ~generations:gens ~rng:(Rng.create seed)
+            ~accel:source ~mappings:(Compiler.mappings source op) ()
+        in
+        let sc = src.Explore.best.Explore.candidate in
+        let o =
+          Migrate.migrate ~target ~op ~source_accel:source.Accelerator.name
+            ~source_fingerprint:"bench"
+            ~plan_text:(Plan_io.save sc.Explore.mapping sc.Explore.schedule) ()
+        in
+        (* the per-generation convergence curves: re-run the (per-mapping
+           deterministic) tuner at each budget, cold and seeded *)
+        let cold =
+          List.init (gens + 1) (fun g -> tune ~generations:g target op)
+        in
+        let migr =
+          List.init (gens + 1) (fun g ->
+              tune ~initial_population:o.Migrate.seeds ~generations:g target
+                op)
+        in
+        let final_cold = List.nth cold gens in
+        let final_migr = List.nth migr gens in
+        (* generations until a curve first reaches the cold best cost *)
+        let gens_to curve =
+          let rec go g = function
+            | [] -> gens
+            | c :: rest ->
+                if c <= final_cold +. 1e-12 then g else go (g + 1) rest
+          in
+          go 0 curve
+        in
+        let g_cold = gens_to cold and g_migr = gens_to migr in
+        let win =
+          g_migr < g_cold || (g_migr = g_cold && final_migr <= final_cold)
+        in
+        if win then incr wins;
+        Printf.printf "%-6s %-10s %-12s %-10s %5d %10.4f %10.4f %7d %7d %5b\n%!"
+          name source.Accelerator.name target.Accelerator.name
+          (if o.Migrate.direct then "direct" else "structural")
+          (List.length o.Migrate.seeds)
+          (1e3 *. final_cold) (1e3 *. final_migr) g_cold g_migr win;
+        [ name; source.Accelerator.name; target.Accelerator.name;
+          (if o.Migrate.direct then "direct" else "structural");
+          string_of_int (List.length o.Migrate.seeds);
+          Csv.f final_cold; Csv.f final_migr;
+          string_of_int g_cold; string_of_int g_migr;
+          string_of_bool win ])
+      cases
+  in
+  Printf.printf
+    "migration wins on %d/%d operators (reaches cold best in fewer \
+     generations, or no worse at equal generations)\n%!"
+    !wins (List.length cases);
+  Csv.write "migration"
+    ~header:[ "case"; "source"; "target"; "transfer"; "seeds"; "cold_best_s";
+              "migrated_best_s"; "gens_to_best_cold"; "gens_to_best_migrated";
+              "win" ]
+    rows;
+  if !wins < 2 then begin
+    Printf.printf "FAIL: migration must win on at least 2/3 operators\n%!";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler hot paths                  *)
 
 let micro () =
@@ -726,11 +826,26 @@ let experiments =
     ("fig5", fig5); ("fig6ab", fig6ab); ("fig6c", fig6c); ("fig7", fig7);
     ("fig7e", fig7e); ("fig8a", fig8a); ("fig8b", fig8b); ("fig9", fig9);
     ("layout", layout); ("newaccel", newaccel); ("ablate", ablate);
-    ("service", service); ("robustness", robustness); ("micro", micro);
+    ("service", service); ("robustness", robustness);
+    ("migration", migration); ("micro", micro);
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  (* global flags first ([--smoke], [--seed N]); what remains selects
+     experiments by name *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--smoke" :: rest ->
+        smoke_flag := true;
+        parse acc rest
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some s -> seed_ref := s
+        | None -> failwith ("--seed expects an integer, got " ^ n));
+        parse acc rest
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [] -> List.iter (fun (_, f) -> f ()) experiments
   | names ->

@@ -7,6 +7,9 @@
      amos_cli tune   --accel a100 --layer C5 --jobs 4 --cache-dir ~/.amos
                                         explore mappings x schedules
                                         (parallel, plan-cache backed)
+     amos_cli tune   --accel ascend --migrate-from a100 ...
+                                        warm-start tuning from a plan
+                                        migrated off another accelerator
      amos_cli cache  stats|clear|warm   manage the persistent tuning cache
      amos_cli verify --accel toy --layer C5
                                         functional check vs the reference
@@ -80,6 +83,8 @@ let scale_arg =
 module Fingerprint = Amos_service.Fingerprint
 module Plan_cache = Amos_service.Plan_cache
 module Batch_compile = Amos_service.Batch_compile
+module Par_tune = Amos_service.Par_tune
+module Migrate = Amos_service.Migrate
 
 let jobs_arg =
   let doc =
@@ -247,8 +252,17 @@ let tune_cmd =
          & info [ "load" ] ~docv:"FILE"
              ~doc:"Skip tuning and evaluate the plan stored in FILE.")
   in
+  let migrate_from_arg =
+    Arg.(value & opt (some string) None
+         & info [ "migrate-from" ] ~docv:"ACCEL"
+             ~doc:
+               "Seed tuning with a plan migrated from this accelerator \
+                (tuned there first on a source-cache miss); 'auto' scans \
+                the cache for any same-operator plan tuned elsewhere.  A \
+                cache hit for the target accelerator still wins.")
+  in
   let run verbose accel_name layer kind batch index seed save load dsl jobs
-      cache_dir =
+      cache_dir migrate_from =
     setup_logs verbose;
     let accel = accel_by_name accel_name in
     let op = pick_op ?dsl ~layer ~kind ~batch ~index ~scale:1 () in
@@ -265,9 +279,71 @@ let tune_cmd =
               *. Spatial_sim.Machine.estimate_seconds accel.Accelerator.config k))
     | None -> (
         let cache = make_cache cache_dir in
+        let budget = budget_with seed in
+        let migration =
+          match migrate_from with
+          | None -> None
+          | Some src -> (
+              (* a target-accelerator cache hit still wins: migration only
+                 kicks in when this (op, accel, budget) was never tuned *)
+              match Plan_cache.lookup cache ~accel ~op ~budget with
+              | Some _ -> None
+              | None ->
+                  if src = "auto" then
+                    Migrate.from_cache cache ~accel ~op ~budget
+                  else begin
+                    let source = accel_by_name src in
+                    match
+                      Batch_compile.tune_op ~jobs ~budget ~cache source op
+                    with
+                    | Plan_cache.Scalar, _ -> None
+                    | Plan_cache.Spatial (m, sched), _ ->
+                        let o =
+                          Migrate.migrate ~target:accel ~op
+                            ~source_accel:source.Accelerator.name
+                            ~source_fingerprint:
+                              (Fingerprint.key ~accel:source ~op ~budget)
+                            ~plan_text:(Plan_io.save m sched) ()
+                        in
+                        if o.Migrate.seeds = [] then None else Some o
+                  end)
+        in
         let value, source =
-          Batch_compile.tune_op ~jobs ~budget:(budget_with seed) ~cache accel
-            op
+          match migration with
+          | None -> Batch_compile.tune_op ~jobs ~budget ~cache accel op
+          | Some o ->
+              Printf.printf "[migrated %d seed%s from %s (%s transfer)]\n"
+                (List.length o.Migrate.seeds)
+                (if List.length o.Migrate.seeds = 1 then "" else "s")
+                o.Migrate.source_accel
+                (if o.Migrate.direct then "direct" else "structural");
+              let r =
+                Par_tune.tune ~jobs ~population:budget.Fingerprint.population
+                  ~generations:budget.Fingerprint.generations
+                  ~measure_top:budget.Fingerprint.measure_top
+                  ~initial_population:o.Migrate.seeds
+                  ~rng:(Rng.create budget.Fingerprint.seed) ~accel
+                  ~mappings:(Compiler.mappings accel op) ()
+              in
+              let best = r.Explore.best in
+              let value =
+                if
+                  best.Explore.measured
+                  <= Batch_compile.scalar_seconds accel op
+                then
+                  Plan_cache.Spatial
+                    ( best.Explore.candidate.Explore.mapping,
+                      best.Explore.candidate.Explore.schedule )
+                else Plan_cache.Scalar
+              in
+              let provenance =
+                {
+                  Plan_io.source_accel = o.Migrate.source_accel;
+                  source_fingerprint = o.Migrate.source_fingerprint;
+                }
+              in
+              Plan_cache.store ~provenance cache ~accel ~op ~budget value;
+              (value, Batch_compile.Tuned)
         in
         (match (source, cache_dir) with
         | Batch_compile.Hit, _ -> print_endline "[served from plan cache]"
@@ -299,7 +375,7 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc:"Explore mappings x schedules and report the best plan")
     Term.(const run $ verbose_arg $ accel_arg $ layer_arg $ kind_arg
           $ batch_arg $ index_arg $ seed_arg $ save_arg $ load_arg $ dsl_arg
-          $ jobs_arg $ cache_dir_arg)
+          $ jobs_arg $ cache_dir_arg $ migrate_from_arg)
 
 (* --- verify ------------------------------------------------------- *)
 

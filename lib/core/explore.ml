@@ -40,11 +40,52 @@ let mapping_seed (m : Mapping.t) =
       m.Mapping.matching.Matching.intr.Intrinsic.name,
       0x5eed )
 
-let schedule_search ~population ~generations ~rng ~accel mapping =
+(* Structural identity of a mapping: iteration ids are globally unique, so
+   two mappings built at different times can only be compared through
+   their description plus intrinsic — the same identity [mapping_seed]
+   hashes, kept exact here. *)
+let mapping_key (m : Mapping.t) =
+  (Mapping.describe m, m.Mapping.matching.Matching.intr.Intrinsic.name)
+
+(* Fold an [initial_population] of seed plans into a mapping space:
+   returns the extended mapping list (seed mappings join the space when
+   not already present), the per-mapping seed schedules, and the is-seeded
+   predicate.  Shared by [tune] and [Amos_service.Par_tune] so both
+   front-ends treat seeds identically. *)
+let merge_seed_population ~mappings initial_population =
+  let seed_tbl = Hashtbl.create 8 in
+  let seed_mappings = ref [] in
+  List.iter
+    (fun c ->
+      let k = mapping_key c.mapping in
+      if not (Hashtbl.mem seed_tbl k) then
+        seed_mappings := c.mapping :: !seed_mappings;
+      Hashtbl.replace seed_tbl k
+        (c.schedule
+        :: (match Hashtbl.find_opt seed_tbl k with Some l -> l | None -> [])))
+    initial_population;
+  let known = List.map mapping_key mappings in
+  let extra =
+    List.filter
+      (fun m -> not (List.mem (mapping_key m) known))
+      (List.rev !seed_mappings)
+  in
+  let seeds_for m =
+    match Hashtbl.find_opt seed_tbl (mapping_key m) with
+    | Some l -> List.rev l
+    | None -> []
+  in
+  let is_seeded m = Hashtbl.mem seed_tbl (mapping_key m) in
+  (mappings @ extra, seeds_for, is_seeded)
+
+let schedule_search ?(seeds = []) ~population ~generations ~rng ~accel mapping
+    =
   let score sched = (sched, predict accel { mapping; schedule = sched }) in
+  (* seed schedules join the initial genetic population alongside the
+     default and the random draws: they compete, they never replace *)
   let initial =
-    score (Schedule.default mapping)
-    :: List.init population (fun _ -> score (Schedule.random rng mapping))
+    (score (Schedule.default mapping) :: List.map score seeds)
+    @ List.init population (fun _ -> score (Schedule.random rng mapping))
   in
   let sorted l = List.sort (fun (_, a) (_, b) -> Float.compare a b) l in
   let rec go gen pop =
@@ -85,7 +126,7 @@ let screen_mapping ~accel mapping =
   in
   (best, List.length quick)
 
-let select_survivors screened =
+let select_survivors ?(must_keep = fun _ -> false) screened =
   let by_screen =
     List.filteri
       (fun i _ -> i < 12)
@@ -103,26 +144,50 @@ let select_survivors screened =
          (fun ((a : Mapping.t), _) (b, _) -> compare (key a) (key b))
          screened)
   in
-  List.fold_left
-    (fun acc (m, p) ->
-      if List.exists (fun (m', _) -> m' == m) acc then acc
-      else acc @ [ (m, p) ])
-    by_screen by_utilization
+  let dedup_append acc extra =
+    List.fold_left
+      (fun acc (m, p) ->
+        if List.exists (fun (m', _) -> m' == m) acc then acc
+        else acc @ [ (m, p) ])
+      acc extra
+  in
+  (* seeded (migrated) mappings always earn a full search: they compete
+     with the screen winners instead of replacing them *)
+  dedup_append
+    (dedup_append by_screen by_utilization)
+    (List.filter (fun (m, _) -> must_keep m) screened)
 
 (* phase 2 unit: full genetic schedule search for one mapping, measuring
    the [measure_top] best model-ranked schedules on the simulator.
    Deterministic per mapping, like [screen_mapping]. *)
-let search_mapping ~population ~generations ~measure_top ~accel mapping =
+let search_mapping ?(seeds = []) ~population ~generations ~measure_top ~accel
+    mapping =
   let rng = Rng.create (mapping_seed mapping) in
-  let ranked = schedule_search ~population ~generations ~rng ~accel mapping in
-  let plans =
-    List.filteri (fun i _ -> i < measure_top) ranked
-    |> List.map (fun (schedule, predicted) ->
-           let c = { mapping; schedule } in
-           let measured = measure accel c in
-           { candidate = c; predicted; measured })
+  let seeds = List.filter (fun s -> Schedule.validate mapping s) seeds in
+  let ranked =
+    schedule_search ~seeds ~population ~generations ~rng ~accel mapping
   in
-  (plans, population * (generations + 1))
+  let chosen =
+    let top = List.filteri (fun i _ -> i < measure_top) ranked in
+    (* seed schedules are always measured, even when the model ranks them
+       out of the top: the search result can then never be worse than the
+       seeds it was given *)
+    top
+    @ List.filter_map
+        (fun s ->
+          if List.exists (fun (t, _) -> t = s) top then None
+          else Some (s, predict accel { mapping; schedule = s }))
+        seeds
+  in
+  let plans =
+    List.map
+      (fun (schedule, predicted) ->
+        let c = { mapping; schedule } in
+        let measured = measure accel c in
+        { candidate = c; predicted; measured })
+      chosen
+  in
+  (plans, population * (generations + 1) + List.length seeds)
 
 let assemble ?(failures = []) plans ~evaluations =
   let best =
@@ -152,11 +217,15 @@ let assemble ?(failures = []) plans ~evaluations =
    gets a full schedule search (the same budget a template compiler would
    spend on its single hand-written mapping), and the best model-ranked
    plans are measured on the simulator. *)
-let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3) ~rng ~accel
-    ~mappings () =
-  if mappings = [] then invalid_arg "Explore.tune: no mappings";
+let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3)
+    ?(initial_population = []) ~rng ~accel ~mappings () =
+  if mappings = [] && initial_population = [] then
+    invalid_arg "Explore.tune: no mappings";
   (* historical draw, kept so callers sharing an rng see the same stream *)
   let _base_seed = Rng.int rng 1_000_000_000 in
+  let mappings, seeds_for, is_seeded =
+    merge_seed_population ~mappings initial_population
+  in
   let evals = ref 0 in
   let failures = ref [] in
   let record mapping e =
@@ -176,12 +245,13 @@ let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3) ~rng ~accel
             None)
       mappings
   in
-  let survivors = select_survivors screened in
+  let survivors = select_survivors ~must_keep:is_seeded screened in
   let plans =
     List.concat_map
       (fun (mapping, _) ->
         match
-          search_mapping ~population ~generations ~measure_top ~accel mapping
+          search_mapping ~seeds:(seeds_for mapping) ~population ~generations
+            ~measure_top ~accel mapping
         with
         | plans, n ->
             evals := !evals + n;

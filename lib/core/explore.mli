@@ -37,6 +37,7 @@ val tune :
   ?population:int ->
   ?generations:int ->
   ?measure_top:int ->
+  ?initial_population:candidate list ->
   rng:Amos_tensor.Rng.t ->
   accel:Accelerator.t ->
   mappings:Mapping.t list ->
@@ -47,8 +48,19 @@ val tune :
     genetic schedule search with the given [population] x [generations]
     budget (what a template compiler spends on its one hand-written
     mapping); the [measure_top] best schedules per mapping are measured
-    on the simulator.  Raises [Invalid_argument] when [mappings] is
-    empty or no candidate is feasible. *)
+    on the simulator.
+
+    [initial_population] seeds the search with known-good plans (e.g.
+    plans migrated from a sibling accelerator, see
+    [Amos_service.Migrate]): seed mappings join the mapping space and
+    always earn a full schedule search, seed schedules join that
+    mapping's genetic initial population, and every seed is measured —
+    so seeds {e compete with} the random candidates and the result is
+    never worse than the best seed, but a seed never displaces a random
+    candidate from the budget.
+
+    Raises [Invalid_argument] when both [mappings] and
+    [initial_population] are empty, or no candidate is feasible. *)
 
 val tune_op :
   ?population:int ->
@@ -76,16 +88,35 @@ val mapping_seed : Mapping.t -> int
     mapping structure, independent of surrounding mappings, callers and
     workers. *)
 
+val mapping_key : Mapping.t -> string * string
+(** Structural identity of a mapping (description, intrinsic name):
+    stable across separately constructed but structurally equal mappings,
+    unlike the physical identity of the [Iter.t] ids inside. *)
+
+val merge_seed_population :
+  mappings:Mapping.t list ->
+  candidate list ->
+  Mapping.t list * (Mapping.t -> Schedule.t list) * (Mapping.t -> bool)
+(** Fold seed plans into a mapping space: [(mappings', seeds_for,
+    is_seeded)] where [mappings'] extends [mappings] with seed mappings
+    not already present (by {!mapping_key}), [seeds_for m] is the seed
+    schedules attached to [m], and [is_seeded m] says whether [m] must
+    survive screening.  Shared by [tune] and [Amos_service.Par_tune]. *)
+
 val screen_mapping : accel:Accelerator.t -> Mapping.t -> float * int
 (** Phase-1 unit: best predicted seconds of the default plus a few
     random schedules, and the number of model evaluations spent. *)
 
 val select_survivors :
-  (Mapping.t * float) list -> (Mapping.t * float) list
+  ?must_keep:(Mapping.t -> bool) ->
+  (Mapping.t * float) list ->
+  (Mapping.t * float) list
 (** The mappings that earn a full schedule search: the best dozen by
-    screen score plus the highest-utilization fusions. *)
+    screen score plus the highest-utilization fusions, plus every
+    screened mapping satisfying [must_keep] (seeded mappings). *)
 
 val search_mapping :
+  ?seeds:Schedule.t list ->
   population:int ->
   generations:int ->
   measure_top:int ->
@@ -94,7 +125,9 @@ val search_mapping :
   plan list * int
 (** Phase-2 unit: genetic schedule search over one mapping; returns the
     [measure_top] best plans (model rank order, simulator-measured) and
-    the evaluations spent. *)
+    the evaluations spent.  [seeds] (schedules valid for this mapping;
+    invalid ones are dropped) join the initial genetic population and are
+    additionally always measured. *)
 
 val assemble :
   ?failures:(string * string) list -> plan list -> evaluations:int -> result

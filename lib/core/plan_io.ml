@@ -1,10 +1,24 @@
 open Amos_ir
 
-let save (m : Mapping.t) (sched : Schedule.t) =
+type provenance = {
+  source_accel : string;
+  source_fingerprint : string;
+}
+
+let save ?provenance (m : Mapping.t) (sched : Schedule.t) =
   let matching = m.Mapping.matching in
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf "intrinsic %s\n" matching.Matching.intr.Intrinsic.name);
+  (* provenance rides as an extra header line: [load] ignores unknown
+     keys, so plans saved with it still parse under pre-migration
+     readers and vice versa *)
+  (match provenance with
+  | Some p ->
+      Buffer.add_string b
+        (Printf.sprintf "provenance %s %s\n" p.source_fingerprint
+           p.source_accel)
+  | None -> ());
   Buffer.add_string b
     (Printf.sprintf "src_perm %s\n"
        (String.concat ","
@@ -31,6 +45,15 @@ let save (m : Mapping.t) (sched : Schedule.t) =
 
 let split_ws line =
   String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let provenance text =
+  String.split_on_char '\n' text
+  |> List.find_map (fun l ->
+         match split_ws l with
+         | "provenance" :: fp :: rest when rest <> [] ->
+             Some
+               { source_fingerprint = fp; source_accel = String.concat " " rest }
+         | _ -> None)
 
 let load accel (op : Operator.t) text =
   let lines =

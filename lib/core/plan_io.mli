@@ -18,7 +18,16 @@
 
 open Amos_ir
 
-val save : Mapping.t -> Schedule.t -> string
+type provenance = {
+  source_accel : string;  (** accelerator the plan was originally tuned for *)
+  source_fingerprint : string;  (** its cache fingerprint on that accelerator *)
+}
+(** Migration provenance: where a plan's seed knowledge came from.
+    Serialized as one extra [provenance <fingerprint> <accel>] header
+    line that pre-migration readers simply ignore (and pre-migration
+    plan files simply lack), so both directions stay parseable. *)
+
+val save : ?provenance:provenance -> Mapping.t -> Schedule.t -> string
 
 val load :
   Accelerator.t -> Operator.t -> string -> (Mapping.t * Schedule.t) option
@@ -26,3 +35,7 @@ val load :
     intrinsic is looked up by name, software iterations by name, and the
     result is re-validated (Algorithm 1).  [None] when anything fails to
     resolve — e.g. the plan was saved for a different operator shape. *)
+
+val provenance : string -> provenance option
+(** The provenance header of a saved plan text, if any ([None] for every
+    pre-migration plan file). *)

@@ -119,3 +119,11 @@ let key ~accel ~op ~budget =
       budget.measure_top budget.seed
   in
   Digest.to_hex (Digest.string canonical)
+
+(* the accelerator-independent slice of [key]: what migration matches on *)
+let op_key ~op ~budget =
+  let canonical =
+    Printf.sprintf "amos-plan-op-v1\nop %s\nbudget %d %d %d %d\n" (operator op)
+      budget.population budget.generations budget.measure_top budget.seed
+  in
+  Digest.to_hex (Digest.string canonical)

@@ -30,3 +30,9 @@ val accelerator : Accelerator.t -> string
 
 val key : accel:Accelerator.t -> op:Operator.t -> budget:budget -> string
 (** 32-hex-char content fingerprint. *)
+
+val op_key : op:Operator.t -> budget:budget -> string
+(** The accelerator-independent slice of {!key}: same operator structure
+    and budget fingerprint identically on every accelerator.  Stored
+    alongside each cache entry so [Plan_cache.lookup_migratable] can find
+    plans for the same computation tuned elsewhere. *)

@@ -3,12 +3,16 @@ module Rng = Amos_tensor.Rng
 
 let default_jobs () = min 8 (Domain.recommended_domain_count ())
 
-(* one retry per task: transient failures (an OOM blip, a flaky
+(* One retry per task: transient failures (an OOM blip, a flaky
    measurement harness) heal silently; a deterministic failure raises
-   identically twice and is reported once *)
+   identically twice and is reported once.  [Invalid_argument] is a
+   contract violation (e.g. an empty input reaching [Explore.tune]) that
+   no retry can repair — it is captured on the first raise, never
+   retried. *)
 let attempt f x =
   match f x with
   | v -> Ok v
+  | exception (Invalid_argument _ as e) -> Error e
   | exception _first -> ( match f x with v -> Ok v | exception e -> Error e)
 
 (* Order-preserving parallel map: [jobs - 1] spawned domains plus the
@@ -50,7 +54,8 @@ let parallel_map_result ~jobs f arr =
       results
   end
 
-let tune_with ?jobs ~screen ~search ~mappings () =
+let tune_with ?jobs ?(must_keep = fun _ -> false) ~screen ~search ~mappings ()
+    =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   if mappings = [] then invalid_arg "Par_tune.tune: no mappings";
   let failures = ref [] in
@@ -70,7 +75,7 @@ let tune_with ?jobs ~screen ~search ~mappings () =
           screened := (marr.(i), best) :: !screened
       | Error e -> record marr.(i) e)
     screened_r;
-  let survivors = Explore.select_survivors (List.rev !screened) in
+  let survivors = Explore.select_survivors ~must_keep (List.rev !screened) in
   let sarr = Array.of_list survivors in
   let searched_r = parallel_map_result ~jobs (fun (m, _) -> search m) sarr in
   let evaluations = ref !screen_evals in
@@ -88,16 +93,23 @@ let tune_with ?jobs ~screen ~search ~mappings () =
     (List.concat (List.rev !plans))
     ~evaluations:!evaluations
 
-let tune ?jobs ?(population = 16) ?(generations = 8) ?(measure_top = 3) ~rng
-    ~accel ~mappings () =
-  if mappings = [] then invalid_arg "Par_tune.tune: no mappings";
+let tune ?jobs ?(population = 16) ?(generations = 8) ?(measure_top = 3)
+    ?(initial_population = []) ~rng ~accel ~mappings () =
+  if mappings = [] && initial_population = [] then
+    invalid_arg "Par_tune.tune: no mappings";
   (* same historical draw as [Explore.tune], so a shared rng advances
      identically whichever front-end the caller picks *)
   let _base_seed = Rng.int rng 1_000_000_000 in
-  tune_with ?jobs
+  (* the same seed-merge as [Explore.tune]: seeds attach to mappings by
+     structural key, so any partition over workers sees them identically *)
+  let mappings, seeds_for, is_seeded =
+    Explore.merge_seed_population ~mappings initial_population
+  in
+  tune_with ?jobs ~must_keep:is_seeded
     ~screen:(fun m -> Explore.screen_mapping ~accel m)
     ~search:(fun m ->
-      Explore.search_mapping ~population ~generations ~measure_top ~accel m)
+      Explore.search_mapping ~seeds:(seeds_for m) ~population ~generations
+        ~measure_top ~accel m)
     ~mappings ()
 
 let tune_op ?jobs ?population ?generations ?measure_top ?filter ~rng ~accel op

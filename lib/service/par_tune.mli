@@ -32,18 +32,24 @@ val tune :
   ?population:int ->
   ?generations:int ->
   ?measure_top:int ->
+  ?initial_population:Explore.candidate list ->
   rng:Amos_tensor.Rng.t ->
   accel:Accelerator.t ->
   mappings:Mapping.t list ->
   unit ->
   Explore.result
-(** Same contract as [Explore.tune]; [jobs] defaults to
-    {!default_jobs}.  Mappings whose work unit raises (twice) are
+(** Same contract as [Explore.tune], including [?initial_population]
+    seeding (seeds are merged by [Explore.merge_seed_population] before
+    the fan-out, so every [jobs] sees them identically); [jobs] defaults
+    to {!default_jobs}.  Mappings whose work unit raises (twice) are
     dropped and reported in [failures]; raises [Failure] only when
-    {e every} mapping failed. *)
+    {e every} mapping failed, and [Invalid_argument] — immediately, never
+    via the retry path — when both [mappings] and [initial_population]
+    are empty. *)
 
 val tune_with :
   ?jobs:int ->
+  ?must_keep:(Mapping.t -> bool) ->
   screen:(Mapping.t -> float * int) ->
   search:(Mapping.t -> Explore.plan list * int) ->
   mappings:Mapping.t list ->
@@ -51,8 +57,10 @@ val tune_with :
   Explore.result
 (** The fan-out skeleton of {!tune} with the two per-mapping work units
     supplied by the caller — [tune] passes [Explore.screen_mapping] and
-    [Explore.search_mapping].  Exposed so the failure-isolation
-    contract is directly testable with units that raise on demand. *)
+    [Explore.search_mapping].  [must_keep] is forwarded to
+    [Explore.select_survivors] (seeded mappings always earn a search).
+    Exposed so the failure-isolation contract is directly testable with
+    units that raise on demand. *)
 
 val tune_op :
   ?jobs:int ->

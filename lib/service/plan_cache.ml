@@ -15,8 +15,16 @@ type stats = {
 (* memory entries keep the serialized text, not the parsed plan: parsing
    through [Plan_io.load] on every hit is what re-runs the Algorithm-1
    validation against the operator actually being compiled *)
+type meta = {
+  accel_name : string;
+  op_key : string option;
+      (** accelerator-independent fingerprint; [None] for entries written
+          before migration existed — they simply never migrate *)
+}
+
 type entry = {
   kind : [ `Spatial of string (* Plan_io text *) | `Scalar ];
+  meta : meta;
   mutable last_use : int;
 }
 
@@ -167,7 +175,7 @@ let touch t e =
   t.tick <- t.tick + 1;
   e.last_use <- t.tick
 
-let lru_insert t fp kind =
+let lru_insert t fp kind meta =
   if not (Hashtbl.mem t.mem fp) && Hashtbl.length t.mem >= t.mem_capacity
   then begin
     let victim =
@@ -184,7 +192,7 @@ let lru_insert t fp kind =
         t.lru_evictions <- t.lru_evictions + 1
     | None -> ()
   end;
-  let e = { kind; last_use = 0 } in
+  let e = { kind; meta; last_use = 0 } in
   touch t e;
   Hashtbl.replace t.mem fp e
 
@@ -192,17 +200,25 @@ let lru_insert t fp kind =
 
 let header_magic = "amos-plan-cache 1"
 
-let entry_content fp ~op_name ~accel_name kind =
+(* [opkey] is an optional header line: entries written before migration
+   lack it, and [parse_entry]'s membership checks never require it — both
+   directions of the format stay readable *)
+let entry_content fp ~op_name ~meta kind =
   let body =
     match kind with
     | `Scalar -> "kind scalar\n---\n"
     | `Spatial text -> Printf.sprintf "kind spatial\n---\n%s" text
   in
-  Printf.sprintf "%s\nfingerprint %s\nop %s\naccel %s\n%s" header_magic fp
-    op_name accel_name body
+  let opkey_line =
+    match meta.op_key with
+    | Some k -> Printf.sprintf "opkey %s\n" k
+    | None -> ""
+  in
+  Printf.sprintf "%s\nfingerprint %s\nop %s\naccel %s\n%s%s" header_magic fp
+    op_name meta.accel_name opkey_line body
 
-let write_entry fs dir fp ~op_name ~accel_name kind =
-  let content = entry_content fp ~op_name ~accel_name kind in
+let write_entry fs dir fp ~op_name ~meta kind =
+  let content = entry_content fp ~op_name ~meta kind in
   let target = entry_path dir fp in
   let tmp = Fs_io.fresh_tmp target in
   Fs_io.write_file fs tmp content;
@@ -218,13 +234,31 @@ let split_entry content =
   in
   split_header [] lines
 
+let header_field header key =
+  List.find_map
+    (fun l ->
+      let prefix = key ^ " " in
+      if String.length l > String.length prefix
+         && String.sub l 0 (String.length prefix) = prefix
+      then Some (String.sub l (String.length prefix)
+                   (String.length l - String.length prefix))
+      else None)
+    header
+
 let parse_entry fp content =
   match split_entry content with
   | Some (header, body)
     when List.mem header_magic header
          && List.mem ("fingerprint " ^ fp) header ->
-      if List.mem "kind scalar" header then Some `Scalar
-      else if List.mem "kind spatial" header then Some (`Spatial body)
+      let meta =
+        {
+          accel_name =
+            (match header_field header "accel" with Some a -> a | None -> "");
+          op_key = header_field header "opkey";
+        }
+      in
+      if List.mem "kind scalar" header then Some (`Scalar, meta)
+      else if List.mem "kind spatial" header then Some (`Spatial body, meta)
       else None
   | Some _ | None -> None
 
@@ -240,7 +274,7 @@ let read_entry fs dir fp =
     | exception Fs_io.Injected _ -> `Unreadable
     | content -> (
         match parse_entry fp content with
-        | Some kind -> `Ok kind
+        | Some (kind, meta) -> `Ok (kind, meta)
         | None -> `Invalid)
 
 let evict_everywhere t fp =
@@ -281,8 +315,8 @@ let lookup t ~accel ~op ~budget =
             if not (Hashtbl.mem t.index fp) then None
             else (
               match read_entry t.fs d fp with
-              | `Ok kind ->
-                  lru_insert t fp kind;
+              | `Ok (kind, meta) ->
+                  lru_insert t fp kind meta;
                   Some kind
               | `Absent | `Unreadable -> None
               | `Invalid ->
@@ -307,22 +341,68 @@ let lookup t ~accel ~op ~budget =
           t.misses <- t.misses + 1;
           None)
 
-let store t ~accel ~op ~budget v =
+(* Same-operator, different-accelerator fallback: every Spatial entry
+   whose accelerator-independent [op_key] matches the request but whose
+   fingerprint differs — i.e. the same computation tuned for a sibling
+   accelerator.  Entries from before the [opkey] header existed carry no
+   op_key and are naturally skipped.  Read-only: disk entries are
+   inspected without touching the LRU, so a wide scan cannot evict hot
+   entries.  Sorted by (accelerator name, fingerprint) for determinism. *)
+let lookup_migratable t ~accel ~op ~budget =
+  let fp_here = Fingerprint.key ~accel ~op ~budget in
+  let opk = Fingerprint.op_key ~op ~budget in
+  refresh t;
+  let candidate fp kind meta acc =
+    match kind with
+    | `Scalar -> acc
+    | `Spatial text ->
+        if
+          fp <> fp_here
+          && meta.op_key = Some opk
+          && meta.accel_name <> accel.Accelerator.name
+        then (meta.accel_name, fp, text) :: acc
+        else acc
+  in
+  let from_mem =
+    Hashtbl.fold (fun fp e acc -> candidate fp e.kind e.meta acc) t.mem []
+  in
+  let from_disk =
+    match t.dir with
+    | None -> []
+    | Some d ->
+        Hashtbl.fold
+          (fun fp () acc ->
+            if Hashtbl.mem t.mem fp then acc
+            else
+              match read_entry t.fs d fp with
+              | `Ok (kind, meta) -> candidate fp kind meta acc
+              | `Absent | `Unreadable | `Invalid -> acc)
+          t.index []
+  in
+  List.sort compare (from_mem @ from_disk)
+  |> List.map (fun (accel_name, fp, text) -> (fp, accel_name, text))
+
+let store ?provenance t ~accel ~op ~budget v =
   let fp = Fingerprint.key ~accel ~op ~budget in
   let kind =
     match v with
     | Scalar -> `Scalar
-    | Spatial (m, sched) -> `Spatial (Plan_io.save m sched)
+    | Spatial (m, sched) -> `Spatial (Plan_io.save ?provenance m sched)
   in
-  lru_insert t fp kind;
+  let meta =
+    {
+      accel_name = accel.Accelerator.name;
+      op_key = Some (Fingerprint.op_key ~op ~budget);
+    }
+  in
+  lru_insert t fp kind meta;
   (match t.dir with
   | None -> ()
   | Some d ->
       (* entry file first (atomic tmp+rename), journal add second: a
          crash between the two leaves an orphan entry file that fsck
          adopts — never a journal line pointing at nothing served *)
-      write_entry t.fs d fp ~op_name:op.Amos_ir.Operator.name
-        ~accel_name:accel.Accelerator.name kind;
+      write_entry t.fs d fp ~op_name:op.Amos_ir.Operator.name ~meta kind;
       if not (Hashtbl.mem t.index fp) then begin
         Hashtbl.replace t.index fp ();
         append_journal t "add" fp

@@ -74,12 +74,25 @@ val lookup :
     re-validation).  A miss on the local index triggers a journal
     {!refresh} first, so stores from concurrent processes are found. *)
 
+val lookup_migratable :
+  t -> accel:Accelerator.t -> op:Operator.t -> budget:Fingerprint.budget ->
+  (string * string * string) list
+(** Same-operator, different-accelerator fallback: plans whose
+    accelerator-independent {!Fingerprint.op_key} matches the request but
+    that were tuned for another accelerator — migration seeds (see
+    {!Migrate}).  Returns [(fingerprint, source accelerator name,
+    Plan_io text)] triples sorted by (accelerator name, fingerprint);
+    Scalar entries and entries written before the op-key header existed
+    are skipped.  Read-only: never touches the LRU or the stats. *)
+
 val store :
+  ?provenance:Plan_io.provenance ->
   t -> accel:Accelerator.t -> op:Operator.t -> budget:Fingerprint.budget ->
   value -> unit
 (** May raise [Fs_io.Injected] (disk errors): the in-memory layer is
     already updated when that happens, and the on-disk state is left
-    consistent (possibly without the new entry). *)
+    consistent (possibly without the new entry).  [provenance] (for
+    plans that won via migration) is serialized into the plan text. *)
 
 val refresh : t -> unit
 (** Re-replay the journal if its size changed since we last read it —

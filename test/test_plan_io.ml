@@ -116,8 +116,68 @@ let suite_roundtrip_tests =
           (!roundtrips > 80 && !unmappable < 40));
   ]
 
+(* provenance header: written by migration-winning stores, optional in
+   every direction — pre-migration plan files have no provenance line,
+   and provenance-carrying files load on readers that ignore it *)
+let provenance_tests =
+  [
+    Alcotest.test_case "provenance-roundtrip" `Quick (fun () ->
+        let accel = toy_accel () in
+        let op = Ops.gemm ~m:4 ~n:4 ~k:4 () in
+        match Compiler.mappings accel op with
+        | m :: _ -> (
+            let sched = Schedule.default m in
+            let prov =
+              { Plan_io.source_accel = "Ascend-like"; source_fingerprint = "abc123" }
+            in
+            let text = Plan_io.save ~provenance:prov m sched in
+            (match Plan_io.provenance text with
+            | Some p ->
+                Alcotest.(check string) "accel" "Ascend-like" p.Plan_io.source_accel;
+                Alcotest.(check string) "fingerprint" "abc123"
+                  p.Plan_io.source_fingerprint
+            | None -> Alcotest.fail "provenance lost");
+            (* the extra header line must not break loading *)
+            match Plan_io.load accel op text with
+            | Some (m', _) ->
+                Alcotest.(check string) "mapping preserved"
+                  (Mapping.describe m) (Mapping.describe m')
+            | None -> Alcotest.fail "provenance-carrying plan failed to load")
+        | [] -> Alcotest.fail "no mapping");
+    Alcotest.test_case "accel-name-with-spaces" `Quick (fun () ->
+        let prov =
+          { Plan_io.source_accel = "Mali G78 like"; source_fingerprint = "ff" }
+        in
+        let accel = toy_accel () in
+        let op = Ops.gemm ~m:4 ~n:4 ~k:4 () in
+        match Compiler.mappings accel op with
+        | m :: _ -> (
+            let text = Plan_io.save ~provenance:prov m (Schedule.default m) in
+            match Plan_io.provenance text with
+            | Some p ->
+                Alcotest.(check string) "spaces preserved" "Mali G78 like"
+                  p.Plan_io.source_accel
+            | None -> Alcotest.fail "provenance lost")
+        | [] -> Alcotest.fail "no mapping");
+    Alcotest.test_case "pre-migration-files-have-no-provenance" `Quick
+      (fun () ->
+        let accel = toy_accel () in
+        let op = Ops.gemm ~m:4 ~n:4 ~k:4 () in
+        match Compiler.mappings accel op with
+        | m :: _ ->
+            (* [save] without ~provenance is exactly the pre-migration
+               format: no provenance line, still loads *)
+            let text = Plan_io.save m (Schedule.default m) in
+            Alcotest.(check bool) "no provenance" true
+              (Plan_io.provenance text = None);
+            Alcotest.(check bool) "still loads" true
+              (Plan_io.load accel op text <> None)
+        | [] -> Alcotest.fail "no mapping");
+  ]
+
 let suites =
   [
     ("plan_io.roundtrip", roundtrip_tests);
     ("plan_io.suite", suite_roundtrip_tests);
+    ("plan_io.provenance", provenance_tests);
   ]

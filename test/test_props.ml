@@ -1,0 +1,316 @@
+(* Property-based tests (QCheck) of the Algorithm-1 validation
+   invariants, the mapping generator's contract, and plan migration.
+
+   Deterministic by construction: the QCheck RNG is seeded from the
+   QCHECK_SEED environment variable (default 421), so `dune runtest`
+   reproduces bit-identically and CI exercises the generators under two
+   different seeds without touching the code. *)
+
+open Amos
+open Amos_ir
+module Ops = Amos_workloads.Ops
+module Rng = Amos_tensor.Rng
+module Migrate = Amos_service.Migrate
+
+let cases = 200
+
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some i -> i | None -> 421)
+  | None -> 421
+
+let to_alcotest t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| qcheck_seed |]) t
+
+(* --- generators ----------------------------------------------------- *)
+
+(* Random software iteration space, rendered through the DSL front-end:
+   1-3 spatial iterations and 1-2 reductions with extents 2..6; the
+   output is indexed by every spatial iteration; each iteration lands in
+   input a, input b, or both (so both inputs are non-empty and every
+   reduction is accumulated by at least one input); optionally one
+   convolution-style [i + r] fused index. *)
+let gen_op : Operator.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 1 3 >>= fun ns ->
+  int_range 1 2 >>= fun nr ->
+  list_repeat ns (int_range 2 6) >>= fun s_exts ->
+  list_repeat nr (int_range 2 6) >>= fun r_exts ->
+  list_repeat ns (int_range 0 2) >>= fun s_sides ->
+  list_repeat nr (int_range 0 2) >>= fun r_sides ->
+  bool >>= fun conv_style ->
+  let s_names = List.mapi (fun i _ -> Printf.sprintf "i%d" i) s_exts in
+  let r_names = List.mapi (fun i _ -> Printf.sprintf "r%d" i) r_exts in
+  let binders names exts suffix =
+    String.concat ", "
+      (List.map2 (fun n e -> Printf.sprintf "%s:%d%s" n e suffix) names exts)
+  in
+  (* side 0 -> input a only, 1 -> input b only, 2 -> both *)
+  let side sides names which =
+    List.filteri
+      (fun i _ -> List.nth sides i = which || List.nth sides i = 2)
+      names
+  in
+  let a_idx = side s_sides s_names 0 @ side r_sides r_names 0 in
+  let b_idx = side s_sides s_names 1 @ side r_sides r_names 1 in
+  let a_idx = if a_idx = [] then [ List.hd r_names ] else a_idx in
+  let b_idx = if b_idx = [] then [ List.hd r_names ] else b_idx in
+  let a_idx =
+    if conv_style then
+      match a_idx with
+      | x :: rest when List.mem x s_names ->
+          Printf.sprintf "%s + %s" x (List.hd r_names) :: rest
+      | _ -> a_idx
+    else a_idx
+  in
+  let text =
+    Printf.sprintf "for {%s} for {%s}: out[%s] += a[%s] * b[%s]"
+      (binders s_names s_exts "")
+      (binders r_names r_exts "r")
+      (String.concat ", " s_names)
+      (String.concat ", " a_idx)
+      (String.concat ", " b_idx)
+  in
+  return (Dsl.parse_exn ~name:"prop" text)
+
+let arb_op = QCheck.make ~print:Dsl.print gen_op
+
+let intrinsic_pool () =
+  [
+    Intrinsic.wmma_16x16x16 ();
+    Intrinsic.toy_mma_2x2x2 ();
+    Intrinsic.avx512_vnni ();
+    Intrinsic.mali_dot4 ();
+    Intrinsic.gemv_unit ();
+    Intrinsic.conv_unit ();
+    Intrinsic.ascend_cube ();
+  ]
+
+(* A completely random compute matching: random intrinsic, random operand
+   correspondence, and an arbitrary (mostly invalid) assignment of each
+   software iteration to an intrinsic iteration or to none. *)
+let gen_matching : Matching.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  gen_op >>= fun op ->
+  let pool = intrinsic_pool () in
+  int_range 0 (List.length pool - 1) >>= fun which ->
+  let intr = List.nth pool which in
+  let view = Option.get (Mac_view.of_operator op) in
+  let kiters = intr.Intrinsic.compute.Compute_abs.iters in
+  bool >>= fun swap ->
+  let src_perm = if swap then [| 1; 0 |] else [| 0; 1 |] in
+  list_repeat (List.length op.Operator.iters)
+    (int_range 0 (List.length kiters))
+  >>= fun choices ->
+  let assign =
+    Array.of_list
+      (List.map
+         (fun c -> if c = 0 then None else Some (List.nth kiters (c - 1)))
+         choices)
+  in
+  return (Matching.create ~view ~intr ~src_perm ~assign)
+
+let arb_matching =
+  QCheck.make
+    ~print:(fun (m : Matching.t) ->
+      Printf.sprintf "%s on %s" (Matching.describe m)
+        m.Matching.intr.Intrinsic.name)
+    gen_matching
+
+(* --- an independent Algorithm-1 implementation ----------------------- *)
+
+(* Plain bool-array-array re-implementation of the boolean matrix
+   algebra, sharing no code with [Bin_matrix]: the oracle the library's
+   verdicts are checked against. *)
+let to_arrays m =
+  Array.init (Bin_matrix.rows m) (fun r ->
+      Array.init (Bin_matrix.cols m) (fun c -> Bin_matrix.get m r c))
+
+let bmul a b =
+  let n = Array.length a
+  and k = if Array.length a = 0 then 0 else Array.length a.(0)
+  and p = if Array.length b = 0 then 0 else Array.length b.(0)
+  in
+  Array.init n (fun i ->
+      Array.init p (fun j ->
+          let acc = ref false in
+          for l = 0 to k - 1 do
+            if a.(i).(l) && b.(l).(j) then acc := true
+          done;
+          !acc))
+
+let btranspose a =
+  let n = Array.length a
+  and m = if Array.length a = 0 then 0 else Array.length a.(0) in
+  Array.init m (fun i -> Array.init n (fun j -> a.(j).(i)))
+
+let beq a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun ra rb -> ra = rb) a b
+
+(* X' := Z # Y; Z' := X # Y^T; valid iff X' = X and Z' = Z *)
+let algorithm1 x y z = beq (bmul z y) x && beq (bmul x (btranspose y)) z
+
+(* --- properties ------------------------------------------------------ *)
+
+(* (a) the library's Algorithm-1 verdict agrees with the independent
+   recomputation on arbitrary (mostly invalid) matchings; the empty
+   matching is rejected outright *)
+let prop_validate_agrees =
+  QCheck.Test.make ~count:cases ~name:"validate = independent Algorithm 1"
+    arb_matching (fun m ->
+      match Matching.mapped m with
+      | [] -> not (Matching.validate m)
+      | _ ->
+          let x, y, z = Matching.matrices m in
+          Matching.validate m
+          = algorithm1 (to_arrays x) (to_arrays y) (to_arrays z))
+
+(* (b) single-bit mutations of a valid matching matrix Y are rejected.
+   Clearing a set bit always breaks validation (the software iteration's
+   access column in X is non-zero, the recomputed X' column goes
+   all-zero).  Setting a clear bit gives the column two owners; that is
+   rejected whenever the two intrinsic dimensions differ in Z — when
+   their Z columns coincide the two dimensions are access-
+   indistinguishable and Algorithm 1 genuinely cannot tell them apart,
+   so those flips are exempt. *)
+let prop_bitflip_rejected =
+  QCheck.Test.make ~count:cases ~name:"one-bit Y mutation is rejected"
+    arb_op (fun op ->
+      let pool = intrinsic_pool () in
+      List.for_all
+        (fun intr ->
+          List.for_all
+            (fun m ->
+              let x, y, z = Matching.matrices m in
+              let x = to_arrays x and y = to_arrays y and z = to_arrays z in
+              let rows = Array.length y
+              and cols = if Array.length y = 0 then 0 else Array.length y.(0)
+              in
+              let flipped r c =
+                let y' = Array.map Array.copy y in
+                y'.(r).(c) <- not y'.(r).(c);
+                y'
+              in
+              let owner c =
+                let o = ref (-1) in
+                for r = 0 to rows - 1 do
+                  if y.(r).(c) then o := r
+                done;
+                !o
+              in
+              let z_col r = Array.map (fun row -> row.(r)) z in
+              let ok = ref (algorithm1 x y z) in
+              for r = 0 to rows - 1 do
+                for c = 0 to cols - 1 do
+                  if y.(r).(c) then begin
+                    if algorithm1 x (flipped r c) z then ok := false
+                  end
+                  else if
+                    z_col r <> z_col (owner c)
+                    && algorithm1 x (flipped r c) z
+                  then ok := false
+                done
+              done;
+              !ok)
+            (Mapping_gen.generate_op op intr))
+        pool)
+
+(* (c) the generator only emits validation-passing matchings, with and
+   without the feasibility filter *)
+let prop_generator_valid =
+  QCheck.Test.make ~count:cases ~name:"Mapping_gen emits only valid mappings"
+    arb_op (fun op ->
+      List.for_all
+        (fun intr ->
+          List.for_all Matching.validate
+            (Mapping_gen.generate_op ~filter:false op intr)
+          && List.for_all Matching.validate (Mapping_gen.generate_op op intr))
+        (intrinsic_pool ()))
+
+(* --- migration ------------------------------------------------------- *)
+
+(* random small GEMM / conv shapes for the migration property *)
+let gen_shape : Operator.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  bool >>= fun is_conv ->
+  if is_conv then
+    int_range 1 2 >>= fun n ->
+    int_range 2 4 >>= fun c ->
+    int_range 2 4 >>= fun k ->
+    int_range 3 6 >>= fun p ->
+    int_range 2 3 >>= fun r ->
+    return (Ops.conv2d ~n ~c ~k ~p ~q:p ~r ~s:r ())
+  else
+    int_range 4 48 >>= fun m ->
+    int_range 4 48 >>= fun n ->
+    int_range 4 48 >>= fun k -> return (Ops.gemm ~m ~n ~k ())
+
+let measure_candidate accel (c : Explore.candidate) =
+  Spatial_sim.Machine.estimate_seconds accel.Accelerator.config
+    (Codegen.lower accel c.Explore.mapping c.Explore.schedule)
+
+(* every migrated seed re-validates on the target (Algorithm 1 for the
+   mapping, the split/serial rules for the schedule), and tuning with the
+   seeds never returns a plan worse than the best seed *)
+let prop_migration =
+  QCheck.Test.make ~count:cases
+    ~name:"migrated seeds re-validate; seeded tune never worse than seeds"
+    (QCheck.make
+       ~print:(fun (op, to_ascend) ->
+         Printf.sprintf "%s -> %s" (Dsl.print op)
+           (if to_ascend then "ascend" else "a100"))
+       QCheck.Gen.(
+         gen_shape >>= fun op ->
+         bool >>= fun to_ascend -> return (op, to_ascend)))
+    (fun (op, to_ascend) ->
+      let source = Accelerator.v100 () in
+      let target =
+        if to_ascend then Accelerator.ascend_like () else Accelerator.a100 ()
+      in
+      match Compiler.mappings source op with
+      | [] -> true (* nothing to tune at the source: vacuous *)
+      | src_mappings ->
+          let src =
+            Explore.tune ~population:4 ~generations:1 ~measure_top:1
+              ~rng:(Rng.create 42) ~accel:source
+              ~mappings:(List.filteri (fun i _ -> i < 6) src_mappings)
+              ()
+          in
+          let c = src.Explore.best.Explore.candidate in
+          let o =
+            Migrate.migrate ~target ~op ~source_accel:source.Accelerator.name
+              ~source_fingerprint:"prop"
+              ~plan_text:(Plan_io.save c.Explore.mapping c.Explore.schedule)
+              ()
+          in
+          List.for_all
+            (fun (s : Explore.candidate) ->
+              Matching.validate s.Explore.mapping.Mapping.matching
+              && Schedule.validate s.Explore.mapping s.Explore.schedule)
+            o.Migrate.seeds
+          &&
+          match o.Migrate.seeds with
+          | [] -> true (* nothing transferred: vacuous *)
+          | seeds ->
+              let seed_best =
+                List.fold_left
+                  (fun acc s -> Float.min acc (measure_candidate target s))
+                  infinity seeds
+              in
+              let r =
+                Explore.tune ~population:4 ~generations:1 ~measure_top:1
+                  ~initial_population:seeds ~rng:(Rng.create 43) ~accel:target
+                  ~mappings:(Compiler.mappings target op)
+                  ()
+              in
+              r.Explore.best.Explore.measured <= seed_best +. 1e-12)
+
+let suites =
+  [
+    ( "props.algorithm1",
+      List.map to_alcotest
+        [ prop_validate_agrees; prop_bitflip_rejected; prop_generator_valid ]
+    );
+    ("props.migration", [ to_alcotest prop_migration ]);
+  ]

@@ -751,6 +751,149 @@ let migration () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Plan server: cold tune vs warm hit vs deduped concurrent clients     *)
+
+let serve () =
+  header "Plan server: cold tune vs warm hot-cache hit vs single-flight dedup";
+  let module Server = Amos_server.Server in
+  let module Client = Amos_server.Client in
+  let module Protocol = Amos_server.Protocol in
+  let module Fingerprint = Amos_service.Fingerprint in
+  let smoke = !smoke_flag in
+  let budget =
+    {
+      Fingerprint.population = (if smoke then 8 else 16);
+      generations = (if smoke then 4 else 8);
+      measure_top = 2;
+      seed = !seed_ref;
+    }
+  in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "amos-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Server.create
+      {
+        (Server.default_config ~socket_path:socket) with
+        Server.workers = 2;
+        queue_capacity = 16;
+      }
+  in
+  let server_thread = Thread.create Server.serve server in
+  let tune_req text =
+    Protocol.Tune { accel = "v100"; op = Protocol.Dsl_text text; budget }
+  in
+  let plan_latency conn req =
+    let t0 = Unix.gettimeofday () in
+    match Client.request_retry conn req with
+    | Ok (Protocol.Plan_r r) -> (Unix.gettimeofday () -. t0, r)
+    | Ok _ -> failwith "bench serve: expected Plan_r"
+    | Error msg -> failwith ("bench serve: " ^ msg)
+  in
+  let gemm m =
+    Printf.sprintf "for {i:%d, j:32} for {r:32r}: out[i,j] += a[i,r] * b[r,j]"
+      m
+  in
+  let ops = List.init (if smoke then 3 else 6) (fun i -> gemm (32 * (i + 1))) in
+  Printf.printf "(seed %d, population %d, generations %d%s)\n" budget.seed
+    budget.Fingerprint.population budget.Fingerprint.generations
+    (if smoke then ", smoke" else "");
+  Printf.printf "%-8s %12s %12s %10s %8s\n" "Op" "cold(ms)" "warm(ms)"
+    "speedup" "source";
+  let rows, speedups =
+    Client.with_conn ~attempts:50 socket (fun conn ->
+        List.mapi
+          (fun i text ->
+            let cold_s, cold = plan_latency conn (tune_req text) in
+            (* warm: the hot front cache answers without touching the
+               tuner; take the best of a few round trips *)
+            let warm_s =
+              List.fold_left
+                (fun acc () -> Float.min acc (fst (plan_latency conn (tune_req text))))
+                infinity
+                (List.init 5 (fun _ -> ()))
+            in
+            let speedup = cold_s /. warm_s in
+            Printf.printf "%-8s %12.3f %12.3f %9.1fx %8s\n%!"
+              (Printf.sprintf "gemm%d" (32 * (i + 1)))
+              (1e3 *. cold_s) (1e3 *. warm_s) speedup cold.Protocol.source;
+            ( [
+                Printf.sprintf "gemm%d" (32 * (i + 1));
+                Csv.f cold_s;
+                Csv.f warm_s;
+                Csv.f speedup;
+              ],
+              speedup ))
+          ops
+        |> List.split)
+  in
+  (* single-flight: concurrent identical tunes of a fresh operator share
+     one exploration — every client pays roughly one cold tune, not N *)
+  let fresh_req =
+    (* a cold operator on the full-intrinsic v100 preset: its tune runs
+       long enough that the four requests comfortably overlap *)
+    Protocol.Tune
+      {
+        accel = "v100";
+        op =
+          Protocol.Dsl_text
+            "for {n:4, k:32, p:16, q:16} for {c:16r, r:3r, s:3r}: \
+             out[n,k,p,q] += a[n,c,p+r,q+s] * b[k,c,r,s]";
+        budget;
+      }
+  in
+  let clients = 4 in
+  let latencies = Array.make clients 0. in
+  let sources = Array.make clients "" in
+  (* connect everyone first: the requests then land within microseconds
+     of each other, inside the leader's tuning window *)
+  let conns = List.init clients (fun _ -> Client.connect ~attempts:50 socket) in
+  let threads =
+    List.mapi
+      (fun i conn ->
+        Thread.create
+          (fun conn ->
+            let s, r = plan_latency conn fresh_req in
+            latencies.(i) <- s;
+            sources.(i) <- r.Protocol.source)
+          conn)
+      conns
+  in
+  List.iter Thread.join threads;
+  List.iter Client.close conns;
+  let stats = Server.stats server in
+  let max_lat = Array.fold_left Float.max 0. latencies in
+  Printf.printf
+    "%d concurrent identical tunes: slowest client %.3f ms, sources [%s], \
+     %d deduped server-side\n%!"
+    clients (1e3 *. max_lat)
+    (String.concat "; " (Array.to_list sources))
+    stats.Protocol.deduped;
+  (match
+     Client.with_conn ~attempts:50 socket (fun conn ->
+         Client.request conn Protocol.Shutdown)
+   with
+  | Ok (Protocol.Ok_r _) -> ()
+  | Ok _ | Error _ -> Printf.printf "WARN: shutdown reply unexpected\n%!");
+  Thread.join server_thread;
+  Csv.write "serve"
+    ~header:[ "op"; "cold_s"; "warm_s"; "speedup" ]
+    rows;
+  let geo = geomean speedups in
+  Printf.printf "warm-hit speedup (geomean): %.1fx (gate: >= 10x)\n%!" geo;
+  if geo < 10. then begin
+    Printf.printf "FAIL: warm hits must be >= 10x faster than cold tunes\n%!";
+    exit 1
+  end;
+  if stats.Protocol.deduped < 1 then begin
+    Printf.printf "FAIL: %d identical concurrent tunes, none deduped\n%!"
+      clients;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler hot paths                  *)
 
 let micro () =
@@ -827,7 +970,7 @@ let experiments =
     ("fig7e", fig7e); ("fig8a", fig8a); ("fig8b", fig8b); ("fig9", fig9);
     ("layout", layout); ("newaccel", newaccel); ("ablate", ablate);
     ("service", service); ("robustness", robustness);
-    ("migration", migration); ("micro", micro);
+    ("migration", migration); ("serve", serve); ("micro", micro);
   ]
 
 let () =

@@ -10,10 +10,15 @@
      amos_cli tune   --accel ascend --migrate-from a100 ...
                                         warm-start tuning from a plan
                                         migrated off another accelerator
-     amos_cli cache  stats|clear|warm   manage the persistent tuning cache
+     amos_cli cache  stats|clear|warm|fsck
+                                        manage the persistent tuning cache
      amos_cli verify --accel toy --layer C5
                                         functional check vs the reference
-     amos_cli abstraction --accel a100  print the hardware abstraction *)
+     amos_cli abstraction --accel a100  print the hardware abstraction
+     amos_cli serve  --socket /tmp/amosd.sock --cache-dir ~/.amos
+                                        run the plan-serving daemon
+     amos_cli client tune|lookup|migrate|compile|stats|health|shutdown
+                                        talk to a running daemon *)
 
 open Cmdliner
 open Amos
@@ -30,19 +35,13 @@ module Suites = Amos_workloads.Suites
 module Resnet = Amos_workloads.Resnet
 module Rng = Amos_tensor.Rng
 
-let accel_by_name = function
-  | "v100" -> Accelerator.v100 ()
-  | "a100" -> Accelerator.a100 ()
-  | "avx512" -> Accelerator.avx512_cpu ()
-  | "mali" -> Accelerator.mali_g76 ()
-  | "ascend" -> Accelerator.ascend_like ()
-  | "axpy" -> Accelerator.virtual_axpy ()
-  | "gemv" -> Accelerator.virtual_gemv ()
-  | "conv" -> Accelerator.virtual_conv ()
-  | "toy" ->
-      let base = Accelerator.v100 () in
-      { base with Accelerator.intrinsics = [ Intrinsic.toy_mma_2x2x2 () ] }
-  | name -> failwith ("unknown accelerator " ^ name ^ " (see `amos_cli accels`)")
+(* one resolution shared with the daemon ([Amos_server.Server]), so a
+   name on the command line and the same name in a wire request always
+   mean the same machine *)
+let accel_by_name name =
+  match Accelerator.by_name name with
+  | Some a -> a
+  | None -> failwith ("unknown accelerator " ^ name ^ " (see `amos_cli accels`)")
 
 let kind_by_name name =
   match
@@ -198,7 +197,7 @@ let accels_cmd =
           (cfg.Spatial_sim.Machine_config.shared_capacity_bytes / 1024)
           cfg.Spatial_sim.Machine_config.global_bandwidth_gbs
           (Accelerator.primary_intrinsic a).Intrinsic.name)
-      [ "v100"; "a100"; "avx512"; "mali"; "ascend"; "axpy"; "gemv"; "conv"; "toy" ]
+      Accelerator.preset_names
   in
   Cmd.v (Cmd.info "accels" ~doc:"List accelerator presets")
     Term.(const run $ const ())
@@ -524,10 +523,41 @@ let cache_warm_cmd =
     Term.(const run $ verbose_arg $ cache_dir_required $ accel_arg
           $ network_arg $ batch_arg $ seed_arg $ jobs_arg)
 
+let quarantine_ttl_arg =
+  let doc =
+    "Reclaim (delete) quarantined entry files older than this many \
+     seconds.  Off by default: without it quarantine files are kept \
+     forever for post-mortems."
+  in
+  Arg.(value & opt (some float) None
+       & info [ "quarantine-ttl" ] ~docv:"SECONDS" ~doc)
+
+let list_known_bad_arg =
+  let doc =
+    "List the known-bad markers (fingerprints whose tuning degraded to \
+     the scalar fallback; they are skipped on cold compiles)."
+  in
+  Arg.(value & flag & info [ "list-known-bad" ] ~doc)
+
+let clear_known_bad_arg =
+  let doc =
+    "Remove every known-bad marker, re-enabling tuning attempts for \
+     those fingerprints on the next compile."
+  in
+  Arg.(value & flag & info [ "clear-known-bad" ] ~doc)
+
 let cache_fsck_cmd =
-  let run dir =
-    let r = Plan_cache.fsck ~dir () in
+  let run dir quarantine_ttl list_known_bad clear_known_bad =
+    let r = Plan_cache.fsck ?quarantine_ttl ~dir () in
     print_string (Plan_cache.describe_fsck r);
+    if list_known_bad then
+      List.iter
+        (fun (fp, at, reason) ->
+          Printf.printf "known-bad %s  marked %.0f  %s\n" fp at reason)
+        (Amos_service.Badlist.list ~dir ());
+    if clear_known_bad then
+      Printf.printf "cleared %d known-bad markers\n"
+        (Amos_service.Badlist.clear ~dir ());
     if not (Plan_cache.fsck_clean r) then begin
       print_endline
         "fsck: anomalies found and repaired (corrupt entries quarantined, \
@@ -540,9 +570,12 @@ let cache_fsck_cmd =
     (Cmd.info "fsck"
        ~doc:
          "Replay the journal, validate every entry header, adopt orphans, \
-          quarantine corruption and sweep abandoned temp files.  Exits 1 \
-          when anomalies were found (they are repaired regardless).")
-    Term.(const run $ cache_dir_required)
+          quarantine corruption and sweep abandoned temp files; optionally \
+          reclaim aged quarantine files and list or clear known-bad \
+          markers.  Exits 1 when anomalies were found (they are repaired \
+          regardless).")
+    Term.(const run $ cache_dir_required $ quarantine_ttl_arg
+          $ list_known_bad_arg $ clear_known_bad_arg)
 
 let cache_cmd =
   Cmd.group
@@ -647,6 +680,201 @@ let ir_cmd =
     Term.(const run $ accel_arg $ layer_arg $ kind_arg $ batch_arg $ index_arg
           $ dsl_arg)
 
+(* --- serve / client (the plan-serving daemon) ---------------------- *)
+
+module Server = Amos_server.Server
+module Sclient = Amos_server.Client
+module Protocol = Amos_server.Protocol
+
+let socket_arg =
+  let doc = "Path of the daemon's Unix-domain socket." in
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run verbose socket cache_dir workers queue_capacity jobs hot_capacity =
+    setup_logs verbose;
+    let server =
+      Server.create
+        {
+          Server.socket_path = socket;
+          cache_dir;
+          workers;
+          queue_capacity;
+          jobs;
+          hot_capacity;
+        }
+    in
+    List.iter
+      (fun signal ->
+        try Sys.set_signal signal (Sys.Signal_handle (fun _ -> Server.stop server))
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ];
+    Server.serve server
+  in
+  let workers_arg =
+    let doc = "Tuning worker domains." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Tuning requests admitted to the queue before new work is refused \
+       with a typed Busy response (admission control)."
+    in
+    Arg.(value & opt int 8 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let hot_arg =
+    let doc = "In-memory hot-plan cache entries (FIFO eviction)." in
+    Arg.(value & opt int 128 & info [ "hot-capacity" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the plan-serving daemon (amosd): one process owns the plan \
+          cache and serves tuning over a Unix-domain socket with \
+          single-flight deduplication and admission control.")
+    Term.(const run $ verbose_arg $ socket_arg $ cache_dir_arg $ workers_arg
+          $ queue_arg $ jobs_arg $ hot_arg)
+
+let op_spec_of ?dsl ~layer ~kind ~batch ~index () =
+  match (dsl, layer, kind) with
+  | Some file, _, _ ->
+      Protocol.Dsl_text (In_channel.with_open_text file In_channel.input_all)
+  | None, Some l, _ -> Protocol.Layer (String.uppercase_ascii l)
+  | None, None, Some k -> Protocol.Kind { kind = k; batch; index }
+  | None, None, None -> Protocol.Layer "C5"
+
+let show_plan_arg =
+  let doc = "Print the full plan text, not just the summary." in
+  Arg.(value & flag & info [ "show-plan" ] ~doc)
+
+(* nonzero exits let shell scripts (and CI smoke tests) distinguish a
+   served plan from a miss, back-pressure, and failure *)
+let print_response ~show_plan = function
+  | Protocol.Ok_r info -> Printf.printf "ok: %s\n" info
+  | Protocol.Plan_r r ->
+      Printf.printf "fingerprint %s\n" r.Protocol.fingerprint;
+      Printf.printf "source      %s\n" r.Protocol.source;
+      (match r.Protocol.plan with
+      | Protocol.Wire_scalar -> print_endline "plan        scalar fallback"
+      | Protocol.Wire_spatial text ->
+          Printf.printf "plan        spatial (%d bytes)\n" (String.length text);
+          if show_plan then print_string text);
+      if r.Protocol.evaluations > 0 then
+        Printf.printf "tuned       %d evaluations, %.2fs\n"
+          r.Protocol.evaluations r.Protocol.tuning_seconds
+  | Protocol.Not_found_r ->
+      print_endline "not found";
+      exit 2
+  | Protocol.Stats_r s ->
+      Printf.printf "uptime          %.1fs\n" s.Protocol.uptime_s;
+      Printf.printf "requests        %d\n" s.Protocol.requests;
+      Printf.printf "tunes           %d\n" s.Protocol.tunes;
+      Printf.printf "deduped         %d\n" s.Protocol.deduped;
+      Printf.printf "hot hits        %d\n" s.Protocol.hot_hits;
+      Printf.printf "cache hits      %d\n" s.Protocol.cache_hits;
+      Printf.printf "busy rejections %d\n" s.Protocol.busy_rejections;
+      Printf.printf "in flight       %d\n" s.Protocol.in_flight;
+      Printf.printf "queue load      %d\n" s.Protocol.queue_load
+  | Protocol.Compiled_r c ->
+      Printf.printf "network   %s\n" c.Protocol.network;
+      Printf.printf "ops       %d total, %d mapped\n" c.Protocol.total_ops
+        c.Protocol.mapped_ops;
+      Printf.printf "latency   %.3f ms\n" (1e3 *. c.Protocol.network_seconds);
+      Printf.printf "stages    %d (%d cache hits, %d tuned)\n"
+        c.Protocol.stages c.Protocol.comp_cache_hits c.Protocol.comp_tuned
+  | Protocol.Busy_r { retry_after_s } ->
+      Printf.printf "busy (retry after %.2fs)\n" retry_after_s;
+      exit 3
+  | Protocol.Error_r msg ->
+      Printf.eprintf "server error: %s\n" msg;
+      exit 1
+
+let client_run socket req ~retry ~show_plan =
+  Sclient.with_conn ~attempts:20 socket (fun conn ->
+      let result =
+        if retry then Sclient.request_retry conn req
+        else Sclient.request conn req
+      in
+      match result with
+      | Ok resp -> print_response ~show_plan resp
+      | Error msg ->
+          Printf.eprintf "client error: %s\n" msg;
+          exit 1)
+
+let client_health_cmd =
+  let run socket = client_run socket Protocol.Health ~retry:false ~show_plan:false in
+  Cmd.v (Cmd.info "health" ~doc:"Ping the daemon")
+    Term.(const run $ socket_arg)
+
+let client_stats_cmd =
+  let run socket = client_run socket Protocol.Stats ~retry:false ~show_plan:false in
+  Cmd.v (Cmd.info "stats" ~doc:"Print the daemon's counters")
+    Term.(const run $ socket_arg)
+
+let client_shutdown_cmd =
+  let run socket =
+    client_run socket Protocol.Shutdown ~retry:false ~show_plan:false
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"Gracefully stop the daemon (drains in-flight tuning first)")
+    Term.(const run $ socket_arg)
+
+let client_op_cmd name ~doc make_req =
+  let run socket accel layer kind batch index seed dsl show_plan =
+    let op = op_spec_of ?dsl ~layer ~kind ~batch ~index () in
+    let budget = budget_with seed in
+    client_run socket (make_req ~accel ~op ~budget) ~retry:true ~show_plan
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ socket_arg $ accel_arg $ layer_arg $ kind_arg
+          $ batch_arg $ index_arg $ seed_arg $ dsl_arg $ show_plan_arg)
+
+let client_tune_cmd =
+  client_op_cmd "tune"
+    ~doc:
+      "Ask the daemon for a tuned plan (served from its caches, joined \
+       onto an identical in-flight tune, or freshly explored)."
+    (fun ~accel ~op ~budget -> Protocol.Tune { accel; op; budget })
+
+let client_lookup_cmd =
+  client_op_cmd "lookup"
+    ~doc:"Cache-only query: never triggers tuning (exit 2 on a miss)."
+    (fun ~accel ~op ~budget -> Protocol.Lookup { accel; op; budget })
+
+let client_migrate_cmd =
+  client_op_cmd "migrate"
+    ~doc:
+      "Tune warm-started from cross-accelerator plans already in the \
+       daemon's cache."
+    (fun ~accel ~op ~budget -> Protocol.Migrate_tune { accel; op; budget })
+
+let client_compile_cmd =
+  let run socket accel network batch seed jobs =
+    let budget = budget_with ~population:8 ~generations:4 seed in
+    client_run socket
+      (Protocol.Compile { accel; network; batch; budget; jobs })
+      ~retry:true ~show_plan:false
+  in
+  let network_req_arg =
+    let doc = "Network to compile (shufflenet, resnet18, ...)." in
+    Arg.(value & opt string "resnet18" & info [ "network" ] ~docv:"NAME" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a whole network through the daemon's plan service")
+    Term.(const run $ socket_arg $ accel_arg $ network_req_arg $ batch_arg
+          $ seed_arg $ jobs_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running plan-serving daemon")
+    [
+      client_health_cmd; client_stats_cmd; client_tune_cmd; client_lookup_cmd;
+      client_migrate_cmd; client_compile_cmd; client_shutdown_cmd;
+    ]
+
 let () =
   let doc = "AMOS: automatic mapping for tensor computations on spatial accelerators" in
   let info = Cmd.info "amos_cli" ~version:"1.0.0" ~doc in
@@ -655,4 +883,4 @@ let () =
        (Cmd.group info
           [ accels_cmd; count_cmd; map_cmd; tune_cmd; verify_cmd;
             validate_cmd; networks_cmd; cache_cmd; profile_cmd;
-            abstraction_cmd; ir_cmd ]))
+            abstraction_cmd; ir_cmd; serve_cmd; client_cmd ]))

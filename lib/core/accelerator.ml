@@ -89,3 +89,24 @@ let primary_intrinsic t =
   match t.intrinsics with
   | [] -> invalid_arg (t.name ^ " has no intrinsics")
   | i :: _ -> i
+
+(* Preset lookup shared by the CLI, the plan server and the scripts: one
+   name table, so a wire request and a command line resolve the same
+   accelerator.  "toy" is the tiny 2x2x2 MMA used throughout the tests:
+   V100-shaped hardware with a toy intrinsic, cheap to tune against. *)
+let preset_names =
+  [ "v100"; "a100"; "avx512"; "mali"; "ascend"; "axpy"; "gemv"; "conv"; "toy" ]
+
+let by_name = function
+  | "v100" -> Some (v100 ())
+  | "a100" -> Some (a100 ())
+  | "avx512" -> Some (avx512_cpu ())
+  | "mali" -> Some (mali_g76 ())
+  | "ascend" -> Some (ascend_like ())
+  | "axpy" -> Some (virtual_axpy ())
+  | "gemv" -> Some (virtual_gemv ())
+  | "conv" -> Some (virtual_conv ())
+  | "toy" ->
+      let base = v100 () in
+      Some { base with intrinsics = [ Intrinsic.toy_mma_2x2x2 () ] }
+  | _ -> None

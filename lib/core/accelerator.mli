@@ -37,3 +37,10 @@ val virtual_conv : unit -> t
 
 val primary_intrinsic : t -> Intrinsic.t
 (** The first (main) intrinsic; raises [Invalid_argument] if none. *)
+
+val preset_names : string list
+(** The names {!by_name} resolves, in display order. *)
+
+val by_name : string -> t option
+(** Preset lookup by short name ([v100], [a100], ..., [toy]); shared by
+    the CLI and the plan server so both resolve identically. *)

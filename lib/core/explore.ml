@@ -159,10 +159,17 @@ let select_survivors ?(must_keep = fun _ -> false) screened =
 
 (* phase 2 unit: full genetic schedule search for one mapping, measuring
    the [measure_top] best model-ranked schedules on the simulator.
-   Deterministic per mapping, like [screen_mapping]. *)
-let search_mapping ?(seeds = []) ~population ~generations ~measure_top ~accel
-    mapping =
-  let rng = Rng.create (mapping_seed mapping) in
+   Deterministic per mapping, like [screen_mapping].  [salt] selects an
+   independent RNG stream over the same mapping: shard [i] of a
+   population split across workers passes [~salt:i], so the shards
+   explore disjoint schedule sequences yet each remains reproducible. *)
+let search_mapping ?(salt = 0) ?(seeds = []) ~population ~generations
+    ~measure_top ~accel mapping =
+  let rng =
+    Rng.create
+      (if salt = 0 then mapping_seed mapping
+       else Hashtbl.hash (mapping_seed mapping, salt))
+  in
   let seeds = List.filter (fun s -> Schedule.validate mapping s) seeds in
   let ranked =
     schedule_search ~seeds ~population ~generations ~rng ~accel mapping

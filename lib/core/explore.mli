@@ -116,6 +116,7 @@ val select_survivors :
     screened mapping satisfying [must_keep] (seeded mappings). *)
 
 val search_mapping :
+  ?salt:int ->
   ?seeds:Schedule.t list ->
   population:int ->
   generations:int ->
@@ -127,7 +128,10 @@ val search_mapping :
     [measure_top] best plans (model rank order, simulator-measured) and
     the evaluations spent.  [seeds] (schedules valid for this mapping;
     invalid ones are dropped) join the initial genetic population and are
-    additionally always measured. *)
+    additionally always measured.  [salt] (default 0) selects an
+    independent deterministic RNG stream over the same mapping — shard
+    [i] of a genetic population split across parallel workers passes
+    [~salt:i]; salt 0 is bit-identical to the pre-salt behaviour. *)
 
 val assemble :
   ?failures:(string * string) list -> plan list -> evaluations:int -> result

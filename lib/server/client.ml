@@ -1,0 +1,57 @@
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect ?(timeout_s = 30.) ?(attempts = 1) socket_path =
+  let rec go n =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () ->
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s
+         with Unix.Unix_error _ -> ());
+        { fd; closed = false }
+    | exception (Unix.Unix_error _ as e) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if n <= 1 then raise e
+        else begin
+          ignore (Unix.select [] [] [] 0.1);
+          go (n - 1)
+        end
+  in
+  go (max 1 attempts)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_conn ?timeout_s ?attempts socket_path f =
+  let t = connect ?timeout_s ?attempts socket_path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let request t req =
+  if t.closed then Error "connection closed"
+  else
+    match
+      Protocol.write_frame t.fd (Protocol.encode_request req);
+      Protocol.read_frame t.fd
+    with
+    | Ok payload -> Protocol.decode_response payload
+    | Error `Eof -> Error "server closed the connection"
+    | Error (`Bad msg) -> Error ("bad response frame: " ^ msg)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error "request timed out"
+    | exception Unix.Unix_error (e, _, _) ->
+        Error ("transport error: " ^ Unix.error_message e)
+
+let request_retry ?(attempts = 5) t req =
+  let rec go n =
+    match request t req with
+    | Ok (Protocol.Busy_r { retry_after_s }) as r ->
+        if n <= 1 then r
+        else begin
+          ignore (Unix.select [] [] [] (Float.max 0.01 retry_after_s));
+          go (n - 1)
+        end
+    | r -> r
+  in
+  go (max 1 attempts)

@@ -1,0 +1,35 @@
+(** Client side of the plan-serving daemon.
+
+    Thin, synchronous, one request in flight per connection: connect to
+    the daemon's Unix-domain socket, exchange {!Protocol} frames, get a
+    typed response.  {!request_retry} additionally honours the daemon's
+    admission control — a [Busy] response is retried after the server's
+    hinted delay, bounded by an attempt budget, so callers see either a
+    real answer or an honest error, never a spin. *)
+
+type t
+
+val connect : ?timeout_s:float -> ?attempts:int -> string -> t
+(** Connect to the daemon at the given socket path.  [attempts]
+    (default 1) retries the connection at 100 ms intervals — useful
+    right after spawning the daemon.  [timeout_s] (default 30) bounds
+    each blocking read on the connection.  Raises [Unix.Unix_error]
+    when the last attempt fails. *)
+
+val close : t -> unit
+
+val with_conn :
+  ?timeout_s:float -> ?attempts:int -> string -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exceptions). *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** One round trip.  [Error] covers transport failures (connection
+    refused mid-stream, timeout, truncated frame) and undecodable
+    responses; a server-side [Error_r]/[Busy_r] arrives as [Ok]. *)
+
+val request_retry :
+  ?attempts:int -> t -> Protocol.request -> (Protocol.response, string) result
+(** Like {!request}, but a [Busy_r] response sleeps the server's
+    [retry_after_s] hint and retries, up to [attempts] (default 5)
+    total tries; the final [Busy_r] is returned as-is so the caller can
+    tell back-pressure from failure. *)

@@ -1,0 +1,28 @@
+(** Minimal JSON, just enough for the wire protocol.
+
+    The daemon cannot assume a JSON library in the build environment, so
+    this is a small self-contained codec: the seven JSON value shapes, a
+    writer, and a recursive-descent reader.  Integers and floats are
+    kept distinct ([1] parses as [Int], [1.0] as [Float]) and the writer
+    guarantees the distinction survives a round trip — every [Float] is
+    printed with a ['.'] or an exponent.  Strings are byte strings:
+    UTF-8 passes through untouched, control characters are escaped, and
+    [\uXXXX] escapes decode to UTF-8 (no surrogate-pair handling — the
+    protocol never emits them).  Non-finite floats are not representable
+    in JSON and serialize as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val of_string : string -> (t, string) result
+(** Parse exactly one JSON value; trailing non-whitespace is an error.
+    Errors carry a byte offset. *)

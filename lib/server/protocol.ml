@@ -1,0 +1,413 @@
+module Fingerprint = Amos_service.Fingerprint
+
+let version = 1
+let max_frame_bytes = 4 * 1024 * 1024
+
+type op_spec =
+  | Layer of string
+  | Kind of { kind : string; batch : int; index : int }
+  | Dsl_text of string
+
+type request =
+  | Health
+  | Stats
+  | Shutdown
+  | Lookup of { accel : string; op : op_spec; budget : Fingerprint.budget }
+  | Tune of { accel : string; op : op_spec; budget : Fingerprint.budget }
+  | Migrate_tune of {
+      accel : string;
+      op : op_spec;
+      budget : Fingerprint.budget;
+    }
+  | Compile of {
+      accel : string;
+      network : string;
+      batch : int;
+      budget : Fingerprint.budget;
+      jobs : int;
+    }
+
+type plan_wire = Wire_scalar | Wire_spatial of string
+
+type tune_reply = {
+  fingerprint : string;
+  plan : plan_wire;
+  source : string;
+  evaluations : int;
+  tuning_seconds : float;
+}
+
+type server_stats = {
+  uptime_s : float;
+  requests : int;
+  tunes : int;
+  deduped : int;
+  hot_hits : int;
+  cache_hits : int;
+  busy_rejections : int;
+  in_flight : int;
+  queue_load : int;
+}
+
+type compile_reply = {
+  network : string;
+  total_ops : int;
+  mapped_ops : int;
+  network_seconds : float;
+  stages : int;
+  comp_cache_hits : int;
+  comp_tuned : int;
+}
+
+type response =
+  | Ok_r of string
+  | Plan_r of tune_reply
+  | Not_found_r
+  | Stats_r of server_stats
+  | Compiled_r of compile_reply
+  | Busy_r of { retry_after_s : float }
+  | Error_r of string
+
+(* --- JSON encoding ------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let json_of_budget (b : Fingerprint.budget) =
+  Json.Obj
+    [
+      ("population", Json.Int b.Fingerprint.population);
+      ("generations", Json.Int b.Fingerprint.generations);
+      ("measure_top", Json.Int b.Fingerprint.measure_top);
+      ("seed", Json.Int b.Fingerprint.seed);
+    ]
+
+let json_of_op = function
+  | Layer label -> Json.Obj [ ("spec", Json.String "layer"); ("label", Json.String label) ]
+  | Kind { kind; batch; index } ->
+      Json.Obj
+        [
+          ("spec", Json.String "kind");
+          ("kind", Json.String kind);
+          ("batch", Json.Int batch);
+          ("index", Json.Int index);
+        ]
+  | Dsl_text text ->
+      Json.Obj [ ("spec", Json.String "dsl"); ("text", Json.String text) ]
+
+let versioned ty fields =
+  Json.Obj (("v", Json.Int version) :: ("type", Json.String ty) :: fields)
+
+let json_of_request = function
+  | Health -> versioned "health" []
+  | Stats -> versioned "stats" []
+  | Shutdown -> versioned "shutdown" []
+  | Lookup { accel; op; budget } ->
+      versioned "lookup"
+        [
+          ("accel", Json.String accel);
+          ("op", json_of_op op);
+          ("budget", json_of_budget budget);
+        ]
+  | Tune { accel; op; budget } ->
+      versioned "tune"
+        [
+          ("accel", Json.String accel);
+          ("op", json_of_op op);
+          ("budget", json_of_budget budget);
+        ]
+  | Migrate_tune { accel; op; budget } ->
+      versioned "migrate_tune"
+        [
+          ("accel", Json.String accel);
+          ("op", json_of_op op);
+          ("budget", json_of_budget budget);
+        ]
+  | Compile { accel; network; batch; budget; jobs } ->
+      versioned "compile"
+        [
+          ("accel", Json.String accel);
+          ("network", Json.String network);
+          ("batch", Json.Int batch);
+          ("budget", json_of_budget budget);
+          ("jobs", Json.Int jobs);
+        ]
+
+let json_of_plan = function
+  | Wire_scalar -> Json.Obj [ ("kind", Json.String "scalar") ]
+  | Wire_spatial text ->
+      Json.Obj [ ("kind", Json.String "spatial"); ("text", Json.String text) ]
+
+let json_of_response = function
+  | Ok_r info -> versioned "ok" [ ("info", Json.String info) ]
+  | Plan_r r ->
+      versioned "plan"
+        [
+          ("fingerprint", Json.String r.fingerprint);
+          ("plan", json_of_plan r.plan);
+          ("source", Json.String r.source);
+          ("evaluations", Json.Int r.evaluations);
+          ("tuning_seconds", Json.Float r.tuning_seconds);
+        ]
+  | Not_found_r -> versioned "not_found" []
+  | Stats_r s ->
+      versioned "stats"
+        [
+          ("uptime_s", Json.Float s.uptime_s);
+          ("requests", Json.Int s.requests);
+          ("tunes", Json.Int s.tunes);
+          ("deduped", Json.Int s.deduped);
+          ("hot_hits", Json.Int s.hot_hits);
+          ("cache_hits", Json.Int s.cache_hits);
+          ("busy_rejections", Json.Int s.busy_rejections);
+          ("in_flight", Json.Int s.in_flight);
+          ("queue_load", Json.Int s.queue_load);
+        ]
+  | Compiled_r c ->
+      versioned "compiled"
+        [
+          ("network", Json.String c.network);
+          ("total_ops", Json.Int c.total_ops);
+          ("mapped_ops", Json.Int c.mapped_ops);
+          ("network_seconds", Json.Float c.network_seconds);
+          ("stages", Json.Int c.stages);
+          ("cache_hits", Json.Int c.comp_cache_hits);
+          ("tuned", Json.Int c.comp_tuned);
+        ]
+  | Busy_r { retry_after_s } ->
+      versioned "busy" [ ("retry_after_s", Json.Float retry_after_s) ]
+  | Error_r msg -> versioned "error" [ ("message", Json.String msg) ]
+
+(* --- JSON decoding ------------------------------------------------- *)
+
+let field name = function
+  | Json.Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing field %S" name))
+  | _ -> Error "expected a JSON object"
+
+let as_string = function
+  | Json.String s -> Ok s
+  | _ -> Error "expected a string"
+
+let as_int = function Json.Int i -> Ok i | _ -> Error "expected an integer"
+
+let as_float = function
+  | Json.Float f -> Ok f
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error "expected a number"
+
+let str_field name j =
+  let* v = field name j in
+  as_string v
+
+let int_field name j =
+  let* v = field name j in
+  as_int v
+
+let float_field name j =
+  let* v = field name j in
+  as_float v
+
+let budget_of_json j =
+  let* population = int_field "population" j in
+  let* generations = int_field "generations" j in
+  let* measure_top = int_field "measure_top" j in
+  let* seed = int_field "seed" j in
+  Ok { Fingerprint.population; generations; measure_top; seed }
+
+let op_of_json j =
+  let* spec = str_field "spec" j in
+  match spec with
+  | "layer" ->
+      let* label = str_field "label" j in
+      Ok (Layer label)
+  | "kind" ->
+      let* kind = str_field "kind" j in
+      let* batch = int_field "batch" j in
+      let* index = int_field "index" j in
+      Ok (Kind { kind; batch; index })
+  | "dsl" ->
+      let* text = str_field "text" j in
+      Ok (Dsl_text text)
+  | s -> Error (Printf.sprintf "unknown op spec %S" s)
+
+let check_version j =
+  let* v = int_field "v" j in
+  if v = version then Ok ()
+  else Error (Printf.sprintf "unsupported protocol version %d (want %d)" v version)
+
+let tune_fields j =
+  let* accel = str_field "accel" j in
+  let* opj = field "op" j in
+  let* op = op_of_json opj in
+  let* bj = field "budget" j in
+  let* budget = budget_of_json bj in
+  Ok (accel, op, budget)
+
+let request_of_json j =
+  let* () = check_version j in
+  let* ty = str_field "type" j in
+  match ty with
+  | "health" -> Ok Health
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | "lookup" ->
+      let* accel, op, budget = tune_fields j in
+      Ok (Lookup { accel; op; budget })
+  | "tune" ->
+      let* accel, op, budget = tune_fields j in
+      Ok (Tune { accel; op; budget })
+  | "migrate_tune" ->
+      let* accel, op, budget = tune_fields j in
+      Ok (Migrate_tune { accel; op; budget })
+  | "compile" ->
+      let* accel = str_field "accel" j in
+      let* network = str_field "network" j in
+      let* batch = int_field "batch" j in
+      let* bj = field "budget" j in
+      let* budget = budget_of_json bj in
+      let* jobs = int_field "jobs" j in
+      Ok (Compile { accel; network; batch; budget; jobs })
+  | s -> Error (Printf.sprintf "unknown request type %S" s)
+
+let plan_of_json j =
+  let* kind = str_field "kind" j in
+  match kind with
+  | "scalar" -> Ok Wire_scalar
+  | "spatial" ->
+      let* text = str_field "text" j in
+      Ok (Wire_spatial text)
+  | s -> Error (Printf.sprintf "unknown plan kind %S" s)
+
+let response_of_json j =
+  let* () = check_version j in
+  let* ty = str_field "type" j in
+  match ty with
+  | "ok" ->
+      let* info = str_field "info" j in
+      Ok (Ok_r info)
+  | "plan" ->
+      let* fingerprint = str_field "fingerprint" j in
+      let* pj = field "plan" j in
+      let* plan = plan_of_json pj in
+      let* source = str_field "source" j in
+      let* evaluations = int_field "evaluations" j in
+      let* tuning_seconds = float_field "tuning_seconds" j in
+      Ok (Plan_r { fingerprint; plan; source; evaluations; tuning_seconds })
+  | "not_found" -> Ok Not_found_r
+  | "stats" ->
+      let* uptime_s = float_field "uptime_s" j in
+      let* requests = int_field "requests" j in
+      let* tunes = int_field "tunes" j in
+      let* deduped = int_field "deduped" j in
+      let* hot_hits = int_field "hot_hits" j in
+      let* cache_hits = int_field "cache_hits" j in
+      let* busy_rejections = int_field "busy_rejections" j in
+      let* in_flight = int_field "in_flight" j in
+      let* queue_load = int_field "queue_load" j in
+      Ok
+        (Stats_r
+           {
+             uptime_s;
+             requests;
+             tunes;
+             deduped;
+             hot_hits;
+             cache_hits;
+             busy_rejections;
+             in_flight;
+             queue_load;
+           })
+  | "compiled" ->
+      let* network = str_field "network" j in
+      let* total_ops = int_field "total_ops" j in
+      let* mapped_ops = int_field "mapped_ops" j in
+      let* network_seconds = float_field "network_seconds" j in
+      let* stages = int_field "stages" j in
+      let* comp_cache_hits = int_field "cache_hits" j in
+      let* comp_tuned = int_field "tuned" j in
+      Ok
+        (Compiled_r
+           {
+             network;
+             total_ops;
+             mapped_ops;
+             network_seconds;
+             stages;
+             comp_cache_hits;
+             comp_tuned;
+           })
+  | "busy" ->
+      let* retry_after_s = float_field "retry_after_s" j in
+      Ok (Busy_r { retry_after_s })
+  | "error" ->
+      let* message = str_field "message" j in
+      Ok (Error_r message)
+  | s -> Error (Printf.sprintf "unknown response type %S" s)
+
+let encode_request r = Json.to_string (json_of_request r)
+let encode_response r = Json.to_string (json_of_response r)
+
+let decode_request s =
+  let* j = Json.of_string s in
+  request_of_json j
+
+let decode_response s =
+  let* j = Json.of_string s in
+  response_of_json j
+
+(* --- framing ------------------------------------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.of_string s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let write_frame fd payload =
+  if String.length payload > max_frame_bytes then
+    invalid_arg "Protocol.write_frame: payload exceeds max_frame_bytes";
+  write_all fd (Printf.sprintf "%d\n%s\n" (String.length payload) payload)
+
+(* one byte at a time for the tiny header line, bulk for the payload *)
+let read_byte fd =
+  let b = Bytes.create 1 in
+  match Unix.read fd b 0 1 with 0 -> None | _ -> Some (Bytes.get b 0)
+
+let read_frame fd =
+  (* header: decimal length terminated by '\n'; 8 digits bound any
+     length we would accept, so a longer header is rejected early *)
+  let rec header acc ndigits first =
+    match read_byte fd with
+    | None -> if first then Error `Eof else Error (`Bad "truncated frame header")
+    | Some '\n' ->
+        if ndigits = 0 then Error (`Bad "empty frame header") else Ok acc
+    | Some ('0' .. '9' as c) ->
+        if ndigits >= 8 then Error (`Bad "oversized frame header")
+        else header ((acc * 10) + (Char.code c - Char.code '0')) (ndigits + 1) false
+    | Some c -> Error (`Bad (Printf.sprintf "bad frame header byte %C" c))
+  in
+  match header 0 0 true with
+  | Error _ as e -> e
+  | Ok len when len > max_frame_bytes ->
+      Error (`Bad (Printf.sprintf "frame of %d bytes exceeds limit" len))
+  | Ok len -> (
+      let buf = Bytes.create len in
+      let rec fill off =
+        if off >= len then true
+        else
+          match Unix.read fd buf off (len - off) with
+          | 0 -> false
+          | n -> fill (off + n)
+      in
+      if not (fill 0) then Error (`Bad "truncated frame payload")
+      else
+        match read_byte fd with
+        | Some '\n' -> Ok (Bytes.to_string buf)
+        | Some _ -> Error (`Bad "missing frame terminator")
+        | None -> Error (`Bad "truncated frame terminator"))

@@ -1,0 +1,120 @@
+(** Wire protocol of the plan-serving daemon.
+
+    Framing: every message is one frame — the decimal byte length of
+    the payload, a newline, the payload, a newline.  Frames larger than
+    {!max_frame_bytes} are rejected before the payload is read, so a
+    hostile or corrupt peer cannot make the daemon buffer unbounded
+    data.
+
+    Payloads are single-line JSON objects carrying an explicit protocol
+    version field ["v"]; a decoder that sees any other version refuses
+    the message rather than guessing.  Operators travel either as an
+    evaluation-suite reference (ResNet layer label / kind+batch+index)
+    or as full DSL text, so a client can request tuning for operators
+    the server has never seen.
+
+    Tuned plans travel as {!Amos.Plan_io} text: the client re-binds the
+    plan against its own operator and accelerator through
+    [Plan_io.load], which re-runs the Algorithm-1 validation — the wire
+    cannot introduce a plan that does not validate. *)
+
+val version : int
+(** Current protocol version (1). *)
+
+val max_frame_bytes : int
+(** Upper bound on a frame payload (4 MiB). *)
+
+type op_spec =
+  | Layer of string  (** ResNet-18 layer label, e.g. ["C5"] *)
+  | Kind of { kind : string; batch : int; index : int }
+      (** evaluation-suite operator, e.g. GMM #0 at batch 16 *)
+  | Dsl_text of string  (** full operator in the paper's DSL *)
+
+type request =
+  | Health
+  | Stats
+  | Shutdown  (** drain in-flight work, then stop accepting *)
+  | Lookup of { accel : string; op : op_spec; budget : Amos_service.Fingerprint.budget }
+      (** cache-only: never triggers tuning *)
+  | Tune of { accel : string; op : op_spec; budget : Amos_service.Fingerprint.budget }
+  | Migrate_tune of {
+      accel : string;
+      op : op_spec;
+      budget : Amos_service.Fingerprint.budget;
+    }
+      (** tune warm-started from cross-accelerator plans already in the
+          server's cache (see [Amos_service.Migrate]) *)
+  | Compile of {
+      accel : string;
+      network : string;
+      batch : int;
+      budget : Amos_service.Fingerprint.budget;
+      jobs : int;
+    }  (** whole-network compile through the plan service *)
+
+type plan_wire =
+  | Wire_scalar  (** the tuner chose the scalar units *)
+  | Wire_spatial of string  (** [Plan_io] text *)
+
+type tune_reply = {
+  fingerprint : string;
+  plan : plan_wire;
+  source : string;
+      (** ["hot"], ["cache"], ["tuned"], ["deduped"] — where the server
+          found the plan *)
+  evaluations : int;
+  tuning_seconds : float;
+}
+
+type server_stats = {
+  uptime_s : float;
+  requests : int;  (** frames dispatched *)
+  tunes : int;  (** explorations actually run *)
+  deduped : int;  (** requests coalesced onto an in-flight tune *)
+  hot_hits : int;  (** served from the in-memory front cache *)
+  cache_hits : int;  (** served from the plan cache *)
+  busy_rejections : int;  (** admission control refusals *)
+  in_flight : int;  (** tuning fingerprints currently being explored *)
+  queue_load : int;  (** worker-pool queued + running tasks *)
+}
+
+type compile_reply = {
+  network : string;
+  total_ops : int;
+  mapped_ops : int;
+  network_seconds : float;
+  stages : int;
+  comp_cache_hits : int;
+  comp_tuned : int;
+}
+
+type response =
+  | Ok_r of string  (** health / shutdown acknowledgement *)
+  | Plan_r of tune_reply
+  | Not_found_r  (** [Lookup] miss *)
+  | Stats_r of server_stats
+  | Compiled_r of compile_reply
+  | Busy_r of { retry_after_s : float }
+      (** admission control: the tuning queue is full; retry after the
+          hinted delay *)
+  | Error_r of string
+
+(** {2 Codec} *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+(** Decoders reject malformed JSON, missing fields, unknown message
+    types, and any version field other than {!version}. *)
+
+(** {2 Framing} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Raises [Invalid_argument] when the payload exceeds
+    {!max_frame_bytes}; [Unix.Unix_error] on I/O failure. *)
+
+val read_frame : Unix.file_descr -> (string, [ `Eof | `Bad of string ]) result
+(** [`Eof] for a clean end-of-stream before the first header byte;
+    [`Bad _] for truncated frames, malformed headers, and oversized
+    lengths (the payload of an oversized frame is never read). *)

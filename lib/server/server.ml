@@ -1,0 +1,505 @@
+open Amos
+module Rng = Amos_tensor.Rng
+module Fingerprint = Amos_service.Fingerprint
+module Plan_cache = Amos_service.Plan_cache
+module Par_tune = Amos_service.Par_tune
+module Migrate = Amos_service.Migrate
+module Batch_compile = Amos_service.Batch_compile
+module Ops = Amos_workloads.Ops
+module Suites = Amos_workloads.Suites
+module Resnet = Amos_workloads.Resnet
+module Networks = Amos_workloads.Networks
+
+let log_src = Logs.Src.create "amos.server" ~doc:"AMOS plan-serving daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  socket_path : string;
+  cache_dir : string option;
+  workers : int;
+  queue_capacity : int;
+  jobs : int;
+  hot_capacity : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    cache_dir = None;
+    workers = 2;
+    queue_capacity = 8;
+    jobs = 1;
+    hot_capacity = 128;
+  }
+
+type tune_outcome = { value : Plan_cache.value; evaluations : int }
+
+type tuner =
+  jobs:int ->
+  accel:Accelerator.t ->
+  op:Amos_ir.Operator.t ->
+  budget:Fingerprint.budget ->
+  seeds:Explore.candidate list ->
+  tune_outcome
+
+(* what a flight resolves to: every joiner (and the leader) gets one *)
+type flight_result =
+  | Fl_plan of Protocol.tune_reply
+  | Fl_busy of float
+  | Fl_error of string
+
+type t = {
+  config : config;
+  tuner : tuner;
+  listen_fd : Unix.file_descr;
+  cache : Plan_cache.t;  (* guarded by cache_mu: one domain at a time *)
+  cache_mu : Mutex.t;
+  pool : Par_tune.Pool.t;
+  flights : flight_result Single_flight.t;
+  started_at : float;
+  mu : Mutex.t;  (* guards everything below *)
+  hot : (string, Protocol.plan_wire) Hashtbl.t;
+  hot_order : string Queue.t;  (* FIFO eviction *)
+  mutable threads : Thread.t list;
+  mutable stopping : bool;  (* no new tuning admitted *)
+  mutable stopped : bool;  (* accept loop must exit *)
+  mutable requests : int;
+  mutable tunes : int;
+  mutable deduped : int;
+  mutable hot_hits : int;
+  mutable cache_hits : int;
+  mutable busy_rejections : int;
+}
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* --- default tuner -------------------------------------------------- *)
+
+(* mirror [Batch_compile.tune_fresh]: explore, then race the winner
+   against the scalar roofline so a wire plan is never worse than not
+   mapping the operator at all *)
+let default_tuner ~jobs ~accel ~op ~budget ~seeds =
+  let rng = Rng.create budget.Fingerprint.seed in
+  let mappings =
+    List.concat_map
+      (fun intr -> List.map Mapping.make (Mapping_gen.generate_op op intr))
+      accel.Accelerator.intrinsics
+  in
+  if mappings = [] && seeds = [] then { value = Plan_cache.Scalar; evaluations = 0 }
+  else
+    let result =
+      Par_tune.tune ~jobs ~population:budget.Fingerprint.population
+        ~generations:budget.Fingerprint.generations
+        ~measure_top:budget.Fingerprint.measure_top ~initial_population:seeds
+        ~rng ~accel ~mappings ()
+    in
+    let best = result.Explore.best in
+    if
+      best.Explore.measured < infinity
+      && best.Explore.measured <= Batch_compile.scalar_seconds accel op
+    then
+      let c = best.Explore.candidate in
+      {
+        value = Plan_cache.Spatial (c.Explore.mapping, c.Explore.schedule);
+        evaluations = result.Explore.evaluations;
+      }
+    else { value = Plan_cache.Scalar; evaluations = result.Explore.evaluations }
+
+(* --- request resolution -------------------------------------------- *)
+
+let resolve_accel name =
+  match Accelerator.by_name name with
+  | Some a -> a
+  | None -> failwith ("unknown accelerator " ^ name)
+
+let resolve_op = function
+  | Protocol.Layer label ->
+      Resnet.config (Resnet.by_label (String.uppercase_ascii label))
+  | Protocol.Kind { kind; batch; index } -> (
+      let k =
+        match
+          List.find_opt
+            (fun k -> Ops.kind_name k = String.uppercase_ascii kind)
+            Ops.all_kinds
+        with
+        | Some k -> k
+        | None -> failwith ("unknown operator kind " ^ kind)
+      in
+      match List.nth_opt (Suites.configs_per_kind ~batch k) index with
+      | Some op -> op
+      | None -> failwith (Printf.sprintf "no config %d for kind %s" index kind))
+  | Protocol.Dsl_text text -> (
+      match Amos_ir.Dsl.parse ~name:"wire-op" text with
+      | Ok op -> op
+      | Error msg -> failwith ("operator DSL: " ^ msg))
+
+let wire_of_value = function
+  | Plan_cache.Scalar -> Protocol.Wire_scalar
+  | Plan_cache.Spatial (m, sched) -> Protocol.Wire_spatial (Plan_io.save m sched)
+
+(* --- hot cache ------------------------------------------------------ *)
+
+let hot_lookup t fingerprint =
+  locked t.mu (fun () ->
+      match Hashtbl.find_opt t.hot fingerprint with
+      | Some plan ->
+          t.hot_hits <- t.hot_hits + 1;
+          Some plan
+      | None -> None)
+
+let hot_put t fingerprint plan =
+  locked t.mu (fun () ->
+      if not (Hashtbl.mem t.hot fingerprint) then begin
+        Hashtbl.replace t.hot fingerprint plan;
+        Queue.push fingerprint t.hot_order;
+        while Queue.length t.hot_order > t.config.hot_capacity do
+          Hashtbl.remove t.hot (Queue.pop t.hot_order)
+        done
+      end)
+
+(* --- creation ------------------------------------------------------- *)
+
+let create ?(tuner = default_tuner) config =
+  (* a client dying mid-reply must surface as EPIPE on the write, not
+     kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path) with
+  | () -> Unix.listen listen_fd 64
+  | exception e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise e);
+  let cache =
+    match config.cache_dir with
+    | Some dir -> Plan_cache.create ~dir ()
+    | None -> Plan_cache.create ()
+  in
+  {
+    config;
+    tuner;
+    listen_fd;
+    cache;
+    cache_mu = Mutex.create ();
+    pool =
+      Par_tune.Pool.create ~workers:(max 1 config.workers)
+        ~capacity:(max 1 config.queue_capacity);
+    flights = Single_flight.create ();
+    started_at = Unix.gettimeofday ();
+    mu = Mutex.create ();
+    hot = Hashtbl.create 64;
+    hot_order = Queue.create ();
+    threads = [];
+    stopping = false;
+    stopped = false;
+    requests = 0;
+    tunes = 0;
+    deduped = 0;
+    hot_hits = 0;
+    cache_hits = 0;
+    busy_rejections = 0;
+  }
+
+let stats t : Protocol.server_stats =
+  let queue_load = Par_tune.Pool.load t.pool in
+  let in_flight = Single_flight.in_flight t.flights in
+  locked t.mu (fun () ->
+      {
+        Protocol.uptime_s = Unix.gettimeofday () -. t.started_at;
+        requests = t.requests;
+        tunes = t.tunes;
+        deduped = t.deduped;
+        hot_hits = t.hot_hits;
+        cache_hits = t.cache_hits;
+        busy_rejections = t.busy_rejections;
+        in_flight;
+        queue_load;
+      })
+
+(* --- tuning flow ---------------------------------------------------- *)
+
+let retry_hint t = 0.1 +. (0.05 *. float_of_int (Par_tune.Pool.load t.pool))
+
+let response_of_flight ~deduped = function
+  | Fl_plan r ->
+      Protocol.Plan_r (if deduped then { r with Protocol.source = "deduped" } else r)
+  | Fl_busy retry_after_s -> Protocol.Busy_r { retry_after_s }
+  | Fl_error msg -> Protocol.Error_r msg
+
+let cache_lookup t ~accel ~op ~budget =
+  locked t.cache_mu (fun () ->
+      match Plan_cache.lookup t.cache ~accel ~op ~budget with
+      | v -> v
+      | exception _ -> None)
+
+let migration_seeds t ~accel ~op ~budget =
+  locked t.cache_mu (fun () ->
+      match Migrate.from_cache t.cache ~accel ~op ~budget with
+      | Some o -> o.Migrate.seeds
+      | None -> []
+      | exception _ -> [])
+
+let handle_tune t ~migrate ~accel:accel_name ~op:op_spec ~budget =
+  let accel = resolve_accel accel_name in
+  let op = resolve_op op_spec in
+  let fingerprint = Fingerprint.key ~accel ~op ~budget in
+  match hot_lookup t fingerprint with
+  | Some plan ->
+      Protocol.Plan_r
+        {
+          Protocol.fingerprint;
+          plan;
+          source = "hot";
+          evaluations = 0;
+          tuning_seconds = 0.;
+        }
+  | None -> (
+      match cache_lookup t ~accel ~op ~budget with
+      | Some value ->
+          let plan = wire_of_value value in
+          locked t.mu (fun () -> t.cache_hits <- t.cache_hits + 1);
+          hot_put t fingerprint plan;
+          Protocol.Plan_r
+            {
+              Protocol.fingerprint;
+              plan;
+              source = "cache";
+              evaluations = 0;
+              tuning_seconds = 0.;
+            }
+      | None ->
+          if locked t.mu (fun () -> t.stopping) then
+            Protocol.Busy_r { retry_after_s = retry_hint t }
+          else (
+            match Single_flight.acquire t.flights fingerprint with
+            | `Join f ->
+                locked t.mu (fun () -> t.deduped <- t.deduped + 1);
+                response_of_flight ~deduped:true (Single_flight.wait t.flights f)
+            | `Lead f ->
+                (* seeds are gathered before the task is queued so the
+                   pool task touches the shared cache only for the final
+                   store *)
+                let seeds =
+                  if migrate then migration_seeds t ~accel ~op ~budget else []
+                in
+                let task () =
+                  let t0 = Unix.gettimeofday () in
+                  let outcome =
+                    match t.tuner ~jobs:t.config.jobs ~accel ~op ~budget ~seeds with
+                    | o -> Ok o
+                    | exception e -> Error (Printexc.to_string e)
+                  in
+                  let dt = Unix.gettimeofday () -. t0 in
+                  match outcome with
+                  | Ok { value; evaluations } ->
+                      locked t.cache_mu (fun () ->
+                          try Plan_cache.store t.cache ~accel ~op ~budget value
+                          with e ->
+                            Log.warn (fun m ->
+                                m "plan store failed for %s: %s" fingerprint
+                                  (Printexc.to_string e)));
+                      let plan = wire_of_value value in
+                      hot_put t fingerprint plan;
+                      locked t.mu (fun () -> t.tunes <- t.tunes + 1);
+                      Single_flight.complete t.flights f
+                        (Fl_plan
+                           {
+                             Protocol.fingerprint;
+                             plan;
+                             source = "tuned";
+                             evaluations;
+                             tuning_seconds = dt;
+                           })
+                  | Error msg ->
+                      Single_flight.complete t.flights f
+                        (Fl_error ("tuning failed: " ^ msg))
+                in
+                if Par_tune.Pool.try_submit t.pool task then
+                  response_of_flight ~deduped:false
+                    (Single_flight.wait t.flights f)
+                else begin
+                  (* admission control: refuse, and resolve the flight
+                     as busy so racing joiners are not stranded *)
+                  let hint = retry_hint t in
+                  locked t.mu (fun () ->
+                      t.busy_rejections <- t.busy_rejections + 1);
+                  Single_flight.complete t.flights f (Fl_busy hint);
+                  Protocol.Busy_r { retry_after_s = hint }
+                end))
+
+let handle_lookup t ~accel:accel_name ~op:op_spec ~budget =
+  let accel = resolve_accel accel_name in
+  let op = resolve_op op_spec in
+  let fingerprint = Fingerprint.key ~accel ~op ~budget in
+  match hot_lookup t fingerprint with
+  | Some plan ->
+      Protocol.Plan_r
+        {
+          Protocol.fingerprint;
+          plan;
+          source = "hot";
+          evaluations = 0;
+          tuning_seconds = 0.;
+        }
+  | None -> (
+      match cache_lookup t ~accel ~op ~budget with
+      | Some value ->
+          let plan = wire_of_value value in
+          locked t.mu (fun () -> t.cache_hits <- t.cache_hits + 1);
+          hot_put t fingerprint plan;
+          Protocol.Plan_r
+            {
+              Protocol.fingerprint;
+              plan;
+              source = "cache";
+              evaluations = 0;
+              tuning_seconds = 0.;
+            }
+      | None -> Protocol.Not_found_r)
+
+let handle_compile t ~accel:accel_name ~network ~batch ~budget ~jobs =
+  let accel = resolve_accel accel_name in
+  let net =
+    let wanted = String.lowercase_ascii network in
+    match
+      List.find_opt
+        (fun (n : Networks.t) ->
+          String.lowercase_ascii n.Networks.name = wanted)
+        (Networks.all ~batch)
+    with
+    | Some n -> n
+    | None -> failwith ("unknown network " ^ network)
+  in
+  (* own handle over the same directory: long compiles stay off the
+     shared handle (and the tuning pool); handles see each other's
+     stores through the journal *)
+  let cache =
+    match t.config.cache_dir with
+    | Some dir -> Plan_cache.create ~dir ()
+    | None -> Plan_cache.create ()
+  in
+  let jobs = max 1 (min 8 jobs) in
+  let net_report, svc_report =
+    Batch_compile.compile_network ~jobs ~budget ~cache accel net
+  in
+  Protocol.Compiled_r
+    {
+      Protocol.network = net_report.Compiler.network_name;
+      total_ops = net_report.Compiler.total_ops;
+      mapped_ops = net_report.Compiler.mapped_ops;
+      network_seconds = net_report.Compiler.network_seconds;
+      stages = svc_report.Batch_compile.tensor_stages;
+      comp_cache_hits = svc_report.Batch_compile.cache_hits;
+      comp_tuned = svc_report.Batch_compile.cache_misses;
+    }
+
+(* --- shutdown ------------------------------------------------------- *)
+
+let drain_and_stop t =
+  let already = locked t.mu (fun () ->
+      let was = t.stopping in
+      t.stopping <- true;
+      was)
+  in
+  if not already then
+    Log.info (fun m -> m "draining: waiting for in-flight tuning to finish");
+  Par_tune.Pool.shutdown ~drain:true t.pool;
+  locked t.mu (fun () -> t.stopped <- true)
+
+let stop t = drain_and_stop t
+
+(* --- dispatch ------------------------------------------------------- *)
+
+let dispatch t payload =
+  locked t.mu (fun () -> t.requests <- t.requests + 1);
+  match Protocol.decode_request payload with
+  | Error msg -> (Protocol.Error_r msg, false)
+  | Ok req -> (
+      match req with
+      | Protocol.Health ->
+          (Protocol.Ok_r (Printf.sprintf "amosd protocol v%d" Protocol.version), false)
+      | Protocol.Stats -> (Protocol.Stats_r (stats t), false)
+      | Protocol.Shutdown ->
+          drain_and_stop t;
+          (Protocol.Ok_r "drained", true)
+      | Protocol.Lookup { accel; op; budget } -> (
+          match handle_lookup t ~accel ~op ~budget with
+          | r -> (r, false)
+          | exception Failure msg -> (Protocol.Error_r msg, false)
+          | exception e -> (Protocol.Error_r (Printexc.to_string e), false))
+      | Protocol.Tune { accel; op; budget } -> (
+          match handle_tune t ~migrate:false ~accel ~op ~budget with
+          | r -> (r, false)
+          | exception Failure msg -> (Protocol.Error_r msg, false)
+          | exception e -> (Protocol.Error_r (Printexc.to_string e), false))
+      | Protocol.Migrate_tune { accel; op; budget } -> (
+          match handle_tune t ~migrate:true ~accel ~op ~budget with
+          | r -> (r, false)
+          | exception Failure msg -> (Protocol.Error_r msg, false)
+          | exception e -> (Protocol.Error_r (Printexc.to_string e), false))
+      | Protocol.Compile { accel; network; batch; budget; jobs } -> (
+          match handle_compile t ~accel ~network ~batch ~budget ~jobs with
+          | r -> (r, false)
+          | exception Failure msg -> (Protocol.Error_r msg, false)
+          | exception e -> (Protocol.Error_r (Printexc.to_string e), false)))
+
+(* --- connections ---------------------------------------------------- *)
+
+let send_response fd resp =
+  match Protocol.write_frame fd (Protocol.encode_response resp) with
+  | () -> true
+  | exception (Unix.Unix_error _ | Sys_error _) -> false
+
+let handle_conn t fd =
+  (* the receive timeout turns an idle connection into a periodic
+     stopping-flag check, so shutdown never waits on a silent client *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
+   with Unix.Unix_error _ -> ());
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        if locked t.mu (fun () -> t.stopped) then () else loop ()
+    | exception (Unix.Unix_error _ | Sys_error _) -> ()
+    | Error `Eof -> ()
+    | Error (`Bad msg) ->
+        (* framing is broken: answer once, then drop the connection —
+           resynchronising on a corrupt stream is guesswork *)
+        ignore (send_response fd (Protocol.Error_r ("bad frame: " ^ msg)))
+    | Ok payload ->
+        let resp, close_after = dispatch t payload in
+        let sent = send_response fd resp in
+        if sent && not close_after then loop ()
+  in
+  (try loop ()
+   with e ->
+     Log.warn (fun m -> m "connection handler died: %s" (Printexc.to_string e)));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve t =
+  Log.info (fun m -> m "amosd listening on %s" t.config.socket_path);
+  let rec loop () =
+    if locked t.mu (fun () -> t.stopped) then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ ->
+              let th = Thread.create (fun () -> handle_conn t fd) () in
+              locked t.mu (fun () -> t.threads <- th :: t.threads)
+          | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.config.socket_path
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  let threads = locked t.mu (fun () -> t.threads) in
+  List.iter (fun th -> try Thread.join th with _ -> ()) threads;
+  Log.info (fun m -> m "amosd stopped")

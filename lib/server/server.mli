@@ -1,0 +1,82 @@
+(** The plan-serving daemon ([amosd]).
+
+    One process owns the plan cache and serves tuning over a
+    Unix-domain socket so that N concurrent compiler clients share one
+    tuner instead of racing N: requests arrive as {!Protocol} frames on
+    per-connection systhreads, tuning work is dispatched onto a bounded
+    {!Amos_service.Par_tune.Pool} of worker domains, and results flow
+    back through three layers —
+
+    - a bounded in-memory {e hot cache} of recently served plans (no
+      disk, no validation cost on a repeat hit);
+    - the shared persistent {!Amos_service.Plan_cache} (mutex-guarded:
+      a cache handle is owned by one domain at a time);
+    - {e single-flight} tuning: concurrent requests for the same
+      fingerprint share one exploration ({!Single_flight}), so a herd
+      of identical cold requests costs one tune.
+
+    Admission control: when the pool queue is full, new tuning work is
+    refused with a typed [Busy] response carrying a retry hint — the
+    daemon never queues unboundedly and never hangs a client.
+
+    Shutdown (the [Shutdown] request, or {!stop}) is graceful: the
+    daemon stops admitting tuning work, drains the pool (every
+    in-flight exploration completes and its waiters get real answers),
+    acknowledges, and only then releases the socket.
+
+    [Compile] requests run on the connection thread with their own
+    cache handle over the same directory (handles observe each other
+    through the journal), so a long network compile never blocks the
+    tuning pool. *)
+
+type config = {
+  socket_path : string;
+  cache_dir : string option;
+      (** [None] = memory-only (plans survive only as long as the
+          daemon) *)
+  workers : int;  (** tuning pool domains *)
+  queue_capacity : int;  (** pending tunes admitted before [Busy] *)
+  jobs : int;  (** parallel jobs inside one tuning task *)
+  hot_capacity : int;  (** hot-cache entries (FIFO eviction) *)
+}
+
+val default_config : socket_path:string -> config
+(** 2 workers, queue capacity 8, 1 job per tune, 128 hot entries,
+    memory-only cache. *)
+
+type tune_outcome = {
+  value : Amos_service.Plan_cache.value;
+  evaluations : int;
+}
+
+type tuner =
+  jobs:int ->
+  accel:Amos.Accelerator.t ->
+  op:Amos_ir.Operator.t ->
+  budget:Amos_service.Fingerprint.budget ->
+  seeds:Amos.Explore.candidate list ->
+  tune_outcome
+(** The exploration a pool task runs.  Injectable so tests can observe
+    scheduling behaviour (count invocations, block on a latch) without
+    paying for real tuning; the default races
+    [Amos_service.Par_tune.tune] against the scalar roofline exactly
+    like [Batch_compile]. *)
+
+type t
+
+val create : ?tuner:tuner -> config -> t
+(** Bind the socket and start the worker pool.  Raises [Unix.Unix_error]
+    when the socket path is unusable (a stale socket file is silently
+    replaced). *)
+
+val serve : t -> unit
+(** Run the accept loop until shutdown; returns after the socket is
+    released and every connection thread has finished.  Run it on a
+    dedicated thread for in-process use (tests, bench). *)
+
+val stop : t -> unit
+(** Programmatic graceful shutdown: drain and stop.  Idempotent; safe
+    from any thread. *)
+
+val stats : t -> Protocol.server_stats
+(** Snapshot, same data a [Stats] request returns. *)

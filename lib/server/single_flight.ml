@@ -1,0 +1,59 @@
+type 'a flight = { key : string; mutable result : 'a option }
+
+type 'a t = {
+  mutex : Mutex.t;
+  done_ : Condition.t;  (* some flight completed; waiters re-check theirs *)
+  table : (string, 'a flight) Hashtbl.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    done_ = Condition.create ();
+    table = Hashtbl.create 16;
+  }
+
+let acquire t key =
+  Mutex.lock t.mutex;
+  let r =
+    match Hashtbl.find_opt t.table key with
+    | Some f -> `Join f
+    | None ->
+        let f = { key; result = None } in
+        Hashtbl.replace t.table key f;
+        `Lead f
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let complete t f v =
+  Mutex.lock t.mutex;
+  (match f.result with
+  | Some _ -> () (* already completed *)
+  | None ->
+      f.result <- Some v;
+      (* joiners hold a reference to [f] itself, so retiring the table
+         entry now cannot strand them; it just lets the next request
+         for this key start a fresh flight *)
+      Hashtbl.remove t.table f.key;
+      Condition.broadcast t.done_);
+  Mutex.unlock t.mutex
+
+let wait t f =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match f.result with
+    | Some v -> v
+    | None ->
+        Condition.wait t.done_ t.mutex;
+        loop ()
+  in
+  let v = loop () in
+  Mutex.unlock t.mutex;
+  v
+
+let in_flight t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,34 @@
+(** Single-flight deduplication of keyed work.
+
+    Two clients asking the daemon to tune the same fingerprint should
+    share one exploration, not run two.  The table tracks one {e flight}
+    per key: the first caller to {!acquire} a key becomes the leader and
+    owns producing the result; everyone else joins the existing flight
+    and {!wait}s for the leader's {!complete}.
+
+    The leader must always complete its flight — including on failure
+    and on admission-control rejection (complete with the error/busy
+    value) — or joiners block forever; lean on [Fun.protect].  Safe
+    across systhreads and domains (stdlib [Mutex]/[Condition]). *)
+
+type 'a t
+type 'a flight
+
+val create : unit -> 'a t
+
+val acquire : 'a t -> string -> [ `Lead of 'a flight | `Join of 'a flight ]
+(** Register interest in [key].  [`Lead] means no flight existed: the
+    caller owns the work and must eventually {!complete} the returned
+    flight.  [`Join] shares a flight already in progress. *)
+
+val complete : 'a t -> 'a flight -> 'a -> unit
+(** Publish the result, wake all joiners, and retire the flight (a
+    subsequent {!acquire} of the same key starts a fresh one).
+    Completing an already-completed flight is a no-op. *)
+
+val wait : 'a t -> 'a flight -> 'a
+(** Block until the flight's leader completes it; leaders may wait on
+    their own flight when the work happens elsewhere (a pool task). *)
+
+val in_flight : 'a t -> int
+(** Number of keys currently flying. *)

@@ -12,6 +12,7 @@ type source =
   | Tuned
   | Repeat
   | Degraded
+  | Known_bad
 
 type stage_plan = {
   stage_index : int;
@@ -29,6 +30,9 @@ type report = {
   evaluations : int;
   tuning_seconds : float;
   degraded_stages : int;
+  known_bad_stages : int;
+      (** stages served scalar straight from a persisted known-bad
+          marker, without re-attempting the tuning that already failed *)
 }
 
 type t = {
@@ -66,24 +70,38 @@ type ctx = {
   budget : Fingerprint.budget;
   jobs : int option;
   memo : (string, Plan_cache.value) Hashtbl.t;
+  badlist : Badlist.t option;
+      (** persistent known-bad markers; [None] for memory-only caches,
+          whose degradations stay per-run as before *)
   mutable hits : int;
   mutable misses : int;
   mutable evaluations : int;
   mutable tuning_seconds : float;
   mutable degraded : int;
+  mutable known_bad : int;
 }
 
 let make_ctx ?jobs ?(budget = Fingerprint.default_budget) cache =
+  let badlist =
+    match Plan_cache.dir cache with
+    | None -> None
+    | Some dir -> (
+        match Badlist.load ~fs:(Plan_cache.fs_handle cache) ~dir () with
+        | t -> Some t
+        | exception (Fs_io.Injected _ | Sys_error _) -> None)
+  in
   {
     cache;
     budget;
     jobs;
     memo = Hashtbl.create 16;
+    badlist;
     hits = 0;
     misses = 0;
     evaluations = 0;
     tuning_seconds = 0.;
     degraded = 0;
+    known_bad = 0;
   }
 
 (* Graceful degradation: a stage whose cache lookup, tuning, or plan
@@ -117,6 +135,18 @@ let tune_cached ctx accel op =
         | Some v ->
             ctx.hits <- ctx.hits + 1;
             (v, Hit)
+        | None
+          when match ctx.badlist with
+               | Some b -> Badlist.mem b fingerprint
+               | None -> false ->
+            (* a previous run already paid for this failure: the marker
+               says tuning degraded to scalar, so serve the scalar plan
+               without re-attempting (clear the marker to retry) *)
+            ctx.known_bad <- ctx.known_bad + 1;
+            Log.info (fun m ->
+                m "%s is marked known-bad; scalar fallback without re-tuning"
+                  op_name);
+            (Plan_cache.Scalar, Known_bad)
         | None -> (
             ctx.misses <- ctx.misses + 1;
             let t0 = Unix.gettimeofday () in
@@ -144,6 +174,17 @@ let tune_cached ctx accel op =
                 Log.warn (fun m ->
                     m "tuning failed for %s (%s); degrading to scalar plan"
                       op_name (Printexc.to_string e));
+                (* persist the decision so the next cold compile skips
+                   straight to scalar instead of re-failing the tune *)
+                (match ctx.badlist with
+                | Some b -> (
+                    try
+                      Badlist.mark b ~fingerprint
+                        ~reason:(op_name ^ ": " ^ Printexc.to_string e)
+                    with
+                    | Fs_io.Crashed _ as e -> raise e
+                    | Fs_io.Injected _ | Sys_error _ -> ())
+                | None -> ());
                 (Plan_cache.Scalar, Degraded)))
   in
   Hashtbl.replace ctx.memo fingerprint value;
@@ -158,6 +199,7 @@ let report_of ctx ~tensor_stages =
     evaluations = ctx.evaluations;
     tuning_seconds = ctx.tuning_seconds;
     degraded_stages = ctx.degraded;
+    known_bad_stages = ctx.known_bad;
   }
 
 let tune_op ?jobs ?budget ~cache accel op =
@@ -250,6 +292,11 @@ let describe_report r =
      evaluations, %.2fs tuning)%s"
     r.tensor_stages r.unique_stages r.cache_hits r.cache_misses r.evaluations
     r.tuning_seconds
-    (if r.degraded_stages > 0 then
-       Printf.sprintf ", %d DEGRADED to scalar" r.degraded_stages
-     else "")
+    ((if r.degraded_stages > 0 then
+        Printf.sprintf ", %d DEGRADED to scalar" r.degraded_stages
+      else "")
+    ^
+    if r.known_bad_stages > 0 then
+      Printf.sprintf ", %d known-bad (scalar without re-tuning)"
+        r.known_bad_stages
+    else "")

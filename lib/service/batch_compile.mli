@@ -12,10 +12,17 @@
     Failure policy: a stage whose cache lookup, tuning, or plan store
     raises never aborts the compile.  Lookup failures fall through to
     tuning; tuning failures fall back to the always-available scalar
-    plan and mark the stage {!Degraded} (the fallback is not cached, so
-    a later run retries); store failures keep the tuned plan for this
-    run and continue.  Degradation events are counted in the report and
-    logged on the ["amos.service"] source. *)
+    plan and mark the stage {!Degraded} (the fallback is never cached as
+    a plan); store failures keep the tuned plan for this run and
+    continue.  Degradation events are counted in the report and logged
+    on the ["amos.service"] source.
+
+    For a {e persistent} cache (one with a directory), a degradation
+    additionally writes a {!Badlist} known-bad marker next to the cache:
+    later cold compiles serve those stages scalar immediately
+    ({!Known_bad}) instead of re-paying the failed tuning attempt.
+    [cache fsck] lists the markers; clearing them re-enables tuning.
+    Memory-only caches keep the old per-run behaviour. *)
 
 open Amos
 
@@ -25,6 +32,9 @@ type source =
   | Repeat  (** duplicate of an earlier stage in the same network *)
   | Degraded
       (** tuning failed; the stage runs on the scalar fallback plan *)
+  | Known_bad
+      (** a persisted known-bad marker says tuning already failed for
+          this fingerprint; served scalar without re-attempting *)
 
 type stage_plan = {
   stage_index : int;  (** position in [Pipeline.stages] *)
@@ -44,6 +54,9 @@ type report = {
   degraded_stages : int;
       (** unique stages that fell back to the scalar plan because
           tuning failed *)
+  known_bad_stages : int;
+      (** unique stages served scalar from a persisted known-bad marker
+          (no tuning attempted) *)
 }
 
 type t = {

@@ -52,6 +52,11 @@ let file_size _t path =
   | { Unix.st_size; _ } -> st_size
   | exception Unix.Unix_error _ -> 0
 
+let mtime _t path =
+  match Unix.stat path with
+  | { Unix.st_mtime; _ } -> st_mtime
+  | exception Unix.Unix_error _ -> 0.
+
 let mkdir_p _t path = if not (Sys.file_exists path) then Sys.mkdir path 0o755
 
 let list_dir _t path =

@@ -65,6 +65,10 @@ val exists : t -> string -> bool
 val file_size : t -> string -> int
 (** 0 when the file does not exist. *)
 
+val mtime : t -> string -> float
+(** Last-modification time (seconds since the epoch); 0. when the file
+    does not exist.  A non-faulting probe, like {!file_size}. *)
+
 val mkdir_p : t -> string -> unit
 val list_dir : t -> string -> string list
 (** Basenames, [[]] when the directory does not exist. *)

@@ -93,6 +93,72 @@ let tune_with ?jobs ?(must_keep = fun _ -> false) ~screen ~search ~mappings ()
     (List.concat (List.rev !plans))
     ~evaluations:!evaluations
 
+(* Population-split path: when the operator offers fewer mappings than
+   [jobs], per-mapping fan-out leaves domains idle.  Each survivor's
+   genetic search is split into [jobs / survivors] shards instead:
+   shard [i] runs [Explore.search_mapping ~salt:i] — an independent
+   deterministic RNG stream over the same mapping — with a
+   [population / shards] slice of the budget, and shard results merge
+   in (survivor, shard) order.  The outcome is deterministic for a
+   fixed (seed, jobs) pair; a different [jobs] changes the sharding and
+   may surface a different (equally valid) winner. *)
+let tune_split ~jobs ~population ~generations ~measure_top ~must_keep
+    ~seeds_for ~accel ~mappings =
+  let failures = ref [] in
+  let record m e =
+    failures := (Mapping.describe m, Printexc.to_string e) :: !failures
+  in
+  let marr = Array.of_list mappings in
+  let evaluations = ref 0 in
+  let screened_r =
+    parallel_map_result ~jobs (fun m -> Explore.screen_mapping ~accel m) marr
+  in
+  let screened = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok (best, n) ->
+          evaluations := !evaluations + n;
+          screened := (marr.(i), best) :: !screened
+      | Error e -> record marr.(i) e)
+    screened_r;
+  let survivors = Explore.select_survivors ~must_keep (List.rev !screened) in
+  let shards = max 1 (jobs / max 1 (List.length survivors)) in
+  (* shard sizes partition the population budget: they differ by at most
+     one and every shard holds at least one candidate *)
+  let shard_population i =
+    max 1 ((population / shards) + if i < population mod shards then 1 else 0)
+  in
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun (m, _) -> List.init shards (fun i -> (m, i)))
+         survivors)
+  in
+  let searched_r =
+    parallel_map_result ~jobs
+      (fun (m, shard) ->
+        (* seeds attach to shard 0 only, so a seed is measured once *)
+        let seeds = if shard = 0 then seeds_for m else [] in
+        Explore.search_mapping ~salt:shard ~seeds
+          ~population:(shard_population shard) ~generations ~measure_top
+          ~accel m)
+      tasks
+  in
+  let plans = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok (ps, n) ->
+          evaluations := !evaluations + n;
+          plans := ps :: !plans
+      | Error e -> record (fst tasks.(i)) e)
+    searched_r;
+  Explore.assemble
+    ~failures:(List.rev !failures)
+    (List.concat (List.rev !plans))
+    ~evaluations:!evaluations
+
 let tune ?jobs ?(population = 16) ?(generations = 8) ?(measure_top = 3)
     ?(initial_population = []) ~rng ~accel ~mappings () =
   if mappings = [] && initial_population = [] then
@@ -105,12 +171,17 @@ let tune ?jobs ?(population = 16) ?(generations = 8) ?(measure_top = 3)
   let mappings, seeds_for, is_seeded =
     Explore.merge_seed_population ~mappings initial_population
   in
-  tune_with ?jobs ~must_keep:is_seeded
-    ~screen:(fun m -> Explore.screen_mapping ~accel m)
-    ~search:(fun m ->
-      Explore.search_mapping ~seeds:(seeds_for m) ~population ~generations
-        ~measure_top ~accel m)
-    ~mappings ()
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if jobs > 1 && List.length mappings < jobs then
+    tune_split ~jobs ~population ~generations ~measure_top
+      ~must_keep:is_seeded ~seeds_for ~accel ~mappings
+  else
+    tune_with ~jobs ~must_keep:is_seeded
+      ~screen:(fun m -> Explore.screen_mapping ~accel m)
+      ~search:(fun m ->
+        Explore.search_mapping ~seeds:(seeds_for m) ~population ~generations
+          ~measure_top ~accel m)
+      ~mappings ()
 
 let tune_op ?jobs ?population ?generations ?measure_top ?filter ~rng ~accel op
     =
@@ -126,3 +197,93 @@ let tune_op ?jobs ?population ?generations ?measure_top ?filter ~rng ~accel op
       Some
         (tune ?jobs ?population ?generations ?measure_top ~rng ~accel
            ~mappings ())
+
+(* Persistent bounded worker pool: long-lived domains pulling thunks
+   from a capacity-bounded queue.  Unlike [parallel_map_result] (which
+   spawns and joins domains per call) the pool amortises domain startup
+   across a server's lifetime and gives callers an admission-control
+   primitive: [try_submit] refuses instead of queueing unboundedly. *)
+module Pool = struct
+  type t = {
+    mutex : Mutex.t;
+    not_empty : Condition.t;  (* queue gained work, or stopping *)
+    idle : Condition.t;  (* queue empty and nothing running *)
+    queue : (unit -> unit) Queue.t;
+    capacity : int;
+    mutable workers : unit Domain.t list;
+    mutable running : int;  (* tasks currently executing *)
+    mutable stopping : bool;
+  }
+
+  let rec worker_loop t =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.not_empty t.mutex
+    done;
+    if Queue.is_empty t.queue then (* stopping, queue drained *)
+      Mutex.unlock t.mutex
+    else begin
+      let task = Queue.pop t.queue in
+      t.running <- t.running + 1;
+      Mutex.unlock t.mutex;
+      (* the task owns its error handling; a raise here would kill the
+         worker domain, so the contract is enforced by a last-resort
+         swallow rather than trusted *)
+      (try task () with _ -> ());
+      Mutex.lock t.mutex;
+      t.running <- t.running - 1;
+      if Queue.is_empty t.queue && t.running = 0 then
+        Condition.broadcast t.idle;
+      Mutex.unlock t.mutex;
+      worker_loop t
+    end
+
+  let create ~workers ~capacity =
+    let t =
+      {
+        mutex = Mutex.create ();
+        not_empty = Condition.create ();
+        idle = Condition.create ();
+        queue = Queue.create ();
+        capacity = max 1 capacity;
+        workers = [];
+        running = 0;
+        stopping = false;
+      }
+    in
+    t.workers <-
+      List.init (max 1 workers) (fun _ ->
+          Domain.spawn (fun () -> worker_loop t));
+    t
+
+  let try_submit t task =
+    Mutex.lock t.mutex;
+    let accepted =
+      (not t.stopping) && Queue.length t.queue < t.capacity
+    in
+    if accepted then begin
+      Queue.push task t.queue;
+      Condition.signal t.not_empty
+    end;
+    Mutex.unlock t.mutex;
+    accepted
+
+  let load t =
+    Mutex.lock t.mutex;
+    let l = Queue.length t.queue + t.running in
+    Mutex.unlock t.mutex;
+    l
+
+  let shutdown ?(drain = true) t =
+    Mutex.lock t.mutex;
+    if drain then
+      while not (Queue.is_empty t.queue && t.running = 0) do
+        Condition.wait t.idle t.mutex
+      done
+    else Queue.clear t.queue;
+    t.stopping <- true;
+    Condition.broadcast t.not_empty;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+end

@@ -9,6 +9,15 @@
     for any [jobs], including [jobs = 1] which is bit-identical to
     [Explore.tune].
 
+    Exception: an operator with {e fewer mappings than jobs} would
+    leave domains idle, so [tune] switches to a population-split
+    fan-out — each surviving mapping's genetic search runs as
+    [jobs / survivors] shards with independent salted RNG streams and a
+    partitioned population budget.  That path is deterministic for a
+    fixed (seed, jobs) pair (pinned by a test), but a different [jobs]
+    changes the sharding and may legitimately surface a different
+    winner.
+
     Failure isolation: every work unit's outcome is captured as a
     [Result] inside its worker and retried once, so one raising mapping
     can neither kill a worker domain, leak unjoined domains (joins run
@@ -73,3 +82,36 @@ val tune_op :
   Operator.t ->
   Explore.result option
 (** Same contract as [Explore.tune_op]. *)
+
+(** Persistent bounded worker pool over OCaml 5 domains.
+
+    Long-lived worker domains pull thunks from a capacity-bounded
+    queue; unlike {!parallel_map_result} (spawn + join per call) the
+    pool amortises domain startup across a server's lifetime and gives
+    callers an admission-control primitive: {!Pool.try_submit} refuses
+    work instead of queueing without bound.  The plan-serving daemon
+    ([Amos_server.Server]) dispatches tuning onto one of these. *)
+module Pool : sig
+  type t
+
+  val create : workers:int -> capacity:int -> t
+  (** [workers] domains (min 1) and a queue bound of [capacity] pending
+      tasks (min 1; running tasks do not count against it). *)
+
+  val try_submit : t -> (unit -> unit) -> bool
+  (** Enqueue a task, or return [false] when the queue is at capacity
+      or the pool is shutting down — the caller turns that into
+      back-pressure (the daemon's [Busy] reply).  Tasks own their error
+      handling: an escaping exception is swallowed (a raise would kill
+      a worker domain), so deliver results through the closure. *)
+
+  val load : t -> int
+  (** Queued plus currently running tasks — the congestion signal
+      reported by the daemon's [Stats]. *)
+
+  val shutdown : ?drain:bool -> t -> unit
+  (** Stop accepting work and join all workers.  [drain] (default
+      [true]) first waits for the queue and every running task to
+      finish; [drain:false] discards queued tasks (running ones still
+      complete).  Idempotent. *)
+end

@@ -47,6 +47,7 @@ type t = {
 }
 
 let dir t = t.dir
+let fs_handle t = t.fs
 let journal_path dir = Filename.concat dir "journal.txt"
 let lock_path dir = Filename.concat dir "lock"
 let entry_path dir fp = Filename.concat dir (fp ^ ".plan")
@@ -463,9 +464,11 @@ type fsck_report = {
   dropped : int;
   tmp_removed : int;
   torn_repaired : bool;
+  quarantine_reclaimed : int;
+  known_bad : int;
 }
 
-let fsck ?fs ~dir () =
+let fsck ?fs ?quarantine_ttl ~dir () =
   let fs = match fs with Some fs -> fs | None -> Fs_io.real () in
   if not (Fs_io.exists fs dir) then
     {
@@ -475,6 +478,8 @@ let fsck ?fs ~dir () =
       dropped = 0;
       tmp_removed = 0;
       torn_repaired = false;
+      quarantine_reclaimed = 0;
+      known_bad = 0;
     }
   else
     Fs_io.with_lock fs (lock_path dir) (fun () ->
@@ -483,7 +488,9 @@ let fsck ?fs ~dir () =
         let adopted = ref 0
         and quarantined = ref 0
         and dropped = ref 0
-        and tmp_removed = ref 0 in
+        and tmp_removed = ref 0
+        and reclaimed = ref 0 in
+        let now = Unix.gettimeofday () in
         List.iter
           (fun name ->
             let path = Filename.concat dir name in
@@ -492,6 +499,19 @@ let fsck ?fs ~dir () =
                  renamed into place, so the content is unreferenced *)
               (try Fs_io.remove fs path with Sys_error _ -> ());
               incr tmp_removed
+            end
+            else if Filename.check_suffix name ".plan.quarantined" then begin
+              (* TTL-based reclamation: quarantine preserves corrupt
+                 plan content for post-mortems, but not forever.  Only
+                 an explicit [quarantine_ttl] reclaims; the default
+                 keeps everything.  A failing remove (fault injection,
+                 permissions) leaves the file for the next fsck. *)
+              match quarantine_ttl with
+              | Some ttl when now -. Fs_io.mtime fs path > ttl -> (
+                  match Fs_io.remove fs path with
+                  | () -> incr reclaimed
+                  | exception (Sys_error _ | Fs_io.Injected _) -> ())
+              | Some _ | None -> ()
             end
             else if Filename.check_suffix name ".plan" then begin
               let fp = Filename.chop_suffix name ".plan" in
@@ -532,6 +552,8 @@ let fsck ?fs ~dir () =
           dropped = !dropped;
           tmp_removed = !tmp_removed;
           torn_repaired = torn;
+          quarantine_reclaimed = !reclaimed;
+          known_bad = List.length (Badlist.list ~fs ~dir ());
         })
 
 let describe_fsck r =
@@ -541,8 +563,11 @@ let describe_fsck r =
      quarantined      : %d\n\
      dropped adds     : %d\n\
      tmp files swept  : %d\n\
-     torn journal     : %s\n"
+     torn journal     : %s\n\
+     quarantine swept : %d\n\
+     known-bad marks  : %d\n"
     r.live r.adopted r.quarantined r.dropped r.tmp_removed
     (if r.torn_repaired then "repaired" else "no")
+    r.quarantine_reclaimed r.known_bad
 
 let fsck_clean r = r.quarantined = 0 && r.dropped = 0

@@ -67,6 +67,11 @@ val create : ?mem_capacity:int -> ?fs:Fs_io.t -> ?dir:string -> unit -> t
 
 val dir : t -> string option
 
+val fs_handle : t -> Fs_io.t
+(** The {!Fs_io} handle mediating this cache's disk traffic — exposed so
+    sibling persistence (e.g. {!Badlist} markers stored next to the
+    cache) rides the same fault-injection plan in tests. *)
+
 val lookup :
   t -> accel:Accelerator.t -> op:Operator.t -> budget:Fingerprint.budget ->
   value option
@@ -120,14 +125,23 @@ type fsck_report = {
   dropped : int;  (** journal adds whose entry file is gone or corrupt *)
   tmp_removed : int;  (** abandoned temp files swept *)
   torn_repaired : bool;  (** the journal did not end in a newline *)
+  quarantine_reclaimed : int;
+      (** quarantine files older than the TTL that were removed *)
+  known_bad : int;  (** {!Badlist} markers next to the cache *)
 }
 
-val fsck : ?fs:Fs_io.t -> dir:string -> unit -> fsck_report
+val fsck :
+  ?fs:Fs_io.t -> ?quarantine_ttl:float -> dir:string -> unit -> fsck_report
 (** Replay the journal, validate every entry file's header against its
     fingerprint, adopt orphans, quarantine corruption, sweep abandoned
     temp files, and rewrite a compact journal — all under the directory
     lock.  Safe to run against a live directory (writers only append).
-    Never deletes plan content: corrupt files are renamed, not removed. *)
+    Never deletes plan content: corrupt files are renamed, not removed —
+    except that passing [quarantine_ttl] (seconds; omitted = keep
+    forever) reclaims quarantine files whose mtime is older than the
+    TTL.  The report also counts the {!Badlist} known-bad markers living
+    next to the cache (informational: they never affect
+    {!fsck_clean}). *)
 
 val fsck_clean : fsck_report -> bool
 (** No quarantined entries and no dropped journal lines. *)

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Plan-serving daemon smoke test.
+#
+# Starts `amos_cli serve` on a Unix-domain socket, then drives it with
+# concurrent clients: two identical tune requests must share a single
+# exploration (single-flight, proven via `client stats`), a lookup of
+# the tuned operator must hit, a lookup of an untuned budget must exit
+# with the miss status, and `client shutdown` must drain and release
+# the socket.  Any failure exits non-zero.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+dune build bin/amos_cli.exe
+CLI=_build/default/bin/amos_cli.exe
+
+DIR="$(mktemp -d "${TMPDIR:-/tmp}/amos-daemon.XXXXXX")"
+SOCK="$DIR/amosd.sock"
+CACHE="$DIR/cache"
+daemon_pid=""
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+OP="$DIR/conv.dsl"
+cat > "$OP" <<'EOF'
+for {n:4, k:32, p:16, q:16} for {c:16r, r:3r, s:3r}: out[n,k,p,q] += a[n,c,p+r,q+s] * b[k,c,r,s]
+EOF
+
+"$CLI" serve --socket "$SOCK" --cache-dir "$CACHE" --workers 2 \
+  > "$DIR/serve.log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 50); do
+  if "$CLI" client health --socket "$SOCK" > /dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "FAIL: daemon exited during startup"
+    sed 's/^/  serve| /' "$DIR/serve.log"
+    exit 1
+  fi
+  sleep 0.1
+done
+"$CLI" client health --socket "$SOCK" > /dev/null
+
+# two identical tunes in parallel: the daemon must run one exploration
+# and serve both clients from it
+"$CLI" client tune --socket "$SOCK" --accel v100 --dsl "$OP" --seed 7 \
+  > "$DIR/a.log" 2>&1 &
+pid_a=$!
+"$CLI" client tune --socket "$SOCK" --accel v100 --dsl "$OP" --seed 7 \
+  > "$DIR/b.log" 2>&1 &
+pid_b=$!
+
+fail=0
+wait "$pid_a" || { echo "FAIL: tune client A exited non-zero"; fail=1; }
+wait "$pid_b" || { echo "FAIL: tune client B exited non-zero"; fail=1; }
+if [ "$fail" -ne 0 ]; then
+  sed 's/^/  A| /' "$DIR/a.log"
+  sed 's/^/  B| /' "$DIR/b.log"
+  exit 1
+fi
+
+fp_a=$(awk '/^fingerprint/ { print $2 }' "$DIR/a.log")
+fp_b=$(awk '/^fingerprint/ { print $2 }' "$DIR/b.log")
+if [ -z "$fp_a" ] || [ "$fp_a" != "$fp_b" ]; then
+  echo "FAIL: clients got different fingerprints ('$fp_a' vs '$fp_b')"
+  exit 1
+fi
+
+"$CLI" client stats --socket "$SOCK" | tee "$DIR/stats.log"
+tunes=$(awk '/^tunes/ { print $2 }' "$DIR/stats.log")
+if [ "$tunes" -ne 1 ]; then
+  echo "FAIL: two identical tune requests ran $tunes explorations (want 1)"
+  exit 1
+fi
+deduped=$(awk '/^deduped/ { print $2 }' "$DIR/stats.log")
+hot=$(awk '/^hot hits/ { print $3 }' "$DIR/stats.log")
+if [ "$((deduped + hot))" -lt 1 ]; then
+  echo "FAIL: the second client was neither deduped nor served hot"
+  exit 1
+fi
+
+# the tuned operator must now be servable without tuning
+"$CLI" client lookup --socket "$SOCK" --accel v100 --dsl "$OP" --seed 7 \
+  > "$DIR/lookup.log" 2>&1 \
+  || { echo "FAIL: lookup of the tuned operator missed"; exit 1; }
+
+# a budget nobody tuned must report a miss (exit 2), not hang or error
+if "$CLI" client lookup --socket "$SOCK" --accel v100 --dsl "$OP" --seed 9999 \
+  > /dev/null 2>&1; then
+  echo "FAIL: lookup of an untuned budget claimed a hit"
+  exit 1
+elif [ $? -ne 2 ]; then
+  echo "FAIL: untuned lookup exited with the wrong status"
+  exit 1
+fi
+
+"$CLI" client shutdown --socket "$SOCK" | grep -q "drained" \
+  || { echo "FAIL: shutdown did not report a drain"; exit 1; }
+wait "$daemon_pid" \
+  || { echo "FAIL: daemon exited non-zero after shutdown"; exit 1; }
+daemon_pid=""
+if [ -e "$SOCK" ]; then
+  echo "FAIL: daemon left its socket behind"
+  exit 1
+fi
+
+echo "daemon smoke test: OK (single-flight tunes, warm lookup, clean drain)"

@@ -16,6 +16,7 @@ module Fingerprint = Amos_service.Fingerprint
 module Plan_cache = Amos_service.Plan_cache
 module Par_tune = Amos_service.Par_tune
 module Batch_compile = Amos_service.Batch_compile
+module Badlist = Amos_service.Badlist
 
 let toy_accel () =
   let base = Accelerator.v100 () in
@@ -472,10 +473,164 @@ let degradation_tests =
           (Plan_cache.fsck_clean fsck));
   ]
 
+(* --- persistent known-bad markers -------------------------------------- *)
+
+let known_bad_tests =
+  [
+    Alcotest.test_case "marker-persists-and-short-circuits-retune" `Quick
+      (fun () ->
+        let accel = toy_accel () in
+        let op = an_op () in
+        let dir = temp_dir "amos-known-bad" in
+        let broken = { small_budget with Fingerprint.measure_top = 0 } in
+        (* cold run 1: tuning fails, the stage degrades, and a marker is
+           persisted next to the cache *)
+        let cache1 = Plan_cache.create ~dir () in
+        let v1, s1 =
+          Batch_compile.tune_op ~jobs:1 ~budget:broken ~cache:cache1 accel op
+        in
+        Alcotest.(check bool) "first cold run degrades" true
+          (s1 = Batch_compile.Degraded);
+        Alcotest.(check bool) "degraded serves scalar" true
+          (v1 = Plan_cache.Scalar);
+        Alcotest.(check int) "one marker on disk" 1
+          (List.length (Badlist.list ~dir ()));
+        (* fsck reports the marker without going unclean *)
+        let r = Plan_cache.fsck ~dir () in
+        Alcotest.(check int) "fsck counts the marker" 1 r.Plan_cache.known_bad;
+        Alcotest.(check bool) "markers never dirty fsck" true
+          (Plan_cache.fsck_clean r);
+        (* cold run 2 (fresh handle, fresh memo): the marker is honoured —
+           scalar served, no tuning attempt re-paid *)
+        let cache2 = Plan_cache.create ~dir () in
+        let v2, s2 =
+          Batch_compile.tune_op ~jobs:1 ~budget:broken ~cache:cache2 accel op
+        in
+        Alcotest.(check bool) "second cold run short-circuits" true
+          (s2 = Batch_compile.Known_bad);
+        Alcotest.(check bool) "still scalar" true (v2 = Plan_cache.Scalar);
+        (* clearing the markers re-enables tuning attempts *)
+        Alcotest.(check int) "clear reports the marker" 1
+          (Badlist.clear ~dir ());
+        let cache3 = Plan_cache.create ~dir () in
+        let _, s3 =
+          Batch_compile.tune_op ~jobs:1 ~budget:broken ~cache:cache3 accel op
+        in
+        Alcotest.(check bool) "after clear, tuning is re-attempted" true
+          (s3 = Batch_compile.Degraded));
+    Alcotest.test_case "marker-write-failure-is-survivable" `Quick (fun () ->
+        let accel = toy_accel () in
+        let op = an_op () in
+        let dir = temp_dir "amos-known-bad-fault" in
+        let broken = { small_budget with Fingerprint.measure_top = 0 } in
+        (* every append fails: the marker write is injected away, but the
+           compile's own degradation handling must be untouched *)
+        let faults =
+          List.init 16 (fun i ->
+              { Fs_io.op = Fs_io.Append; after = i; mode = Fs_io.Fail "EIO" })
+        in
+        let cache = Plan_cache.create ~fs:(Fs_io.faulty faults) ~dir () in
+        let _, s1 =
+          Batch_compile.tune_op ~jobs:1 ~budget:broken ~cache accel op
+        in
+        Alcotest.(check bool) "run still degrades gracefully" true
+          (s1 = Batch_compile.Degraded);
+        Alcotest.(check int) "no marker survived the fault" 0
+          (List.length (Badlist.list ~dir ()));
+        (* without a marker the next cold run re-attempts (and re-fails)
+           tuning rather than trusting a phantom record *)
+        let cache2 = Plan_cache.create ~dir () in
+        let _, s2 =
+          Batch_compile.tune_op ~jobs:1 ~budget:broken ~cache:cache2 accel op
+        in
+        Alcotest.(check bool) "re-attempted, not Known_bad" true
+          (s2 = Batch_compile.Degraded));
+  ]
+
+(* --- quarantine TTL reclaim -------------------------------------------- *)
+
+(* store one entry, then corrupt its file so fsck quarantines it; returns
+   the quarantine file's path *)
+let quarantined_entry dir =
+  let accel = toy_accel () in
+  let op = an_op () in
+  let cache = Plan_cache.create ~dir () in
+  Plan_cache.store cache ~accel ~op ~budget:small_budget
+    (tune_value accel op);
+  let entry =
+    match
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".plan")
+    with
+    | [ f ] -> Filename.concat dir f
+    | _ -> Alcotest.fail "expected exactly one entry file"
+  in
+  let oc = open_out entry in
+  output_string oc "garbage: not a plan header\n";
+  close_out oc;
+  let r = Plan_cache.fsck ~dir () in
+  Alcotest.(check int) "corruption quarantined" 1 r.Plan_cache.quarantined;
+  match
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".plan.quarantined")
+  with
+  | [ f ] -> Filename.concat dir f
+  | _ -> Alcotest.fail "expected exactly one quarantine file"
+
+let quarantine_ttl_tests =
+  [
+    Alcotest.test_case "ttl-reclaims-only-aged-files" `Quick (fun () ->
+        let dir = temp_dir "amos-qttl" in
+        let q = quarantined_entry dir in
+        (* a young quarantine file survives a TTL fsck *)
+        let r1 = Plan_cache.fsck ~quarantine_ttl:3600. ~dir () in
+        Alcotest.(check int) "young file kept" 0
+          r1.Plan_cache.quarantine_reclaimed;
+        Alcotest.(check bool) "still on disk" true (Sys.file_exists q);
+        (* age the file past any plausible TTL *)
+        Unix.utimes q 1000. 1000.;
+        (* without a TTL, fsck keeps quarantine forever (the default) *)
+        let r2 = Plan_cache.fsck ~dir () in
+        Alcotest.(check int) "no ttl, no reclaim" 0
+          r2.Plan_cache.quarantine_reclaimed;
+        Alcotest.(check bool) "kept without ttl" true (Sys.file_exists q);
+        (* with a TTL, the aged file is reclaimed *)
+        let r3 = Plan_cache.fsck ~quarantine_ttl:3600. ~dir () in
+        Alcotest.(check int) "aged file reclaimed" 1
+          r3.Plan_cache.quarantine_reclaimed;
+        Alcotest.(check bool) "gone" false (Sys.file_exists q);
+        Alcotest.(check bool) "directory clean afterwards" true
+          (Plan_cache.fsck_clean (Plan_cache.fsck ~dir ())));
+    Alcotest.test_case "ttl-reclaim-survives-remove-fault" `Quick (fun () ->
+        let dir = temp_dir "amos-qttl-fault" in
+        let q = quarantined_entry dir in
+        Unix.utimes q 1000. 1000.;
+        (* the reclaim's unlink fails: fsck must survive, not count the
+           file as reclaimed, and leave it for the next run *)
+        let fs =
+          Fs_io.faulty
+            [ { Fs_io.op = Fs_io.Remove; after = 0; mode = Fs_io.Fail "EIO" } ]
+        in
+        let r = Plan_cache.fsck ~fs ~quarantine_ttl:3600. ~dir () in
+        Alcotest.(check int) "failed remove not counted" 0
+          r.Plan_cache.quarantine_reclaimed;
+        Alcotest.(check bool) "file left for the next fsck" true
+          (Sys.file_exists q);
+        Alcotest.(check bool) "fsck itself completes clean" true
+          (Plan_cache.fsck_clean r);
+        (* a healthy retry reclaims it *)
+        let r2 = Plan_cache.fsck ~quarantine_ttl:3600. ~dir () in
+        Alcotest.(check int) "healthy retry reclaims" 1
+          r2.Plan_cache.quarantine_reclaimed;
+        Alcotest.(check bool) "reclaimed on retry" false (Sys.file_exists q));
+  ]
+
 let suites =
   [
     ("service.faults", fault_point_tests);
     ("service.journal", journal_tests);
     ("service.multiprocess", multiprocess_tests);
     ("service.degradation", degradation_tests);
+    ("service.known_bad", known_bad_tests);
+    ("service.quarantine_ttl", quarantine_ttl_tests);
   ]

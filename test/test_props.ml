@@ -306,6 +306,163 @@ let prop_migration =
               in
               r.Explore.best.Explore.measured <= seed_best +. 1e-12)
 
+(* --- wire protocol ---------------------------------------------------- *)
+
+module Protocol = Amos_server.Protocol
+module Fingerprint = Amos_service.Fingerprint
+
+(* strings over the full byte range 0..255: the codec escapes control
+   characters and passes high bytes through, so every byte string must
+   survive a wire round trip exactly *)
+let gen_wire_string : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 0 24 >>= fun n ->
+  list_repeat n (int_range 0 255) >>= fun bytes ->
+  return (String.init n (fun i -> Char.chr (List.nth bytes i)))
+
+let gen_budget : Fingerprint.budget QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 1 512 >>= fun population ->
+  int_range 0 64 >>= fun generations ->
+  int_range 0 16 >>= fun measure_top ->
+  int_range 0 (1 lsl 30) >>= fun seed ->
+  return { Fingerprint.population; generations; measure_top; seed }
+
+let gen_op_spec : Protocol.op_spec QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 0 2 >>= fun which ->
+  match which with
+  | 0 -> gen_wire_string >>= fun s -> return (Protocol.Layer s)
+  | 1 ->
+      gen_wire_string >>= fun kind ->
+      int_range 1 64 >>= fun batch ->
+      int_range 0 8 >>= fun index ->
+      return (Protocol.Kind { kind; batch; index })
+  | _ -> gen_wire_string >>= fun s -> return (Protocol.Dsl_text s)
+
+let gen_request : Protocol.request QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 0 6 >>= fun which ->
+  match which with
+  | 0 -> return Protocol.Health
+  | 1 -> return Protocol.Stats
+  | 2 -> return Protocol.Shutdown
+  | 3 ->
+      gen_wire_string >>= fun accel ->
+      gen_op_spec >>= fun op ->
+      gen_budget >>= fun budget ->
+      return (Protocol.Lookup { accel; op; budget })
+  | 4 ->
+      gen_wire_string >>= fun accel ->
+      gen_op_spec >>= fun op ->
+      gen_budget >>= fun budget ->
+      return (Protocol.Tune { accel; op; budget })
+  | 5 ->
+      gen_wire_string >>= fun accel ->
+      gen_op_spec >>= fun op ->
+      gen_budget >>= fun budget ->
+      return (Protocol.Migrate_tune { accel; op; budget })
+  | _ ->
+      gen_wire_string >>= fun accel ->
+      gen_wire_string >>= fun network ->
+      int_range 1 64 >>= fun batch ->
+      gen_budget >>= fun budget ->
+      int_range 1 16 >>= fun jobs ->
+      return (Protocol.Compile { accel; network; batch; budget; jobs })
+
+(* finite floats only: non-finite values are unrepresentable in JSON and
+   the writer maps them to null by design *)
+let gen_finite_float : float QCheck.Gen.t =
+  QCheck.Gen.float_range (-1e9) 1e9
+
+let gen_response : Protocol.response QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 0 6 >>= fun which ->
+  match which with
+  | 0 -> gen_wire_string >>= fun s -> return (Protocol.Ok_r s)
+  | 1 ->
+      gen_wire_string >>= fun fingerprint ->
+      bool >>= fun scalar ->
+      (if scalar then return Protocol.Wire_scalar
+       else gen_wire_string >>= fun t -> return (Protocol.Wire_spatial t))
+      >>= fun plan ->
+      gen_wire_string >>= fun source ->
+      int_range 0 10_000 >>= fun evaluations ->
+      gen_finite_float >>= fun tuning_seconds ->
+      return
+        (Protocol.Plan_r
+           { Protocol.fingerprint; plan; source; evaluations; tuning_seconds })
+  | 2 -> return Protocol.Not_found_r
+  | 3 ->
+      gen_finite_float >>= fun uptime_s ->
+      int_range 0 1000 >>= fun requests ->
+      int_range 0 1000 >>= fun tunes ->
+      int_range 0 1000 >>= fun deduped ->
+      int_range 0 1000 >>= fun hot_hits ->
+      int_range 0 1000 >>= fun cache_hits ->
+      int_range 0 1000 >>= fun busy_rejections ->
+      int_range 0 64 >>= fun in_flight ->
+      int_range 0 64 >>= fun queue_load ->
+      return
+        (Protocol.Stats_r
+           {
+             Protocol.uptime_s;
+             requests;
+             tunes;
+             deduped;
+             hot_hits;
+             cache_hits;
+             busy_rejections;
+             in_flight;
+             queue_load;
+           })
+  | 4 ->
+      gen_wire_string >>= fun network ->
+      int_range 0 100 >>= fun total_ops ->
+      int_range 0 100 >>= fun mapped_ops ->
+      gen_finite_float >>= fun network_seconds ->
+      int_range 0 100 >>= fun stages ->
+      int_range 0 100 >>= fun comp_cache_hits ->
+      int_range 0 100 >>= fun comp_tuned ->
+      return
+        (Protocol.Compiled_r
+           {
+             Protocol.network;
+             total_ops;
+             mapped_ops;
+             network_seconds;
+             stages;
+             comp_cache_hits;
+             comp_tuned;
+           })
+  | 5 ->
+      gen_finite_float >>= fun retry_after_s ->
+      return (Protocol.Busy_r { retry_after_s = Float.abs retry_after_s })
+  | _ -> gen_wire_string >>= fun s -> return (Protocol.Error_r s)
+
+let arb_request =
+  QCheck.make
+    ~print:(fun r -> String.escaped (Protocol.encode_request r))
+    gen_request
+
+let arb_response =
+  QCheck.make
+    ~print:(fun r -> String.escaped (Protocol.encode_response r))
+    gen_response
+
+(* the decoder is an exact left inverse of the encoder, for every request
+   and response — including byte strings full of control characters and
+   high bytes, and floats needing a shortest round-trip representation *)
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:cases ~name:"request decode . encode = id"
+    arb_request (fun r ->
+      Protocol.decode_request (Protocol.encode_request r) = Ok r)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:cases ~name:"response decode . encode = id"
+    arb_response (fun r ->
+      Protocol.decode_response (Protocol.encode_response r) = Ok r)
+
 let suites =
   [
     ( "props.algorithm1",
@@ -313,4 +470,7 @@ let suites =
         [ prop_validate_agrees; prop_bitflip_rejected; prop_generator_valid ]
     );
     ("props.migration", [ to_alcotest prop_migration ]);
+    ( "props.protocol",
+      List.map to_alcotest [ prop_request_roundtrip; prop_response_roundtrip ]
+    );
   ]

@@ -1,0 +1,612 @@
+(* The plan-serving daemon: pinned protocol-codec cases, framing edge
+   cases, the single-flight and pool primitives, and the daemon's
+   concurrency contracts — single-flight deduplication, admission
+   control, graceful drain — exercised against an in-process server
+   with an injected (gated, counting) tuner so scheduling is
+   deterministic and no test pays for real tuning unless it means to. *)
+
+open Amos
+module Fingerprint = Amos_service.Fingerprint
+module Plan_cache = Amos_service.Plan_cache
+module Par_tune = Amos_service.Par_tune
+module Json = Amos_server.Json
+module Protocol = Amos_server.Protocol
+module Single_flight = Amos_server.Single_flight
+module Server = Amos_server.Server
+module Client = Amos_server.Client
+
+let small_budget =
+  { Fingerprint.population = 2; generations = 1; measure_top = 1; seed = 7 }
+
+let temp_name prefix =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+
+let wait_for ?(timeout = 10.) msg pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      Alcotest.fail ("timed out waiting for " ^ msg)
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* --- protocol codec ------------------------------------------------- *)
+
+let a_budget =
+  { Fingerprint.population = 16; generations = 8; measure_top = 3; seed = 2022 }
+
+let sample_requests =
+  [
+    Protocol.Health;
+    Protocol.Stats;
+    Protocol.Shutdown;
+    Protocol.Lookup
+      { accel = "toy"; op = Protocol.Layer "C5"; budget = a_budget };
+    Protocol.Tune
+      {
+        accel = "a100";
+        op = Protocol.Kind { kind = "GMM"; batch = 16; index = 2 };
+        budget = a_budget;
+      };
+    Protocol.Migrate_tune
+      {
+        accel = "ascend";
+        op =
+          Protocol.Dsl_text
+            "for {i:4, j:4} for {r:4r}: out[i,j] += a[i,r] * b[r,j]";
+        budget = a_budget;
+      };
+    Protocol.Compile
+      {
+        accel = "v100";
+        network = "resnet18";
+        batch = 1;
+        budget = a_budget;
+        jobs = 4;
+      };
+  ]
+
+let sample_responses =
+  [
+    Protocol.Ok_r "amosd protocol v1";
+    Protocol.Plan_r
+      {
+        Protocol.fingerprint = "0123456789abcdef0123456789abcdef";
+        plan = Protocol.Wire_scalar;
+        source = "cache";
+        evaluations = 0;
+        tuning_seconds = 0.;
+      };
+    Protocol.Plan_r
+      {
+        Protocol.fingerprint = "feedfacefeedfacefeedfacefeedface";
+        plan = Protocol.Wire_spatial "intrinsic toy\nassign i=i1\nstage 2\n";
+        source = "tuned";
+        evaluations = 37;
+        tuning_seconds = 1.25;
+      };
+    Protocol.Not_found_r;
+    Protocol.Stats_r
+      {
+        Protocol.uptime_s = 12.5;
+        requests = 9;
+        tunes = 2;
+        deduped = 3;
+        hot_hits = 1;
+        cache_hits = 2;
+        busy_rejections = 1;
+        in_flight = 1;
+        queue_load = 2;
+      };
+    Protocol.Compiled_r
+      {
+        Protocol.network = "resnet18";
+        total_ops = 29;
+        mapped_ops = 27;
+        network_seconds = 0.004;
+        stages = 12;
+        comp_cache_hits = 10;
+        comp_tuned = 2;
+      };
+    Protocol.Busy_r { retry_after_s = 0.25 };
+    Protocol.Error_r "unknown accelerator warp9";
+  ]
+
+let codec_tests =
+  [
+    Alcotest.test_case "every-request-round-trips" `Quick (fun () ->
+        List.iter
+          (fun r ->
+            match Protocol.decode_request (Protocol.encode_request r) with
+            | Ok r' ->
+                Alcotest.(check bool) "request round-trips" true (r = r')
+            | Error msg -> Alcotest.fail msg)
+          sample_requests);
+    Alcotest.test_case "every-response-round-trips" `Quick (fun () ->
+        List.iter
+          (fun r ->
+            match Protocol.decode_response (Protocol.encode_response r) with
+            | Ok r' ->
+                Alcotest.(check bool) "response round-trips" true (r = r')
+            | Error msg -> Alcotest.fail msg)
+          sample_responses);
+    Alcotest.test_case "unknown-version-rejected" `Quick (fun () ->
+        List.iter
+          (fun payload ->
+            match Protocol.decode_request payload with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail ("accepted: " ^ payload))
+          [
+            {|{"v":2,"type":"health"}|};
+            {|{"v":0,"type":"health"}|};
+            {|{"type":"health"}|};
+            {|{"v":"1","type":"health"}|};
+          ]);
+    Alcotest.test_case "garbage-and-unknowns-rejected" `Quick (fun () ->
+        List.iter
+          (fun payload ->
+            (match Protocol.decode_request payload with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail ("request accepted: " ^ payload));
+            match Protocol.decode_response payload with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail ("response accepted: " ^ payload))
+          [
+            "";
+            "\x00\x01\x02binary";
+            "not json at all";
+            "[1,2,3]";
+            {|{"v":1,"type":"frobnicate"}|};
+            {|{"v":1,"type":"tune","accel":"toy"}|};
+            {|{"v":1}|};
+          ]);
+    Alcotest.test_case "json-floats-stay-floats" `Quick (fun () ->
+        (* the codec must not collapse 2.0 into 2: budgets are ints,
+           latencies are floats, and a round trip may not blur them *)
+        List.iter
+          (fun (text, v) ->
+            match Json.of_string text with
+            | Ok v' -> Alcotest.(check bool) text true (v = v')
+            | Error msg -> Alcotest.fail msg)
+          [
+            ("2", Json.Int 2);
+            ("2.0", Json.Float 2.);
+            ("-0.5", Json.Float (-0.5));
+            ("1e3", Json.Float 1000.);
+            ({|"a\nbA"|}, Json.String "a\nbA");
+          ];
+        match Json.of_string (Json.to_string (Json.Float 2.)) with
+        | Ok (Json.Float f) -> Alcotest.(check (float 0.)) "2.0" 2. f
+        | _ -> Alcotest.fail "Float 2. must re-parse as Float");
+  ]
+
+(* --- framing --------------------------------------------------------- *)
+
+let with_pipe f =
+  let r, w = Unix.pipe ~cloexec:true () in
+  let closed = ref [] in
+  let close fd =
+    if not (List.memq fd !closed) then begin
+      closed := fd :: !closed;
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      close r;
+      close w)
+    (fun () -> f r w close)
+
+let write_raw fd s =
+  ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s))
+
+let framing_tests =
+  [
+    Alcotest.test_case "frame-round-trips" `Quick (fun () ->
+        with_pipe (fun r w _ ->
+            List.iter
+              (fun payload ->
+                Protocol.write_frame w payload;
+                match Protocol.read_frame r with
+                | Ok p -> Alcotest.(check string) "payload" payload p
+                | Error `Eof -> Alcotest.fail "eof"
+                | Error (`Bad m) -> Alcotest.fail m)
+              [ "hello"; ""; String.make 4096 'x'; "{\"v\":1}" ]));
+    Alcotest.test_case "clean-eof-detected" `Quick (fun () ->
+        with_pipe (fun r w close ->
+            close w;
+            match Protocol.read_frame r with
+            | Error `Eof -> ()
+            | Ok _ | Error (`Bad _) -> Alcotest.fail "expected Eof"));
+    Alcotest.test_case "truncated-payload-rejected" `Quick (fun () ->
+        with_pipe (fun r w close ->
+            write_raw w "32\nonly-a-few-bytes";
+            close w;
+            match Protocol.read_frame r with
+            | Error (`Bad _) -> ()
+            | Ok _ | Error `Eof -> Alcotest.fail "expected Bad"));
+    Alcotest.test_case "truncated-header-rejected" `Quick (fun () ->
+        with_pipe (fun r w close ->
+            write_raw w "123";
+            close w;
+            match Protocol.read_frame r with
+            | Error (`Bad _) -> ()
+            | Ok _ | Error `Eof -> Alcotest.fail "expected Bad"));
+    Alcotest.test_case "oversized-frame-rejected-before-read" `Quick
+      (fun () ->
+        with_pipe (fun r w _ ->
+            (* 99,999,999 > 4 MiB: rejected on the header alone — the
+               payload is never buffered (and is not even present) *)
+            write_raw w "99999999\n";
+            match Protocol.read_frame r with
+            | Error (`Bad msg) ->
+                Alcotest.(check bool) "mentions the limit" true
+                  (String.length msg > 0)
+            | Ok _ | Error `Eof -> Alcotest.fail "expected Bad"));
+    Alcotest.test_case "absurd-header-rejected" `Quick (fun () ->
+        with_pipe (fun r w _ ->
+            write_raw w "123456789123\n";
+            match Protocol.read_frame r with
+            | Error (`Bad _) -> ()
+            | Ok _ | Error `Eof -> Alcotest.fail "expected Bad"));
+    Alcotest.test_case "garbage-header-rejected" `Quick (fun () ->
+        with_pipe (fun r w _ ->
+            write_raw w "xx\n";
+            match Protocol.read_frame r with
+            | Error (`Bad _) -> ()
+            | Ok _ | Error `Eof -> Alcotest.fail "expected Bad"));
+    Alcotest.test_case "missing-terminator-rejected" `Quick (fun () ->
+        with_pipe (fun r w _ ->
+            write_raw w "3\nabcX";
+            match Protocol.read_frame r with
+            | Error (`Bad _) -> ()
+            | Ok _ | Error `Eof -> Alcotest.fail "expected Bad"));
+    Alcotest.test_case "oversized-write-refused" `Quick (fun () ->
+        with_pipe (fun _ w _ ->
+            match
+              Protocol.write_frame w
+                (String.make (Protocol.max_frame_bytes + 1) 'x')
+            with
+            | () -> Alcotest.fail "must refuse oversized payloads"
+            | exception Invalid_argument _ -> ()));
+  ]
+
+(* --- single-flight and pool primitives ------------------------------- *)
+
+let primitive_tests =
+  [
+    Alcotest.test_case "single-flight-leader-then-joiners" `Quick (fun () ->
+        let sf = Single_flight.create () in
+        let lead =
+          match Single_flight.acquire sf "k" with
+          | `Lead f -> f
+          | `Join _ -> Alcotest.fail "first acquire must lead"
+        in
+        let join =
+          match Single_flight.acquire sf "k" with
+          | `Join f -> f
+          | `Lead _ -> Alcotest.fail "second acquire must join"
+        in
+        Alcotest.(check int) "one in flight" 1 (Single_flight.in_flight sf);
+        Single_flight.complete sf lead 42;
+        Alcotest.(check int) "leader's value" 42 (Single_flight.wait sf lead);
+        Alcotest.(check int) "joiner's value" 42 (Single_flight.wait sf join);
+        Alcotest.(check int) "retired" 0 (Single_flight.in_flight sf);
+        (match Single_flight.acquire sf "k" with
+        | `Lead f -> Single_flight.complete sf f 7
+        | `Join _ -> Alcotest.fail "completed key must start fresh");
+        (* double-complete is a no-op, not a corruption *)
+        Single_flight.complete sf lead 99;
+        Alcotest.(check int) "first completion wins" 42
+          (Single_flight.wait sf lead));
+    Alcotest.test_case "pool-bounded-admission-and-drain" `Quick (fun () ->
+        let pool = Par_tune.Pool.create ~workers:1 ~capacity:1 in
+        let gate = Semaphore.Counting.make 0 in
+        let started = Atomic.make 0 in
+        let finished = Atomic.make 0 in
+        let task () =
+          Atomic.incr started;
+          Semaphore.Counting.acquire gate;
+          Atomic.incr finished
+        in
+        Alcotest.(check bool) "first task admitted" true
+          (Par_tune.Pool.try_submit pool task);
+        (* wait until the worker holds task 1, so the queue is empty *)
+        wait_for "worker to pick up task 1" (fun () -> Atomic.get started = 1);
+        Alcotest.(check bool) "second task queues" true
+          (Par_tune.Pool.try_submit pool task);
+        Alcotest.(check bool) "third task refused (queue full)" false
+          (Par_tune.Pool.try_submit pool task);
+        Alcotest.(check int) "load counts queued + running" 2
+          (Par_tune.Pool.load pool);
+        Semaphore.Counting.release gate;
+        Semaphore.Counting.release gate;
+        (* drain waits for both admitted tasks, then joins workers *)
+        Par_tune.Pool.shutdown ~drain:true pool;
+        Alcotest.(check int) "both admitted tasks ran" 2 (Atomic.get finished);
+        Alcotest.(check bool) "after shutdown nothing is admitted" false
+          (Par_tune.Pool.try_submit pool task));
+  ]
+
+(* --- in-process daemon ------------------------------------------------ *)
+
+let gemm_text = "for {i:4, j:4} for {r:4r}: out[i,j] += a[i,r] * b[r,j]"
+let gemm2_text = "for {i:8, j:2} for {r:4r}: out[i,j] += a[i,r] * b[r,j]"
+let gemm3_text = "for {i:2, j:8} for {r:4r}: out[i,j] += a[i,r] * b[r,j]"
+
+let tune_req text =
+  Protocol.Tune
+    { accel = "toy"; op = Protocol.Dsl_text text; budget = small_budget }
+
+(* a tuner whose every invocation parks on a semaphore: the test decides
+   when tuning "finishes", making coalescing windows deterministic *)
+let gated_tuner () =
+  let gate = Semaphore.Counting.make 0 in
+  let calls = Atomic.make 0 in
+  let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+    Atomic.incr calls;
+    Semaphore.Counting.acquire gate;
+    { Server.value = Plan_cache.Scalar; evaluations = 1 }
+  in
+  (tuner, gate, calls)
+
+let start_server ?tuner ?(workers = 1) ?(queue = 4) ?cache_dir () =
+  let socket_path = temp_name "amosd" ^ ".sock" in
+  let server =
+    Server.create ?tuner
+      {
+        Server.socket_path;
+        cache_dir;
+        workers;
+        queue_capacity = queue;
+        jobs = 1;
+        hot_capacity = 16;
+      }
+  in
+  let thread = Thread.create Server.serve server in
+  (server, thread, socket_path)
+
+let request_in_thread socket req =
+  let result = ref (Error "never ran") in
+  let thread =
+    Thread.create
+      (fun () ->
+        result :=
+          Client.with_conn ~attempts:50 socket (fun c -> Client.request c req))
+      ()
+  in
+  (thread, result)
+
+let plan_of result name =
+  match !result with
+  | Ok (Protocol.Plan_r r) -> r
+  | Ok _ -> Alcotest.fail (name ^ ": expected Plan_r")
+  | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+
+let daemon_tests =
+  [
+    Alcotest.test_case "identical-tunes-single-flight" `Quick (fun () ->
+        let tuner, gate, calls = gated_tuner () in
+        let server, thread, socket = start_server ~tuner () in
+        (* client A leads: wait until its tune is actually in flight *)
+        let ta, ra = request_in_thread socket (tune_req gemm_text) in
+        wait_for "leader in flight" (fun () ->
+            (Server.stats server).Protocol.in_flight = 1);
+        (* client B asks for the identical tune: must coalesce, not queue *)
+        let tb, rb = request_in_thread socket (tune_req gemm_text) in
+        wait_for "joiner deduped" (fun () ->
+            (Server.stats server).Protocol.deduped = 1);
+        (* exactly one exploration releases both clients *)
+        Semaphore.Counting.release gate;
+        Thread.join ta;
+        Thread.join tb;
+        let a = plan_of ra "client A" and b = plan_of rb "client B" in
+        Alcotest.(check int) "tuner invoked exactly once" 1 (Atomic.get calls);
+        Alcotest.(check string) "same fingerprint" a.Protocol.fingerprint
+          b.Protocol.fingerprint;
+        let sources =
+          List.sort compare [ a.Protocol.source; b.Protocol.source ]
+        in
+        Alcotest.(check (list string)) "one tuned, one deduped"
+          [ "deduped"; "tuned" ] sources;
+        let s = Server.stats server in
+        Alcotest.(check int) "stats: one tune" 1 s.Protocol.tunes;
+        Alcotest.(check int) "stats: one dedup" 1 s.Protocol.deduped;
+        Server.stop server;
+        Thread.join thread);
+    Alcotest.test_case "overload-yields-busy-not-hang" `Quick (fun () ->
+        let tuner, gate, calls = gated_tuner () in
+        let server, thread, socket =
+          start_server ~tuner ~workers:1 ~queue:1 ()
+        in
+        (* A occupies the only worker ... *)
+        let ta, ra = request_in_thread socket (tune_req gemm_text) in
+        wait_for "worker busy" (fun () -> Atomic.get calls = 1);
+        (* ... B fills the only queue slot ... *)
+        let tb, rb = request_in_thread socket (tune_req gemm2_text) in
+        wait_for "queue full" (fun () ->
+            (Server.stats server).Protocol.in_flight = 2);
+        (* ... so C must be refused with a typed Busy, immediately *)
+        let rc =
+          Client.with_conn ~attempts:50 socket (fun c ->
+              Client.request c (tune_req gemm3_text))
+        in
+        (match rc with
+        | Ok (Protocol.Busy_r { retry_after_s }) ->
+            Alcotest.(check bool) "positive retry hint" true
+              (retry_after_s > 0.)
+        | Ok _ -> Alcotest.fail "expected Busy_r"
+        | Error msg -> Alcotest.fail msg);
+        Alcotest.(check int) "stats: one rejection" 1
+          (Server.stats server).Protocol.busy_rejections;
+        (* the admitted work still completes normally *)
+        Semaphore.Counting.release gate;
+        Semaphore.Counting.release gate;
+        Thread.join ta;
+        Thread.join tb;
+        ignore (plan_of ra "client A");
+        ignore (plan_of rb "client B");
+        Alcotest.(check int) "only admitted tunes ran" 2 (Atomic.get calls);
+        Server.stop server;
+        Thread.join thread);
+    Alcotest.test_case "shutdown-drains-in-flight-work" `Quick (fun () ->
+        let tuner, gate, calls = gated_tuner () in
+        let _server, thread, socket = start_server ~tuner () in
+        let ta, ra = request_in_thread socket (tune_req gemm_text) in
+        wait_for "tune in flight" (fun () -> Atomic.get calls = 1);
+        (* shutdown arrives while A's tune is running *)
+        let ts, rs = request_in_thread socket Protocol.Shutdown in
+        Thread.delay 0.1;
+        (* A's tune is still parked: shutdown must be draining, not done *)
+        Alcotest.(check bool) "shutdown waits for the drain" true
+          (!rs = Error "never ran");
+        Semaphore.Counting.release gate;
+        Thread.join ts;
+        Thread.join ta;
+        (match !rs with
+        | Ok (Protocol.Ok_r _) -> ()
+        | Ok _ -> Alcotest.fail "expected Ok_r from shutdown"
+        | Error msg -> Alcotest.fail ("shutdown: " ^ msg));
+        (* the drained tune produced a real answer, not an error *)
+        ignore (plan_of ra "drained client");
+        Thread.join thread;
+        Alcotest.(check bool) "socket released" false (Sys.file_exists socket));
+    Alcotest.test_case "hot-and-cache-layers-serve-repeats" `Quick (fun () ->
+        let calls = Atomic.make 0 in
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+          Atomic.incr calls;
+          { Server.value = Plan_cache.Scalar; evaluations = 5 }
+        in
+        let server, thread, socket = start_server ~tuner () in
+        Client.with_conn ~attempts:50 socket (fun c ->
+            (match Client.request c (Protocol.Lookup
+                                       {
+                                         accel = "toy";
+                                         op = Protocol.Dsl_text gemm_text;
+                                         budget = small_budget;
+                                       })
+             with
+            | Ok Protocol.Not_found_r -> ()
+            | Ok _ -> Alcotest.fail "cold lookup must miss"
+            | Error msg -> Alcotest.fail msg);
+            (match Client.request c (tune_req gemm_text) with
+            | Ok (Protocol.Plan_r r) ->
+                Alcotest.(check string) "first is tuned" "tuned"
+                  r.Protocol.source
+            | Ok _ -> Alcotest.fail "expected Plan_r"
+            | Error msg -> Alcotest.fail msg);
+            (match Client.request c (tune_req gemm_text) with
+            | Ok (Protocol.Plan_r r) ->
+                Alcotest.(check string) "repeat is hot" "hot"
+                  r.Protocol.source;
+                Alcotest.(check int) "free" 0 r.Protocol.evaluations
+            | Ok _ -> Alcotest.fail "expected Plan_r"
+            | Error msg -> Alcotest.fail msg);
+            match Client.request c (Protocol.Lookup
+                                      {
+                                        accel = "toy";
+                                        op = Protocol.Dsl_text gemm_text;
+                                        budget = small_budget;
+                                      })
+            with
+            | Ok (Protocol.Plan_r r) ->
+                Alcotest.(check string) "lookup served hot" "hot"
+                  r.Protocol.source
+            | Ok _ -> Alcotest.fail "warm lookup must hit"
+            | Error msg -> Alcotest.fail msg);
+        Alcotest.(check int) "one exploration total" 1 (Atomic.get calls);
+        Alcotest.(check bool) "hot hits counted" true
+          ((Server.stats server).Protocol.hot_hits >= 2);
+        Server.stop server;
+        Thread.join thread);
+    Alcotest.test_case "persistent-cache-survives-restart" `Quick (fun () ->
+        let dir = temp_name "amosd-cache" in
+        Sys.mkdir dir 0o755;
+        let calls = Atomic.make 0 in
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+          Atomic.incr calls;
+          { Server.value = Plan_cache.Scalar; evaluations = 5 }
+        in
+        let server1, thread1, socket1 =
+          start_server ~tuner ~cache_dir:dir ()
+        in
+        (match
+           Client.with_conn ~attempts:50 socket1 (fun c ->
+               Client.request c (tune_req gemm_text))
+         with
+        | Ok (Protocol.Plan_r r) ->
+            Alcotest.(check string) "cold run tunes" "tuned" r.Protocol.source
+        | Ok _ -> Alcotest.fail "expected Plan_r"
+        | Error msg -> Alcotest.fail msg);
+        Server.stop server1;
+        Thread.join thread1;
+        (* a fresh daemon over the same directory serves from disk *)
+        let server2, thread2, socket2 =
+          start_server ~tuner ~cache_dir:dir ()
+        in
+        (match
+           Client.with_conn ~attempts:50 socket2 (fun c ->
+               Client.request c (tune_req gemm_text))
+         with
+        | Ok (Protocol.Plan_r r) ->
+            Alcotest.(check string) "warm restart hits the cache" "cache"
+              r.Protocol.source
+        | Ok _ -> Alcotest.fail "expected Plan_r"
+        | Error msg -> Alcotest.fail msg);
+        Alcotest.(check int) "no second exploration" 1 (Atomic.get calls);
+        Server.stop server2;
+        Thread.join thread2);
+    Alcotest.test_case "default-tuner-serves-validating-plan" `Quick
+      (fun () ->
+        (* end to end with the real tuner: the wire plan must re-bind
+           and re-validate on the client side *)
+        let server, thread, socket = start_server () in
+        (match
+           Client.with_conn ~attempts:50 socket (fun c ->
+               Client.request_retry c (tune_req gemm_text))
+         with
+        | Ok (Protocol.Plan_r r) -> (
+            match r.Protocol.plan with
+            | Protocol.Wire_scalar -> ()
+            | Protocol.Wire_spatial text -> (
+                let op = Amos_ir.Dsl.parse_exn ~name:"wire-op" gemm_text in
+                let accel = Option.get (Accelerator.by_name "toy") in
+                match Plan_io.load accel op text with
+                | Some (m, sched) ->
+                    Alcotest.(check bool) "plan validates" true
+                      (Schedule.validate m sched)
+                | None -> Alcotest.fail "wire plan failed to re-bind"))
+        | Ok _ -> Alcotest.fail "expected Plan_r"
+        | Error msg -> Alcotest.fail msg);
+        (match
+           Client.with_conn ~attempts:50 socket (fun c ->
+               Client.request c
+                 (Protocol.Tune
+                    {
+                      accel = "warp9";
+                      op = Protocol.Dsl_text gemm_text;
+                      budget = small_budget;
+                    }))
+         with
+        | Ok (Protocol.Error_r msg) ->
+            Alcotest.(check bool) "typed error names the accel" true
+              (String.length msg > 0)
+        | Ok _ -> Alcotest.fail "unknown accel must be a typed error"
+        | Error msg -> Alcotest.fail msg);
+        Server.stop server;
+        Thread.join thread);
+  ]
+
+let suites =
+  [
+    ("server.protocol", codec_tests);
+    ("server.framing", framing_tests);
+    ("server.primitives", primitive_tests);
+    ("server.daemon", daemon_tests);
+  ]

@@ -186,6 +186,37 @@ let par_tune_tests =
           par.Explore.best.Explore.measured;
         Alcotest.(check int) "same evals" seq.Explore.evaluations
           par.Explore.evaluations);
+    Alcotest.test_case "population-split-deterministic" `Quick (fun () ->
+        (* more jobs than mappings forces the population-split fan-out;
+           the pinned contract is that for a fixed (seed, jobs) pair the
+           sharded search is run-to-run deterministic and still yields a
+           validating plan *)
+        let accel = toy_accel () in
+        let op = Ops.conv2d ~n:2 ~c:2 ~k:3 ~p:3 ~q:3 ~r:2 ~s:2 () in
+        let mappings = Compiler.mappings accel op in
+        Alcotest.(check bool) "op has mappings" true (mappings <> []);
+        let jobs = List.length mappings + 2 in
+        let run () =
+          Par_tune.tune ~jobs ~population:4 ~generations:2 ~measure_top:2
+            ~rng:(Rng.create 7) ~accel ~mappings ()
+        in
+        let r1 = run () and r2 = run () in
+        let b1 = r1.Explore.best and b2 = r2.Explore.best in
+        Alcotest.(check string) "same mapping"
+          (Mapping.describe b1.Explore.candidate.Explore.mapping)
+          (Mapping.describe b2.Explore.candidate.Explore.mapping);
+        Alcotest.(check string) "same schedule"
+          (Schedule.describe b1.Explore.candidate.Explore.mapping
+             b1.Explore.candidate.Explore.schedule)
+          (Schedule.describe b2.Explore.candidate.Explore.mapping
+             b2.Explore.candidate.Explore.schedule);
+        Alcotest.(check (float 0.)) "same measured time" b1.Explore.measured
+          b2.Explore.measured;
+        Alcotest.(check int) "same evaluation count" r1.Explore.evaluations
+          r2.Explore.evaluations;
+        Alcotest.(check bool) "split-path winner validates" true
+          (Schedule.validate b1.Explore.candidate.Explore.mapping
+             b1.Explore.candidate.Explore.schedule));
   ]
 
 (* --- batch compile ---------------------------------------------------- *)

@@ -894,6 +894,95 @@ let serve () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Cache economy: value-aware eviction vs the count-LRU baseline        *)
+
+let cache_economy () =
+  header "Cache economy: tuning-seconds retained under a tight byte budget";
+  let module Plan_cache = Amos_service.Plan_cache in
+  let module Fingerprint = Amos_service.Fingerprint in
+  let module Clock = Amos_service.Clock in
+  let accel = Accelerator.v100 () in
+  let budget =
+    { Fingerprint.default_budget with Fingerprint.seed = !seed_ref }
+  in
+  let fresh_dir tag =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "amos-bench-economy-%s-%d" tag (Unix.getpid ()))
+    in
+    if Sys.file_exists d then
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    d
+  in
+  let expensive = 4 in
+  let cheap = if !smoke_flag then 8 else 12 in
+  let op i = Ops.gemm ~m:(16 * (i + 1)) ~n:32 ~k:32 () in
+  let expensive_cost = 40. and cheap_cost = 0.5 in
+  (* size one entry so the budget is expressed in entries, not magic
+     bytes *)
+  let per_entry =
+    let dir = fresh_dir "probe" in
+    let probe = Plan_cache.create ~clock:(Clock.virtual_ ()) ~dir () in
+    Plan_cache.store probe ~accel ~op:(op 0) ~budget Plan_cache.Scalar;
+    Plan_cache.disk_bytes probe
+  in
+  let keep = 6 in
+  let max_bytes = (per_entry * keep) + (per_entry / 2) in
+  Printf.printf
+    "(%d expensive plans @ %.0f tuning-s, then %d cheap plans @ %.1f \
+     tuning-s; budget %d bytes ~ %d entries; seed %d%s)\n"
+    expensive expensive_cost cheap cheap_cost max_bytes keep
+    budget.Fingerprint.seed
+    (if !smoke_flag then ", smoke" else "");
+  (* identical workload against both policies: a few expensive plans
+     tuned early, then a stream of cheap plans; the budget only holds
+     [keep] entries, so every store past that point forces an eviction *)
+  let clock = Clock.virtual_ () in
+  let run policy tag =
+    let dir = fresh_dir tag in
+    let cache = Plan_cache.create ~policy ~clock ~max_bytes ~dir () in
+    Clock.set clock 0.;
+    for i = 0 to expensive - 1 do
+      Clock.advance clock 1.;
+      Plan_cache.store ~tuning_seconds:expensive_cost cache ~accel ~op:(op i)
+        ~budget Plan_cache.Scalar
+    done;
+    for i = 0 to cheap - 1 do
+      Clock.advance clock 60.;
+      Plan_cache.store ~tuning_seconds:cheap_cost cache ~accel
+        ~op:(op (expensive + i)) ~budget Plan_cache.Scalar
+    done;
+    let s = Plan_cache.stats cache in
+    ( Plan_cache.disk_size cache,
+      Plan_cache.disk_bytes cache,
+      Plan_cache.disk_tuning_seconds cache,
+      s.Plan_cache.budget_evictions )
+  in
+  let s_n, s_b, s_ts, s_ev = run `Scored "scored" in
+  let l_n, l_b, l_ts, l_ev = run `Lru "lru" in
+  Printf.printf "%-8s %8s %10s %14s %10s\n" "Policy" "entries" "bytes"
+    "tuning-s kept" "evictions";
+  Printf.printf "%-8s %8d %10d %14.1f %10d\n" "scored" s_n s_b s_ts s_ev;
+  Printf.printf "%-8s %8d %10d %14.1f %10d\n%!" "lru" l_n l_b l_ts l_ev;
+  let ratio = s_ts /. l_ts in
+  Csv.write "cache_economy"
+    ~header:[ "policy"; "entries"; "bytes"; "tuning_seconds"; "evictions" ]
+    [
+      [ "scored"; string_of_int s_n; string_of_int s_b; Csv.f s_ts;
+        string_of_int s_ev ];
+      [ "lru"; string_of_int l_n; string_of_int l_b; Csv.f l_ts;
+        string_of_int l_ev ];
+    ];
+  Printf.printf "scored/lru tuning-seconds retained: %.2fx (gate: >= 1.5x)\n%!"
+    ratio;
+  if ratio < 1.5 then begin
+    Printf.printf
+      "FAIL: value-aware eviction must retain >= 1.5x the tuning seconds \
+       of count-LRU\n%!";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler hot paths                  *)
 
 let micro () =
@@ -970,7 +1059,8 @@ let experiments =
     ("fig7e", fig7e); ("fig8a", fig8a); ("fig8b", fig8b); ("fig9", fig9);
     ("layout", layout); ("newaccel", newaccel); ("ablate", ablate);
     ("service", service); ("robustness", robustness);
-    ("migration", migration); ("serve", serve); ("micro", micro);
+    ("migration", migration); ("serve", serve);
+    ("cache_economy", cache_economy); ("micro", micro);
   ]
 
 let () =

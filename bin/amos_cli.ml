@@ -461,11 +461,56 @@ let cache_stats_cmd =
     let cache = Plan_cache.create ~dir () in
     Printf.printf "cache directory : %s\n" dir;
     Printf.printf "live entries    : %d\n" (Plan_cache.disk_size cache);
-    Printf.printf "disk bytes      : %d\n" (Plan_cache.disk_bytes cache)
+    Printf.printf "disk bytes      : %d\n" (Plan_cache.disk_bytes cache);
+    Printf.printf "tuning seconds  : %.2f\n"
+      (Plan_cache.disk_tuning_seconds cache)
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Report the plan cache's live entries and size")
+    (Cmd.info "stats"
+       ~doc:
+         "Report the plan cache's live entries, accounted bytes and the \
+          tuning seconds it protects")
     Term.(const run $ cache_dir_required)
+
+let max_bytes_arg =
+  let doc =
+    "Byte budget for the persistent cache: when exceeded, entries with \
+     the lowest retention score (tuning-seconds-saved per byte, \
+     age-decayed) are evicted first.  Unlimited by default."
+  in
+  Arg.(value & opt (some int) None & info [ "max-bytes" ] ~docv:"BYTES" ~doc)
+
+let max_tuning_seconds_arg =
+  let doc =
+    "Tuning-seconds budget for the persistent cache: caps the total \
+     exploration cost the cache protects.  Unlimited by default."
+  in
+  Arg.(value & opt (some float) None
+       & info [ "max-tuning-seconds" ] ~docv:"SECONDS" ~doc)
+
+let cache_trim_cmd =
+  let run dir max_bytes max_tuning_seconds =
+    if max_bytes = None && max_tuning_seconds = None then begin
+      prerr_endline
+        "cache trim: give --max-bytes and/or --max-tuning-seconds";
+      exit 2
+    end;
+    let cache =
+      Plan_cache.create ?max_bytes ?max_tuning_seconds ~dir ()
+    in
+    let evicted = Plan_cache.trim cache in
+    Printf.printf "evicted %d entries; %d entries (%d bytes, %.2f \
+                   tuning-seconds) retained\n"
+      evicted (Plan_cache.disk_size cache) (Plan_cache.disk_bytes cache)
+      (Plan_cache.disk_tuning_seconds cache)
+  in
+  Cmd.v
+    (Cmd.info "trim"
+       ~doc:
+         "Evict lowest-retention-score entries until the cache fits the \
+          given byte / tuning-seconds budgets.")
+    Term.(const run $ cache_dir_required $ max_bytes_arg
+          $ max_tuning_seconds_arg)
 
 let cache_clear_cmd =
   let run dir =
@@ -581,7 +626,8 @@ let cache_cmd =
   Cmd.group
     (Cmd.info "cache"
        ~doc:"Inspect, clear, warm or repair the persistent tuning cache")
-    [ cache_stats_cmd; cache_clear_cmd; cache_warm_cmd; cache_fsck_cmd ]
+    [ cache_stats_cmd; cache_clear_cmd; cache_warm_cmd; cache_trim_cmd;
+      cache_fsck_cmd ]
 
 (* --- abstraction --------------------------------------------------- *)
 
@@ -692,7 +738,8 @@ let socket_arg =
        & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let serve_cmd =
-  let run verbose socket cache_dir workers queue_capacity jobs hot_capacity =
+  let run verbose socket cache_dir workers queue_capacity jobs hot_capacity
+      hot_max_bytes max_bytes max_tuning_seconds =
     setup_logs verbose;
     let server =
       Server.create
@@ -703,6 +750,9 @@ let serve_cmd =
           queue_capacity;
           jobs;
           hot_capacity;
+          hot_max_bytes;
+          max_bytes;
+          max_tuning_seconds;
         }
     in
     List.iter
@@ -724,17 +774,30 @@ let serve_cmd =
     Arg.(value & opt int 8 & info [ "queue-capacity" ] ~docv:"N" ~doc)
   in
   let hot_arg =
-    let doc = "In-memory hot-plan cache entries (FIFO eviction)." in
+    let doc =
+      "In-memory hot-plan cache entries (lowest retention score evicted \
+       first)."
+    in
     Arg.(value & opt int 128 & info [ "hot-capacity" ] ~docv:"N" ~doc)
+  in
+  let hot_bytes_arg =
+    let doc =
+      "Byte budget for the in-memory hot-plan cache.  Unlimited by \
+       default (the entry-count bound still applies)."
+    in
+    Arg.(value & opt (some int) None
+         & info [ "hot-max-bytes" ] ~docv:"BYTES" ~doc)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the plan-serving daemon (amosd): one process owns the plan \
           cache and serves tuning over a Unix-domain socket with \
-          single-flight deduplication and admission control.")
+          single-flight deduplication, admission control and cost-aware \
+          cache budgets.")
     Term.(const run $ verbose_arg $ socket_arg $ cache_dir_arg $ workers_arg
-          $ queue_arg $ jobs_arg $ hot_arg)
+          $ queue_arg $ jobs_arg $ hot_arg $ hot_bytes_arg $ max_bytes_arg
+          $ max_tuning_seconds_arg)
 
 let op_spec_of ?dsl ~layer ~kind ~batch ~index () =
   match (dsl, layer, kind) with
@@ -775,7 +838,11 @@ let print_response ~show_plan = function
       Printf.printf "cache hits      %d\n" s.Protocol.cache_hits;
       Printf.printf "busy rejections %d\n" s.Protocol.busy_rejections;
       Printf.printf "in flight       %d\n" s.Protocol.in_flight;
-      Printf.printf "queue load      %d\n" s.Protocol.queue_load
+      Printf.printf "queue load      %d\n" s.Protocol.queue_load;
+      Printf.printf "hot bytes       %d\n" s.Protocol.hot_bytes;
+      Printf.printf "hot tuning-s    %.2f\n" s.Protocol.hot_tuning_seconds;
+      Printf.printf "cache bytes     %d\n" s.Protocol.cache_bytes;
+      Printf.printf "retuned         %d\n" s.Protocol.quarantine_retunes
   | Protocol.Compiled_r c ->
       Printf.printf "network   %s\n" c.Protocol.network;
       Printf.printf "ops       %d total, %d mapped\n" c.Protocol.total_ops

@@ -5,19 +5,22 @@ type provenance = {
   source_fingerprint : string;
 }
 
-let save ?provenance (m : Mapping.t) (sched : Schedule.t) =
+let save ?provenance ?tuning_seconds (m : Mapping.t) (sched : Schedule.t) =
   let matching = m.Mapping.matching in
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf "intrinsic %s\n" matching.Matching.intr.Intrinsic.name);
-  (* provenance rides as an extra header line: [load] ignores unknown
-     keys, so plans saved with it still parse under pre-migration
-     readers and vice versa *)
+  (* provenance and tuning cost ride as extra header lines: [load]
+     ignores unknown keys, so plans saved with them still parse under
+     older readers and vice versa *)
   (match provenance with
   | Some p ->
       Buffer.add_string b
         (Printf.sprintf "provenance %s %s\n" p.source_fingerprint
            p.source_accel)
+  | None -> ());
+  (match tuning_seconds with
+  | Some s -> Buffer.add_string b (Printf.sprintf "tuned_in %.6f\n" s)
   | None -> ());
   Buffer.add_string b
     (Printf.sprintf "src_perm %s\n"
@@ -53,6 +56,13 @@ let provenance text =
          | "provenance" :: fp :: rest when rest <> [] ->
              Some
                { source_fingerprint = fp; source_accel = String.concat " " rest }
+         | _ -> None)
+
+let tuning_seconds text =
+  String.split_on_char '\n' text
+  |> List.find_map (fun l ->
+         match split_ws l with
+         | [ "tuned_in"; s ] -> float_of_string_opt s
          | _ -> None)
 
 let load accel (op : Operator.t) text =

@@ -27,7 +27,14 @@ type provenance = {
     line that pre-migration readers simply ignore (and pre-migration
     plan files simply lack), so both directions stay parseable. *)
 
-val save : ?provenance:provenance -> Mapping.t -> Schedule.t -> string
+val save :
+  ?provenance:provenance -> ?tuning_seconds:float -> Mapping.t -> Schedule.t ->
+  string
+(** [tuning_seconds] — the exploration cost that produced this plan —
+    is serialized as one extra [tuned_in <seconds>] header line.  Like
+    provenance, older readers ignore it and older plan texts lack it;
+    the cache economy reads it back through {!tuning_seconds} to value
+    migrated plans correctly. *)
 
 val load :
   Accelerator.t -> Operator.t -> string -> (Mapping.t * Schedule.t) option
@@ -39,3 +46,7 @@ val load :
 val provenance : string -> provenance option
 (** The provenance header of a saved plan text, if any ([None] for every
     pre-migration plan file). *)
+
+val tuning_seconds : string -> float option
+(** The [tuned_in] header of a saved plan text, if any ([None] for plan
+    texts from before the cache economy). *)

@@ -47,6 +47,10 @@ type server_stats = {
   busy_rejections : int;
   in_flight : int;
   queue_load : int;
+  hot_bytes : int;
+  hot_tuning_seconds : float;
+  cache_bytes : int;
+  quarantine_retunes : int;
 }
 
 type compile_reply = {
@@ -161,6 +165,10 @@ let json_of_response = function
           ("busy_rejections", Json.Int s.busy_rejections);
           ("in_flight", Json.Int s.in_flight);
           ("queue_load", Json.Int s.queue_load);
+          ("hot_bytes", Json.Int s.hot_bytes);
+          ("hot_tuning_seconds", Json.Float s.hot_tuning_seconds);
+          ("cache_bytes", Json.Int s.cache_bytes);
+          ("quarantine_retunes", Json.Int s.quarantine_retunes);
         ]
   | Compiled_r c ->
       versioned "compiled"
@@ -208,6 +216,15 @@ let int_field name j =
 let float_field name j =
   let* v = field name j in
   as_float v
+
+(* cache-economy stats fields decode with a default when absent, so a
+   client and daemon from either side of that change interoperate
+   without a version bump *)
+let int_field_default name ~default j =
+  match field name j with Error _ -> Ok default | Ok v -> as_int v
+
+let float_field_default name ~default j =
+  match field name j with Error _ -> Ok default | Ok v -> as_float v
 
 let budget_of_json j =
   let* population = int_field "population" j in
@@ -306,6 +323,14 @@ let response_of_json j =
       let* busy_rejections = int_field "busy_rejections" j in
       let* in_flight = int_field "in_flight" j in
       let* queue_load = int_field "queue_load" j in
+      let* hot_bytes = int_field_default "hot_bytes" ~default:0 j in
+      let* hot_tuning_seconds =
+        float_field_default "hot_tuning_seconds" ~default:0. j
+      in
+      let* cache_bytes = int_field_default "cache_bytes" ~default:0 j in
+      let* quarantine_retunes =
+        int_field_default "quarantine_retunes" ~default:0 j
+      in
       Ok
         (Stats_r
            {
@@ -318,6 +343,10 @@ let response_of_json j =
              busy_rejections;
              in_flight;
              queue_load;
+             hot_bytes;
+             hot_tuning_seconds;
+             cache_bytes;
+             quarantine_retunes;
            })
   | "compiled" ->
       let* network = str_field "network" j in

@@ -76,6 +76,12 @@ type server_stats = {
   busy_rejections : int;  (** admission control refusals *)
   in_flight : int;  (** tuning fingerprints currently being explored *)
   queue_load : int;  (** worker-pool queued + running tasks *)
+  hot_bytes : int;  (** bytes held by the hot front cache *)
+  hot_tuning_seconds : float;
+      (** tuning seconds the hot front cache protects *)
+  cache_bytes : int;  (** accounted bytes in the persistent cache *)
+  quarantine_retunes : int;
+      (** quarantined fingerprints re-tuned by the idle drain *)
 }
 
 type compile_reply = {

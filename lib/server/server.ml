@@ -5,6 +5,8 @@ module Plan_cache = Amos_service.Plan_cache
 module Par_tune = Amos_service.Par_tune
 module Migrate = Amos_service.Migrate
 module Batch_compile = Amos_service.Batch_compile
+module Clock = Amos_service.Clock
+module Fs_io = Amos_service.Fs_io
 module Ops = Amos_workloads.Ops
 module Suites = Amos_workloads.Suites
 module Resnet = Amos_workloads.Resnet
@@ -21,6 +23,9 @@ type config = {
   queue_capacity : int;
   jobs : int;
   hot_capacity : int;
+  hot_max_bytes : int option;
+  max_bytes : int option;
+  max_tuning_seconds : float option;
 }
 
 let default_config ~socket_path =
@@ -31,6 +36,9 @@ let default_config ~socket_path =
     queue_capacity = 8;
     jobs = 1;
     hot_capacity = 128;
+    hot_max_bytes = None;
+    max_bytes = None;
+    max_tuning_seconds = None;
   }
 
 type tune_outcome = { value : Plan_cache.value; evaluations : int }
@@ -52,6 +60,7 @@ type flight_result =
 type t = {
   config : config;
   tuner : tuner;
+  clock : Clock.t;
   listen_fd : Unix.file_descr;
   cache : Plan_cache.t;  (* guarded by cache_mu: one domain at a time *)
   cache_mu : Mutex.t;
@@ -59,8 +68,11 @@ type t = {
   flights : flight_result Single_flight.t;
   started_at : float;
   mu : Mutex.t;  (* guards everything below *)
-  hot : (string, Protocol.plan_wire) Hashtbl.t;
-  hot_order : string Queue.t;  (* FIFO eviction *)
+  hot : Protocol.plan_wire Hot_cache.t;
+  specs : (string, string * Amos_ir.Operator.t * Fingerprint.budget) Hashtbl.t;
+      (* fingerprint -> (accel name, op, budget) for requests we have
+         resolved: the idle drain can only re-tune a quarantined
+         fingerprint whose specification it has seen *)
   mutable threads : Thread.t list;
   mutable stopping : bool;  (* no new tuning admitted *)
   mutable stopped : bool;  (* accept loop must exit *)
@@ -70,7 +82,12 @@ type t = {
   mutable hot_hits : int;
   mutable cache_hits : int;
   mutable busy_rejections : int;
+  mutable quarantine_retunes : int;
 }
+
+(* bound the spec ledger: a daemon fed unbounded distinct operators must
+   not grow memory without limit *)
+let spec_ledger_capacity = 512
 
 let locked mu f =
   Mutex.lock mu;
@@ -142,27 +159,43 @@ let wire_of_value = function
 
 (* --- hot cache ------------------------------------------------------ *)
 
+(* wire-level footprint of a hot entry; scalar markers are tiny but must
+   not be free, or a flood of them would never trigger eviction *)
+let wire_bytes = function
+  | Protocol.Wire_scalar -> 32
+  | Protocol.Wire_spatial text -> String.length text
+
 let hot_lookup t fingerprint =
   locked t.mu (fun () ->
-      match Hashtbl.find_opt t.hot fingerprint with
+      match Hot_cache.find t.hot fingerprint with
       | Some plan ->
           t.hot_hits <- t.hot_hits + 1;
           Some plan
       | None -> None)
 
-let hot_put t fingerprint plan =
+let hot_put t fingerprint plan ~tuning_seconds =
   locked t.mu (fun () ->
-      if not (Hashtbl.mem t.hot fingerprint) then begin
-        Hashtbl.replace t.hot fingerprint plan;
-        Queue.push fingerprint t.hot_order;
-        while Queue.length t.hot_order > t.config.hot_capacity do
-          Hashtbl.remove t.hot (Queue.pop t.hot_order)
-        done
-      end)
+      Hot_cache.put t.hot fingerprint plan ~bytes:(wire_bytes plan)
+        ~tuning_seconds)
+
+(* the tuning cost a cache-served plan amortizes, for hot admission *)
+let cached_tuning_seconds t fingerprint =
+  locked t.cache_mu (fun () ->
+      match Plan_cache.info t.cache ~fingerprint with
+      | Some it -> it.Amos_service.Retain.tuning_seconds
+      | None -> Amos_service.Retain.default_tuning_seconds)
+
+let record_spec t fingerprint ~accel_name ~op ~budget =
+  locked t.mu (fun () ->
+      if
+        Hashtbl.mem t.specs fingerprint
+        || Hashtbl.length t.specs < spec_ledger_capacity
+      then Hashtbl.replace t.specs fingerprint (accel_name, op, budget))
 
 (* --- creation ------------------------------------------------------- *)
 
-let create ?(tuner = default_tuner) config =
+let create ?(tuner = default_tuner) ?clock config =
+  let clock = match clock with Some c -> c | None -> Clock.real () in
   (* a client dying mid-reply must surface as EPIPE on the write, not
      kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -175,13 +208,14 @@ let create ?(tuner = default_tuner) config =
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       raise e);
   let cache =
-    match config.cache_dir with
-    | Some dir -> Plan_cache.create ~dir ()
-    | None -> Plan_cache.create ()
+    Plan_cache.create ?max_bytes:config.max_bytes
+      ?max_tuning_seconds:config.max_tuning_seconds ~clock
+      ?dir:config.cache_dir ()
   in
   {
     config;
     tuner;
+    clock;
     listen_fd;
     cache;
     cache_mu = Mutex.create ();
@@ -189,10 +223,12 @@ let create ?(tuner = default_tuner) config =
       Par_tune.Pool.create ~workers:(max 1 config.workers)
         ~capacity:(max 1 config.queue_capacity);
     flights = Single_flight.create ();
-    started_at = Unix.gettimeofday ();
+    started_at = Clock.now clock;
     mu = Mutex.create ();
-    hot = Hashtbl.create 64;
-    hot_order = Queue.create ();
+    hot =
+      Hot_cache.create ?max_bytes:config.hot_max_bytes
+        ~capacity:config.hot_capacity ~clock ();
+    specs = Hashtbl.create 64;
     threads = [];
     stopping = false;
     stopped = false;
@@ -202,14 +238,18 @@ let create ?(tuner = default_tuner) config =
     hot_hits = 0;
     cache_hits = 0;
     busy_rejections = 0;
+    quarantine_retunes = 0;
   }
 
 let stats t : Protocol.server_stats =
   let queue_load = Par_tune.Pool.load t.pool in
   let in_flight = Single_flight.in_flight t.flights in
+  let cache_bytes =
+    locked t.cache_mu (fun () -> Plan_cache.disk_bytes t.cache)
+  in
   locked t.mu (fun () ->
       {
-        Protocol.uptime_s = Unix.gettimeofday () -. t.started_at;
+        Protocol.uptime_s = Clock.now t.clock -. t.started_at;
         requests = t.requests;
         tunes = t.tunes;
         deduped = t.deduped;
@@ -218,6 +258,10 @@ let stats t : Protocol.server_stats =
         busy_rejections = t.busy_rejections;
         in_flight;
         queue_load;
+        hot_bytes = Hot_cache.bytes t.hot;
+        hot_tuning_seconds = Hot_cache.tuning_seconds t.hot;
+        cache_bytes;
+        quarantine_retunes = t.quarantine_retunes;
       })
 
 (* --- tuning flow ---------------------------------------------------- *)
@@ -247,6 +291,7 @@ let handle_tune t ~migrate ~accel:accel_name ~op:op_spec ~budget =
   let accel = resolve_accel accel_name in
   let op = resolve_op op_spec in
   let fingerprint = Fingerprint.key ~accel ~op ~budget in
+  record_spec t fingerprint ~accel_name ~op ~budget;
   match hot_lookup t fingerprint with
   | Some plan ->
       Protocol.Plan_r
@@ -262,7 +307,8 @@ let handle_tune t ~migrate ~accel:accel_name ~op:op_spec ~budget =
       | Some value ->
           let plan = wire_of_value value in
           locked t.mu (fun () -> t.cache_hits <- t.cache_hits + 1);
-          hot_put t fingerprint plan;
+          hot_put t fingerprint plan
+            ~tuning_seconds:(cached_tuning_seconds t fingerprint);
           Protocol.Plan_r
             {
               Protocol.fingerprint;
@@ -297,13 +343,15 @@ let handle_tune t ~migrate ~accel:accel_name ~op:op_spec ~budget =
                   match outcome with
                   | Ok { value; evaluations } ->
                       locked t.cache_mu (fun () ->
-                          try Plan_cache.store t.cache ~accel ~op ~budget value
+                          try
+                            Plan_cache.store t.cache ~accel ~op ~budget
+                              ~tuning_seconds:dt value
                           with e ->
                             Log.warn (fun m ->
                                 m "plan store failed for %s: %s" fingerprint
                                   (Printexc.to_string e)));
                       let plan = wire_of_value value in
-                      hot_put t fingerprint plan;
+                      hot_put t fingerprint plan ~tuning_seconds:dt;
                       locked t.mu (fun () -> t.tunes <- t.tunes + 1);
                       Single_flight.complete t.flights f
                         (Fl_plan
@@ -335,6 +383,7 @@ let handle_lookup t ~accel:accel_name ~op:op_spec ~budget =
   let accel = resolve_accel accel_name in
   let op = resolve_op op_spec in
   let fingerprint = Fingerprint.key ~accel ~op ~budget in
+  record_spec t fingerprint ~accel_name ~op ~budget;
   match hot_lookup t fingerprint with
   | Some plan ->
       Protocol.Plan_r
@@ -350,7 +399,8 @@ let handle_lookup t ~accel:accel_name ~op:op_spec ~budget =
       | Some value ->
           let plan = wire_of_value value in
           locked t.mu (fun () -> t.cache_hits <- t.cache_hits + 1);
-          hot_put t fingerprint plan;
+          hot_put t fingerprint plan
+            ~tuning_seconds:(cached_tuning_seconds t fingerprint);
           Protocol.Plan_r
             {
               Protocol.fingerprint;
@@ -376,11 +426,12 @@ let handle_compile t ~accel:accel_name ~network ~batch ~budget ~jobs =
   in
   (* own handle over the same directory: long compiles stay off the
      shared handle (and the tuning pool); handles see each other's
-     stores through the journal *)
+     stores through the journal.  Same budgets and clock, so the
+     economy is enforced no matter which handle stored last. *)
   let cache =
-    match t.config.cache_dir with
-    | Some dir -> Plan_cache.create ~dir ()
-    | None -> Plan_cache.create ()
+    Plan_cache.create ?max_bytes:t.config.max_bytes
+      ?max_tuning_seconds:t.config.max_tuning_seconds ~clock:t.clock
+      ?dir:t.config.cache_dir ()
   in
   let jobs = max 1 (min 8 jobs) in
   let net_report, svc_report =
@@ -396,6 +447,103 @@ let handle_compile t ~accel:accel_name ~network ~batch ~budget ~jobs =
       comp_cache_hits = svc_report.Batch_compile.cache_hits;
       comp_tuned = svc_report.Batch_compile.cache_misses;
     }
+
+(* --- quarantined-fingerprint retune --------------------------------- *)
+
+let quarantine_suffix = ".plan.quarantined"
+
+(* re-tune one quarantined fingerprint on the pool; [false] when the
+   pool is busy or another flight already owns the fingerprint *)
+let retune_quarantined t ~fp ~qpath ~accel ~op ~budget =
+  match Single_flight.acquire t.flights fp with
+  | `Join _ -> false (* a client-driven tune is already producing it *)
+  | `Lead f ->
+      let task () =
+        let t0 = Clock.now t.clock in
+        let outcome =
+          match t.tuner ~jobs:t.config.jobs ~accel ~op ~budget ~seeds:[] with
+          | o -> Ok o
+          | exception e -> Error (Printexc.to_string e)
+        in
+        let dt = Clock.now t.clock -. t0 in
+        match outcome with
+        | Ok { value; evaluations } ->
+            locked t.cache_mu (fun () ->
+                try
+                  Plan_cache.store t.cache ~accel ~op ~budget
+                    ~tuning_seconds:dt value
+                with e ->
+                  Log.warn (fun m ->
+                      m "retune store failed for %s: %s" fp
+                        (Printexc.to_string e)));
+            (* only after a good plan is back in the cache does the
+               quarantined copy stop being post-mortem material *)
+            (try Fs_io.remove (Plan_cache.fs_handle t.cache) qpath
+             with Sys_error _ | Fs_io.Injected _ -> ());
+            let plan = wire_of_value value in
+            hot_put t fp plan ~tuning_seconds:dt;
+            locked t.mu (fun () ->
+                t.quarantine_retunes <- t.quarantine_retunes + 1);
+            Log.info (fun m -> m "re-tuned quarantined fingerprint %s" fp);
+            Single_flight.complete t.flights f
+              (Fl_plan
+                 {
+                   Protocol.fingerprint = fp;
+                   plan;
+                   source = "retuned";
+                   evaluations;
+                   tuning_seconds = dt;
+                 })
+        | Error msg ->
+            Single_flight.complete t.flights f
+              (Fl_error ("retune failed: " ^ msg))
+      in
+      if Par_tune.Pool.try_submit t.pool task then true
+      else begin
+        Single_flight.complete t.flights f (Fl_busy (retry_hint t));
+        false
+      end
+
+(* One low-priority step of the background drain: only when the tuning
+   pool is idle, pick the first quarantined fingerprint whose
+   specification a client request has taught us and re-tune it.  A
+   quarantine file whose fingerprint already has a live entry again is
+   simply removed — the corruption was superseded. *)
+let drain_quarantined_once t =
+  match t.config.cache_dir with
+  | None -> false
+  | Some dir ->
+      if locked t.mu (fun () -> t.stopping) then false
+      else if Par_tune.Pool.load t.pool > 0 then false
+      else begin
+        let fs = Plan_cache.fs_handle t.cache in
+        let quarantined =
+          Fs_io.list_dir fs dir
+          |> List.filter (fun n -> Filename.check_suffix n quarantine_suffix)
+          |> List.map (fun n -> Filename.chop_suffix n quarantine_suffix)
+          |> List.sort compare
+        in
+        let rec step = function
+          | [] -> false
+          | fp :: rest -> (
+              let qpath = Filename.concat dir (fp ^ quarantine_suffix) in
+              if Fs_io.exists fs (Filename.concat dir (fp ^ ".plan")) then begin
+                (try Fs_io.remove fs qpath
+                 with Sys_error _ | Fs_io.Injected _ -> ());
+                true
+              end
+              else
+                match locked t.mu (fun () -> Hashtbl.find_opt t.specs fp) with
+                | None -> step rest (* never seen its spec: leave it *)
+                | Some (accel_name, op, budget) -> (
+                    match resolve_accel accel_name with
+                    | exception _ -> step rest
+                    | accel ->
+                        retune_quarantined t ~fp ~qpath ~accel ~op ~budget
+                        || step rest))
+        in
+        step quarantined
+      end
 
 (* --- shutdown ------------------------------------------------------- *)
 
@@ -481,11 +629,16 @@ let handle_conn t fd =
 
 let serve t =
   Log.info (fun m -> m "amosd listening on %s" t.config.socket_path);
+  let idle_ticks = ref 0 in
   let rec loop () =
     if locked t.mu (fun () -> t.stopped) then ()
     else begin
       (match Unix.select [ t.listen_fd ] [] [] 0.25 with
-      | [], _, _ -> ()
+      | [], _, _ ->
+          (* idle tick: every couple of seconds of quiet, spend one
+             pool slot re-tuning a quarantined fingerprint *)
+          incr idle_ticks;
+          if !idle_ticks mod 8 = 0 then ignore (drain_quarantined_once t)
       | _ -> (
           match Unix.accept ~cloexec:true t.listen_fd with
           | fd, _ ->

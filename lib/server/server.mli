@@ -8,7 +8,9 @@
     back through three layers —
 
     - a bounded in-memory {e hot cache} of recently served plans (no
-      disk, no validation cost on a repeat hit);
+      disk, no validation cost on a repeat hit), scored by the cache
+      economy ({!Hot_cache}): eviction removes the plan whose loss
+      would cost the least tuning time per byte;
     - the shared persistent {!Amos_service.Plan_cache} (mutex-guarded:
       a cache handle is owned by one domain at a time);
     - {e single-flight} tuning: concurrent requests for the same
@@ -27,7 +29,12 @@
     [Compile] requests run on the connection thread with their own
     cache handle over the same directory (handles observe each other
     through the journal), so a long network compile never blocks the
-    tuning pool. *)
+    tuning pool.
+
+    When the pool is idle, the accept loop spends spare slots
+    re-tuning {e quarantined} fingerprints (corrupt entries fsck set
+    aside) whose specification a client request has taught it — see
+    {!drain_quarantined_once}. *)
 
 type config = {
   socket_path : string;
@@ -37,12 +44,16 @@ type config = {
   workers : int;  (** tuning pool domains *)
   queue_capacity : int;  (** pending tunes admitted before [Busy] *)
   jobs : int;  (** parallel jobs inside one tuning task *)
-  hot_capacity : int;  (** hot-cache entries (FIFO eviction) *)
+  hot_capacity : int;  (** hot-cache entries (scored eviction) *)
+  hot_max_bytes : int option;  (** hot-cache byte budget *)
+  max_bytes : int option;  (** persistent-cache byte budget *)
+  max_tuning_seconds : float option;
+      (** persistent-cache tuning-seconds budget *)
 }
 
 val default_config : socket_path:string -> config
 (** 2 workers, queue capacity 8, 1 job per tune, 128 hot entries,
-    memory-only cache. *)
+    memory-only cache, unlimited byte / tuning-seconds budgets. *)
 
 type tune_outcome = {
   value : Amos_service.Plan_cache.value;
@@ -64,10 +75,13 @@ type tuner =
 
 type t
 
-val create : ?tuner:tuner -> config -> t
+val create : ?tuner:tuner -> ?clock:Amos_service.Clock.t -> config -> t
 (** Bind the socket and start the worker pool.  Raises [Unix.Unix_error]
     when the socket path is unusable (a stale socket file is silently
-    replaced). *)
+    replaced).  [clock] (default {!Amos_service.Clock.real}) drives the
+    uptime, both cache layers' access stamps, and tune timing — tests
+    pass a virtual clock to pin age-dependent eviction without
+    sleeping. *)
 
 val serve : t -> unit
 (** Run the accept loop until shutdown; returns after the socket is
@@ -80,3 +94,16 @@ val stop : t -> unit
 
 val stats : t -> Protocol.server_stats
 (** Snapshot, same data a [Stats] request returns. *)
+
+val drain_quarantined_once : t -> bool
+(** One step of the background quarantine drain, normally invoked from
+    the accept loop's idle ticks: when the tuning pool is idle, pick
+    the lexicographically first [*.plan.quarantined] fingerprint whose
+    operator specification the daemon has seen (via an earlier
+    [Tune]/[Lookup]) and re-tune it on the pool; the quarantine file is
+    removed only after the fresh plan is stored.  A quarantined
+    fingerprint that regained a live entry is just swept.  Returns
+    [false] when there is nothing to do — no cache directory, the
+    daemon is stopping or the pool is busy (the drain never delays
+    client work), or no quarantined fingerprint is actionable.
+    Exposed for deterministic tests. *)

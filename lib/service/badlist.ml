@@ -14,6 +14,7 @@ let path ~dir = Filename.concat dir file_name
 
 type t = {
   fs : Fs_io.t;
+  clock : Clock.t;
   dir : string;
   entries : (string, float * string) Hashtbl.t;
 }
@@ -42,13 +43,14 @@ let read_entries fs ~dir =
         in
         List.filter_map parse_line complete
 
-let load ?fs ~dir () =
+let load ?fs ?clock ~dir () =
   let fs = match fs with Some fs -> fs | None -> Fs_io.real () in
+  let clock = match clock with Some c -> c | None -> Clock.real () in
   let entries = Hashtbl.create 8 in
   List.iter
     (fun (fp, at, reason) -> Hashtbl.replace entries fp (at, reason))
     (read_entries fs ~dir);
-  { fs; dir; entries }
+  { fs; clock; dir; entries }
 
 let mem t fp = Hashtbl.mem t.entries fp
 
@@ -63,7 +65,7 @@ let sanitize reason =
 
 let mark t ~fingerprint ~reason =
   if not (mem t fingerprint) then begin
-    let at = Unix.gettimeofday () in
+    let at = Clock.now t.clock in
     Hashtbl.replace t.entries fingerprint (at, reason);
     Fs_io.append_line t.fs (path ~dir:t.dir)
       (Printf.sprintf "bad %s %.3f %s" fingerprint at (sanitize reason))

@@ -18,9 +18,11 @@ type t
 val file_name : string
 (** Basename of the marker file inside the cache directory. *)
 
-val load : ?fs:Fs_io.t -> dir:string -> unit -> t
+val load : ?fs:Fs_io.t -> ?clock:Clock.t -> dir:string -> unit -> t
 (** Read the current marker set ([fs] defaults to {!Fs_io.real}; an
-    unreadable or absent file yields an empty set). *)
+    unreadable or absent file yields an empty set).  [clock] (default
+    {!Clock.real}) stamps markers written through {!mark}, so tests pin
+    marker times without sleeping. *)
 
 val mem : t -> string -> bool
 val reason : t -> string -> string option

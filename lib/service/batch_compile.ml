@@ -156,12 +156,14 @@ let tune_cached ctx accel op =
               | exception (Fs_io.Crashed _ as e) -> raise e
               | exception e -> Error e
             in
-            ctx.tuning_seconds <-
-              ctx.tuning_seconds +. (Unix.gettimeofday () -. t0);
+            let dt = Unix.gettimeofday () -. t0 in
+            ctx.tuning_seconds <- ctx.tuning_seconds +. dt;
             match outcome with
             | Ok (v, evals) ->
                 ctx.evaluations <- ctx.evaluations + evals;
-                (try Plan_cache.store ctx.cache ~accel ~op ~budget:ctx.budget v
+                (try
+                   Plan_cache.store ctx.cache ~accel ~op ~budget:ctx.budget
+                     ~tuning_seconds:dt v
                  with
                 | Fs_io.Crashed _ as e -> raise e
                 | e ->

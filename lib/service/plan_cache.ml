@@ -4,11 +4,14 @@ type value =
   | Spatial of Mapping.t * Schedule.t
   | Scalar
 
+type policy = [ `Scored | `Lru ]
+
 type stats = {
   hits : int;
   misses : int;
   stores : int;
   lru_evictions : int;
+  budget_evictions : int;
   corrupt_evictions : int;
 }
 
@@ -20,20 +23,31 @@ type meta = {
   op_key : string option;
       (** accelerator-independent fingerprint; [None] for entries written
           before migration existed — they simply never migrate *)
+  tuned_in : float option;
+      (** tuning seconds recorded in the entry header; [None] for entries
+          written before the cache economy existed *)
 }
 
 type entry = {
   kind : [ `Spatial of string (* Plan_io text *) | `Scalar ];
   meta : meta;
+  item : Retain.item;
   mutable last_use : int;
 }
 
 type t = {
   dir : string option;
   fs : Fs_io.t;
+  clock : Clock.t;
+  policy : policy;
+  budget : Retain.budget;
   mem_capacity : int;
   mem : (string, entry) Hashtbl.t;
-  index : (string, unit) Hashtbl.t;  (** live on-disk fingerprints *)
+  index : (string, Retain.item) Hashtbl.t;
+      (** live on-disk fingerprints with their value accounting *)
+  mutable eviction_log : (string * float * float) list;
+      (** newest first: (fingerprint, victim score, lowest retained
+          score) recorded at each budget eviction *)
   mutable tick : int;
   mutable journal_ops : int;  (** lines in the journal file *)
   mutable journal_bytes : int;
@@ -43,6 +57,7 @@ type t = {
   mutable misses : int;
   mutable stores : int;
   mutable lru_evictions : int;
+  mutable budget_evictions : int;
   mutable corrupt_evictions : int;
 }
 
@@ -53,11 +68,15 @@ let lock_path dir = Filename.concat dir "lock"
 let entry_path dir fp = Filename.concat dir (fp ^ ".plan")
 let quarantine_path dir fp = Filename.concat dir (fp ^ ".plan.quarantined")
 
-let append_journal t op fp =
+(* journal line for a live entry, carrying its value accounting so a
+   reopen does not have to stat or parse every entry file *)
+let add_line fp (it : Retain.item) =
+  Printf.sprintf "add %s %d %.6f" fp it.Retain.bytes it.Retain.tuning_seconds
+
+let append_journal t line =
   match t.dir with
   | None -> ()
   | Some dir ->
-      let line = Printf.sprintf "%s %s" op fp in
       Fs_io.append_line t.fs (journal_path dir) line;
       t.journal_ops <- t.journal_ops + 1;
       (* track our own append; if another process interleaved, the size
@@ -65,19 +84,27 @@ let append_journal t op fp =
       t.journal_bytes <- t.journal_bytes + String.length line + 1
 
 (* full journal rewrite: callers must hold the directory lock *)
-let write_journal fs dir fps =
+let write_journal fs dir entries =
   let path = journal_path dir in
   let tmp = Fs_io.fresh_tmp path in
+  let entries =
+    List.sort (fun (a, _) (b, _) -> compare a b) entries
+  in
   let content =
-    String.concat "" (List.map (fun fp -> "add " ^ fp ^ "\n") fps)
+    String.concat ""
+      (List.map (fun (fp, it) -> add_line fp it ^ "\n") entries)
   in
   Fs_io.write_file fs tmp content;
   Fs_io.rename fs tmp path
 
 (* Replay the journal into [index].  Only complete (newline-terminated)
    lines count: a torn trailing line — a writer died mid-append — is
-   reported, not parsed.  Returns (ops, bytes_replayed, torn). *)
-let replay_journal fs dir index =
+   reported, not parsed.  New-format adds carry bytes and tuning
+   seconds; a legacy bare [add <fp>] is accounted from the entry file's
+   size and the conservative default tuning cost.  [now] stamps
+   last-access for every replayed entry (we cannot know better).
+   Returns (ops, bytes_replayed, torn). *)
+let replay_journal fs dir ~now index =
   let path = journal_path dir in
   if not (Fs_io.exists fs path) then (0, 0, false)
   else begin
@@ -94,7 +121,20 @@ let replay_journal fs dir index =
     List.iter
       (fun line ->
         (match String.split_on_char ' ' line with
-        | [ "add"; fp ] -> Hashtbl.replace index fp ()
+        | [ "add"; fp ] ->
+            (* legacy line from before the cache economy *)
+            Hashtbl.replace index fp
+              {
+                Retain.bytes = Fs_io.file_size fs (entry_path dir fp);
+                tuning_seconds = Retain.default_tuning_seconds;
+                last_access = now;
+              }
+        | [ "add"; fp; b; s ] -> (
+            match (int_of_string_opt b, float_of_string_opt s) with
+            | Some bytes, Some tuning_seconds ->
+                Hashtbl.replace index fp
+                  { Retain.bytes; tuning_seconds; last_access = now }
+            | _ -> () (* garbage line: ignore *))
         | [ "del"; fp ] -> Hashtbl.remove index fp
         | _ -> () (* garbage line (healed torn write): ignore *));
         if line <> "" then incr ops)
@@ -105,15 +145,18 @@ let replay_journal fs dir index =
 (* drop index entries whose file vanished behind our back *)
 let drop_vanished fs dir index =
   Hashtbl.iter
-    (fun fp () ->
+    (fun fp _ ->
       if not (Fs_io.exists fs (entry_path dir fp)) then
         Hashtbl.remove index fp)
     (Hashtbl.copy index)
 
-let index_fps index = Hashtbl.fold (fun fp () acc -> fp :: acc) index []
+let index_entries index = Hashtbl.fold (fun fp it acc -> (fp, it) :: acc) index []
 
-let create ?(mem_capacity = 256) ?fs ?dir () =
+let create ?(mem_capacity = 256) ?max_bytes ?max_tuning_seconds
+    ?(policy = `Scored) ?clock ?fs ?dir () =
   let fs = match fs with Some fs -> fs | None -> Fs_io.real () in
+  let clock = match clock with Some c -> c | None -> Clock.real () in
+  let budget = { Retain.max_bytes; max_tuning_seconds } in
   let index = Hashtbl.create 64 in
   let journal_ops = ref 0 in
   let journal_bytes = ref 0 in
@@ -121,7 +164,8 @@ let create ?(mem_capacity = 256) ?fs ?dir () =
   | None -> ()
   | Some d ->
       Fs_io.mkdir_p fs d;
-      let ops, bytes, torn = replay_journal fs d index in
+      let now = Clock.now clock in
+      let ops, bytes, torn = replay_journal fs d ~now index in
       journal_ops := ops;
       journal_bytes := bytes;
       (* heal a torn trailing line by terminating it: the fragment
@@ -132,23 +176,28 @@ let create ?(mem_capacity = 256) ?fs ?dir () =
         journal_bytes := !journal_bytes + 1
       end;
       drop_vanished fs d index;
-      (* compact a journal bloated by dead add/del pairs.  The rewrite
-         happens under the directory lock, from a fresh replay, so a
-         concurrent compactor cannot resurrect deleted entries. *)
+      (* compact a journal bloated by dead add/del pairs (or by value
+         re-stamps).  The rewrite happens under the directory lock,
+         from a fresh replay, so a concurrent compactor cannot
+         resurrect deleted entries. *)
       if !journal_ops > (2 * Hashtbl.length index) + 16 then
         Fs_io.with_lock fs (lock_path d) (fun () ->
             Hashtbl.reset index;
-            let _, _, _ = replay_journal fs d index in
+            let _, _, _ = replay_journal fs d ~now index in
             drop_vanished fs d index;
-            write_journal fs d (index_fps index);
+            write_journal fs d (index_entries index);
             journal_ops := Hashtbl.length index;
             journal_bytes := Fs_io.file_size fs (journal_path d)));
   {
     dir;
     fs;
+    clock;
+    policy;
+    budget;
     mem_capacity = max 1 mem_capacity;
     mem = Hashtbl.create 64;
     index;
+    eviction_log = [];
     tick = 0;
     journal_ops = !journal_ops;
     journal_bytes = !journal_bytes;
@@ -156,6 +205,7 @@ let create ?(mem_capacity = 256) ?fs ?dir () =
     misses = 0;
     stores = 0;
     lru_evictions = 0;
+    budget_evictions = 0;
     corrupt_evictions = 0;
   }
 
@@ -166,7 +216,8 @@ let refresh t =
       let sz = Fs_io.file_size t.fs (journal_path d) in
       if sz <> t.journal_bytes then begin
         Hashtbl.reset t.index;
-        let ops, bytes, _torn = replay_journal t.fs d t.index in
+        let now = Clock.now t.clock in
+        let ops, bytes, _torn = replay_journal t.fs d ~now t.index in
         drop_vanished t.fs d t.index;
         t.journal_ops <- ops;
         t.journal_bytes <- bytes
@@ -174,17 +225,33 @@ let refresh t =
 
 let touch t e =
   t.tick <- t.tick + 1;
-  e.last_use <- t.tick
+  e.last_use <- t.tick;
+  e.item.Retain.last_access <- Clock.now t.clock
 
-let lru_insert t fp kind meta =
+(* [refresh] rebuilds the index with fresh item records, so a memory
+   entry's item and the index's can diverge into two physical records
+   for the same fingerprint; keep their access stamps in step *)
+let sync_index_access t fp (it : Retain.item) =
+  match Hashtbl.find_opt t.index fp with
+  | Some idx when idx != it -> idx.Retain.last_access <- it.Retain.last_access
+  | _ -> ()
+
+let mem_insert t fp kind meta item =
   if not (Hashtbl.mem t.mem fp) && Hashtbl.length t.mem >= t.mem_capacity
   then begin
+    let now = Clock.now t.clock in
     let victim =
       Hashtbl.fold
-        (fun fp e acc ->
+        (fun vfp e acc ->
+          let key =
+            match t.policy with
+            | `Scored -> Retain.score ~now e.item
+            | `Lru -> float_of_int e.last_use
+          in
           match acc with
-          | Some (_, best) when best <= e.last_use -> acc
-          | _ -> Some (fp, e.last_use))
+          | Some (bfp, best) when best < key || (best = key && bfp <= vfp) ->
+              acc
+          | _ -> Some (vfp, key))
         t.mem None
     in
     match victim with
@@ -193,7 +260,7 @@ let lru_insert t fp kind meta =
         t.lru_evictions <- t.lru_evictions + 1
     | None -> ()
   end;
-  let e = { kind; meta; last_use = 0 } in
+  let e = { kind; meta; item; last_use = 0 } in
   touch t e;
   Hashtbl.replace t.mem fp e
 
@@ -201,9 +268,10 @@ let lru_insert t fp kind meta =
 
 let header_magic = "amos-plan-cache 1"
 
-(* [opkey] is an optional header line: entries written before migration
-   lack it, and [parse_entry]'s membership checks never require it — both
-   directions of the format stay readable *)
+(* [opkey] and [tuned_in] are optional header lines: entries written
+   before migration / the cache economy lack them, and [parse_entry]'s
+   membership checks never require them — both directions of the format
+   stay readable *)
 let entry_content fp ~op_name ~meta kind =
   let body =
     match kind with
@@ -215,15 +283,13 @@ let entry_content fp ~op_name ~meta kind =
     | Some k -> Printf.sprintf "opkey %s\n" k
     | None -> ""
   in
-  Printf.sprintf "%s\nfingerprint %s\nop %s\naccel %s\n%s%s" header_magic fp
-    op_name meta.accel_name opkey_line body
-
-let write_entry fs dir fp ~op_name ~meta kind =
-  let content = entry_content fp ~op_name ~meta kind in
-  let target = entry_path dir fp in
-  let tmp = Fs_io.fresh_tmp target in
-  Fs_io.write_file fs tmp content;
-  Fs_io.rename fs tmp target
+  let tuned_line =
+    match meta.tuned_in with
+    | Some s -> Printf.sprintf "tuned_in %.6f\n" s
+    | None -> ""
+  in
+  Printf.sprintf "%s\nfingerprint %s\nop %s\naccel %s\n%s%s%s" header_magic
+    fp op_name meta.accel_name opkey_line tuned_line body
 
 (* split an entry file's text into (header lines, body) *)
 let split_entry content =
@@ -256,6 +322,8 @@ let parse_entry fp content =
           accel_name =
             (match header_field header "accel" with Some a -> a | None -> "");
           op_key = header_field header "opkey";
+          tuned_in =
+            Option.bind (header_field header "tuned_in") float_of_string_opt;
         }
       in
       if List.mem "kind scalar" header then Some (`Scalar, meta)
@@ -287,8 +355,83 @@ let evict_everywhere t fp =
         Hashtbl.remove t.index fp;
         (try Fs_io.remove t.fs (entry_path d fp) with
         | Sys_error _ | Fs_io.Injected _ -> ());
-        try append_journal t "del" fp with Fs_io.Injected _ -> ()
+        try append_journal t ("del " ^ fp) with Fs_io.Injected _ -> ()
       end
+
+(* --- budget enforcement -------------------------------------------- *)
+
+let disk_totals t =
+  Hashtbl.fold
+    (fun _ it (b, s) ->
+      (b + it.Retain.bytes, s +. it.Retain.tuning_seconds))
+    t.index (0, 0.)
+
+let eviction_log_cap = 512
+
+let push_eviction t fp score min_retained =
+  let log = (fp, score, min_retained) :: t.eviction_log in
+  t.eviction_log <-
+    (if List.length log > eviction_log_cap then
+       List.filteri (fun i _ -> i < eviction_log_cap) log
+     else log)
+
+(* Evict lowest-retention entries (ties broken by fingerprint, for
+   determinism) until the disk layer fits the budget again.  Under the
+   [`Lru] baseline the victim is simply the least recently accessed
+   entry — value-blind by construction, kept so the economy can be
+   benchmarked against it on identical code paths. *)
+let enforce_budgets t =
+  match t.dir with
+  | None -> 0
+  | Some _ ->
+      let evicted = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let bytes, tuning_seconds = disk_totals t in
+        if Hashtbl.length t.index = 0
+           || not (Retain.over t.budget ~bytes ~tuning_seconds)
+        then continue_ := false
+        else begin
+          let now = Clock.now t.clock in
+          let victim =
+            Hashtbl.fold
+              (fun fp it acc ->
+                let key =
+                  match t.policy with
+                  | `Scored -> Retain.score ~now it
+                  | `Lru -> it.Retain.last_access
+                in
+                match acc with
+                | Some (bfp, best, _) when best < key || (best = key && bfp <= fp)
+                  ->
+                    acc
+                | _ -> Some (fp, key, Retain.score ~now it))
+              t.index None
+          in
+          match victim with
+          | None -> continue_ := false
+          | Some (vfp, _, vscore) ->
+              let min_retained =
+                Hashtbl.fold
+                  (fun fp it acc ->
+                    if fp = vfp then acc
+                    else
+                      let s = Retain.score ~now it in
+                      match acc with Some m when m <= s -> acc | _ -> Some s)
+                  t.index None
+              in
+              evict_everywhere t vfp;
+              t.budget_evictions <- t.budget_evictions + 1;
+              incr evicted;
+              push_eviction t vfp vscore
+                (match min_retained with Some m -> m | None -> infinity)
+        end
+      done;
+      !evicted
+
+let trim t =
+  refresh t;
+  enforce_budgets t
 
 (* --- public API ----------------------------------------------------- *)
 
@@ -300,12 +443,25 @@ let validate ~accel ~op kind =
       | Some (m, sched) -> Some (Spatial (m, sched))
       | None -> None)
 
+(* item for an entry found on disk but (defensively) absent from the
+   index: account it from the file itself *)
+let item_of_file t d fp meta =
+  {
+    Retain.bytes = Fs_io.file_size t.fs (entry_path d fp);
+    tuning_seconds =
+      (match meta.tuned_in with
+      | Some s -> s
+      | None -> Retain.default_tuning_seconds);
+    last_access = Clock.now t.clock;
+  }
+
 let lookup t ~accel ~op ~budget =
   let fp = Fingerprint.key ~accel ~op ~budget in
   let kind =
     match Hashtbl.find_opt t.mem fp with
     | Some e ->
         touch t e;
+        sync_index_access t fp e.item;
         Some e.kind
     | None -> (
         match t.dir with
@@ -317,7 +473,12 @@ let lookup t ~accel ~op ~budget =
             else (
               match read_entry t.fs d fp with
               | `Ok (kind, meta) ->
-                  lru_insert t fp kind meta;
+                  let item =
+                    match Hashtbl.find_opt t.index fp with
+                    | Some it -> it
+                    | None -> item_of_file t d fp meta
+                  in
+                  mem_insert t fp kind meta item;
                   Some kind
               | `Absent | `Unreadable -> None
               | `Invalid ->
@@ -347,8 +508,9 @@ let lookup t ~accel ~op ~budget =
    fingerprint differs — i.e. the same computation tuned for a sibling
    accelerator.  Entries from before the [opkey] header existed carry no
    op_key and are naturally skipped.  Read-only: disk entries are
-   inspected without touching the LRU, so a wide scan cannot evict hot
-   entries.  Sorted by (accelerator name, fingerprint) for determinism. *)
+   inspected without touching the memory layer, so a wide scan cannot
+   evict hot entries.  Sorted by (accelerator name, fingerprint) for
+   determinism. *)
 let lookup_migratable t ~accel ~op ~budget =
   let fp_here = Fingerprint.key ~accel ~op ~budget in
   let opk = Fingerprint.op_key ~op ~budget in
@@ -372,7 +534,7 @@ let lookup_migratable t ~accel ~op ~budget =
     | None -> []
     | Some d ->
         Hashtbl.fold
-          (fun fp () acc ->
+          (fun fp _ acc ->
             if Hashtbl.mem t.mem fp then acc
             else
               match read_entry t.fs d fp with
@@ -383,43 +545,88 @@ let lookup_migratable t ~accel ~op ~budget =
   List.sort compare (from_mem @ from_disk)
   |> List.map (fun (accel_name, fp, text) -> (fp, accel_name, text))
 
-let store ?provenance t ~accel ~op ~budget v =
+let store ?provenance ?tuning_seconds t ~accel ~op ~budget v =
   let fp = Fingerprint.key ~accel ~op ~budget in
+  let ts =
+    match tuning_seconds with
+    | Some s -> Float.max 0. s
+    | None -> Retain.default_tuning_seconds
+  in
   let kind =
     match v with
     | Scalar -> `Scalar
-    | Spatial (m, sched) -> `Spatial (Plan_io.save ?provenance m sched)
+    | Spatial (m, sched) ->
+        `Spatial (Plan_io.save ?provenance ~tuning_seconds:ts m sched)
   in
   let meta =
     {
       accel_name = accel.Accelerator.name;
       op_key = Some (Fingerprint.op_key ~op ~budget);
+      tuned_in = Some ts;
     }
   in
-  lru_insert t fp kind meta;
+  let content = entry_content fp ~op_name:op.Amos_ir.Operator.name ~meta kind in
+  let bytes = String.length content in
+  let now = Clock.now t.clock in
+  let prev_acct =
+    Option.map
+      (fun (it : Retain.item) -> (it.Retain.bytes, it.Retain.tuning_seconds))
+      (Hashtbl.find_opt t.index fp)
+  in
+  (* reuse the live accounting record where one exists, so memory and
+     index layers keep observing the same value *)
+  let item =
+    let existing =
+      match Hashtbl.find_opt t.index fp with
+      | Some it -> Some it
+      | None -> Option.map (fun e -> e.item) (Hashtbl.find_opt t.mem fp)
+    in
+    match existing with
+    | Some it ->
+        it.Retain.bytes <- bytes;
+        it.Retain.tuning_seconds <- ts;
+        it.Retain.last_access <- now;
+        it
+    | None -> { Retain.bytes; tuning_seconds = ts; last_access = now }
+  in
+  mem_insert t fp kind meta item;
   (match t.dir with
   | None -> ()
   | Some d ->
       (* entry file first (atomic tmp+rename), journal add second: a
          crash between the two leaves an orphan entry file that fsck
-         adopts — never a journal line pointing at nothing served *)
-      write_entry t.fs d fp ~op_name:op.Amos_ir.Operator.name ~meta kind;
-      if not (Hashtbl.mem t.index fp) then begin
-        Hashtbl.replace t.index fp ();
-        append_journal t "add" fp
-      end);
+         adopts — never a journal line pointing at nothing served.  An
+         overwrite whose accounting changed re-stamps the add line so
+         the persisted value follows the entry (later adds win on
+         replay); an identical overwrite appends nothing. *)
+      let target = entry_path d fp in
+      let tmp = Fs_io.fresh_tmp target in
+      Fs_io.write_file t.fs tmp content;
+      Fs_io.rename t.fs tmp target;
+      Hashtbl.replace t.index fp item;
+      (match prev_acct with
+      | Some (b, s) when b = bytes && s = ts -> ()
+      | Some _ | None -> append_journal t (add_line fp item));
+      ignore (enforce_budgets t));
   t.stores <- t.stores + 1
 
 let mem_size t = Hashtbl.length t.mem
 let disk_size t = Hashtbl.length t.index
+let disk_bytes t = fst (disk_totals t)
+let disk_tuning_seconds t = snd (disk_totals t)
 
-let disk_bytes t =
-  match t.dir with
-  | None -> 0
-  | Some d ->
-      Hashtbl.fold
-        (fun fp () acc -> acc + Fs_io.file_size t.fs (entry_path d fp))
-        t.index 0
+let info t ~fingerprint =
+  match Hashtbl.find_opt t.index fingerprint with
+  | Some it ->
+      Some
+        {
+          Retain.bytes = it.Retain.bytes;
+          tuning_seconds = it.Retain.tuning_seconds;
+          last_access = it.Retain.last_access;
+        }
+  | None -> None
+
+let eviction_log t = t.eviction_log
 
 let stats t =
   {
@@ -427,6 +634,7 @@ let stats t =
     misses = t.misses;
     stores = t.stores;
     lru_evictions = t.lru_evictions;
+    budget_evictions = t.budget_evictions;
     corrupt_evictions = t.corrupt_evictions;
   }
 
@@ -438,9 +646,10 @@ let clear t =
       Fs_io.with_lock t.fs (lock_path d) (fun () ->
           (* include entries other processes added since our replay *)
           Hashtbl.reset t.index;
-          let _ = replay_journal t.fs d t.index in
+          let now = Clock.now t.clock in
+          let _ = replay_journal t.fs d ~now t.index in
           Hashtbl.iter
-            (fun fp () ->
+            (fun fp _ ->
               try Fs_io.remove t.fs (entry_path d fp) with
               | Sys_error _ -> ())
             (Hashtbl.copy t.index);
@@ -449,16 +658,19 @@ let clear t =
           t.journal_ops <- 0;
           t.journal_bytes <- Fs_io.file_size t.fs (journal_path d)));
   t.tick <- 0;
+  t.eviction_log <- [];
   t.hits <- 0;
   t.misses <- 0;
   t.stores <- 0;
   t.lru_evictions <- 0;
+  t.budget_evictions <- 0;
   t.corrupt_evictions <- 0
 
 (* --- fsck ----------------------------------------------------------- *)
 
 type fsck_report = {
   live : int;
+  bytes : int;
   adopted : int;
   quarantined : int;
   dropped : int;
@@ -468,11 +680,13 @@ type fsck_report = {
   known_bad : int;
 }
 
-let fsck ?fs ?quarantine_ttl ~dir () =
+let fsck ?fs ?clock ?quarantine_ttl ~dir () =
   let fs = match fs with Some fs -> fs | None -> Fs_io.real () in
+  let clock = match clock with Some c -> c | None -> Clock.real () in
   if not (Fs_io.exists fs dir) then
     {
       live = 0;
+      bytes = 0;
       adopted = 0;
       quarantined = 0;
       dropped = 0;
@@ -484,13 +698,17 @@ let fsck ?fs ?quarantine_ttl ~dir () =
   else
     Fs_io.with_lock fs (lock_path dir) (fun () ->
         let index = Hashtbl.create 64 in
-        let _, _, torn = replay_journal fs dir index in
+        let now = Clock.now clock in
+        let _, _, torn = replay_journal fs dir ~now index in
         let adopted = ref 0
         and quarantined = ref 0
         and dropped = ref 0
         and tmp_removed = ref 0
         and reclaimed = ref 0 in
-        let now = Unix.gettimeofday () in
+        (* value accounting measured off the files themselves: actual
+           size, and the tuning cost recorded in the entry header (the
+           journal's figure is a fallback for pre-economy entries) *)
+        let measured = Hashtbl.create 64 in
         List.iter
           (fun name ->
             let path = Filename.concat dir name in
@@ -515,38 +733,60 @@ let fsck ?fs ?quarantine_ttl ~dir () =
             end
             else if Filename.check_suffix name ".plan" then begin
               let fp = Filename.chop_suffix name ".plan" in
-              let valid =
+              let parsed =
                 match Fs_io.read_file fs path with
-                | exception (Sys_error _ | Fs_io.Injected _) -> false
-                | content -> parse_entry fp content <> None
+                | exception (Sys_error _ | Fs_io.Injected _) -> None
+                | content ->
+                    Option.map
+                      (fun (_, meta) -> (String.length content, meta))
+                      (parse_entry fp content)
               in
-              if not valid then begin
-                (* positive corruption: quarantine, never serve *)
-                (try Fs_io.rename fs path (quarantine_path dir fp)
-                 with Sys_error _ -> ());
-                Hashtbl.remove index fp;
-                incr quarantined
-              end
-              else if not (Hashtbl.mem index fp) then begin
-                (* orphan: entry landed, journal add did not (crash
-                   between rename and append) — adopt it *)
-                Hashtbl.replace index fp ();
-                incr adopted
-              end
+              match parsed with
+              | None ->
+                  (* positive corruption: quarantine, never serve *)
+                  (try Fs_io.rename fs path (quarantine_path dir fp)
+                   with Sys_error _ -> ());
+                  Hashtbl.remove index fp;
+                  incr quarantined
+              | Some (size, meta) ->
+                  Hashtbl.replace measured fp (size, meta.tuned_in);
+                  if not (Hashtbl.mem index fp) then begin
+                    (* orphan: entry landed, journal add did not (crash
+                       between rename and append) — adopt it *)
+                    Hashtbl.replace index fp
+                      {
+                        Retain.bytes = size;
+                        tuning_seconds =
+                          (match meta.tuned_in with
+                          | Some s -> s
+                          | None -> Retain.default_tuning_seconds);
+                        last_access = now;
+                      };
+                    incr adopted
+                  end
             end)
           (Fs_io.list_dir fs dir);
-        (* journal adds whose entry file is gone or was quarantined *)
+        (* journal adds whose entry file is gone or was quarantined;
+           surviving entries get their accounting rebuilt from the
+           measured sizes, not the journal's claim *)
         Hashtbl.iter
-          (fun fp () ->
-            if not (Fs_io.exists fs (entry_path dir fp)) then begin
-              Hashtbl.remove index fp;
-              incr dropped
-            end)
+          (fun fp (it : Retain.item) ->
+            match Hashtbl.find_opt measured fp with
+            | None ->
+                Hashtbl.remove index fp;
+                incr dropped
+            | Some (size, tuned_in) ->
+                it.Retain.bytes <- size;
+                (match tuned_in with
+                | Some s -> it.Retain.tuning_seconds <- s
+                | None -> ()))
           (Hashtbl.copy index);
         (* the rewrite repairs torn lines and compacts in one stroke *)
-        write_journal fs dir (index_fps index);
+        write_journal fs dir (index_entries index);
         {
           live = Hashtbl.length index;
+          bytes =
+            Hashtbl.fold (fun _ it acc -> acc + it.Retain.bytes) index 0;
           adopted = !adopted;
           quarantined = !quarantined;
           dropped = !dropped;
@@ -559,6 +799,7 @@ let fsck ?fs ?quarantine_ttl ~dir () =
 let describe_fsck r =
   Printf.sprintf
     "live entries     : %d\n\
+     accounted bytes  : %d\n\
      adopted orphans  : %d\n\
      quarantined      : %d\n\
      dropped adds     : %d\n\
@@ -566,7 +807,7 @@ let describe_fsck r =
      torn journal     : %s\n\
      quarantine swept : %d\n\
      known-bad marks  : %d\n"
-    r.live r.adopted r.quarantined r.dropped r.tmp_removed
+    r.live r.bytes r.adopted r.quarantined r.dropped r.tmp_removed
     (if r.torn_repaired then "repaired" else "no")
     r.quarantine_reclaimed r.known_bad
 

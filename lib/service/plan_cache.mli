@@ -1,6 +1,6 @@
 (** Persistent, content-addressed store of tuned plans.
 
-    Two layers: an in-memory LRU of recently used entries over an
+    Two layers: an in-memory cache of recently used entries over an
     on-disk directory of {!Amos.Plan_io} text files (one file per
     fingerprint, atomically written via a unique temp name + rename)
     plus an append-only journaled index ([journal.txt], [add]/[del]
@@ -16,6 +16,21 @@
     Scalar decisions ("the tuner chose the scalar units for this
     operator") are cached as explicit markers so that a warm cache
     avoids re-tuning unmappable operators too.
+
+    {2 The cache economy}
+
+    Every entry carries a {!Retain.item} — serialized bytes, the tuning
+    seconds spent producing it, and its last-access time read off an
+    injectable {!Clock} — persisted through the journal
+    ([add <fp> <bytes> <tuning_seconds>]; bare legacy [add <fp>] lines
+    load with the file's size and {!Retain.default_tuning_seconds}).
+    When [max_bytes] / [max_tuning_seconds] budgets are set, the disk
+    layer evicts the lowest {!Retain.score} (tuning-seconds-saved per
+    byte, age-decayed) until it fits again; the in-memory layer uses the
+    same score for its capacity evictions.  Passing [policy:`Lru]
+    selects a value-blind least-recently-accessed baseline instead —
+    kept so [bench cache_economy] can compare the two on identical code
+    paths.
 
     {2 Crash consistency and multi-process sharing}
 
@@ -49,21 +64,43 @@ type value =
   | Spatial of Mapping.t * Schedule.t
   | Scalar  (** the tuner decided this operator runs on the scalar units *)
 
+type policy =
+  [ `Scored  (** evict lowest retention score ({!Retain.score}) first *)
+  | `Lru  (** value-blind least-recently-accessed baseline *) ]
+
 type stats = {
   hits : int;
   misses : int;
   stores : int;
   lru_evictions : int;  (** memory-layer capacity evictions *)
+  budget_evictions : int;
+      (** disk-layer evictions forced by the byte / tuning-seconds
+          budgets *)
   corrupt_evictions : int;
       (** entries that failed re-validation and were deleted *)
 }
 
-val create : ?mem_capacity:int -> ?fs:Fs_io.t -> ?dir:string -> unit -> t
+val create :
+  ?mem_capacity:int ->
+  ?max_bytes:int ->
+  ?max_tuning_seconds:float ->
+  ?policy:policy ->
+  ?clock:Clock.t ->
+  ?fs:Fs_io.t ->
+  ?dir:string ->
+  unit ->
+  t
 (** [dir] is created if missing; omit it for a memory-only cache.
-    [mem_capacity] bounds the in-memory layer (default 256 entries); the
-    disk layer is unbounded.  [fs] (default {!Fs_io.real}) mediates all
-    disk operations — pass a {!Fs_io.faulty} handle to test crash
-    consistency.  Opening self-heals a torn trailing journal line. *)
+    [mem_capacity] bounds the in-memory layer (default 256 entries);
+    [max_bytes] / [max_tuning_seconds] budget the disk layer (default
+    unbounded) — when either is exceeded after a store, lowest-scoring
+    entries are evicted until the layer fits.  [policy] (default
+    [`Scored]) selects the eviction order; [clock] (default
+    {!Clock.real}) supplies every access stamp, so tests drive age decay
+    with a virtual clock instead of sleeping.  [fs] (default
+    {!Fs_io.real}) mediates all disk operations — pass a
+    {!Fs_io.faulty} handle to test crash consistency.  Opening
+    self-heals a torn trailing journal line. *)
 
 val dir : t -> string option
 
@@ -77,7 +114,8 @@ val lookup :
   value option
 (** [None] is a miss (absent, unreadable, or present but failed
     re-validation).  A miss on the local index triggers a journal
-    {!refresh} first, so stores from concurrent processes are found. *)
+    {!refresh} first, so stores from concurrent processes are found.
+    A hit stamps the entry's last-access time from the cache's clock. *)
 
 val lookup_migratable :
   t -> accel:Accelerator.t -> op:Operator.t -> budget:Fingerprint.budget ->
@@ -88,27 +126,54 @@ val lookup_migratable :
     {!Migrate}).  Returns [(fingerprint, source accelerator name,
     Plan_io text)] triples sorted by (accelerator name, fingerprint);
     Scalar entries and entries written before the op-key header existed
-    are skipped.  Read-only: never touches the LRU or the stats. *)
+    are skipped.  Read-only: never touches the memory layer or the
+    stats. *)
 
 val store :
   ?provenance:Plan_io.provenance ->
+  ?tuning_seconds:float ->
   t -> accel:Accelerator.t -> op:Operator.t -> budget:Fingerprint.budget ->
   value -> unit
 (** May raise [Fs_io.Injected] (disk errors): the in-memory layer is
     already updated when that happens, and the on-disk state is left
     consistent (possibly without the new entry).  [provenance] (for
-    plans that won via migration) is serialized into the plan text. *)
+    plans that won via migration) is serialized into the plan text.
+    [tuning_seconds] (default {!Retain.default_tuning_seconds}) is the
+    exploration cost this entry amortizes — it drives the retention
+    score and is persisted in both the entry header ([tuned_in]) and the
+    journal.  Storing may trigger budget evictions of lower-scoring
+    entries (possibly including the one just stored, if it is worth the
+    least). *)
 
 val refresh : t -> unit
 (** Re-replay the journal if its size changed since we last read it —
     i.e. pick up entries stored by other processes.  Called
     automatically by [lookup] on index misses. *)
 
+val trim : t -> int
+(** [refresh] then enforce the budgets now; returns the number of
+    entries evicted.  Useful against a directory grown by other
+    processes (and wired to [amos cache trim]). *)
+
 val mem_size : t -> int
 val disk_size : t -> int
 (** Number of live fingerprints in the index (0 for memory-only). *)
 
 val disk_bytes : t -> int
+(** Accounted bytes across live entries (from the journal's value
+    records, not per-call [stat]s). *)
+
+val disk_tuning_seconds : t -> float
+(** Total tuning seconds the disk layer currently protects. *)
+
+val info : t -> fingerprint:string -> Retain.item option
+(** A copy of the value accounting for one live on-disk entry. *)
+
+val eviction_log : t -> (string * float * float) list
+(** Newest first, capped: [(fingerprint, victim score, lowest retained
+    score)] recorded at each budget eviction — the property tests check
+    that no retained entry ever scored below the victim. *)
+
 val stats : t -> stats
 val clear : t -> unit
 (** Drop every entry, on disk too (under the directory lock, including
@@ -118,6 +183,9 @@ val clear : t -> unit
 
 type fsck_report = {
   live : int;  (** valid entries referenced by the rewritten journal *)
+  bytes : int;
+      (** accounted bytes after repair — measured from the files, so a
+          journal whose value records drifted is corrected here *)
   adopted : int;
       (** orphan entry files (valid header, no journal line) re-added *)
   quarantined : int;
@@ -131,17 +199,21 @@ type fsck_report = {
 }
 
 val fsck :
-  ?fs:Fs_io.t -> ?quarantine_ttl:float -> dir:string -> unit -> fsck_report
+  ?fs:Fs_io.t -> ?clock:Clock.t -> ?quarantine_ttl:float -> dir:string ->
+  unit -> fsck_report
 (** Replay the journal, validate every entry file's header against its
     fingerprint, adopt orphans, quarantine corruption, sweep abandoned
     temp files, and rewrite a compact journal — all under the directory
-    lock.  Safe to run against a live directory (writers only append).
-    Never deletes plan content: corrupt files are renamed, not removed —
-    except that passing [quarantine_ttl] (seconds; omitted = keep
-    forever) reclaims quarantine files whose mtime is older than the
-    TTL.  The report also counts the {!Badlist} known-bad markers living
-    next to the cache (informational: they never affect
-    {!fsck_clean}). *)
+    lock.  Byte and tuning-second accounting is rebuilt from the entry
+    files themselves (actual size, [tuned_in] header), so crash-torn
+    journals recover correct value records.  Safe to run against a live
+    directory (writers only append).  Never deletes plan content:
+    corrupt files are renamed, not removed — except that passing
+    [quarantine_ttl] (seconds; omitted = keep forever) reclaims
+    quarantine files whose mtime is older than the TTL, judged against
+    [clock] (default {!Clock.real}).  The report also counts the
+    {!Badlist} known-bad markers living next to the cache
+    (informational: they never affect {!fsck_clean}). *)
 
 val fsck_clean : fsck_report -> bool
 (** No quarantined entries and no dropped journal lines. *)

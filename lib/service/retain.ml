@@ -1,0 +1,57 @@
+(* The cache economy's cost model.
+
+   A cached plan is worth the exploration it saves: [tuning_seconds]
+   amortized over the [bytes] it occupies, decayed by how long ago it
+   was last useful.  Eviction always removes the lowest-scoring entry,
+   so under a byte budget the cache converges on the set of plans whose
+   re-tuning would be most expensive per byte held.
+
+   The decay is a half-life over (now - last_access) only — never over
+   absolute time — so translating every timestamp by the same delta
+   leaves the score (and therefore the eviction order) unchanged.  That
+   invariance is what lets virtual-clock tests and real-clock production
+   share one code path, and it is pinned by a QCheck property. *)
+
+type item = {
+  mutable bytes : int;
+  mutable tuning_seconds : float;
+  mutable last_access : float;
+}
+
+(* entries written before value metadata existed load with this
+   conservative default: modest enough that known-expensive plans win
+   ties, non-zero so legacy entries are not evicted as worthless *)
+let default_tuning_seconds = 1.0
+
+let default_half_life = 3600.
+
+let score ?(half_life = default_half_life) ~now item =
+  let age = Float.max 0. (now -. item.last_access) in
+  let per_byte = item.tuning_seconds /. float_of_int (max 1 item.bytes) in
+  per_byte *. (0.5 ** (age /. half_life))
+
+type budget = {
+  max_bytes : int option;
+  max_tuning_seconds : float option;
+}
+
+let unlimited = { max_bytes = None; max_tuning_seconds = None }
+
+let over budget ~bytes ~tuning_seconds =
+  (match budget.max_bytes with Some b -> bytes > b | None -> false)
+  || (match budget.max_tuning_seconds with
+     | Some s -> tuning_seconds > s
+     | None -> false)
+
+let describe_budget b =
+  let bytes =
+    match b.max_bytes with
+    | Some n -> Printf.sprintf "%d bytes" n
+    | None -> "unlimited bytes"
+  in
+  let secs =
+    match b.max_tuning_seconds with
+    | Some s -> Printf.sprintf "%.1f tuning-seconds" s
+    | None -> "unlimited tuning-seconds"
+  in
+  bytes ^ ", " ^ secs

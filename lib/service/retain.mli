@@ -1,0 +1,49 @@
+(** Retention scoring for the cache economy.
+
+    Every cached plan carries an {!item} — the serialized bytes it
+    occupies, the tuning seconds spent producing it, and when it was
+    last accessed (read off an injectable {!Clock}).  Its retention
+    {!score} is {e tuning-seconds-saved per byte, age-decayed}:
+
+    {v score = (tuning_seconds / max 1 bytes) * 0.5 ^ (age / half_life) v}
+
+    where [age = now - last_access].  Both cache layers (the persistent
+    {!Plan_cache} and the daemon's hot front cache) evict the
+    lowest-scoring entry first when a {!budget} is exceeded, so what
+    survives under pressure is the exploration that would cost the most
+    to re-pay.
+
+    The decay depends only on [now - last_access], so translating every
+    timestamp by the same delta leaves the score unchanged — eviction
+    order is invariant under clock translation (pinned by a QCheck
+    property in the test suite). *)
+
+type item = {
+  mutable bytes : int;
+      (** serialized size on disk (or on the wire, hot layer) *)
+  mutable tuning_seconds : float;  (** exploration cost this entry saves *)
+  mutable last_access : float;  (** {!Clock.now} at the last hit/store *)
+}
+
+val default_tuning_seconds : float
+(** Conservative value assumed for entries written before value metadata
+    existed (1.0s): non-zero so legacy entries are not discarded as
+    worthless, modest so plans with recorded costs win ties. *)
+
+val default_half_life : float
+(** 3600 seconds: an untouched entry loses half its score per hour. *)
+
+val score : ?half_life:float -> now:float -> item -> float
+
+type budget = {
+  max_bytes : int option;  (** [None] = unbounded *)
+  max_tuning_seconds : float option;
+      (** cap on the total tuning-seconds a cache layer protects *)
+}
+
+val unlimited : budget
+
+val over : budget -> bytes:int -> tuning_seconds:float -> bool
+(** Does a layer holding [bytes] / [tuning_seconds] exceed the budget? *)
+
+val describe_budget : budget -> string

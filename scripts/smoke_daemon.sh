@@ -87,6 +87,13 @@ if [ "$((deduped + hot))" -lt 1 ]; then
   exit 1
 fi
 
+# the tuned plan sits in the hot cache, so stats must account its bytes
+hot_bytes=$(awk '/^hot bytes/ { print $3 }' "$DIR/stats.log")
+if [ -z "$hot_bytes" ] || [ "$hot_bytes" -le 0 ]; then
+  echo "FAIL: stats report no hot-cache bytes after a tune ('$hot_bytes')"
+  exit 1
+fi
+
 # the tuned operator must now be servable without tuning
 "$CLI" client lookup --socket "$SOCK" --accel v100 --dsl "$OP" --seed 7 \
   > "$DIR/lookup.log" 2>&1 \

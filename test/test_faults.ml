@@ -547,6 +547,148 @@ let known_bad_tests =
           (s2 = Batch_compile.Degraded));
   ]
 
+(* --- cache-economy eviction under faults ------------------------------- *)
+
+module Clock = Amos_service.Clock
+
+(* the budget-eviction scenario every fault below interrupts: a + b fit
+   the 8 tuning-second budget, storing c (5 + 1 + 4 = 10) forces the two
+   cheapest entries out *)
+let eco_a () = Ops.gemm ~m:4 ~n:4 ~k:4 ()
+let eco_b () = Ops.gemm ~m:8 ~n:8 ~k:8 ()
+let eco_c () = Ops.gemm ~m:6 ~n:6 ~k:6 ()
+
+let eco_seed dir =
+  let accel = toy_accel () in
+  let cache =
+    Plan_cache.create ~max_tuning_seconds:8. ~clock:(Clock.virtual_ ()) ~dir ()
+  in
+  Plan_cache.store ~tuning_seconds:5. cache ~accel ~op:(eco_a ())
+    ~budget:small_budget Plan_cache.Scalar;
+  Plan_cache.store ~tuning_seconds:1. cache ~accel ~op:(eco_b ())
+    ~budget:small_budget Plan_cache.Scalar;
+  accel
+
+(* real size of the live entry files — what fsck's [bytes] must report *)
+let live_entry_bytes dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".plan")
+  |> List.fold_left
+       (fun acc f -> acc + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+       0
+
+(* after any interrupted eviction: fsck must drop dangling journal adds,
+   rebuild the byte accounting from the files, and go clean *)
+let assert_eviction_recovers ?(expect_torn = false) ~dir ~dropped () =
+  let r = Plan_cache.fsck ~dir () in
+  if expect_torn then
+    Alcotest.(check bool) "torn tail repaired" true r.Plan_cache.torn_repaired;
+  Alcotest.(check int) "dangling adds dropped" dropped r.Plan_cache.dropped;
+  Alcotest.(check int) "nothing quarantined" 0 r.Plan_cache.quarantined;
+  Alcotest.(check int) "byte accounting rebuilt from the files"
+    (live_entry_bytes dir) r.Plan_cache.bytes;
+  let r2 = Plan_cache.fsck ~dir () in
+  Alcotest.(check bool) "clean after repair" true (Plan_cache.fsck_clean r2);
+  let reopened = Plan_cache.create ~clock:(Clock.virtual_ ()) ~dir () in
+  Alcotest.(check int) "reopened handle agrees with disk"
+    (live_entry_bytes dir)
+    (Plan_cache.disk_bytes reopened)
+
+let economy_fault_tests =
+  let evicting_store ~dir ~accel faults =
+    let fs = Fs_io.faulty faults in
+    let cache =
+      Plan_cache.create ~fs ~max_tuning_seconds:8. ~clock:(Clock.virtual_ ())
+        ~dir ()
+    in
+    match
+      Plan_cache.store ~tuning_seconds:4. cache ~accel ~op:(eco_c ())
+        ~budget:small_budget Plan_cache.Scalar
+    with
+    | () -> false
+    | exception (Fs_io.Injected _ | Fs_io.Crashed _) -> true
+  in
+  [
+    Alcotest.test_case "crash-after-victim-unlink" `Quick (fun () ->
+        (* the victim's file is gone but its journal add survives *)
+        let dir = temp_dir "amos-eco-fault-unlink" in
+        let accel = eco_seed dir in
+        let crashed =
+          evicting_store ~dir ~accel
+            [ { Fs_io.op = Fs_io.Remove; after = 0; mode = Fs_io.Crash_after } ]
+        in
+        Alcotest.(check bool) "eviction crashed" true crashed;
+        assert_eviction_recovers ~dir ~dropped:1 ());
+    Alcotest.test_case "crash-before-eviction-journal-del" `Quick (fun () ->
+        (* unlink succeeded, the del line never landed: same dangling
+           add, reached through the append fault instead.  [after = 1]
+           because the store's own add line is this handle's first
+           append *)
+        let dir = temp_dir "amos-eco-fault-del" in
+        let accel = eco_seed dir in
+        let crashed =
+          evicting_store ~dir ~accel
+            [
+              { Fs_io.op = Fs_io.Append; after = 1; mode = Fs_io.Crash_before };
+            ]
+        in
+        Alcotest.(check bool) "eviction crashed" true crashed;
+        assert_eviction_recovers ~dir ~dropped:1 ());
+    Alcotest.test_case "torn-eviction-journal-del" `Quick (fun () ->
+        (* crash mid-append leaves a fragment of the del line; replay
+           must ignore it and fsck must heal the tail *)
+        let dir = temp_dir "amos-eco-fault-torn-del" in
+        let accel = eco_seed dir in
+        let crashed =
+          evicting_store ~dir ~accel
+            [ { Fs_io.op = Fs_io.Append; after = 1; mode = Fs_io.Torn 2 } ]
+        in
+        Alcotest.(check bool) "eviction crashed" true crashed;
+        assert_eviction_recovers ~expect_torn:true ~dir ~dropped:1 ());
+    Alcotest.test_case "eviction-unlink-failure-is-survivable" `Quick
+      (fun () ->
+        (* EIO on the victim's unlink: the store must still succeed, the
+           del line still lands, and the stranded file comes back as an
+           fsck orphan rather than being lost or double-counted *)
+        let dir = temp_dir "amos-eco-fault-eio" in
+        let accel = eco_seed dir in
+        let failed =
+          evicting_store ~dir ~accel
+            (List.init 4 (fun i ->
+                 { Fs_io.op = Fs_io.Remove; after = i; mode = Fs_io.Fail "EIO" }))
+        in
+        Alcotest.(check bool) "store survives the unlink failure" false failed;
+        let r = Plan_cache.fsck ~dir () in
+        Alcotest.(check bool) "stranded victims adopted back" true
+          (r.Plan_cache.adopted >= 1);
+        Alcotest.(check int) "accounting covers the adopted files"
+          (live_entry_bytes dir) r.Plan_cache.bytes;
+        Alcotest.(check bool) "clean after adoption" true
+          (Plan_cache.fsck_clean (Plan_cache.fsck ~dir ()));
+        (* a budgeted reopen re-trims the adopted overflow *)
+        let reopened =
+          Plan_cache.create ~max_tuning_seconds:8. ~clock:(Clock.virtual_ ())
+            ~dir ()
+        in
+        ignore (Plan_cache.trim reopened);
+        Alcotest.(check bool) "back under budget" true
+          (Plan_cache.disk_tuning_seconds reopened <= 8.));
+    Alcotest.test_case "torn-store-accounting-rebuilt" `Quick (fun () ->
+        (* crash mid-tmp-write: nothing lands, and fsck's rebuilt byte
+           accounting reflects only the entries that exist *)
+        let dir = temp_dir "amos-eco-fault-torn-store" in
+        let accel = eco_seed dir in
+        let crashed =
+          evicting_store ~dir ~accel
+            [ { Fs_io.op = Fs_io.Write; after = 0; mode = Fs_io.Torn 10 } ]
+        in
+        Alcotest.(check bool) "store crashed" true crashed;
+        let r = Plan_cache.fsck ~dir () in
+        Alcotest.(check int) "seed entries intact" 2 r.Plan_cache.live;
+        Alcotest.(check int) "tmp fragment swept" 1 r.Plan_cache.tmp_removed;
+        assert_eviction_recovers ~dir ~dropped:0 ());
+  ]
+
 (* --- quarantine TTL reclaim -------------------------------------------- *)
 
 (* store one entry, then corrupt its file so fsck quarantines it; returns
@@ -632,5 +774,6 @@ let suites =
     ("service.multiprocess", multiprocess_tests);
     ("service.degradation", degradation_tests);
     ("service.known_bad", known_bad_tests);
+    ("service.economy_faults", economy_fault_tests);
     ("service.quarantine_ttl", quarantine_ttl_tests);
   ]

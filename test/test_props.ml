@@ -403,6 +403,10 @@ let gen_response : Protocol.response QCheck.Gen.t =
       int_range 0 1000 >>= fun busy_rejections ->
       int_range 0 64 >>= fun in_flight ->
       int_range 0 64 >>= fun queue_load ->
+      int_range 0 1_000_000 >>= fun hot_bytes ->
+      gen_finite_float >>= fun hot_tuning_seconds ->
+      int_range 0 1_000_000 >>= fun cache_bytes ->
+      int_range 0 100 >>= fun quarantine_retunes ->
       return
         (Protocol.Stats_r
            {
@@ -415,6 +419,10 @@ let gen_response : Protocol.response QCheck.Gen.t =
              busy_rejections;
              in_flight;
              queue_load;
+             hot_bytes;
+             hot_tuning_seconds;
+             cache_bytes;
+             quarantine_retunes;
            })
   | 4 ->
       gen_wire_string >>= fun network ->
@@ -463,6 +471,179 @@ let prop_response_roundtrip =
     arb_response (fun r ->
       Protocol.decode_response (Protocol.encode_response r) = Ok r)
 
+(* --- cache economy ---------------------------------------------------- *)
+
+module Plan_cache = Amos_service.Plan_cache
+module Retain = Amos_service.Retain
+module Clock = Amos_service.Clock
+
+let eco_accel =
+  lazy
+    (let base = Accelerator.v100 () in
+     { base with Accelerator.intrinsics = [ Intrinsic.toy_mma_2x2x2 () ] })
+
+let eco_budget =
+  { Fingerprint.population = 4; generations = 2; measure_top = 2; seed = 42 }
+
+let eco_ops =
+  lazy
+    [|
+      Ops.gemm ~m:4 ~n:4 ~k:4 ();
+      Ops.gemm ~m:8 ~n:8 ~k:8 ();
+      Ops.gemm ~m:6 ~n:6 ~k:6 ();
+      Ops.gemm ~m:4 ~n:8 ~k:6 ();
+      Ops.gemm ~m:8 ~n:4 ~k:4 ();
+      Ops.gemm ~m:6 ~n:8 ~k:4 ();
+    |]
+
+let eco_temp_dir () =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "amos-prop-eco-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Sys.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* an arbitrary interleaving of the operations that move value records:
+   stores (with integer tuning costs), lookups (which re-stamp access
+   times), virtual-clock advances and explicit trims *)
+type eco_step =
+  | E_store of int * int  (* operator index, tuning seconds *)
+  | E_touch of int
+  | E_advance of int  (* seconds *)
+  | E_trim
+
+let show_eco_step = function
+  | E_store (i, ts) -> Printf.sprintf "store(%d, %ds)" i ts
+  | E_touch i -> Printf.sprintf "touch(%d)" i
+  | E_advance dt -> Printf.sprintf "advance(%ds)" dt
+  | E_trim -> "trim"
+
+let gen_eco_step =
+  let open QCheck.Gen in
+  frequency
+    [
+      (4, map2 (fun i ts -> E_store (i, ts)) (int_range 0 5) (int_range 1 20));
+      (2, map (fun i -> E_touch i) (int_range 0 5));
+      (2, map (fun dt -> E_advance dt) (int_range 1 7200));
+      (1, return E_trim);
+    ]
+
+(* (budget kind, bound, steps): kind 0 = unbounded, 1 = max_bytes of
+   [bound * 150] (one to a dozen entries' worth), 2 = max_tuning_seconds
+   of [bound * 3] *)
+let gen_eco_script =
+  QCheck.Gen.(
+    triple (int_range 0 2) (int_range 1 12)
+      (list_size (int_range 1 40) gen_eco_step))
+
+let arb_eco_script =
+  QCheck.make
+    ~print:(fun (kind, bound, steps) ->
+      Printf.sprintf "kind=%d bound=%d [%s]" kind bound
+        (String.concat "; " (List.map show_eco_step steps)))
+    gen_eco_script
+
+let apply_eco ~dir (kind, bound, steps) =
+  let accel = Lazy.force eco_accel in
+  let ops = Lazy.force eco_ops in
+  let clock = Clock.virtual_ () in
+  let max_bytes = if kind = 1 then Some (bound * 150) else None in
+  let max_tuning_seconds =
+    if kind = 2 then Some (float_of_int bound *. 3.) else None
+  in
+  let cache =
+    Plan_cache.create ?max_bytes ?max_tuning_seconds ~clock ~dir ()
+  in
+  List.iter
+    (function
+      | E_store (i, ts) ->
+          Plan_cache.store ~tuning_seconds:(float_of_int ts) cache ~accel
+            ~op:ops.(i) ~budget:eco_budget Plan_cache.Scalar
+      | E_touch i ->
+          ignore
+            (Plan_cache.lookup cache ~accel ~op:ops.(i) ~budget:eco_budget)
+      | E_advance dt -> Clock.advance clock (float_of_int dt)
+      | E_trim -> ignore (Plan_cache.trim cache))
+    steps;
+  cache
+
+(* the journal's byte accounting never drifts from the directory: after
+   any operation sequence — including budget evictions, overwrites and
+   trims — the accounted total equals the stat'd size of the live entry
+   files, and a fresh handle replays to the same totals *)
+let prop_bytes_accounted =
+  QCheck.Test.make ~count:100 ~name:"accounted bytes = sum of entry sizes"
+    arb_eco_script (fun script ->
+      let dir = eco_temp_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let cache = apply_eco ~dir script in
+          let on_disk =
+            Sys.readdir dir |> Array.to_list
+            |> List.filter (fun f -> Filename.check_suffix f ".plan")
+            |> List.fold_left
+                 (fun acc f ->
+                   acc + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+                 0
+          in
+          let reopened = Plan_cache.create ~clock:(Clock.virtual_ ()) ~dir () in
+          Plan_cache.disk_bytes cache = on_disk
+          && Plan_cache.disk_bytes reopened = on_disk
+          && Plan_cache.disk_tuning_seconds reopened
+             = Plan_cache.disk_tuning_seconds cache))
+
+(* eviction never sacrifices a more valuable entry: at the moment each
+   victim was chosen, every retained entry scored at least as high *)
+let prop_eviction_order =
+  QCheck.Test.make ~count:100 ~name:"no survivor outscored by a victim"
+    arb_eco_script (fun (kind, bound, steps) ->
+      (* force a budget so the sequence actually evicts *)
+      let kind = if kind = 0 then 2 else kind in
+      let dir = eco_temp_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let cache = apply_eco ~dir (kind, bound, steps) in
+          List.for_all
+            (fun (_fp, victim_score, min_retained) ->
+              victim_score >= 0. && victim_score <= min_retained)
+            (Plan_cache.eviction_log cache)))
+
+(* the age decay depends only on [now - last_access], so shifting every
+   timestamp by the same delta leaves scores bit-identical (integer
+   times keep float addition exact) *)
+let prop_score_translation_invariant =
+  QCheck.Test.make ~count:cases
+    ~name:"score invariant under clock translation"
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 0 1_000)
+        (pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+        (int_range (-1_000_000) 1_000_000))
+    (fun (bytes, ts, (last, age), delta) ->
+      let item =
+        {
+          Retain.bytes;
+          tuning_seconds = float_of_int ts;
+          last_access = float_of_int last;
+        }
+      in
+      let now = float_of_int (last + age) in
+      let shifted =
+        { item with Retain.last_access = float_of_int (last + delta) }
+      in
+      Retain.score ~now item
+      = Retain.score ~now:(float_of_int (last + age + delta)) shifted)
+
 let suites =
   [
     ( "props.algorithm1",
@@ -473,4 +654,11 @@ let suites =
     ( "props.protocol",
       List.map to_alcotest [ prop_request_roundtrip; prop_response_roundtrip ]
     );
+    ( "props.economy",
+      List.map to_alcotest
+        [
+          prop_bytes_accounted;
+          prop_eviction_order;
+          prop_score_translation_invariant;
+        ] );
   ]

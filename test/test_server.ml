@@ -103,6 +103,10 @@ let sample_responses =
         busy_rejections = 1;
         in_flight = 1;
         queue_load = 2;
+        hot_bytes = 4096;
+        hot_tuning_seconds = 7.5;
+        cache_bytes = 65536;
+        quarantine_retunes = 1;
       };
     Protocol.Compiled_r
       {
@@ -356,17 +360,21 @@ let gated_tuner () =
   in
   (tuner, gate, calls)
 
-let start_server ?tuner ?(workers = 1) ?(queue = 4) ?cache_dir () =
+let start_server ?tuner ?clock ?(workers = 1) ?(queue = 4) ?cache_dir
+    ?(hot_capacity = 16) ?hot_max_bytes () =
   let socket_path = temp_name "amosd" ^ ".sock" in
   let server =
-    Server.create ?tuner
+    Server.create ?tuner ?clock
       {
         Server.socket_path;
         cache_dir;
         workers;
         queue_capacity = queue;
         jobs = 1;
-        hot_capacity = 16;
+        hot_capacity;
+        hot_max_bytes;
+        max_bytes = None;
+        max_tuning_seconds = None;
       }
   in
   let thread = Thread.create Server.serve server in
@@ -560,6 +568,171 @@ let daemon_tests =
         | Ok _ -> Alcotest.fail "expected Plan_r"
         | Error msg -> Alcotest.fail msg);
         Alcotest.(check int) "no second exploration" 1 (Atomic.get calls);
+        Server.stop server2;
+        Thread.join thread2);
+    Alcotest.test_case "stats-report-hot-and-cache-economy" `Quick (fun () ->
+        let dir = temp_name "amosd-eco-stats" in
+        Sys.mkdir dir 0o755;
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+          { Server.value = Plan_cache.Scalar; evaluations = 1 }
+        in
+        let server, thread, socket = start_server ~tuner ~cache_dir:dir () in
+        let stats_over_wire c =
+          match Client.request c Protocol.Stats with
+          | Ok (Protocol.Stats_r s) -> s
+          | Ok _ -> Alcotest.fail "expected Stats_r"
+          | Error msg -> Alcotest.fail msg
+        in
+        Client.with_conn ~attempts:50 socket (fun c ->
+            let s0 = stats_over_wire c in
+            Alcotest.(check int) "cold hot cache holds nothing" 0
+              s0.Protocol.hot_bytes;
+            (match Client.request c (tune_req gemm_text) with
+            | Ok (Protocol.Plan_r _) -> ()
+            | Ok _ -> Alcotest.fail "expected Plan_r"
+            | Error msg -> Alcotest.fail msg);
+            let s1 = stats_over_wire c in
+            Alcotest.(check bool) "hot layer accounts the plan" true
+              (s1.Protocol.hot_bytes > 0);
+            Alcotest.(check bool) "hot layer protects tuning time" true
+              (s1.Protocol.hot_tuning_seconds >= 0.);
+            Alcotest.(check bool) "persistent layer accounts bytes" true
+              (s1.Protocol.cache_bytes > 0);
+            (* repeat hits must not grow the hot accounting: served, not
+               re-admitted as fresh slots *)
+            for _ = 1 to 3 do
+              match Client.request c (tune_req gemm_text) with
+              | Ok (Protocol.Plan_r r) ->
+                  Alcotest.(check string) "served hot" "hot" r.Protocol.source
+              | Ok _ -> Alcotest.fail "expected Plan_r"
+              | Error msg -> Alcotest.fail msg
+            done;
+            let s2 = stats_over_wire c in
+            Alcotest.(check int) "hot bytes stable across repeats"
+              s1.Protocol.hot_bytes s2.Protocol.hot_bytes;
+            Alcotest.(check int) "no retunes yet" 0
+              s2.Protocol.quarantine_retunes);
+        Server.stop server;
+        Thread.join thread);
+    Alcotest.test_case "readmission-from-cache-never-double-counts" `Quick
+      (fun () ->
+        (* a fingerprint bouncing between the persistent cache and the
+           hot layer (restart, hot eviction, re-lookup) is one slot, not
+           an accumulating series of them *)
+        let dir = temp_name "amosd-eco-readmit" in
+        Sys.mkdir dir 0o755;
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+          { Server.value = Plan_cache.Scalar; evaluations = 1 }
+        in
+        let server1, thread1, socket1 =
+          start_server ~tuner ~cache_dir:dir ()
+        in
+        (match
+           Client.with_conn ~attempts:50 socket1 (fun c ->
+               Client.request c (tune_req gemm_text))
+         with
+        | Ok (Protocol.Plan_r _) -> ()
+        | Ok _ -> Alcotest.fail "expected Plan_r"
+        | Error msg -> Alcotest.fail msg);
+        let baseline = (Server.stats server1).Protocol.hot_bytes in
+        Server.stop server1;
+        Thread.join thread1;
+        (* fresh daemon, cold hot layer: every lookup promotes from the
+           persistent cache into the hot layer *)
+        let server2, thread2, socket2 =
+          start_server ~tuner ~cache_dir:dir ()
+        in
+        let lookup_req =
+          Protocol.Lookup
+            { accel = "toy"; op = Protocol.Dsl_text gemm_text;
+              budget = small_budget }
+        in
+        Client.with_conn ~attempts:50 socket2 (fun c ->
+            for i = 1 to 3 do
+              match Client.request c lookup_req with
+              | Ok (Protocol.Plan_r _) -> ()
+              | Ok _ -> Alcotest.fail (Printf.sprintf "lookup %d must hit" i)
+              | Error msg -> Alcotest.fail msg
+            done);
+        Alcotest.(check int) "one slot's worth of bytes, as before restart"
+          baseline
+          (Server.stats server2).Protocol.hot_bytes;
+        Server.stop server2;
+        Thread.join thread2);
+    Alcotest.test_case "idle-drain-retunes-quarantined-fingerprint" `Quick
+      (fun () ->
+        let dir = temp_name "amosd-eco-retune" in
+        Sys.mkdir dir 0o755;
+        let calls = Atomic.make 0 in
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+          Atomic.incr calls;
+          { Server.value = Plan_cache.Scalar; evaluations = 1 }
+        in
+        (* a first daemon tunes and persists the plan *)
+        let server1, thread1, socket1 =
+          start_server ~tuner ~cache_dir:dir ()
+        in
+        (match
+           Client.with_conn ~attempts:50 socket1 (fun c ->
+               Client.request c (tune_req gemm_text))
+         with
+        | Ok (Protocol.Plan_r _) -> ()
+        | Ok _ -> Alcotest.fail "expected Plan_r"
+        | Error msg -> Alcotest.fail msg);
+        Server.stop server1;
+        Thread.join thread1;
+        (* the entry is corrupted on disk; fsck quarantines it *)
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".plan" then begin
+              let oc = open_out (Filename.concat dir f) in
+              output_string oc "garbage: not a plan header\n";
+              close_out oc
+            end)
+          (Sys.readdir dir);
+        let r = Plan_cache.fsck ~dir () in
+        Alcotest.(check int) "entry quarantined" 1 r.Plan_cache.quarantined;
+        (* a fresh daemon misses — but the lookup teaches it the spec *)
+        let server2, thread2, socket2 =
+          start_server ~tuner ~cache_dir:dir ()
+        in
+        (match
+           Client.with_conn ~attempts:50 socket2 (fun c ->
+               Client.request c
+                 (Protocol.Lookup
+                    { accel = "toy"; op = Protocol.Dsl_text gemm_text;
+                      budget = small_budget }))
+         with
+        | Ok Protocol.Not_found_r -> ()
+        | Ok _ -> Alcotest.fail "quarantined entry must miss"
+        | Error msg -> Alcotest.fail msg);
+        (* the idle drain re-tunes it in the background (the serve
+           loop's own ticks may also fire this; either way exactly one
+           retune happens) *)
+        ignore (Server.drain_quarantined_once server2);
+        wait_for "quarantined fingerprint re-tuned" (fun () ->
+            (Server.stats server2).Protocol.quarantine_retunes = 1);
+        wait_for "quarantine file removed after the fresh store" (fun () ->
+            Array.for_all
+              (fun f -> not (Filename.check_suffix f ".plan.quarantined"))
+              (Sys.readdir dir));
+        Alcotest.(check int) "exactly one extra exploration" 2
+          (Atomic.get calls);
+        (* the restored plan is served again without tuning *)
+        (match
+           Client.with_conn ~attempts:50 socket2 (fun c ->
+               Client.request c
+                 (Protocol.Lookup
+                    { accel = "toy"; op = Protocol.Dsl_text gemm_text;
+                      budget = small_budget }))
+         with
+        | Ok (Protocol.Plan_r _) -> ()
+        | Ok _ -> Alcotest.fail "restored entry must hit"
+        | Error msg -> Alcotest.fail msg);
+        Alcotest.(check int) "no further exploration" 2 (Atomic.get calls);
+        (* a second drain pass finds nothing to do *)
+        Alcotest.(check bool) "drain is idempotent" false
+          (Server.drain_quarantined_once server2);
         Server.stop server2;
         Thread.join thread2);
     Alcotest.test_case "default-tuner-serves-validating-plan" `Quick

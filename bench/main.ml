@@ -983,6 +983,208 @@ let cache_economy () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Plan fleet: warm plan served across daemons vs tuning it locally     *)
+
+let fleet () =
+  header "Plan fleet: warm-via-peer lookup vs cold local tune";
+  let module Server = Amos_server.Server in
+  let module Client = Amos_server.Client in
+  let module Protocol = Amos_server.Protocol in
+  let module Transport = Amos_server.Transport in
+  let module Fingerprint = Amos_service.Fingerprint in
+  let module Fleet = Amos_fleet.Fleet in
+  let smoke = !smoke_flag in
+  let budget =
+    {
+      Fingerprint.population = (if smoke then 8 else 16);
+      generations = (if smoke then 4 else 8);
+      measure_top = 2;
+      seed = !seed_ref;
+    }
+  in
+  let token = "bench-fleet-token" in
+  let mk_server () =
+    Server.create
+      {
+        Server.socket_path = None;
+        tcp = Some ("127.0.0.1", 0);
+        auth_token = Some token;
+        handshake_timeout_s = 5.;
+        cache_dir = None;
+        workers = 2;
+        queue_capacity = 16;
+        jobs = 1;
+        hot_capacity = 128;
+        hot_max_bytes = None;
+        max_bytes = None;
+        max_tuning_seconds = None;
+      }
+  in
+  let server_a = mk_server () and server_b = mk_server () in
+  let port s =
+    match Server.tcp_port s with
+    | Some p -> p
+    | None -> failwith "bench fleet: no bound TCP port"
+  in
+  let addr_a = Printf.sprintf "127.0.0.1:%d" (port server_a) in
+  let addr_b = Printf.sprintf "127.0.0.1:%d" (port server_b) in
+  (* B joins the fleet; A stays router-less so its answers are purely
+     local, which keeps the cold-side measurement honest *)
+  let fleet_b =
+    Fleet.create
+      { (Fleet.default_config ~self:addr_b ~peers:[ addr_a ]) with
+        Fleet.token; timeout_s = 5. }
+  in
+  Server.set_router server_b (Fleet.router fleet_b);
+  let thread_a = Thread.create Server.serve server_a in
+  let thread_b = Thread.create Server.serve server_b in
+  let endpoint s = Transport.Tcp { host = "127.0.0.1"; port = port s } in
+  let with_server s f =
+    Client.with_endpoint ~attempts:50 ~token (endpoint s) f
+  in
+  let accel = Accelerator.v100 () in
+  let gemm m =
+    Printf.sprintf "for {i:%d, j:32} for {r:32r}: out[i,j] += a[i,r] * b[r,j]"
+      m
+  in
+  (* only operators the ring assigns to A exercise the forwarding path
+     from B; scan gemm sizes until enough of them land on A *)
+  let owned_by_a text =
+    let op = Amos_ir.Dsl.parse_exn ~name:"wire-op" text in
+    let fp = Fingerprint.key ~accel ~op ~budget in
+    Fleet.owner fleet_b fp = Some addr_a
+  in
+  let wanted = if smoke then 3 else 5 in
+  let ops =
+    let rec scan m acc =
+      if List.length acc >= wanted + 1 then List.rev acc
+      else
+        let text = gemm m in
+        scan (m + 8) (if owned_by_a text then text :: acc else acc)
+    in
+    scan 16 []
+  in
+  let measured, fallback_op =
+    match List.rev ops with
+    | last :: rest -> (List.rev rest, last)
+    | [] -> failwith "bench fleet: no A-owned operators found"
+  in
+  let tune_req text =
+    Protocol.Tune { accel = "v100"; op = Protocol.Dsl_text text; budget }
+  in
+  let lookup_req text =
+    Protocol.Lookup { accel = "v100"; op = Protocol.Dsl_text text; budget }
+  in
+  let timed conn req =
+    let t0 = Unix.gettimeofday () in
+    match Client.request_retry conn req with
+    | Ok (Protocol.Plan_r r) -> (Unix.gettimeofday () -. t0, r)
+    | Ok _ -> failwith "bench fleet: expected Plan_r"
+    | Error msg -> failwith ("bench fleet: " ^ msg)
+  in
+  Printf.printf "(seed %d, %d ops, A=%s B=%s%s)\n" budget.Fingerprint.seed
+    (List.length measured) addr_a addr_b
+    (if smoke then ", smoke" else "");
+  Printf.printf "%-8s %12s %14s %10s %8s\n" "Op" "cold(ms)" "via-peer(ms)"
+    "speedup" "source";
+  (* cold: tune on the owner itself *)
+  let colds =
+    with_server server_a (fun conn ->
+        List.map (fun text -> fst (timed conn (tune_req text))) measured)
+  in
+  (* warm via peer: first lookup through B forwards to A's hot cache *)
+  let rows, speedups =
+    with_server server_b (fun conn ->
+        List.map2
+          (fun text cold_s ->
+            let warm_s, r = timed conn (lookup_req text) in
+            let speedup = cold_s /. warm_s in
+            let name =
+              Scanf.sscanf text "for {i:%d" (Printf.sprintf "gemm%d")
+            in
+            Printf.printf "%-8s %12.3f %14.3f %9.1fx %8s\n%!" name
+              (1e3 *. cold_s) (1e3 *. warm_s) speedup r.Protocol.source;
+            if r.Protocol.source <> "peer" then
+              failwith
+                ("bench fleet: expected source peer, got " ^ r.Protocol.source);
+            ( (name, cold_s, warm_s, speedup),
+              speedup ))
+          measured colds
+        |> List.split)
+  in
+  let stats_b = Server.stats server_b in
+  Printf.printf
+    "peer B forwarded %d requests, %d answered by the owner's hot cache\n%!"
+    stats_b.Protocol.forwarded stats_b.Protocol.peer_hits;
+  (* owner down: the fleet must degrade to local tuning, not to errors *)
+  Server.stop server_a;
+  Thread.join thread_a;
+  let fallback_ok =
+    with_server server_b (fun conn ->
+        let _, r = timed conn (tune_req fallback_op) in
+        Printf.printf "owner down: tune via B served locally (source %s)\n%!"
+          r.Protocol.source;
+        r.Protocol.source = "tuned")
+  in
+  let stats_b = Server.stats server_b in
+  Server.stop server_b;
+  Thread.join thread_b;
+  let geo = geomean speedups in
+  Csv.write "fleet"
+    ~header:[ "op"; "cold_s"; "warm_via_peer_s"; "speedup" ]
+    (List.map
+       (fun (name, c, w, s) -> [ name; Csv.f c; Csv.f w; Csv.f s ])
+       rows);
+  (* one JSON line per op plus the aggregate, so the perf trajectory can
+     be tracked across commits without parsing the CSV *)
+  let json =
+    let op_json (name, c, w, s) =
+      Printf.sprintf
+        "    {\"op\": \"%s\", \"cold_s\": %.6g, \"warm_via_peer_s\": %.6g, \
+         \"speedup\": %.6g}"
+        name c w s
+    in
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"experiment\": \"fleet\",";
+        Printf.sprintf "  \"seed\": %d," budget.Fingerprint.seed;
+        Printf.sprintf "  \"smoke\": %b," smoke;
+        "  \"ops\": [";
+        String.concat ",\n" (List.map op_json rows);
+        "  ],";
+        Printf.sprintf "  \"geomean_speedup\": %.6g," geo;
+        Printf.sprintf "  \"gate_min_speedup\": 5.0,";
+        Printf.sprintf "  \"forwarded\": %d," stats_b.Protocol.forwarded;
+        Printf.sprintf "  \"peer_hits\": %d," stats_b.Protocol.peer_hits;
+        Printf.sprintf "  \"peer_fallbacks\": %d,"
+          stats_b.Protocol.peer_fallbacks;
+        Printf.sprintf "  \"fallback_local_tune_ok\": %b" fallback_ok;
+        "}";
+      ]
+  in
+  let oc = open_out "BENCH_fleet.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "[written BENCH_fleet.json]\n%!";
+  Printf.printf "warm-via-peer speedup (geomean): %.1fx (gate: >= 5x)\n%!" geo;
+  if geo < 5. then begin
+    Printf.printf
+      "FAIL: warm-via-peer lookups must be >= 5x faster than cold local \
+       tunes\n%!";
+    exit 1
+  end;
+  if not fallback_ok then begin
+    Printf.printf "FAIL: owner-down tune via B must fall back locally\n%!";
+    exit 1
+  end;
+  if stats_b.Protocol.peer_hits < List.length measured then begin
+    Printf.printf "FAIL: expected %d peer hits, saw %d\n%!"
+      (List.length measured) stats_b.Protocol.peer_hits;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler hot paths                  *)
 
 let micro () =
@@ -1060,7 +1262,7 @@ let experiments =
     ("layout", layout); ("newaccel", newaccel); ("ablate", ablate);
     ("service", service); ("robustness", robustness);
     ("migration", migration); ("serve", serve);
-    ("cache_economy", cache_economy); ("micro", micro);
+    ("cache_economy", cache_economy); ("fleet", fleet); ("micro", micro);
   ]
 
 let () =

@@ -731,20 +731,101 @@ let ir_cmd =
 module Server = Amos_server.Server
 module Sclient = Amos_server.Client
 module Protocol = Amos_server.Protocol
+module Transport = Amos_server.Transport
+module Fleet = Amos_fleet.Fleet
+module Ring = Amos_fleet.Ring
 
 let socket_arg =
-  let doc = "Path of the daemon's Unix-domain socket." in
-  Arg.(required & opt (some string) None
-       & info [ "socket" ] ~docv:"PATH" ~doc)
+  let doc =
+    "Path of the daemon's Unix-domain socket (the local trusted path; \
+     optional when --tcp is given)."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_serve_arg =
+  let doc =
+    "Also listen on TCP at HOST:PORT (or just PORT, binding 127.0.0.1).  \
+     TCP connections must open with the authenticated handshake."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let token_arg =
+  let doc =
+    "Shared fleet auth token every TCP handshake must present \
+     (constant-time comparison).  Without it only an empty token is \
+     accepted."
+  in
+  Arg.(value & opt (some string) None & info [ "token" ] ~docv:"TOKEN" ~doc)
+
+let peers_arg =
+  let doc =
+    "Comma-separated HOST:PORT list of the other fleet daemons.  Each \
+     plan fingerprint is owned by one member of the consistent-hash \
+     ring over self + peers; local misses for foreign fingerprints are \
+     forwarded to their owner, and an unreachable owner falls back to \
+     local tuning."
+  in
+  Arg.(value & opt (some string) None & info [ "peers" ] ~docv:"LIST" ~doc)
+
+let self_arg =
+  let doc =
+    "This daemon's own HOST:PORT as the peers see it (ring identity).  \
+     Defaults to the --tcp address; required with --peers when --tcp \
+     binds a wildcard or ephemeral address the peers cannot dial."
+  in
+  Arg.(value & opt (some string) None & info [ "self" ] ~docv:"HOST:PORT" ~doc)
+
+let split_peers s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun p -> p <> "")
+
+let parse_tcp_exn s =
+  match Transport.parse_tcp s with
+  | Ok hp -> hp
+  | Error msg -> failwith msg
 
 let serve_cmd =
-  let run verbose socket cache_dir workers queue_capacity jobs hot_capacity
-      hot_max_bytes max_bytes max_tuning_seconds =
+  let run verbose socket tcp token peers self_addr cache_dir workers
+      queue_capacity jobs hot_capacity hot_max_bytes max_bytes
+      max_tuning_seconds =
     setup_logs verbose;
+    let tcp = Option.map parse_tcp_exn tcp in
+    if socket = None && tcp = None then
+      failwith "serve: give --socket PATH and/or --tcp HOST:PORT";
+    let peers = match peers with None -> [] | Some s -> split_peers s in
+    let router =
+      if peers = [] then None
+      else begin
+        let self =
+          match (self_addr, tcp) with
+          | Some s, _ ->
+              let host, port = parse_tcp_exn s in
+              Printf.sprintf "%s:%d" host port
+          | None, Some (host, port) when port <> 0 ->
+              Printf.sprintf "%s:%d" host port
+          | None, _ ->
+              failwith
+                "serve: --peers needs --self (or a fixed --tcp address) as \
+                 this daemon's ring identity"
+        in
+        let fleet =
+          Fleet.create
+            {
+              (Fleet.default_config ~self ~peers) with
+              Fleet.token = Option.value token ~default:"";
+            }
+        in
+        Some (Fleet.router fleet)
+      end
+    in
     let server =
-      Server.create
+      Server.create ?router
         {
           Server.socket_path = socket;
+          tcp;
+          auth_token = token;
+          handshake_timeout_s = 5.;
           cache_dir;
           workers;
           queue_capacity;
@@ -792,10 +873,13 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the plan-serving daemon (amosd): one process owns the plan \
-          cache and serves tuning over a Unix-domain socket with \
-          single-flight deduplication, admission control and cost-aware \
-          cache budgets.")
-    Term.(const run $ verbose_arg $ socket_arg $ cache_dir_arg $ workers_arg
+          cache and serves tuning over a Unix-domain socket and/or TCP \
+          with single-flight deduplication, admission control and \
+          cost-aware cache budgets.  With --peers it joins a plan fleet: \
+          each fingerprint has one ring owner, misses are forwarded to \
+          it, and a dead owner degrades to local tuning.")
+    Term.(const run $ verbose_arg $ socket_arg $ tcp_serve_arg $ token_arg
+          $ peers_arg $ self_arg $ cache_dir_arg $ workers_arg
           $ queue_arg $ jobs_arg $ hot_arg $ hot_bytes_arg $ max_bytes_arg
           $ max_tuning_seconds_arg)
 
@@ -842,7 +926,11 @@ let print_response ~show_plan = function
       Printf.printf "hot bytes       %d\n" s.Protocol.hot_bytes;
       Printf.printf "hot tuning-s    %.2f\n" s.Protocol.hot_tuning_seconds;
       Printf.printf "cache bytes     %d\n" s.Protocol.cache_bytes;
-      Printf.printf "retuned         %d\n" s.Protocol.quarantine_retunes
+      Printf.printf "retuned         %d\n" s.Protocol.quarantine_retunes;
+      Printf.printf "forwarded       %d\n" s.Protocol.forwarded;
+      Printf.printf "peer hits       %d\n" s.Protocol.peer_hits;
+      Printf.printf "peer fallbacks  %d\n" s.Protocol.peer_fallbacks;
+      Printf.printf "auth rejected   %d\n" s.Protocol.auth_rejections
   | Protocol.Compiled_r c ->
       Printf.printf "network   %s\n" c.Protocol.network;
       Printf.printf "ops       %d total, %d mapped\n" c.Protocol.total_ops
@@ -857,46 +945,79 @@ let print_response ~show_plan = function
       Printf.eprintf "server error: %s\n" msg;
       exit 1
 
-let client_run socket req ~retry ~show_plan =
-  Sclient.with_conn ~attempts:20 socket (fun conn ->
-      let result =
-        if retry then Sclient.request_retry conn req
-        else Sclient.request conn req
-      in
-      match result with
-      | Ok resp -> print_response ~show_plan resp
-      | Error msg ->
-          Printf.eprintf "client error: %s\n" msg;
-          exit 1)
+let tcp_client_arg =
+  let doc =
+    "Talk to the daemon over TCP at HOST:PORT (or just PORT, dialing \
+     127.0.0.1) instead of the Unix socket."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let endpoint_of ~socket ~tcp =
+  match (tcp, socket) with
+  | Some addr, _ ->
+      let host, port = parse_tcp_exn addr in
+      Transport.Tcp { host; port }
+  | None, Some path -> Transport.Unix_path path
+  | None, None -> failwith "client: give --socket PATH or --tcp HOST:PORT"
+
+let client_run ~socket ~tcp ~token req ~retry ~show_plan =
+  let endpoint = endpoint_of ~socket ~tcp in
+  let token = Option.value token ~default:"" in
+  match
+    Sclient.with_endpoint ~attempts:20 ~token endpoint (fun conn ->
+        let result =
+          if retry then Sclient.request_retry conn req
+          else Sclient.request conn req
+        in
+        match result with
+        | Ok resp -> print_response ~show_plan resp
+        | Error msg ->
+            Printf.eprintf "client error: %s\n" msg;
+            exit 1)
+  with
+  | () -> ()
+  | exception Sclient.Denied reason ->
+      Printf.eprintf "client error: handshake denied: %s\n" reason;
+      exit 1
 
 let client_health_cmd =
-  let run socket = client_run socket Protocol.Health ~retry:false ~show_plan:false in
+  let run socket tcp token =
+    client_run ~socket ~tcp ~token Protocol.Health ~retry:false
+      ~show_plan:false
+  in
   Cmd.v (Cmd.info "health" ~doc:"Ping the daemon")
-    Term.(const run $ socket_arg)
+    Term.(const run $ socket_arg $ tcp_client_arg $ token_arg)
 
 let client_stats_cmd =
-  let run socket = client_run socket Protocol.Stats ~retry:false ~show_plan:false in
+  let run socket tcp token =
+    client_run ~socket ~tcp ~token Protocol.Stats ~retry:false
+      ~show_plan:false
+  in
   Cmd.v (Cmd.info "stats" ~doc:"Print the daemon's counters")
-    Term.(const run $ socket_arg)
+    Term.(const run $ socket_arg $ tcp_client_arg $ token_arg)
 
 let client_shutdown_cmd =
-  let run socket =
-    client_run socket Protocol.Shutdown ~retry:false ~show_plan:false
+  let run socket tcp token =
+    client_run ~socket ~tcp ~token Protocol.Shutdown ~retry:false
+      ~show_plan:false
   in
   Cmd.v
     (Cmd.info "shutdown"
        ~doc:"Gracefully stop the daemon (drains in-flight tuning first)")
-    Term.(const run $ socket_arg)
+    Term.(const run $ socket_arg $ tcp_client_arg $ token_arg)
 
 let client_op_cmd name ~doc make_req =
-  let run socket accel layer kind batch index seed dsl show_plan =
+  let run socket tcp token accel layer kind batch index seed dsl show_plan =
     let op = op_spec_of ?dsl ~layer ~kind ~batch ~index () in
     let budget = budget_with seed in
-    client_run socket (make_req ~accel ~op ~budget) ~retry:true ~show_plan
+    client_run ~socket ~tcp ~token
+      (make_req ~accel ~op ~budget)
+      ~retry:true ~show_plan
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ socket_arg $ accel_arg $ layer_arg $ kind_arg
-          $ batch_arg $ index_arg $ seed_arg $ dsl_arg $ show_plan_arg)
+    Term.(const run $ socket_arg $ tcp_client_arg $ token_arg $ accel_arg
+          $ layer_arg $ kind_arg $ batch_arg $ index_arg $ seed_arg
+          $ dsl_arg $ show_plan_arg)
 
 let client_tune_cmd =
   client_op_cmd "tune"
@@ -918,9 +1039,9 @@ let client_migrate_cmd =
     (fun ~accel ~op ~budget -> Protocol.Migrate_tune { accel; op; budget })
 
 let client_compile_cmd =
-  let run socket accel network batch seed jobs =
+  let run socket tcp token accel network batch seed jobs =
     let budget = budget_with ~population:8 ~generations:4 seed in
-    client_run socket
+    client_run ~socket ~tcp ~token
       (Protocol.Compile { accel; network; batch; budget; jobs })
       ~retry:true ~show_plan:false
   in
@@ -931,8 +1052,8 @@ let client_compile_cmd =
   Cmd.v
     (Cmd.info "compile"
        ~doc:"Compile a whole network through the daemon's plan service")
-    Term.(const run $ socket_arg $ accel_arg $ network_req_arg $ batch_arg
-          $ seed_arg $ jobs_arg)
+    Term.(const run $ socket_arg $ tcp_client_arg $ token_arg $ accel_arg
+          $ network_req_arg $ batch_arg $ seed_arg $ jobs_arg)
 
 let client_cmd =
   Cmd.group
@@ -942,6 +1063,84 @@ let client_cmd =
       client_migrate_cmd; client_compile_cmd; client_shutdown_cmd;
     ]
 
+(* --- fleet -------------------------------------------------------- *)
+
+(* offline fleet introspection: compute the fingerprint a request will
+   carry and which ring member owns it, without any daemon running.
+   The op is resolved exactly the way the daemon resolves a wire
+   request, and fingerprints hash iteration structure by position (the
+   operator's name is cosmetic), so this agrees with the server. *)
+let fleet_fingerprint_of ~accel ~layer ~kind ~batch ~index ~seed ~dsl =
+  let op =
+    match op_spec_of ?dsl ~layer ~kind ~batch ~index () with
+    | Protocol.Layer label ->
+        Resnet.config (Resnet.by_label (String.uppercase_ascii label))
+    | Protocol.Kind { kind; batch; index } -> (
+        match
+          List.nth_opt (Suites.configs_per_kind ~batch (kind_by_name kind))
+            index
+        with
+        | Some op -> op
+        | None -> failwith (Printf.sprintf "no config %d for kind %s" index kind))
+    | Protocol.Dsl_text text -> Amos_ir.Dsl.parse_exn ~name:"wire-op" text
+  in
+  Fingerprint.key ~accel:(accel_by_name accel) ~op ~budget:(budget_with seed)
+
+let fleet_fingerprint_cmd =
+  let run accel layer kind batch index seed dsl =
+    print_endline
+      (fleet_fingerprint_of ~accel ~layer ~kind ~batch ~index ~seed ~dsl)
+  in
+  Cmd.v
+    (Cmd.info "fingerprint"
+       ~doc:
+         "Print the plan fingerprint a tune/lookup request for this \
+          operator will carry (computed offline, identical to the \
+          daemon's).")
+    Term.(const run $ accel_arg $ layer_arg $ kind_arg $ batch_arg
+          $ index_arg $ seed_arg $ dsl_arg)
+
+let fleet_owner_cmd =
+  let run members vnodes fingerprint =
+    let members = split_peers members in
+    let ring = Ring.create ~vnodes members in
+    match Ring.owner ring fingerprint with
+    | Some o -> print_endline o
+    | None ->
+        prerr_endline "owner: empty ring";
+        exit 2
+  in
+  let members_arg =
+    let doc = "Comma-separated ring member list (every daemon's HOST:PORT)." in
+    Arg.(required & opt (some string) None
+         & info [ "members" ] ~docv:"LIST" ~doc)
+  in
+  let vnodes_arg =
+    let doc = "Ring points per member (must match the daemons')." in
+    Arg.(value & opt int Ring.default_vnodes
+         & info [ "vnodes" ] ~docv:"N" ~doc)
+  in
+  let fingerprint_arg =
+    let doc = "Plan fingerprint (see `amos_cli fleet fingerprint`)." in
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FINGERPRINT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "owner"
+       ~doc:
+         "Print which ring member owns a fingerprint.  Deterministic: \
+          every process with the same member list computes the same \
+          owner.")
+    Term.(const run $ members_arg $ vnodes_arg $ fingerprint_arg)
+
+let fleet_cmd =
+  Cmd.group
+    (Cmd.info "fleet"
+       ~doc:
+         "Inspect plan-fleet routing: fingerprints and consistent-hash \
+          ring ownership, computed offline.")
+    [ fleet_fingerprint_cmd; fleet_owner_cmd ]
+
 let () =
   let doc = "AMOS: automatic mapping for tensor computations on spatial accelerators" in
   let info = Cmd.info "amos_cli" ~version:"1.0.0" ~doc in
@@ -950,4 +1149,4 @@ let () =
        (Cmd.group info
           [ accels_cmd; count_cmd; map_cmd; tune_cmd; verify_cmd;
             validate_cmd; networks_cmd; cache_cmd; profile_cmd;
-            abstraction_cmd; ir_cmd; serve_cmd; client_cmd ]))
+            abstraction_cmd; ir_cmd; serve_cmd; client_cmd; fleet_cmd ]))

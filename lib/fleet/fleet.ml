@@ -1,0 +1,75 @@
+module Clock = Amos_service.Clock
+module Protocol = Amos_server.Protocol
+module Client = Amos_server.Client
+module Transport = Amos_server.Transport
+
+let log_src = Logs.Src.create "amos.fleet" ~doc:"AMOS plan fleet"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  self : string;
+  peers : string list;
+  token : string;
+  vnodes : int;
+  timeout_s : float;
+}
+
+let default_config ~self ~peers =
+  { self; peers; token = ""; vnodes = Ring.default_vnodes; timeout_s = 10. }
+
+type t = { config : config; ring : Ring.t; bad : Peer_badlist.t }
+
+let create ?clock config =
+  let ring =
+    Ring.create ~vnodes:config.vnodes (config.self :: config.peers)
+  in
+  { config; ring; bad = Peer_badlist.create ?clock () }
+
+let ring t = t.ring
+let badlist t = t.bad
+let self t = t.config.self
+let owner t key = Ring.owner t.ring key
+
+(* one forward = one short-lived connection: peers are daemons, not
+   chatty clients, and a fresh connect per miss keeps failure detection
+   trivial (no half-dead pooled sockets) at a cost that is noise next
+   to the tuning time being saved *)
+let forward t peer req =
+  match Transport.parse_tcp peer with
+  | Error msg -> Error (Printf.sprintf "bad peer address %S: %s" peer msg)
+  | Ok (host, port) -> (
+      let endpoint = Transport.Tcp { host; port } in
+      match
+        Client.with_endpoint ~timeout_s:t.config.timeout_s
+          ~token:t.config.token ~peer:true endpoint (fun conn ->
+            Client.request conn req)
+      with
+      | Ok _ as r -> r
+      | Error _ as r -> r
+      | exception Client.Denied reason ->
+          Error ("handshake denied: " ^ reason)
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Unix.error_message e)
+      | exception e -> Error (Printexc.to_string e))
+
+let route t ~fingerprint req =
+  match Ring.owner t.ring fingerprint with
+  | None -> `Local
+  | Some o when String.equal o t.config.self -> `Local
+  | Some o ->
+      if not (Peer_badlist.available t.bad o) then
+        `Fallback (Printf.sprintf "owner %s is backing off" o)
+      else (
+        match forward t o req with
+        | Ok resp ->
+            Peer_badlist.success t.bad o;
+            `Reply resp
+        | Error msg ->
+            Peer_badlist.failure t.bad o;
+            Log.info (fun m ->
+                m "forward to %s failed (%s), backing off %d" o msg
+                  (Peer_badlist.failures t.bad o));
+            `Fallback (Printf.sprintf "owner %s unreachable: %s" o msg))
+
+let router t ~fingerprint req = route t ~fingerprint req

@@ -1,0 +1,55 @@
+(** Multi-host plan fleet: N [amosd] daemons acting as one service.
+
+    Each daemon carries the same member list and derives, with no
+    coordination, a consistent-hash {!Ring} assigning every plan
+    fingerprint an {e owning} peer.  A daemon that misses both local
+    cache layers for a fingerprint it does not own forwards the request
+    to the owner over TCP (token-authenticated {!Amos_server.Protocol}
+    handshake, origin marked [peer] so the owner never forwards again)
+    and re-admits a served plan into its own hot cache.  An owner that
+    is down or misbehaving lands on the {!Peer_badlist} with
+    exponential backoff and the daemon tunes locally — the fleet
+    degrades to N independent daemons, never to client-visible errors.
+
+    The fleet plugs into the daemon as its [router]
+    ({!Amos_server.Server.set_router}); this library depends on
+    [amos_server], not the other way around. *)
+
+type config = {
+  self : string;  (** this daemon's own address in the ring, HOST:PORT *)
+  peers : string list;  (** the other members, HOST:PORT each *)
+  token : string;  (** shared auth token presented in every handshake *)
+  vnodes : int;  (** ring points per member *)
+  timeout_s : float;  (** per-forward connect/read deadline *)
+}
+
+val default_config : self:string -> peers:string list -> config
+(** Empty token, {!Ring.default_vnodes}, 10 s forward timeout. *)
+
+type t
+
+val create : ?clock:Amos_service.Clock.t -> config -> t
+(** Build the ring over [self :: peers].  [clock] (default real) drives
+    the badlist backoff — tests use a virtual clock. *)
+
+val route :
+  t ->
+  fingerprint:string ->
+  Amos_server.Protocol.request ->
+  [ `Local
+  | `Reply of Amos_server.Protocol.response
+  | `Fallback of string ]
+(** One routing decision: [`Local] when this daemon owns the
+    fingerprint, [`Reply] with the owner's answer, [`Fallback] when the
+    owner is backing off or the forward failed (the failure is recorded
+    for backoff; a success clears it). *)
+
+val router : t -> Amos_server.Server.router
+(** {!route} shaped for {!Amos_server.Server.set_router}. *)
+
+val owner : t -> string -> string option
+(** Ring owner of a fingerprint (includes [self]). *)
+
+val self : t -> string
+val ring : t -> Ring.t
+val badlist : t -> Peer_badlist.t

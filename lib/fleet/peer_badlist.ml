@@ -1,0 +1,64 @@
+module Clock = Amos_service.Clock
+
+type entry = { mutable failures : int; mutable blocked_until : float }
+
+type t = {
+  clock : Clock.t;
+  base_backoff_s : float;
+  max_backoff_s : float;
+  mu : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+}
+
+let create ?(base_backoff_s = 1.) ?(max_backoff_s = 30.) ?clock () =
+  let clock = match clock with Some c -> c | None -> Clock.real () in
+  {
+    clock;
+    base_backoff_s = Float.max 0.001 base_backoff_s;
+    max_backoff_s = Float.max 0.001 max_backoff_s;
+    mu = Mutex.create ();
+    entries = Hashtbl.create 8;
+  }
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* doubling from the base, capped: 1s, 2s, 4s ... max.  The shift is
+   bounded so a long outage cannot overflow into a negative backoff. *)
+let backoff_s t failures =
+  let exp = min 30 (max 0 (failures - 1)) in
+  Float.min t.max_backoff_s (t.base_backoff_s *. Float.of_int (1 lsl exp))
+
+let failure t peer =
+  locked t.mu (fun () ->
+      let e =
+        match Hashtbl.find_opt t.entries peer with
+        | Some e -> e
+        | None ->
+            let e = { failures = 0; blocked_until = 0. } in
+            Hashtbl.replace t.entries peer e;
+            e
+      in
+      e.failures <- e.failures + 1;
+      e.blocked_until <- Clock.now t.clock +. backoff_s t e.failures)
+
+let success t peer = locked t.mu (fun () -> Hashtbl.remove t.entries peer)
+
+let available t peer =
+  locked t.mu (fun () ->
+      match Hashtbl.find_opt t.entries peer with
+      | None -> true
+      | Some e -> Clock.now t.clock >= e.blocked_until)
+
+let failures t peer =
+  locked t.mu (fun () ->
+      match Hashtbl.find_opt t.entries peer with
+      | None -> 0
+      | Some e -> e.failures)
+
+let blocked_until t peer =
+  locked t.mu (fun () ->
+      Option.map
+        (fun e -> e.blocked_until)
+        (Hashtbl.find_opt t.entries peer))

@@ -1,0 +1,38 @@
+(** In-memory peer health with exponential backoff.
+
+    The persistent {!Amos_service.Badlist} marks fingerprints that are
+    permanently bad; a peer being down is the opposite kind of fact —
+    transient, safe to forget, wrong to persist.  So this list lives in
+    memory, driven by the injectable {!Amos_service.Clock}: a failed
+    forward blocks the peer for a doubling interval (base 1 s, capped
+    at 30 s by default), a successful one clears it entirely.  While a
+    peer is blocked the fleet skips the connect and falls straight back
+    to local tuning, so a dead owner costs at most one timeout per
+    backoff window, not one per request. *)
+
+type t
+
+val create :
+  ?base_backoff_s:float ->
+  ?max_backoff_s:float ->
+  ?clock:Amos_service.Clock.t ->
+  unit ->
+  t
+(** Defaults: base 1 s, cap 30 s, real clock.  Tests pass a virtual
+    clock and step it instead of sleeping. *)
+
+val failure : t -> string -> unit
+(** Record a failed forward: the peer is blocked for
+    [min max_backoff (base * 2^(failures-1))] from now. *)
+
+val success : t -> string -> unit
+(** The peer answered: forget its failure history. *)
+
+val available : t -> string -> bool
+(** [false] while the peer's backoff window is still open. *)
+
+val failures : t -> string -> int
+(** Consecutive failures recorded (0 when clear). *)
+
+val blocked_until : t -> string -> float option
+(** Absolute clock time the current block expires, if any. *)

@@ -1,0 +1,45 @@
+type t = { hashes : string array; owners : string array }
+
+let default_vnodes = 64
+
+(* MD5 via [Digest] — stable across processes, architectures and runs,
+   which is the whole point: every daemon must compute the same owner
+   for a fingerprint from nothing but the member list *)
+let hash_key key = Digest.to_hex (Digest.string key)
+let point member i = hash_key (Printf.sprintf "%s#%d" member i)
+
+let create ?(vnodes = default_vnodes) members =
+  let members = List.sort_uniq String.compare members in
+  let vnodes = max 1 vnodes in
+  let points =
+    List.concat_map
+      (fun m -> List.init vnodes (fun i -> (point m i, m)))
+      members
+  in
+  (* ties on the hash (never observed for MD5, but the order must not
+     depend on input order) break by member name *)
+  let points = List.sort compare points in
+  {
+    hashes = Array.of_list (List.map fst points);
+    owners = Array.of_list (List.map snd points);
+  }
+
+let members t =
+  List.sort_uniq String.compare (Array.to_list t.owners)
+
+let is_empty t = Array.length t.hashes = 0
+
+let owner t key =
+  let n = Array.length t.hashes in
+  if n = 0 then None
+  else begin
+    let h = hash_key key in
+    (* first ring point clockwise from the key's hash, wrapping past
+       the top back to the first point *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if String.compare t.hashes.(mid) h < 0 then lo := mid + 1 else hi := mid
+    done;
+    Some t.owners.(if !lo = n then 0 else !lo)
+  end

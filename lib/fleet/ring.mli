@@ -1,0 +1,32 @@
+(** Consistent-hash ring assigning fingerprints to fleet members.
+
+    Every member address is hashed onto the ring at {!default_vnodes}
+    virtual points; a key is owned by the member whose first point lies
+    clockwise from the key's hash.  Two properties carry the fleet:
+
+    - {e determinism across processes}: ownership is a pure function of
+      the (deduplicated, order-insensitive) member list, computed with
+      MD5 — every daemon given the same members derives the same
+      assignment with no coordination;
+    - {e bounded churn}: removing one member re-assigns only the keys
+      that member owned; everything else keeps its owner, so a peer
+      going down does not reshuffle the whole fleet's cache affinity. *)
+
+type t
+
+val default_vnodes : int
+(** Virtual points per member (64): enough to spread ownership within
+    a few percent of even for small fleets. *)
+
+val create : ?vnodes:int -> string list -> t
+(** Build a ring from member addresses.  Duplicates are dropped, order
+    is irrelevant, [vnodes] is clamped to at least 1.  An empty list
+    yields the empty ring ({!owner} = [None]). *)
+
+val owner : t -> string -> string option
+(** The member owning a key; [None] only for the empty ring. *)
+
+val members : t -> string list
+(** Sorted distinct members. *)
+
+val is_empty : t -> bool

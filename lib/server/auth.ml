@@ -1,0 +1,13 @@
+(* Constant-time comparison: every byte of both strings is always
+   inspected, so the time taken leaks neither the position of the first
+   mismatch nor anything about the expected token beyond its length. *)
+let equal a b =
+  let la = String.length a and lb = String.length b in
+  let n = max la lb in
+  let acc = ref (la lxor lb) in
+  for i = 0 to n - 1 do
+    let ca = if i < la then Char.code (String.unsafe_get a i) else 0 in
+    let cb = if i < lb then Char.code (String.unsafe_get b i) else 0 in
+    acc := !acc lor (ca lxor cb)
+  done;
+  !acc = 0

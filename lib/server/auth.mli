@@ -1,0 +1,6 @@
+(** Shared-token authentication for the TCP handshake. *)
+
+val equal : string -> string -> bool
+(** [equal expected presented] — string equality in time independent of
+    where the strings first differ, so a remote peer cannot recover the
+    token byte-by-byte from response timing. *)

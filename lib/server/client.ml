@@ -1,15 +1,46 @@
 type t = { fd : Unix.file_descr; mutable closed : bool }
 
-let connect ?(timeout_s = 30.) ?(attempts = 1) socket_path =
+exception Denied of string
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* TCP requires the hello exchange before the first request; a typed
+   denial (bad token, version skew) surfaces as [Denied], transport
+   trouble and garbage replies as [Failure] *)
+let do_handshake fd ~token ~peer =
+  Protocol.write_frame fd
+    (Protocol.encode_hello
+       { Protocol.hello_version = Protocol.version; token; peer });
+  match Protocol.read_frame fd with
+  | Ok payload -> (
+      match Protocol.decode_hello_reply payload with
+      | Ok Protocol.Hello_ok -> ()
+      | Ok (Protocol.Hello_denied reason) -> raise (Denied reason)
+      | Error msg -> failwith ("bad hello reply: " ^ msg))
+  | Error `Eof -> failwith "server closed the connection during handshake"
+  | Error (`Bad msg) -> failwith ("bad hello reply frame: " ^ msg)
+
+let connect_endpoint ?(timeout_s = 30.) ?(attempts = 1) ?(token = "")
+    ?(peer = false) endpoint =
   let rec go n =
-    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
-    | () ->
+    match Transport.connect ~timeout_s endpoint with
+    | fd -> (
         (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s
          with Unix.Unix_error _ -> ());
-        { fd; closed = false }
+        let t = { fd; closed = false } in
+        match endpoint with
+        | Transport.Unix_path _ -> t
+        | Transport.Tcp _ -> (
+            match do_handshake fd ~token ~peer with
+            | () -> t
+            | exception e ->
+                close t;
+                raise e))
     | exception (Unix.Unix_error _ as e) ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
         if n <= 1 then raise e
         else begin
           ignore (Unix.select [] [] [] 0.1);
@@ -18,15 +49,15 @@ let connect ?(timeout_s = 30.) ?(attempts = 1) socket_path =
   in
   go (max 1 attempts)
 
-let close t =
-  if not t.closed then begin
-    t.closed <- true;
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
-  end
+let connect ?timeout_s ?attempts socket_path =
+  connect_endpoint ?timeout_s ?attempts (Transport.Unix_path socket_path)
+
+let with_endpoint ?timeout_s ?attempts ?token ?peer endpoint f =
+  let t = connect_endpoint ?timeout_s ?attempts ?token ?peer endpoint in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 let with_conn ?timeout_s ?attempts socket_path f =
-  let t = connect ?timeout_s ?attempts socket_path in
-  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+  with_endpoint ?timeout_s ?attempts (Transport.Unix_path socket_path) f
 
 let request t req =
   if t.closed then Error "connection closed"

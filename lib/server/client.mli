@@ -9,6 +9,11 @@
 
 type t
 
+exception Denied of string
+(** The server refused the TCP handshake with a typed reason (bad auth
+    token, unsupported protocol version).  Not retried: a denial is a
+    configuration problem, not a transient. *)
+
 val connect : ?timeout_s:float -> ?attempts:int -> string -> t
 (** Connect to the daemon at the given socket path.  [attempts]
     (default 1) retries the connection at 100 ms intervals — useful
@@ -16,11 +21,35 @@ val connect : ?timeout_s:float -> ?attempts:int -> string -> t
     each blocking read on the connection.  Raises [Unix.Unix_error]
     when the last attempt fails. *)
 
+val connect_endpoint :
+  ?timeout_s:float ->
+  ?attempts:int ->
+  ?token:string ->
+  ?peer:bool ->
+  Transport.endpoint ->
+  t
+(** Like {!connect} for any {!Transport.endpoint}.  On TCP the
+    connection opens with the {!Protocol.hello} handshake carrying
+    [token] (default empty) and the origin ([peer] = [true] marks
+    daemon-to-daemon forwarding, which the receiver will not forward
+    again); a denial raises {!Denied} without retrying.  Unix-path
+    endpoints behave exactly like {!connect}. *)
+
 val close : t -> unit
 
 val with_conn :
   ?timeout_s:float -> ?attempts:int -> string -> (t -> 'a) -> 'a
 (** Connect, run, close (also on exceptions). *)
+
+val with_endpoint :
+  ?timeout_s:float ->
+  ?attempts:int ->
+  ?token:string ->
+  ?peer:bool ->
+  Transport.endpoint ->
+  (t -> 'a) ->
+  'a
+(** {!connect_endpoint}, run, close (also on exceptions). *)
 
 val request : t -> Protocol.request -> (Protocol.response, string) result
 (** One round trip.  [Error] covers transport failures (connection

@@ -27,6 +27,9 @@ type request =
       jobs : int;
     }
 
+type hello = { hello_version : int; token : string; peer : bool }
+type hello_reply = Hello_ok | Hello_denied of string
+
 type plan_wire = Wire_scalar | Wire_spatial of string
 
 type tune_reply = {
@@ -51,6 +54,10 @@ type server_stats = {
   hot_tuning_seconds : float;
   cache_bytes : int;
   quarantine_retunes : int;
+  forwarded : int;
+  peer_hits : int;
+  peer_fallbacks : int;
+  auth_rejections : int;
 }
 
 type compile_reply = {
@@ -169,6 +176,10 @@ let json_of_response = function
           ("hot_tuning_seconds", Json.Float s.hot_tuning_seconds);
           ("cache_bytes", Json.Int s.cache_bytes);
           ("quarantine_retunes", Json.Int s.quarantine_retunes);
+          ("forwarded", Json.Int s.forwarded);
+          ("peer_hits", Json.Int s.peer_hits);
+          ("peer_fallbacks", Json.Int s.peer_fallbacks);
+          ("auth_rejections", Json.Int s.auth_rejections);
         ]
   | Compiled_r c ->
       versioned "compiled"
@@ -331,6 +342,10 @@ let response_of_json j =
       let* quarantine_retunes =
         int_field_default "quarantine_retunes" ~default:0 j
       in
+      let* forwarded = int_field_default "forwarded" ~default:0 j in
+      let* peer_hits = int_field_default "peer_hits" ~default:0 j in
+      let* peer_fallbacks = int_field_default "peer_fallbacks" ~default:0 j in
+      let* auth_rejections = int_field_default "auth_rejections" ~default:0 j in
       Ok
         (Stats_r
            {
@@ -347,6 +362,10 @@ let response_of_json j =
              hot_tuning_seconds;
              cache_bytes;
              quarantine_retunes;
+             forwarded;
+             peer_hits;
+             peer_fallbacks;
+             auth_rejections;
            })
   | "compiled" ->
       let* network = str_field "network" j in
@@ -374,6 +393,56 @@ let response_of_json j =
       let* message = str_field "message" j in
       Ok (Error_r message)
   | s -> Error (Printf.sprintf "unknown response type %S" s)
+
+(* --- handshake ------------------------------------------------------ *)
+
+let encode_hello h =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.Int h.hello_version);
+         ("type", Json.String "hello");
+         ("token", Json.String h.token);
+         ("origin", Json.String (if h.peer then "peer" else "client"));
+       ])
+
+(* The version travels back as data rather than being rejected at the
+   codec: the server wants to answer a future client with a typed
+   [Hello_denied "unsupported protocol version ..."], which it can only
+   do after seeing what version was claimed. *)
+let decode_hello s =
+  let* j = Json.of_string s in
+  let* ty = str_field "type" j in
+  if ty <> "hello" then
+    Error (Printf.sprintf "expected a hello frame, got %S" ty)
+  else
+    let* hello_version = int_field "v" j in
+    let* token = str_field "token" j in
+    let* origin = str_field "origin" j in
+    let* peer =
+      match origin with
+      | "client" -> Ok false
+      | "peer" -> Ok true
+      | s -> Error (Printf.sprintf "unknown hello origin %S" s)
+    in
+    Ok { hello_version; token; peer }
+
+let encode_hello_reply = function
+  | Hello_ok -> Json.to_string (versioned "hello_ok" [])
+  | Hello_denied reason ->
+      Json.to_string
+        (versioned "hello_denied" [ ("reason", Json.String reason) ])
+
+let decode_hello_reply s =
+  let* j = Json.of_string s in
+  let* () = check_version j in
+  let* ty = str_field "type" j in
+  match ty with
+  | "hello_ok" -> Ok Hello_ok
+  | "hello_denied" ->
+      let* reason = str_field "reason" j in
+      Ok (Hello_denied reason)
+  | s -> Error (Printf.sprintf "unknown hello reply type %S" s)
 
 let encode_request r = Json.to_string (json_of_request r)
 let encode_response r = Json.to_string (json_of_response r)

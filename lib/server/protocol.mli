@@ -52,6 +52,23 @@ type request =
       jobs : int;
     }  (** whole-network compile through the plan service *)
 
+type hello = {
+  hello_version : int;  (** protocol version the connector speaks *)
+  token : string;  (** shared fleet token (empty when none configured) *)
+  peer : bool;
+      (** [true] when the connector is another daemon forwarding on
+          behalf of a client: requests from peers are never forwarded
+          again, which bounds fleet routing to one hop *)
+}
+(** First frame on every TCP connection; Unix-socket connections are
+    local and trusted and skip the handshake. *)
+
+type hello_reply =
+  | Hello_ok
+  | Hello_denied of string
+      (** typed rejection — bad token, unsupported version, or a
+          non-hello first frame; the connection is closed after it *)
+
 type plan_wire =
   | Wire_scalar  (** the tuner chose the scalar units *)
   | Wire_spatial of string  (** [Plan_io] text *)
@@ -82,6 +99,11 @@ type server_stats = {
   cache_bytes : int;  (** accounted bytes in the persistent cache *)
   quarantine_retunes : int;
       (** quarantined fingerprints re-tuned by the idle drain *)
+  forwarded : int;  (** requests routed to their fleet owner *)
+  peer_hits : int;  (** forwarded requests the owner served a plan for *)
+  peer_fallbacks : int;
+      (** forwards abandoned for the local path (owner down or busy) *)
+  auth_rejections : int;  (** TCP handshakes denied *)
 }
 
 type compile_reply = {
@@ -106,6 +128,18 @@ type response =
   | Error_r of string
 
 (** {2 Codec} *)
+
+val encode_hello : hello -> string
+
+val decode_hello : string -> (hello, string) result
+(** Unlike the other decoders this accepts any version field and
+    returns it as data: the server denies a version mismatch with a
+    typed {!Hello_denied} naming both versions, which requires decoding
+    the claim first.  A payload that is not a hello at all (e.g. an old
+    client sending a request without the handshake) is an [Error]. *)
+
+val encode_hello_reply : hello_reply -> string
+val decode_hello_reply : string -> (hello_reply, string) result
 
 val encode_request : request -> string
 val decode_request : string -> (request, string) result

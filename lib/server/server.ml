@@ -17,7 +17,10 @@ let log_src = Logs.Src.create "amos.server" ~doc:"AMOS plan-serving daemon"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type config = {
-  socket_path : string;
+  socket_path : string option;
+  tcp : (string * int) option;
+  auth_token : string option;
+  handshake_timeout_s : float;
   cache_dir : string option;
   workers : int;
   queue_capacity : int;
@@ -30,7 +33,10 @@ type config = {
 
 let default_config ~socket_path =
   {
-    socket_path;
+    socket_path = Some socket_path;
+    tcp = None;
+    auth_token = None;
+    handshake_timeout_s = 5.;
     cache_dir = None;
     workers = 2;
     queue_capacity = 8;
@@ -57,11 +63,17 @@ type flight_result =
   | Fl_busy of float
   | Fl_error of string
 
+type route = [ `Local | `Reply of Protocol.response | `Fallback of string ]
+type router = fingerprint:string -> Protocol.request -> route
+
+type listener_kind = L_unix | L_tcp
+
 type t = {
   config : config;
   tuner : tuner;
   clock : Clock.t;
-  listen_fd : Unix.file_descr;
+  listeners : (listener_kind * Unix.file_descr) list;
+  bound_tcp_port : int option;
   cache : Plan_cache.t;  (* guarded by cache_mu: one domain at a time *)
   cache_mu : Mutex.t;
   pool : Par_tune.Pool.t;
@@ -73,6 +85,9 @@ type t = {
       (* fingerprint -> (accel name, op, budget) for requests we have
          resolved: the idle drain can only re-tune a quarantined
          fingerprint whose specification it has seen *)
+  mutable router : router option;
+      (* installed after [create] (the fleet needs the bound TCP port
+         to build its ring), consulted after both local layers miss *)
   mutable threads : Thread.t list;
   mutable stopping : bool;  (* no new tuning admitted *)
   mutable stopped : bool;  (* accept loop must exit *)
@@ -83,6 +98,10 @@ type t = {
   mutable cache_hits : int;
   mutable busy_rejections : int;
   mutable quarantine_retunes : int;
+  mutable forwarded : int;
+  mutable peer_hits : int;
+  mutable peer_fallbacks : int;
+  mutable auth_rejections : int;
 }
 
 (* bound the spec ledger: a daemon fed unbounded distinct operators must
@@ -194,19 +213,41 @@ let record_spec t fingerprint ~accel_name ~op ~budget =
 
 (* --- creation ------------------------------------------------------- *)
 
-let create ?(tuner = default_tuner) ?clock config =
+let create ?(tuner = default_tuner) ?clock ?router config =
   let clock = match clock with Some c -> c | None -> Clock.real () in
   (* a client dying mid-reply must surface as EPIPE on the write, not
      kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
-  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (match Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path) with
-  | () -> Unix.listen listen_fd 64
-  | exception e ->
-      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-      raise e);
+  let listeners =
+    let close_all ls =
+      List.iter (fun (_, fd) -> try Unix.close fd with Unix.Unix_error _ -> ()) ls
+    in
+    let unix_ls =
+      match config.socket_path with
+      | None -> []
+      | Some path -> [ (L_unix, Transport.listen (Transport.Unix_path path)) ]
+    in
+    let tcp_ls =
+      match config.tcp with
+      | None -> []
+      | Some (host, port) -> (
+          match Transport.listen (Transport.Tcp { host; port }) with
+          | fd -> [ (L_tcp, fd) ]
+          | exception e ->
+              close_all unix_ls;
+              raise e)
+    in
+    match unix_ls @ tcp_ls with
+    | [] -> invalid_arg "Server.create: no listener (need socket_path or tcp)"
+    | ls -> ls
+  in
+  let bound_tcp_port =
+    List.find_map
+      (fun (kind, fd) ->
+        if kind = L_tcp then Transport.bound_port fd else None)
+      listeners
+  in
   let cache =
     Plan_cache.create ?max_bytes:config.max_bytes
       ?max_tuning_seconds:config.max_tuning_seconds ~clock
@@ -216,7 +257,8 @@ let create ?(tuner = default_tuner) ?clock config =
     config;
     tuner;
     clock;
-    listen_fd;
+    listeners;
+    bound_tcp_port;
     cache;
     cache_mu = Mutex.create ();
     pool =
@@ -229,6 +271,7 @@ let create ?(tuner = default_tuner) ?clock config =
       Hot_cache.create ?max_bytes:config.hot_max_bytes
         ~capacity:config.hot_capacity ~clock ();
     specs = Hashtbl.create 64;
+    router;
     threads = [];
     stopping = false;
     stopped = false;
@@ -239,7 +282,14 @@ let create ?(tuner = default_tuner) ?clock config =
     cache_hits = 0;
     busy_rejections = 0;
     quarantine_retunes = 0;
+    forwarded = 0;
+    peer_hits = 0;
+    peer_fallbacks = 0;
+    auth_rejections = 0;
   }
+
+let set_router t router = locked t.mu (fun () -> t.router <- Some router)
+let tcp_port t = t.bound_tcp_port
 
 let stats t : Protocol.server_stats =
   let queue_load = Par_tune.Pool.load t.pool in
@@ -262,6 +312,10 @@ let stats t : Protocol.server_stats =
         hot_tuning_seconds = Hot_cache.tuning_seconds t.hot;
         cache_bytes;
         quarantine_retunes = t.quarantine_retunes;
+        forwarded = t.forwarded;
+        peer_hits = t.peer_hits;
+        peer_fallbacks = t.peer_fallbacks;
+        auth_rejections = t.auth_rejections;
       })
 
 (* --- tuning flow ---------------------------------------------------- *)
@@ -287,7 +341,59 @@ let migration_seeds t ~accel ~op ~budget =
       | None -> []
       | exception _ -> [])
 
-let handle_tune t ~migrate ~accel:accel_name ~op:op_spec ~budget =
+(* Consult the fleet router after both local layers miss.  [None] means
+   "take the local path": no router is installed, the ring says this
+   daemon owns the fingerprint, the request already crossed one hop
+   (forwarded requests are never forwarded again, so two daemons with
+   disagreeing rings cannot bounce a request between them), or the
+   owner could not serve it (down, busy, erroring) — owner failure
+   degrades to local work, never to a client-visible error.  A plan the
+   owner served is re-admitted into the hot cache so the next request
+   for it is local. *)
+let route_to_owner t ~from_peer ~fingerprint req =
+  if from_peer then None
+  else
+    match locked t.mu (fun () -> t.router) with
+    | None -> None
+    | Some route -> (
+        match route ~fingerprint req with
+        | `Local -> None
+        | `Fallback reason ->
+            locked t.mu (fun () -> t.peer_fallbacks <- t.peer_fallbacks + 1);
+            Log.info (fun m ->
+                m "owner unavailable for %s (%s): serving locally"
+                  fingerprint reason);
+            None
+        | `Reply (Protocol.Plan_r r) ->
+            (* a forwarded answer carries tuning cost only when the
+               owner tuned just now; a hot/cache hit arrives with 0 and
+               is admitted at the conservative default *)
+            let tuning_seconds =
+              if r.Protocol.tuning_seconds > 0. then r.Protocol.tuning_seconds
+              else Amos_service.Retain.default_tuning_seconds
+            in
+            hot_put t fingerprint r.Protocol.plan ~tuning_seconds;
+            locked t.mu (fun () ->
+                t.forwarded <- t.forwarded + 1;
+                t.peer_hits <- t.peer_hits + 1);
+            Some (Protocol.Plan_r { r with Protocol.source = "peer" })
+        | `Reply Protocol.Not_found_r ->
+            locked t.mu (fun () -> t.forwarded <- t.forwarded + 1);
+            Some Protocol.Not_found_r
+        | `Reply _ ->
+            (* the owner answered but could not serve (busy, error) *)
+            locked t.mu (fun () ->
+                t.forwarded <- t.forwarded + 1;
+                t.peer_fallbacks <- t.peer_fallbacks + 1);
+            None
+        | exception e ->
+            locked t.mu (fun () -> t.peer_fallbacks <- t.peer_fallbacks + 1);
+            Log.warn (fun m ->
+                m "fleet routing failed for %s: %s" fingerprint
+                  (Printexc.to_string e));
+            None)
+
+let handle_tune t ~from_peer ~migrate ~accel:accel_name ~op:op_spec ~budget =
   let accel = resolve_accel accel_name in
   let op = resolve_op op_spec in
   let fingerprint = Fingerprint.key ~accel ~op ~budget in
@@ -318,6 +424,18 @@ let handle_tune t ~migrate ~accel:accel_name ~op:op_spec ~budget =
               tuning_seconds = 0.;
             }
       | None ->
+          let forwarded =
+            let req =
+              if migrate then
+                Protocol.Migrate_tune
+                  { accel = accel_name; op = op_spec; budget }
+              else Protocol.Tune { accel = accel_name; op = op_spec; budget }
+            in
+            route_to_owner t ~from_peer ~fingerprint req
+          in
+          (match forwarded with
+          | Some (Protocol.Plan_r _ as r) -> r
+          | Some _ | None ->
           if locked t.mu (fun () -> t.stopping) then
             Protocol.Busy_r { retry_after_s = retry_hint t }
           else (
@@ -377,9 +495,9 @@ let handle_tune t ~migrate ~accel:accel_name ~op:op_spec ~budget =
                       t.busy_rejections <- t.busy_rejections + 1);
                   Single_flight.complete t.flights f (Fl_busy hint);
                   Protocol.Busy_r { retry_after_s = hint }
-                end))
+                end)))
 
-let handle_lookup t ~accel:accel_name ~op:op_spec ~budget =
+let handle_lookup t ~from_peer ~accel:accel_name ~op:op_spec ~budget =
   let accel = resolve_accel accel_name in
   let op = resolve_op op_spec in
   let fingerprint = Fingerprint.key ~accel ~op ~budget in
@@ -409,7 +527,16 @@ let handle_lookup t ~accel:accel_name ~op:op_spec ~budget =
               evaluations = 0;
               tuning_seconds = 0.;
             }
-      | None -> Protocol.Not_found_r)
+      | None -> (
+          (* the owner is authoritative for its fingerprints: its plan
+             is served, its miss is a miss, and an unreachable owner
+             degrades to the local answer — also a miss here *)
+          let req =
+            Protocol.Lookup { accel = accel_name; op = op_spec; budget }
+          in
+          match route_to_owner t ~from_peer ~fingerprint req with
+          | Some (Protocol.Plan_r _ as r) -> r
+          | Some _ | None -> Protocol.Not_found_r))
 
 let handle_compile t ~accel:accel_name ~network ~batch ~budget ~jobs =
   let accel = resolve_accel accel_name in
@@ -562,7 +689,7 @@ let stop t = drain_and_stop t
 
 (* --- dispatch ------------------------------------------------------- *)
 
-let dispatch t payload =
+let dispatch t ~from_peer payload =
   locked t.mu (fun () -> t.requests <- t.requests + 1);
   match Protocol.decode_request payload with
   | Error msg -> (Protocol.Error_r msg, false)
@@ -575,17 +702,17 @@ let dispatch t payload =
           drain_and_stop t;
           (Protocol.Ok_r "drained", true)
       | Protocol.Lookup { accel; op; budget } -> (
-          match handle_lookup t ~accel ~op ~budget with
+          match handle_lookup t ~from_peer ~accel ~op ~budget with
           | r -> (r, false)
           | exception Failure msg -> (Protocol.Error_r msg, false)
           | exception e -> (Protocol.Error_r (Printexc.to_string e), false))
       | Protocol.Tune { accel; op; budget } -> (
-          match handle_tune t ~migrate:false ~accel ~op ~budget with
+          match handle_tune t ~from_peer ~migrate:false ~accel ~op ~budget with
           | r -> (r, false)
           | exception Failure msg -> (Protocol.Error_r msg, false)
           | exception e -> (Protocol.Error_r (Printexc.to_string e), false))
       | Protocol.Migrate_tune { accel; op; budget } -> (
-          match handle_tune t ~migrate:true ~accel ~op ~budget with
+          match handle_tune t ~from_peer ~migrate:true ~accel ~op ~budget with
           | r -> (r, false)
           | exception Failure msg -> (Protocol.Error_r msg, false)
           | exception e -> (Protocol.Error_r (Printexc.to_string e), false))
@@ -602,57 +729,149 @@ let send_response fd resp =
   | () -> true
   | exception (Unix.Unix_error _ | Sys_error _) -> false
 
-let handle_conn t fd =
-  (* the receive timeout turns an idle connection into a periodic
-     stopping-flag check, so shutdown never waits on a silent client *)
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
+(* TCP connections must introduce themselves before the first request:
+   the hello carries the protocol version and the shared token, and a
+   connection failing either check gets a typed denial — never a hang,
+   never a misparsed request.  The whole exchange runs under its own
+   short receive deadline so an unauthenticated peer that connects and
+   goes silent cannot hold the accept slot open.  Returns the declared
+   origin ([true] = another daemon) on success, [None] when the
+   connection must be dropped. *)
+let handshake t fd =
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO
+       (Float.max 0.05 t.config.handshake_timeout_s)
    with Unix.Unix_error _ -> ());
-  let rec loop () =
-    match Protocol.read_frame fd with
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        if locked t.mu (fun () -> t.stopped) then () else loop ()
-    | exception (Unix.Unix_error _ | Sys_error _) -> ()
-    | Error `Eof -> ()
-    | Error (`Bad msg) ->
-        (* framing is broken: answer once, then drop the connection —
-           resynchronising on a corrupt stream is guesswork *)
-        ignore (send_response fd (Protocol.Error_r ("bad frame: " ^ msg)))
-    | Ok payload ->
-        let resp, close_after = dispatch t payload in
-        let sent = send_response fd resp in
-        if sent && not close_after then loop ()
+  let deny reason =
+    locked t.mu (fun () -> t.auth_rejections <- t.auth_rejections + 1);
+    Log.info (fun m -> m "handshake denied: %s" reason);
+    (try
+       Protocol.write_frame fd
+         (Protocol.encode_hello_reply (Protocol.Hello_denied reason))
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    None
   in
-  (try loop ()
-   with e ->
-     Log.warn (fun m -> m "connection handler died: %s" (Printexc.to_string e)));
-  try Unix.close fd with Unix.Unix_error _ -> ()
+  match Protocol.read_frame fd with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      deny "handshake deadline exceeded"
+  | exception (Unix.Unix_error _ | Sys_error _) -> None
+  | Error `Eof -> None
+  | Error (`Bad msg) -> deny ("bad hello frame: " ^ msg)
+  | Ok payload -> (
+      match Protocol.decode_hello payload with
+      | Error msg -> deny ("handshake required: " ^ msg)
+      | Ok h ->
+          if h.Protocol.hello_version <> Protocol.version then
+            deny
+              (Printf.sprintf "unsupported protocol version %d (want %d)"
+                 h.Protocol.hello_version Protocol.version)
+          else if
+            not
+              (Auth.equal
+                 (Option.value t.config.auth_token ~default:"")
+                 h.Protocol.token)
+          then deny "bad auth token"
+          else (
+            match
+              Protocol.write_frame fd
+                (Protocol.encode_hello_reply Protocol.Hello_ok)
+            with
+            | () -> Some h.Protocol.peer
+            | exception (Unix.Unix_error _ | Sys_error _) -> None))
+
+let handle_conn t kind fd =
+  let admitted =
+    match kind with
+    (* the Unix socket is the local trusted path: same-host clients
+       keep working unchanged, with no handshake and no forwarding
+       restrictions *)
+    | L_unix -> Some false
+    | L_tcp -> handshake t fd
+  in
+  match admitted with
+  | None -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | Some from_peer ->
+      (* the receive timeout turns an idle connection into a periodic
+         stopping-flag check, so shutdown never waits on a silent client *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
+       with Unix.Unix_error _ -> ());
+      let rec loop () =
+        match Protocol.read_frame fd with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            if locked t.mu (fun () -> t.stopped) then () else loop ()
+        | exception (Unix.Unix_error _ | Sys_error _) -> ()
+        | Error `Eof -> ()
+        | Error (`Bad msg) ->
+            (* framing is broken: answer once, then drop the connection —
+               resynchronising on a corrupt stream is guesswork *)
+            ignore (send_response fd (Protocol.Error_r ("bad frame: " ^ msg)))
+        | Ok payload ->
+            let resp, close_after = dispatch t ~from_peer payload in
+            let sent = send_response fd resp in
+            if sent && not close_after then loop ()
+      in
+      (try loop ()
+       with e ->
+         Log.warn (fun m ->
+             m "connection handler died: %s" (Printexc.to_string e)));
+      (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let serve t =
-  Log.info (fun m -> m "amosd listening on %s" t.config.socket_path);
+  List.iter
+    (fun (kind, fd) ->
+      match kind with
+      | L_unix ->
+          Log.info (fun m ->
+              m "amosd listening on %s"
+                (Option.value t.config.socket_path ~default:"?"))
+      | L_tcp ->
+          Log.info (fun m ->
+              m "amosd listening on tcp port %d"
+                (Option.value (Transport.bound_port fd) ~default:0)))
+    t.listeners;
+  let listen_fds = List.map snd t.listeners in
+  let kind_of lfd =
+    match
+      List.find_map
+        (fun (kind, fd) -> if fd = lfd then Some kind else None)
+        t.listeners
+    with
+    | Some kind -> kind
+    | None -> L_unix
+  in
   let idle_ticks = ref 0 in
   let rec loop () =
     if locked t.mu (fun () -> t.stopped) then ()
     else begin
-      (match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      (match Unix.select listen_fds [] [] 0.25 with
       | [], _, _ ->
           (* idle tick: every couple of seconds of quiet, spend one
              pool slot re-tuning a quarantined fingerprint *)
           incr idle_ticks;
           if !idle_ticks mod 8 = 0 then ignore (drain_quarantined_once t)
-      | _ -> (
-          match Unix.accept ~cloexec:true t.listen_fd with
-          | fd, _ ->
-              let th = Thread.create (fun () -> handle_conn t fd) () in
-              locked t.mu (fun () -> t.threads <- th :: t.threads)
-          | exception Unix.Unix_error _ -> ())
+      | ready, _, _ ->
+          List.iter
+            (fun lfd ->
+              match Unix.accept ~cloexec:true lfd with
+              | fd, _ ->
+                  let kind = kind_of lfd in
+                  let th = Thread.create (fun () -> handle_conn t kind fd) () in
+                  locked t.mu (fun () -> t.threads <- th :: t.threads)
+              | exception Unix.Unix_error _ -> ())
+            ready
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       loop ()
     end
   in
   loop ();
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  (try Unix.unlink t.config.socket_path
-   with Unix.Unix_error _ | Sys_error _ -> ());
+  List.iter
+    (fun (_, fd) -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.listeners;
+  (match t.config.socket_path with
+  | None -> ()
+  | Some path -> (
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()));
   let threads = locked t.mu (fun () -> t.threads) in
   List.iter (fun th -> try Thread.join th with _ -> ()) threads;
   Log.info (fun m -> m "amosd stopped")

@@ -37,7 +37,19 @@
     {!drain_quarantined_once}. *)
 
 type config = {
-  socket_path : string;
+  socket_path : string option;
+      (** Unix-domain socket: the local trusted path, no handshake *)
+  tcp : (string * int) option;
+      (** TCP listener as [(bind host, port)]; port 0 binds an
+          ephemeral port (see {!tcp_port}).  Every TCP connection must
+          open with a {!Protocol.hello} handshake. *)
+  auth_token : string option;
+      (** shared fleet token TCP hellos must present ([None] accepts
+          only an empty token, the client default); compared in
+          constant time *)
+  handshake_timeout_s : float;
+      (** receive deadline for the hello frame, so an unauthenticated
+          connection cannot hold an accept slot open *)
   cache_dir : string option;
       (** [None] = memory-only (plans survive only as long as the
           daemon) *)
@@ -52,8 +64,25 @@ type config = {
 }
 
 val default_config : socket_path:string -> config
-(** 2 workers, queue capacity 8, 1 job per tune, 128 hot entries,
+(** Unix socket only (no TCP, no token, 5 s handshake deadline),
+    2 workers, queue capacity 8, 1 job per tune, 128 hot entries,
     memory-only cache, unlimited byte / tuning-seconds budgets. *)
+
+type route = [ `Local | `Reply of Protocol.response | `Fallback of string ]
+(** What the fleet router decided for a locally-missed request:
+    [`Local] — this daemon owns the fingerprint (or there is no fleet);
+    [`Reply r] — the owning peer answered [r];
+    [`Fallback reason] — the owner is unreachable or backing off, take
+    the local path.  Structural, so [Amos_fleet] can implement it
+    without a dependency cycle. *)
+
+type router = fingerprint:string -> Protocol.request -> route
+(** Consulted after both the hot cache and the plan cache miss, and
+    never for requests that already arrived from a peer (fleet routing
+    is bounded to one hop).  A [`Reply (Plan_r _)] is re-admitted into
+    the hot cache and served with source ["peer"]; any other peer
+    answer degrades to the local path — an owner being down is never a
+    client-visible error. *)
 
 type tune_outcome = {
   value : Amos_service.Plan_cache.value;
@@ -75,13 +104,24 @@ type tuner =
 
 type t
 
-val create : ?tuner:tuner -> ?clock:Amos_service.Clock.t -> config -> t
-(** Bind the socket and start the worker pool.  Raises [Unix.Unix_error]
-    when the socket path is unusable (a stale socket file is silently
-    replaced).  [clock] (default {!Amos_service.Clock.real}) drives the
-    uptime, both cache layers' access stamps, and tune timing — tests
-    pass a virtual clock to pin age-dependent eviction without
-    sleeping. *)
+val create :
+  ?tuner:tuner -> ?clock:Amos_service.Clock.t -> ?router:router -> config -> t
+(** Bind the configured listeners and start the worker pool.  Raises
+    [Unix.Unix_error] when an endpoint is unusable (a stale socket file
+    is silently replaced), [Invalid_argument] when the config names no
+    listener at all.  [clock] (default {!Amos_service.Clock.real})
+    drives the uptime, both cache layers' access stamps, and tune
+    timing — tests pass a virtual clock to pin age-dependent eviction
+    without sleeping. *)
+
+val set_router : t -> router -> unit
+(** Install (or replace) the fleet router after creation — the usual
+    order when the ring must contain this daemon's own bound TCP port,
+    which {!create} chose.  Safe before or during {!serve}. *)
+
+val tcp_port : t -> int option
+(** The bound TCP port ([Some] even when the config asked for port 0),
+    [None] when no TCP listener is configured. *)
 
 val serve : t -> unit
 (** Run the accept loop until shutdown; returns after the socket is

@@ -1,0 +1,92 @@
+type endpoint = Unix_path of string | Tcp of { host : string; port : int }
+
+let describe = function
+  | Unix_path path -> path
+  | Tcp { host; port } -> Printf.sprintf "%s:%d" host port
+
+let parse_tcp s =
+  let host, port_s =
+    match String.rindex_opt s ':' with
+    | None -> ("127.0.0.1", s)
+    | Some i ->
+        let h = String.sub s 0 i in
+        let p = String.sub s (i + 1) (String.length s - i - 1) in
+        ((if h = "" then "127.0.0.1" else h), p)
+  in
+  match int_of_string_opt port_s with
+  | Some port when port >= 0 && port <= 65535 -> Ok (host, port)
+  | Some port -> Error (Printf.sprintf "port %d out of range" port)
+  | None -> Error (Printf.sprintf "bad TCP address %S (want HOST:PORT)" s)
+
+let resolve_inet host port =
+  match Unix.inet_addr_of_string host with
+  | addr -> Unix.ADDR_INET (addr, port)
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          failwith ("no address for host " ^ host)
+      | h -> Unix.ADDR_INET (h.Unix.h_addr_list.(0), port)
+      | exception Not_found -> failwith ("unknown host " ^ host))
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listen = function
+  | Unix_path path ->
+      (* a stale socket file from a dead daemon is silently replaced *)
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (match Unix.bind fd (Unix.ADDR_UNIX path) with
+      | () -> Unix.listen fd 64
+      | exception e ->
+          close_quiet fd;
+          raise e);
+      fd
+  | Tcp { host; port } ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (match
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (resolve_inet host port)
+       with
+      | () -> Unix.listen fd 64
+      | exception e ->
+          close_quiet fd;
+          raise e);
+      fd
+
+let bound_port fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, port) -> Some port
+  | Unix.ADDR_UNIX _ -> None
+
+let connect ?(timeout_s = 5.) endpoint =
+  match endpoint with
+  | Unix_path path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> fd
+      | exception e ->
+          close_quiet fd;
+          raise e)
+  | Tcp { host; port } ->
+      let addr = resolve_inet host port in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (* non-blocking connect bounded by select: a dead or unroutable
+         peer fails within [timeout_s], it can never hang the caller *)
+      let conn () =
+        Unix.set_nonblock fd;
+        (try Unix.connect fd addr
+         with Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+         -> (
+           match Unix.select [] [ fd ] [] (Float.max 0.01 timeout_s) with
+           | _, _ :: _, _ -> (
+               match Unix.getsockopt_error fd with
+               | None -> ()
+               | Some err -> raise (Unix.Unix_error (err, "connect", "")))
+           | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))));
+        Unix.clear_nonblock fd
+      in
+      (match conn () with
+      | () -> fd
+      | exception e ->
+          close_quiet fd;
+          raise e)

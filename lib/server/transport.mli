@@ -1,0 +1,37 @@
+(** Listening and connecting endpoints for the plan daemon.
+
+    The daemon speaks the same {!Protocol} frames over two transports:
+    the original Unix-domain socket (local clients, no handshake) and
+    TCP (fleet peers and remote clients, which must open with a
+    {!Protocol.hello} handshake — see {!Server}).  This module only
+    moves file descriptors around; framing and handshakes live a layer
+    up. *)
+
+type endpoint =
+  | Unix_path of string  (** Unix-domain socket path *)
+  | Tcp of { host : string; port : int }
+      (** TCP; [port = 0] asks the kernel for an ephemeral port
+          (see {!bound_port}) *)
+
+val describe : endpoint -> string
+(** Human-readable form: the path, or ["host:port"]. *)
+
+val parse_tcp : string -> (string * int, string) result
+(** Parse ["HOST:PORT"], [":PORT"] or ["PORT"] (host defaults to
+    127.0.0.1).  The port must be in [0..65535]. *)
+
+val listen : endpoint -> Unix.file_descr
+(** Bind and listen (backlog 64).  A stale Unix socket file is
+    replaced; TCP listeners set [SO_REUSEADDR].  Raises
+    [Unix.Unix_error] when the endpoint is unusable, [Failure] when a
+    TCP host does not resolve. *)
+
+val bound_port : Unix.file_descr -> int option
+(** The actual port of a TCP listener ([Some] even when bound with
+    port 0); [None] for Unix-domain sockets. *)
+
+val connect : ?timeout_s:float -> endpoint -> Unix.file_descr
+(** Connect to an endpoint.  TCP connects are non-blocking bounded by
+    [timeout_s] (default 5): a dead peer surfaces as a
+    [Unix.Unix_error] ([ETIMEDOUT], [ECONNREFUSED], ...) within the
+    bound, never as a hang. *)

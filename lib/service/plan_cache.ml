@@ -68,6 +68,26 @@ let lock_path dir = Filename.concat dir "lock"
 let entry_path dir fp = Filename.concat dir (fp ^ ".plan")
 let quarantine_path dir fp = Filename.concat dir (fp ^ ".plan.quarantined")
 
+(* Journal format version.  Stamped as the first line of every journal
+   this code writes; replay accepts the stamp for the current version,
+   accepts its absence (a legacy pre-versioning journal), and rejects
+   any other claimed version with a typed error — peers about to
+   exchange cache state must fail loudly on a format they do not
+   speak, never misparse it as entry lines. *)
+let journal_version = 1
+let version_line = Printf.sprintf "amos-journal %d" journal_version
+
+exception Unsupported_journal of { path : string; version : string }
+
+let () =
+  Printexc.register_printer (function
+    | Unsupported_journal { path; version } ->
+        Some
+          (Printf.sprintf
+             "unsupported plan-cache journal version %S in %s (want %d)"
+             version path journal_version)
+    | _ -> None)
+
 (* journal line for a live entry, carrying its value accounting so a
    reopen does not have to stat or parse every entry file *)
 let add_line fp (it : Retain.item) =
@@ -77,7 +97,15 @@ let append_journal t line =
   match t.dir with
   | None -> ()
   | Some dir ->
-      Fs_io.append_line t.fs (journal_path dir) line;
+      let path = journal_path dir in
+      (* a journal born under this code gets its stamp before the first
+         entry; two racing creators both stamping is harmless (replay
+         accepts repeats of the current version) *)
+      if not (Fs_io.exists t.fs path) then begin
+        Fs_io.append_line t.fs path version_line;
+        t.journal_bytes <- t.journal_bytes + String.length version_line + 1
+      end;
+      Fs_io.append_line t.fs path line;
       t.journal_ops <- t.journal_ops + 1;
       (* track our own append; if another process interleaved, the size
          mismatch makes the next [refresh] re-replay the whole file *)
@@ -91,8 +119,9 @@ let write_journal fs dir entries =
     List.sort (fun (a, _) (b, _) -> compare a b) entries
   in
   let content =
-    String.concat ""
-      (List.map (fun (fp, it) -> add_line fp it ^ "\n") entries)
+    version_line ^ "\n"
+    ^ String.concat ""
+        (List.map (fun (fp, it) -> add_line fp it ^ "\n") entries)
   in
   Fs_io.write_file fs tmp content;
   Fs_io.rename fs tmp path
@@ -120,24 +149,32 @@ let replay_journal fs dir ~now index =
     let ops = ref 0 in
     List.iter
       (fun line ->
-        (match String.split_on_char ' ' line with
-        | [ "add"; fp ] ->
-            (* legacy line from before the cache economy *)
-            Hashtbl.replace index fp
-              {
-                Retain.bytes = Fs_io.file_size fs (entry_path dir fp);
-                tuning_seconds = Retain.default_tuning_seconds;
-                last_access = now;
-              }
-        | [ "add"; fp; b; s ] -> (
-            match (int_of_string_opt b, float_of_string_opt s) with
-            | Some bytes, Some tuning_seconds ->
+        match String.split_on_char ' ' line with
+        | [ "amos-journal"; v ] ->
+            (* the version stamp is not an op — it never counts toward
+               compaction — and an unknown version aborts the replay
+               before any line can be misread as an entry *)
+            if v <> string_of_int journal_version then
+              raise (Unsupported_journal { path; version = v })
+        | parts ->
+            (match parts with
+            | [ "add"; fp ] ->
+                (* legacy line from before the cache economy *)
                 Hashtbl.replace index fp
-                  { Retain.bytes; tuning_seconds; last_access = now }
-            | _ -> () (* garbage line: ignore *))
-        | [ "del"; fp ] -> Hashtbl.remove index fp
-        | _ -> () (* garbage line (healed torn write): ignore *));
-        if line <> "" then incr ops)
+                  {
+                    Retain.bytes = Fs_io.file_size fs (entry_path dir fp);
+                    tuning_seconds = Retain.default_tuning_seconds;
+                    last_access = now;
+                  }
+            | [ "add"; fp; b; s ] -> (
+                match (int_of_string_opt b, float_of_string_opt s) with
+                | Some bytes, Some tuning_seconds ->
+                    Hashtbl.replace index fp
+                      { Retain.bytes; tuning_seconds; last_access = now }
+                | _ -> () (* garbage line: ignore *))
+            | [ "del"; fp ] -> Hashtbl.remove index fp
+            | _ -> () (* garbage line (healed torn write): ignore *));
+            if line <> "" then incr ops)
       complete;
     (!ops, len, torn)
   end

@@ -68,6 +68,18 @@ type policy =
   [ `Scored  (** evict lowest retention score ({!Retain.score}) first *)
   | `Lru  (** value-blind least-recently-accessed baseline *) ]
 
+val journal_version : int
+(** Format version stamped as the first line of every journal this code
+    writes (["amos-journal 1"]). *)
+
+exception Unsupported_journal of { path : string; version : string }
+(** Raised by any operation that replays a journal claiming a version
+    other than {!journal_version} — {!create}, {!refresh}, {!clear},
+    {!fsck}.  A journal with no stamp at all is a legacy pre-versioning
+    journal and is accepted.  Fingerprint sharding ships cache state
+    between fleet peers, so a format this build does not speak must
+    fail loudly and typed, never be misparsed entry-by-entry. *)
+
 type stats = {
   hits : int;
   misses : int;

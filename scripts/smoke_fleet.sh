@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# Plan-fleet smoke test: three daemons over TCP on localhost.
+#
+# Brings up three `amos_cli serve --tcp --token --peers` daemons that
+# form one consistent-hash fleet, then proves the cross-host contract
+# end to end: a handshake with the wrong token is denied; a plan tuned
+# through daemon A is served warm (`source peer`) from a daemon that
+# does not own it, with exactly one exploration fleet-wide; killing a
+# daemon -9 degrades requests for its fingerprints to local tuning
+# (exit 0, never a client-visible error); the survivors drain cleanly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+dune build bin/amos_cli.exe
+CLI=_build/default/bin/amos_cli.exe
+
+DIR="$(mktemp -d "${TMPDIR:-/tmp}/amos-fleet.XXXXXX")"
+TOKEN="smoke-fleet-token"
+BASE=$((10000 + $$ % 20000))
+PA=$BASE; PB=$((BASE + 1)); PC=$((BASE + 2))
+AA="127.0.0.1:$PA"; AB="127.0.0.1:$PB"; AC="127.0.0.1:$PC"
+MEMBERS="$AA,$AB,$AC"
+pids=""
+cleanup() {
+  for p in $pids; do
+    if kill -0 "$p" 2>/dev/null; then
+      kill -9 "$p" 2>/dev/null || true
+      wait "$p" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+start_daemon() { # name, own addr, peer addrs
+  local name=$1 addr=$2 peers=$3
+  "$CLI" serve --tcp "$addr" --token "$TOKEN" --peers "$peers" \
+    --cache-dir "$DIR/cache-$name" --workers 2 \
+    > "$DIR/serve-$name.log" 2>&1 &
+  eval "pid_$name=$!"
+  pids="$pids $!"
+}
+
+start_daemon a "$AA" "$AB,$AC"
+start_daemon b "$AB" "$AA,$AC"
+start_daemon c "$AC" "$AA,$AB"
+
+wait_healthy() { # name, addr
+  local name=$1 addr=$2 pid
+  eval "pid=\$pid_$name"
+  for _ in $(seq 1 50); do
+    if "$CLI" client health --tcp "$addr" --token "$TOKEN" > /dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "FAIL: daemon $name exited during startup"
+      sed "s/^/  $name| /" "$DIR/serve-$name.log"
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: daemon $name never became healthy"
+  exit 1
+}
+wait_healthy a "$AA"
+wait_healthy b "$AB"
+wait_healthy c "$AC"
+
+# the shared token is load-bearing: a wrong one must be denied, not served
+if "$CLI" client health --tcp "$AA" --token "wrong-token" > /dev/null 2>&1; then
+  echo "FAIL: daemon A accepted a bad auth token"
+  exit 1
+fi
+
+OP="$DIR/gemm.dsl"
+cat > "$OP" <<'EOF'
+for {i:24, j:32} for {r:32r}: out[i,j] += a[i,r] * b[r,j]
+EOF
+
+# tune once through A; the fleet decides which daemon actually owns it
+"$CLI" client tune --tcp "$AA" --token "$TOKEN" --accel v100 --dsl "$OP" \
+  --seed 7 > "$DIR/tune.log" 2>&1 \
+  || { echo "FAIL: tune via A exited non-zero"; sed 's/^/  tune| /' "$DIR/tune.log"; exit 1; }
+
+FP=$("$CLI" fleet fingerprint --accel v100 --dsl "$OP" --seed 7)
+OWNER=$("$CLI" fleet owner --members "$MEMBERS" "$FP")
+fp_wire=$(awk '/^fingerprint/ { print $2 }' "$DIR/tune.log")
+if [ "$FP" != "$fp_wire" ]; then
+  echo "FAIL: offline fingerprint $FP != daemon's $fp_wire"
+  exit 1
+fi
+echo "fingerprint $FP owned by $OWNER"
+
+# read the plan back from a daemon that neither tuned it nor owns it:
+# it must be forwarded to the owner and come back warm, source "peer"
+case "$OWNER" in
+  "$AB") OTHER="$AC" ;;
+  *)     OTHER="$AB" ;;
+esac
+"$CLI" client lookup --tcp "$OTHER" --token "$TOKEN" --accel v100 \
+  --dsl "$OP" --seed 7 > "$DIR/lookup.log" 2>&1 \
+  || { echo "FAIL: cross-daemon lookup missed"; sed 's/^/  lookup| /' "$DIR/lookup.log"; exit 1; }
+src=$(awk '/^source/ { print $2 }' "$DIR/lookup.log")
+if [ "$src" != "peer" ]; then
+  echo "FAIL: lookup via $OTHER served source '$src' (want 'peer')"
+  exit 1
+fi
+
+# one exploration fleet-wide: the tune ran on exactly one daemon
+total_tunes=0
+for pair in "a=$AA" "b=$AB" "c=$AC"; do
+  name=${pair%%=*}; addr=${pair#*=}
+  "$CLI" client stats --tcp "$addr" --token "$TOKEN" > "$DIR/stats-$name.log"
+  t=$(awk '/^tunes/ { print $2 }' "$DIR/stats-$name.log")
+  total_tunes=$((total_tunes + t))
+done
+if [ "$total_tunes" -ne 1 ]; then
+  echo "FAIL: one tune request ran $total_tunes explorations fleet-wide (want 1)"
+  exit 1
+fi
+
+# kill daemon C without ceremony, then ask A for a plan C owns: the
+# fleet must fall back to tuning locally, invisible to the client
+kill -9 "$pid_c"
+wait "$pid_c" 2>/dev/null || true
+
+seed_c=""
+for s in $(seq 100 199); do
+  fp=$("$CLI" fleet fingerprint --accel v100 --dsl "$OP" --seed "$s")
+  if [ "$("$CLI" fleet owner --members "$MEMBERS" "$fp")" = "$AC" ]; then
+    seed_c=$s
+    break
+  fi
+done
+if [ -z "$seed_c" ]; then
+  echo "FAIL: no budget seed in 100..199 hashes to daemon C"
+  exit 1
+fi
+
+"$CLI" client tune --tcp "$AA" --token "$TOKEN" --accel v100 --dsl "$OP" \
+  --seed "$seed_c" > "$DIR/fallback.log" 2>&1 \
+  || { echo "FAIL: tune of a dead owner's fingerprint failed"; sed 's/^/  fb| /' "$DIR/fallback.log"; exit 1; }
+src=$(awk '/^source/ { print $2 }' "$DIR/fallback.log")
+if [ "$src" != "tuned" ]; then
+  echo "FAIL: owner-down tune served source '$src' (want local 'tuned')"
+  exit 1
+fi
+"$CLI" client stats --tcp "$AA" --token "$TOKEN" > "$DIR/stats-a2.log"
+fallbacks=$(awk '/^peer fallbacks/ { print $3 }' "$DIR/stats-a2.log")
+if [ -z "$fallbacks" ] || [ "$fallbacks" -lt 1 ]; then
+  echo "FAIL: daemon A reports no peer fallbacks after the owner died"
+  exit 1
+fi
+
+# the survivors drain gracefully
+"$CLI" client shutdown --tcp "$AA" --token "$TOKEN" | grep -q "drained" \
+  || { echo "FAIL: daemon A shutdown did not report a drain"; exit 1; }
+"$CLI" client shutdown --tcp "$AB" --token "$TOKEN" | grep -q "drained" \
+  || { echo "FAIL: daemon B shutdown did not report a drain"; exit 1; }
+wait "$pid_a" || { echo "FAIL: daemon A exited non-zero"; exit 1; }
+wait "$pid_b" || { echo "FAIL: daemon B exited non-zero"; exit 1; }
+pids=""
+
+echo "fleet smoke test: OK (auth enforced, cross-daemon warm plan reuse, owner-down local fallback, clean drain)"

@@ -407,6 +407,10 @@ let gen_response : Protocol.response QCheck.Gen.t =
       gen_finite_float >>= fun hot_tuning_seconds ->
       int_range 0 1_000_000 >>= fun cache_bytes ->
       int_range 0 100 >>= fun quarantine_retunes ->
+      int_range 0 1000 >>= fun forwarded ->
+      int_range 0 1000 >>= fun peer_hits ->
+      int_range 0 1000 >>= fun peer_fallbacks ->
+      int_range 0 1000 >>= fun auth_rejections ->
       return
         (Protocol.Stats_r
            {
@@ -423,6 +427,10 @@ let gen_response : Protocol.response QCheck.Gen.t =
              hot_tuning_seconds;
              cache_bytes;
              quarantine_retunes;
+             forwarded;
+             peer_hits;
+             peer_fallbacks;
+             auth_rejections;
            })
   | 4 ->
       gen_wire_string >>= fun network ->

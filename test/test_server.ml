@@ -107,6 +107,10 @@ let sample_responses =
         hot_tuning_seconds = 7.5;
         cache_bytes = 65536;
         quarantine_retunes = 1;
+        forwarded = 2;
+        peer_hits = 1;
+        peer_fallbacks = 1;
+        auth_rejections = 3;
       };
     Protocol.Compiled_r
       {
@@ -366,7 +370,10 @@ let start_server ?tuner ?clock ?(workers = 1) ?(queue = 4) ?cache_dir
   let server =
     Server.create ?tuner ?clock
       {
-        Server.socket_path;
+        Server.socket_path = Some socket_path;
+        tcp = None;
+        auth_token = None;
+        handshake_timeout_s = 5.;
         cache_dir;
         workers;
         queue_capacity = queue;

@@ -1006,18 +1006,11 @@ let fleet () =
   let mk_server () =
     Server.create
       {
+        (Server.default_config ~socket_path:"unused") with
         Server.socket_path = None;
         tcp = Some ("127.0.0.1", 0);
         auth_token = Some token;
-        handshake_timeout_s = 5.;
-        cache_dir = None;
-        workers = 2;
         queue_capacity = 16;
-        jobs = 1;
-        hot_capacity = 128;
-        hot_max_bytes = None;
-        max_bytes = None;
-        max_tuning_seconds = None;
       }
   in
   let server_a = mk_server () and server_b = mk_server () in
@@ -1185,6 +1178,174 @@ let fleet () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: warm lookups against a daemon whose every socket operation    *)
+(* faults with 10% probability must all still succeed, in bounded time  *)
+
+let chaos () =
+  header "Chaos: warm lookups under a 10% injected network fault rate";
+  let module Server = Amos_server.Server in
+  let module Client = Amos_server.Client in
+  let module Protocol = Amos_server.Protocol in
+  let module Net_io = Amos_server.Net_io in
+  let module Fingerprint = Amos_service.Fingerprint in
+  let smoke = !smoke_flag in
+  let budget =
+    {
+      Fingerprint.population = (if smoke then 6 else 12);
+      generations = (if smoke then 3 else 6);
+      measure_top = 2;
+      seed = !seed_ref;
+    }
+  in
+  let fault_rate = 0.1 in
+  let net = Net_io.chaos ~stall_s:0.005 ~rate:fault_rate ~seed:!seed_ref () in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "amos-bench-chaos-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Server.create
+      {
+        (Server.default_config ~socket_path:socket) with
+        Server.workers = 2;
+        queue_capacity = 16;
+        net;
+      }
+  in
+  let server_thread = Thread.create Server.serve server in
+  let gemm m =
+    Printf.sprintf "for {i:%d, j:16} for {r:16r}: out[i,j] += a[i,r] * b[r,j]"
+      m
+  in
+  let ops = List.init (if smoke then 3 else 5) (fun i -> gemm (16 * (i + 1))) in
+  let req kind text =
+    match kind with
+    | `Tune -> Protocol.Tune { accel = "toy"; op = Protocol.Dsl_text text; budget }
+    | `Lookup ->
+        Protocol.Lookup { accel = "toy"; op = Protocol.Dsl_text text; budget }
+  in
+  (* every request runs through the chaotic daemon, so even the warm-up
+     tunes need the reconnect loop a real client would use: a fault may
+     kill the connection, never the request *)
+  let retries = ref 0 in
+  let attempt kind text =
+    Client.with_conn ~attempts:50 ~timeout_s:2. socket (fun conn ->
+        Client.request_retry conn (req kind text))
+  in
+  let fetch kind text =
+    let rec go tries last =
+      if tries <= 0 then Error last
+      else
+        match attempt kind text with
+        | Ok (Protocol.Plan_r r) -> Ok r
+        | Ok (Protocol.Error_r msg) -> incr retries; go (tries - 1) msg
+        | Ok _ -> incr retries; go (tries - 1) "unexpected response"
+        | Error msg -> incr retries; go (tries - 1) msg
+        | exception e -> incr retries; go (tries - 1) (Printexc.to_string e)
+    in
+    go 12 "never tried"
+  in
+  Printf.printf "(seed %d, fault rate %.0f%%, %d ops%s)\n" !seed_ref
+    (100. *. fault_rate) (List.length ops)
+    (if smoke then ", smoke" else "");
+  (* warm phase: tune each operator once so lookups have a plan to hit *)
+  List.iter
+    (fun text ->
+      match fetch `Tune text with
+      | Ok _ -> ()
+      | Error msg -> failwith ("bench chaos: warm-up tune failed: " ^ msg))
+    ops;
+  let rounds = if smoke then 4 else 8 in
+  let lookups = rounds * List.length ops in
+  let latencies = ref [] in
+  let successes = ref 0 in
+  for _ = 1 to rounds do
+    List.iter
+      (fun text ->
+        let t0 = Unix.gettimeofday () in
+        match fetch `Lookup text with
+        | Ok _r ->
+            (* any [source] is acceptable: a degraded answer is still an
+               answer — the gate is on success, not on which cache won *)
+            incr successes;
+            latencies := (Unix.gettimeofday () -. t0) :: !latencies
+        | Error msg ->
+            Printf.printf "lookup failed under chaos: %s\n%!" msg)
+      ops
+  done;
+  Server.stop server;
+  Thread.join server_thread;
+  let injected = Net_io.injected net in
+  let sorted = List.sort compare !latencies in
+  let pct p =
+    match sorted with
+    | [] -> nan
+    | l ->
+        let n = List.length l in
+        let i = min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1) in
+        List.nth l (max 0 i)
+  in
+  let p50 = pct 0.5 and p99 = pct 0.99 in
+  let success_rate = float_of_int !successes /. float_of_int lookups in
+  let p99_gate_s = 5.0 in
+  Printf.printf
+    "%d/%d warm lookups succeeded (%d reconnect retries), %d faults \
+     injected\n%!"
+    !successes lookups !retries injected;
+  Printf.printf "lookup latency p50 %.1f ms, p99 %.1f ms (gate: p99 <= %.1f s)\n%!"
+    (1e3 *. p50) (1e3 *. p99) p99_gate_s;
+  Csv.write "chaos"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "lookups"; string_of_int lookups ];
+      [ "successes"; string_of_int !successes ];
+      [ "retries"; string_of_int !retries ];
+      [ "injected_faults"; string_of_int injected ];
+      [ "p50_s"; Csv.f p50 ];
+      [ "p99_s"; Csv.f p99 ];
+    ];
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"experiment\": \"chaos\",";
+        Printf.sprintf "  \"seed\": %d," !seed_ref;
+        Printf.sprintf "  \"smoke\": %b," smoke;
+        Printf.sprintf "  \"fault_rate\": %.3f," fault_rate;
+        Printf.sprintf "  \"lookups\": %d," lookups;
+        Printf.sprintf "  \"successes\": %d," !successes;
+        Printf.sprintf "  \"success_rate\": %.6g," success_rate;
+        Printf.sprintf "  \"reconnect_retries\": %d," !retries;
+        Printf.sprintf "  \"injected_faults\": %d," injected;
+        Printf.sprintf "  \"p50_s\": %.6g," p50;
+        Printf.sprintf "  \"p99_s\": %.6g," p99;
+        Printf.sprintf "  \"gate_success_rate\": 1.0,";
+        Printf.sprintf "  \"gate_p99_s\": %.1f" p99_gate_s;
+        "}";
+      ]
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "[written BENCH_chaos.json]\n%!";
+  if !successes < lookups then begin
+    Printf.printf
+      "FAIL: every warm lookup must succeed under a %.0f%%%% fault rate\n%!"
+      (100. *. fault_rate);
+    exit 1
+  end;
+  if p99 > p99_gate_s then begin
+    Printf.printf "FAIL: lookup p99 %.3f s exceeds the %.1f s bound\n%!" p99
+      p99_gate_s;
+    exit 1
+  end;
+  if injected = 0 then begin
+    Printf.printf "FAIL: the chaos run injected no faults — gate is vacuous\n%!";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler hot paths                  *)
 
 let micro () =
@@ -1262,7 +1423,8 @@ let experiments =
     ("layout", layout); ("newaccel", newaccel); ("ablate", ablate);
     ("service", service); ("robustness", robustness);
     ("migration", migration); ("serve", serve);
-    ("cache_economy", cache_economy); ("fleet", fleet); ("micro", micro);
+    ("cache_economy", cache_economy); ("fleet", fleet); ("chaos", chaos);
+    ("micro", micro);
   ]
 
 let () =

@@ -793,6 +793,11 @@ let serve_cmd =
     let tcp = Option.map parse_tcp_exn tcp in
     if socket = None && tcp = None then
       failwith "serve: give --socket PATH and/or --tcp HOST:PORT";
+    (* AMOS_NET_CHAOS / AMOS_NET_FAULTS poison the daemon's socket I/O
+       from the outside — how the chaos smoke test injects faults into
+       a real multi-process fleet; the same handle mediates accepted
+       connections and the fleet's outbound forwards *)
+    let net = Amos_server.Net_io.of_env () in
     let peers = match peers with None -> [] | Some s -> split_peers s in
     let router =
       if peers = [] then None
@@ -814,6 +819,7 @@ let serve_cmd =
             {
               (Fleet.default_config ~self ~peers) with
               Fleet.token = Option.value token ~default:"";
+              net;
             }
         in
         Some (Fleet.router fleet)
@@ -834,6 +840,8 @@ let serve_cmd =
           hot_max_bytes;
           max_bytes;
           max_tuning_seconds;
+          io_timeout_s = 30.;
+          net;
         }
     in
     List.iter
@@ -930,6 +938,7 @@ let print_response ~show_plan = function
       Printf.printf "forwarded       %d\n" s.Protocol.forwarded;
       Printf.printf "peer hits       %d\n" s.Protocol.peer_hits;
       Printf.printf "peer fallbacks  %d\n" s.Protocol.peer_fallbacks;
+      Printf.printf "budget fallbacks %d\n" s.Protocol.budget_fallbacks;
       Printf.printf "auth rejected   %d\n" s.Protocol.auth_rejections
   | Protocol.Compiled_r c ->
       Printf.printf "network   %s\n" c.Protocol.network;
@@ -960,14 +969,14 @@ let endpoint_of ~socket ~tcp =
   | None, Some path -> Transport.Unix_path path
   | None, None -> failwith "client: give --socket PATH or --tcp HOST:PORT"
 
-let client_run ~socket ~tcp ~token req ~retry ~show_plan =
+let client_run ~socket ~tcp ~token ?deadline_ms req ~retry ~show_plan =
   let endpoint = endpoint_of ~socket ~tcp in
   let token = Option.value token ~default:"" in
   match
     Sclient.with_endpoint ~attempts:20 ~token endpoint (fun conn ->
         let result =
-          if retry then Sclient.request_retry conn req
-          else Sclient.request conn req
+          if retry then Sclient.request_retry ?deadline_ms conn req
+          else Sclient.request ?deadline_ms conn req
         in
         match result with
         | Ok resp -> print_response ~show_plan resp
@@ -1006,18 +1015,29 @@ let client_shutdown_cmd =
        ~doc:"Gracefully stop the daemon (drains in-flight tuning first)")
     Term.(const run $ socket_arg $ tcp_client_arg $ token_arg)
 
+let deadline_ms_arg =
+  let doc =
+    "Total time budget for this request in milliseconds.  Rides the \
+     request envelope: a daemon forwarding the request to its fleet \
+     owner subtracts its own elapsed time first, so the peer hop \
+     observes a strictly smaller budget, and a budget too small to \
+     forward falls back to local tuning immediately."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
 let client_op_cmd name ~doc make_req =
-  let run socket tcp token accel layer kind batch index seed dsl show_plan =
+  let run socket tcp token accel layer kind batch index seed dsl show_plan
+      deadline_ms =
     let op = op_spec_of ?dsl ~layer ~kind ~batch ~index () in
     let budget = budget_with seed in
-    client_run ~socket ~tcp ~token
+    client_run ~socket ~tcp ~token ?deadline_ms
       (make_req ~accel ~op ~budget)
       ~retry:true ~show_plan
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(const run $ socket_arg $ tcp_client_arg $ token_arg $ accel_arg
           $ layer_arg $ kind_arg $ batch_arg $ index_arg $ seed_arg
-          $ dsl_arg $ show_plan_arg)
+          $ dsl_arg $ show_plan_arg $ deadline_ms_arg)
 
 let client_tune_cmd =
   client_op_cmd "tune"

@@ -2,6 +2,7 @@ module Clock = Amos_service.Clock
 module Protocol = Amos_server.Protocol
 module Client = Amos_server.Client
 module Transport = Amos_server.Transport
+module Net_io = Amos_server.Net_io
 
 let log_src = Logs.Src.create "amos.fleet" ~doc:"AMOS plan fleet"
 
@@ -13,21 +14,38 @@ type config = {
   token : string;
   vnodes : int;
   timeout_s : float;
+  latency_threshold_s : float;
+  net : Net_io.t;
 }
 
 let default_config ~self ~peers =
-  { self; peers; token = ""; vnodes = Ring.default_vnodes; timeout_s = 10. }
+  {
+    self;
+    peers;
+    token = "";
+    vnodes = Ring.default_vnodes;
+    timeout_s = 10.;
+    latency_threshold_s = 5.;
+    net = Net_io.default;
+  }
 
-type t = { config : config; ring : Ring.t; bad : Peer_badlist.t }
+type t = { config : config; clock : Clock.t; ring : Ring.t; breaker : Breaker.t }
 
 let create ?clock config =
+  let clock = match clock with Some c -> c | None -> Clock.real () in
   let ring =
     Ring.create ~vnodes:config.vnodes (config.self :: config.peers)
   in
-  { config; ring; bad = Peer_badlist.create ?clock () }
+  {
+    config;
+    clock;
+    ring;
+    breaker =
+      Breaker.create ~latency_threshold_s:config.latency_threshold_s ~clock ();
+  }
 
 let ring t = t.ring
-let badlist t = t.bad
+let breaker t = t.breaker
 let self t = t.config.self
 let owner t key = Ring.owner t.ring key
 
@@ -35,15 +53,24 @@ let owner t key = Ring.owner t.ring key
    chatty clients, and a fresh connect per miss keeps failure detection
    trivial (no half-dead pooled sockets) at a cost that is noise next
    to the tuning time being saved *)
-let forward t peer req =
+let forward t peer ?deadline_ms req =
   match Transport.parse_tcp peer with
   | Error msg -> Error (Printf.sprintf "bad peer address %S: %s" peer msg)
   | Ok (host, port) -> (
       let endpoint = Transport.Tcp { host; port } in
+      (* the hop may spend at most what the client has left: a peer
+         slower than the remaining budget is indistinguishable from a
+         dead one, and waiting longer only turns a degraded answer
+         into a client-visible timeout *)
+      let timeout_s =
+        match deadline_ms with
+        | Some d -> Float.min t.config.timeout_s (float_of_int d /. 1000.)
+        | None -> t.config.timeout_s
+      in
       match
-        Client.with_endpoint ~timeout_s:t.config.timeout_s
+        Client.with_endpoint ~net:t.config.net ~timeout_s
           ~token:t.config.token ~peer:true endpoint (fun conn ->
-            Client.request conn req)
+            Client.request ?deadline_ms conn req)
       with
       | Ok _ as r -> r
       | Error _ as r -> r
@@ -53,23 +80,30 @@ let forward t peer req =
           Error (Unix.error_message e)
       | exception e -> Error (Printexc.to_string e))
 
-let route t ~fingerprint req =
+let route t ~fingerprint ~deadline_ms req =
   match Ring.owner t.ring fingerprint with
   | None -> `Local
   | Some o when String.equal o t.config.self -> `Local
   | Some o ->
-      if not (Peer_badlist.available t.bad o) then
-        `Fallback (Printf.sprintf "owner %s is backing off" o)
-      else (
-        match forward t o req with
+      if not (Breaker.available t.breaker o) then
+        `Fallback
+          (Printf.sprintf "owner %s breaker is %s" o
+             (match Breaker.state t.breaker o with
+             | Breaker.Open -> "open"
+             | Breaker.Half_open -> "half-open (probe in flight)"
+             | Breaker.Closed -> "closed"))
+      else begin
+        let t0 = Clock.now t.clock in
+        match forward t o ?deadline_ms req with
         | Ok resp ->
-            Peer_badlist.success t.bad o;
+            Breaker.success t.breaker o ~latency_s:(Clock.now t.clock -. t0);
             `Reply resp
         | Error msg ->
-            Peer_badlist.failure t.bad o;
+            Breaker.failure t.breaker o;
             Log.info (fun m ->
-                m "forward to %s failed (%s), backing off %d" o msg
-                  (Peer_badlist.failures t.bad o));
-            `Fallback (Printf.sprintf "owner %s unreachable: %s" o msg))
+                m "forward to %s failed (%s), breaker trip %d" o msg
+                  (Breaker.failures t.breaker o));
+            `Fallback (Printf.sprintf "owner %s unreachable: %s" o msg)
+      end
 
-let router t ~fingerprint req = route t ~fingerprint req
+let router t ~fingerprint ~deadline_ms req = route t ~fingerprint ~deadline_ms req

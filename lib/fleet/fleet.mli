@@ -7,9 +7,15 @@
     to the owner over TCP (token-authenticated {!Amos_server.Protocol}
     handshake, origin marked [peer] so the owner never forwards again)
     and re-admits a served plan into its own hot cache.  An owner that
-    is down or misbehaving lands on the {!Peer_badlist} with
-    exponential backoff and the daemon tunes locally — the fleet
-    degrades to N independent daemons, never to client-visible errors.
+    is down, erroring, {e or merely slow} trips the per-peer
+    {!Breaker} and the daemon tunes locally — the fleet degrades to N
+    independent daemons, never to client-visible errors.
+
+    Forwards respect deadline budgets: when the incoming request
+    carried a [deadline_ms], the hop's connect/read timeout is capped
+    by the remaining budget and the forwarded request carries that
+    remaining budget on the wire, so time lost on this daemon is never
+    spent twice.
 
     The fleet plugs into the daemon as its [router]
     ({!Amos_server.Server.set_router}); this library depends on
@@ -21,28 +27,39 @@ type config = {
   token : string;  (** shared auth token presented in every handshake *)
   vnodes : int;  (** ring points per member *)
   timeout_s : float;  (** per-forward connect/read deadline *)
+  latency_threshold_s : float;
+      (** EWMA response latency above which an owner counts as
+          degraded and its breaker trips *)
+  net : Amos_server.Net_io.t;
+      (** mediates every forwarded byte; fault-injectable *)
 }
 
 val default_config : self:string -> peers:string list -> config
-(** Empty token, {!Ring.default_vnodes}, 10 s forward timeout. *)
+(** Empty token, {!Ring.default_vnodes}, 10 s forward timeout, 5 s
+    latency threshold, pass-through {!Amos_server.Net_io.default}. *)
 
 type t
 
 val create : ?clock:Amos_service.Clock.t -> config -> t
-(** Build the ring over [self :: peers].  [clock] (default real) drives
-    the badlist backoff — tests use a virtual clock. *)
+(** Build the ring over [self :: peers].  [clock] (default real)
+    drives the breaker windows and measures forward latency — tests
+    use a virtual clock. *)
 
 val route :
   t ->
   fingerprint:string ->
+  deadline_ms:int option ->
   Amos_server.Protocol.request ->
   [ `Local
   | `Reply of Amos_server.Protocol.response
   | `Fallback of string ]
 (** One routing decision: [`Local] when this daemon owns the
-    fingerprint, [`Reply] with the owner's answer, [`Fallback] when the
-    owner is backing off or the forward failed (the failure is recorded
-    for backoff; a success clears it). *)
+    fingerprint, [`Reply] with the owner's answer, [`Fallback] when
+    the owner's breaker is open (or its half-open probe is already in
+    flight) or the forward failed.  A failure trips the breaker; a
+    success feeds its latency into the breaker's EWMA, which may also
+    trip it.  [deadline_ms] is the request's {e remaining} budget —
+    the caller has already subtracted its own elapsed time. *)
 
 val router : t -> Amos_server.Server.router
 (** {!route} shaped for {!Amos_server.Server.set_router}. *)
@@ -52,4 +69,4 @@ val owner : t -> string -> string option
 
 val self : t -> string
 val ring : t -> Ring.t
-val badlist : t -> Peer_badlist.t
+val breaker : t -> Breaker.t

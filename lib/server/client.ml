@@ -1,4 +1,9 @@
-type t = { fd : Unix.file_descr; mutable closed : bool }
+type t = {
+  fd : Unix.file_descr;
+  net : Net_io.t;
+  mutable closed : bool;
+  mutable poisoned : string option;
+}
 
 exception Denied of string
 
@@ -11,11 +16,11 @@ let close t =
 (* TCP requires the hello exchange before the first request; a typed
    denial (bad token, version skew) surfaces as [Denied], transport
    trouble and garbage replies as [Failure] *)
-let do_handshake fd ~token ~peer =
-  Protocol.write_frame fd
+let do_handshake ~net fd ~token ~peer =
+  Protocol.write_frame ~net fd
     (Protocol.encode_hello
        { Protocol.hello_version = Protocol.version; token; peer });
-  match Protocol.read_frame fd with
+  match Protocol.read_frame ~net fd with
   | Ok payload -> (
       match Protocol.decode_hello_reply payload with
       | Ok Protocol.Hello_ok -> ()
@@ -24,18 +29,23 @@ let do_handshake fd ~token ~peer =
   | Error `Eof -> failwith "server closed the connection during handshake"
   | Error (`Bad msg) -> failwith ("bad hello reply frame: " ^ msg)
 
-let connect_endpoint ?(timeout_s = 30.) ?(attempts = 1) ?(token = "")
-    ?(peer = false) endpoint =
+let connect_endpoint ?(net = Net_io.default) ?(timeout_s = 30.)
+    ?(attempts = 1) ?(token = "") ?(peer = false) endpoint =
   let rec go n =
-    match Transport.connect ~timeout_s endpoint with
+    match Transport.connect ~net ~timeout_s endpoint with
     | fd -> (
-        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s
+        (* both directions carry the deadline: without SO_SNDTIMEO a
+           peer that stops draining its receive buffer would park
+           [write_frame] forever, defeating the timeout entirely *)
+        (try
+           Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+           Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
          with Unix.Unix_error _ -> ());
-        let t = { fd; closed = false } in
+        let t = { fd; net; closed = false; poisoned = None } in
         match endpoint with
         | Transport.Unix_path _ -> t
         | Transport.Tcp _ -> (
-            match do_handshake fd ~token ~peer with
+            match do_handshake ~net fd ~token ~peer with
             | () -> t
             | exception e ->
                 close t;
@@ -52,31 +62,48 @@ let connect_endpoint ?(timeout_s = 30.) ?(attempts = 1) ?(token = "")
 let connect ?timeout_s ?attempts socket_path =
   connect_endpoint ?timeout_s ?attempts (Transport.Unix_path socket_path)
 
-let with_endpoint ?timeout_s ?attempts ?token ?peer endpoint f =
-  let t = connect_endpoint ?timeout_s ?attempts ?token ?peer endpoint in
+let with_endpoint ?net ?timeout_s ?attempts ?token ?peer endpoint f =
+  let t = connect_endpoint ?net ?timeout_s ?attempts ?token ?peer endpoint in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 let with_conn ?timeout_s ?attempts socket_path f =
   with_endpoint ?timeout_s ?attempts (Transport.Unix_path socket_path) f
 
-let request t req =
+(* a frame stream that desynced (timeout mid-read, reset, bad frame)
+   can never be trusted again: the next reply on it could be the tail
+   of the previous one.  Poison the connection so every later request
+   gets a typed refusal instead of garbage. *)
+let poison t reason =
+  t.poisoned <- Some reason;
+  Error ("connection poisoned: " ^ reason)
+
+let request ?deadline_ms t req =
   if t.closed then Error "connection closed"
   else
-    match
-      Protocol.write_frame t.fd (Protocol.encode_request req);
-      Protocol.read_frame t.fd
-    with
-    | Ok payload -> Protocol.decode_response payload
-    | Error `Eof -> Error "server closed the connection"
-    | Error (`Bad msg) -> Error ("bad response frame: " ^ msg)
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        Error "request timed out"
-    | exception Unix.Unix_error (e, _, _) ->
-        Error ("transport error: " ^ Unix.error_message e)
+    match t.poisoned with
+    | Some reason -> Error ("connection poisoned: " ^ reason)
+    | None -> (
+        match
+          Protocol.write_frame ~net:t.net t.fd
+            (Protocol.encode_request ?deadline_ms req);
+          Protocol.read_frame ~net:t.net t.fd
+        with
+        | Ok payload -> Protocol.decode_response payload
+        | Error `Eof -> poison t "server closed the connection"
+        | Error (`Bad msg) -> poison t ("bad response frame: " ^ msg)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            poison t "request timed out"
+        | exception Unix.Unix_error (e, _, _) ->
+            poison t ("transport error: " ^ Unix.error_message e)
+        | exception Net_io.Injected msg ->
+            poison t ("transport error: " ^ msg))
 
-let request_retry ?(attempts = 5) t req =
+let poisoned t = t.poisoned
+
+let request_retry ?(attempts = 5) ?deadline_ms t req =
   let rec go n =
-    match request t req with
+    match request ?deadline_ms t req with
     | Ok (Protocol.Busy_r { retry_after_s }) as r ->
         if n <= 1 then r
         else begin

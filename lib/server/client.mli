@@ -22,6 +22,7 @@ val connect : ?timeout_s:float -> ?attempts:int -> string -> t
     when the last attempt fails. *)
 
 val connect_endpoint :
+  ?net:Net_io.t ->
   ?timeout_s:float ->
   ?attempts:int ->
   ?token:string ->
@@ -33,7 +34,11 @@ val connect_endpoint :
     [token] (default empty) and the origin ([peer] = [true] marks
     daemon-to-daemon forwarding, which the receiver will not forward
     again); a denial raises {!Denied} without retrying.  Unix-path
-    endpoints behave exactly like {!connect}. *)
+    endpoints behave exactly like {!connect}.  [timeout_s] arms both
+    [SO_RCVTIMEO] and [SO_SNDTIMEO]: a peer that neither answers nor
+    drains can hang neither {!request}'s read nor its write.  [net]
+    (default {!Net_io.default}) mediates every byte this connection
+    moves, so client-side faults are injectable. *)
 
 val close : t -> unit
 
@@ -42,6 +47,7 @@ val with_conn :
 (** Connect, run, close (also on exceptions). *)
 
 val with_endpoint :
+  ?net:Net_io.t ->
   ?timeout_s:float ->
   ?attempts:int ->
   ?token:string ->
@@ -51,13 +57,29 @@ val with_endpoint :
   'a
 (** {!connect_endpoint}, run, close (also on exceptions). *)
 
-val request : t -> Protocol.request -> (Protocol.response, string) result
+val request :
+  ?deadline_ms:int -> t -> Protocol.request -> (Protocol.response, string) result
 (** One round trip.  [Error] covers transport failures (connection
     refused mid-stream, timeout, truncated frame) and undecodable
-    responses; a server-side [Error_r]/[Busy_r] arrives as [Ok]. *)
+    responses; a server-side [Error_r]/[Busy_r] arrives as [Ok].
+    [deadline_ms] stamps the request envelope with the caller's
+    remaining time budget (see {!Protocol.encode_request}).
+
+    A timeout, reset, or broken frame {e poisons} the connection: the
+    stream may have desynced mid-message, so every later {!request} on
+    this [t] returns a typed ["connection poisoned"] error instead of
+    risking a reply that belongs to an earlier question.  Recovery is
+    a fresh connection. *)
+
+val poisoned : t -> string option
+(** Why this connection refuses further requests, if it does. *)
 
 val request_retry :
-  ?attempts:int -> t -> Protocol.request -> (Protocol.response, string) result
+  ?attempts:int ->
+  ?deadline_ms:int ->
+  t ->
+  Protocol.request ->
+  (Protocol.response, string) result
 (** Like {!request}, but a [Busy_r] response sleeps the server's
     [retry_after_s] hint and retries, up to [attempts] (default 5)
     total tries; the final [Busy_r] is returned as-is so the caller can

@@ -57,6 +57,7 @@ type server_stats = {
   forwarded : int;
   peer_hits : int;
   peer_fallbacks : int;
+  budget_fallbacks : int;
   auth_rejections : int;
 }
 
@@ -179,6 +180,7 @@ let json_of_response = function
           ("forwarded", Json.Int s.forwarded);
           ("peer_hits", Json.Int s.peer_hits);
           ("peer_fallbacks", Json.Int s.peer_fallbacks);
+          ("budget_fallbacks", Json.Int s.budget_fallbacks);
           ("auth_rejections", Json.Int s.auth_rejections);
         ]
   | Compiled_r c ->
@@ -345,6 +347,9 @@ let response_of_json j =
       let* forwarded = int_field_default "forwarded" ~default:0 j in
       let* peer_hits = int_field_default "peer_hits" ~default:0 j in
       let* peer_fallbacks = int_field_default "peer_fallbacks" ~default:0 j in
+      let* budget_fallbacks =
+        int_field_default "budget_fallbacks" ~default:0 j
+      in
       let* auth_rejections = int_field_default "auth_rejections" ~default:0 j in
       Ok
         (Stats_r
@@ -365,6 +370,7 @@ let response_of_json j =
              forwarded;
              peer_hits;
              peer_fallbacks;
+             budget_fallbacks;
              auth_rejections;
            })
   | "compiled" ->
@@ -444,12 +450,34 @@ let decode_hello_reply s =
       Ok (Hello_denied reason)
   | s -> Error (Printf.sprintf "unknown hello reply type %S" s)
 
-let encode_request r = Json.to_string (json_of_request r)
+(* The deadline rides the envelope, not the request constructors: it is
+   transport metadata ("how long is this answer still worth sending"),
+   not part of what is being asked.  Decoders that predate it look up
+   fields by name and simply never see it. *)
+let encode_request ?deadline_ms r =
+  let j =
+    match (json_of_request r, deadline_ms) with
+    | j, None -> j
+    | Json.Obj fields, Some d ->
+        Json.Obj (fields @ [ ("deadline_ms", Json.Int d) ])
+    | j, Some _ -> j
+  in
+  Json.to_string j
+
 let encode_response r = Json.to_string (json_of_response r)
+
+let deadline_of_json j =
+  match field "deadline_ms" j with
+  | Error _ -> Ok None
+  | Ok v ->
+      let* d = as_int v in
+      Ok (Some d)
 
 let decode_request s =
   let* j = Json.of_string s in
-  request_of_json j
+  let* req = request_of_json j in
+  let* deadline_ms = deadline_of_json j in
+  Ok (req, deadline_ms)
 
 let decode_response s =
   let* j = Json.of_string s in
@@ -457,31 +485,31 @@ let decode_response s =
 
 (* --- framing ------------------------------------------------------- *)
 
-let write_all fd s =
+let write_all ?(net = Net_io.default) fd s =
   let len = String.length s in
   let bytes = Bytes.of_string s in
   let rec go off =
     if off < len then
-      let n = Unix.write fd bytes off (len - off) in
+      let n = Net_io.write net fd bytes off (len - off) in
       go (off + n)
   in
   go 0
 
-let write_frame fd payload =
+let write_frame ?net fd payload =
   if String.length payload > max_frame_bytes then
     invalid_arg "Protocol.write_frame: payload exceeds max_frame_bytes";
-  write_all fd (Printf.sprintf "%d\n%s\n" (String.length payload) payload)
+  write_all ?net fd (Printf.sprintf "%d\n%s\n" (String.length payload) payload)
 
 (* one byte at a time for the tiny header line, bulk for the payload *)
-let read_byte fd =
+let read_byte net fd =
   let b = Bytes.create 1 in
-  match Unix.read fd b 0 1 with 0 -> None | _ -> Some (Bytes.get b 0)
+  match Net_io.read net fd b 0 1 with 0 -> None | _ -> Some (Bytes.get b 0)
 
-let read_frame fd =
+let read_frame ?(net = Net_io.default) fd =
   (* header: decimal length terminated by '\n'; 8 digits bound any
      length we would accept, so a longer header is rejected early *)
   let rec header acc ndigits first =
-    match read_byte fd with
+    match read_byte net fd with
     | None -> if first then Error `Eof else Error (`Bad "truncated frame header")
     | Some '\n' ->
         if ndigits = 0 then Error (`Bad "empty frame header") else Ok acc
@@ -499,13 +527,13 @@ let read_frame fd =
       let rec fill off =
         if off >= len then true
         else
-          match Unix.read fd buf off (len - off) with
+          match Net_io.read net fd buf off (len - off) with
           | 0 -> false
           | n -> fill (off + n)
       in
       if not (fill 0) then Error (`Bad "truncated frame payload")
       else
-        match read_byte fd with
+        match read_byte net fd with
         | Some '\n' -> Ok (Bytes.to_string buf)
         | Some _ -> Error (`Bad "missing frame terminator")
         | None -> Error (`Bad "truncated frame terminator"))

@@ -103,6 +103,9 @@ type server_stats = {
   peer_hits : int;  (** forwarded requests the owner served a plan for *)
   peer_fallbacks : int;
       (** forwards abandoned for the local path (owner down or busy) *)
+  budget_fallbacks : int;
+      (** forwards skipped because the request's remaining deadline
+          budget was too small to pay for a fleet hop *)
   auth_rejections : int;  (** TCP handshakes denied *)
 }
 
@@ -141,20 +144,35 @@ val decode_hello : string -> (hello, string) result
 val encode_hello_reply : hello_reply -> string
 val decode_hello_reply : string -> (hello_reply, string) result
 
-val encode_request : request -> string
-val decode_request : string -> (request, string) result
+val encode_request : ?deadline_ms:int -> request -> string
+(** [deadline_ms] is the request's {e remaining time budget}: how many
+    milliseconds the sender still considers an answer useful.  It
+    travels in the envelope, not the request — decoders from before
+    the field existed ignore it, so it is not a version bump. *)
+
+val decode_request : string -> (request * int option, string) result
+(** The decoded request plus its deadline budget, [None] when the
+    sender did not carry one (every pre-deadline client). *)
+
 val encode_response : response -> string
 val decode_response : string -> (response, string) result
 (** Decoders reject malformed JSON, missing fields, unknown message
     types, and any version field other than {!version}. *)
 
-(** {2 Framing} *)
+(** {2 Framing}
 
-val write_frame : Unix.file_descr -> string -> unit
+    Both directions go through a {!Net_io} handle ([?net], default
+    {!Net_io.default} = plain OS I/O), so every socket pathology the
+    fault plans can express — short reads, partial writes, resets and
+    corruption mid-frame — exercises exactly this code. *)
+
+val write_frame : ?net:Net_io.t -> Unix.file_descr -> string -> unit
 (** Raises [Invalid_argument] when the payload exceeds
     {!max_frame_bytes}; [Unix.Unix_error] on I/O failure. *)
 
-val read_frame : Unix.file_descr -> (string, [ `Eof | `Bad of string ]) result
+val read_frame :
+  ?net:Net_io.t -> Unix.file_descr -> (string, [ `Eof | `Bad of string ]) result
 (** [`Eof] for a clean end-of-stream before the first header byte;
-    [`Bad _] for truncated frames, malformed headers, and oversized
-    lengths (the payload of an oversized frame is never read). *)
+    [`Bad _] for truncated frames, malformed headers, corrupted bytes,
+    and oversized lengths (the payload of an oversized frame is never
+    read). *)

@@ -29,6 +29,8 @@ type config = {
   hot_max_bytes : int option;
   max_bytes : int option;
   max_tuning_seconds : float option;
+  io_timeout_s : float;
+  net : Net_io.t;
 }
 
 let default_config ~socket_path =
@@ -45,6 +47,8 @@ let default_config ~socket_path =
     hot_max_bytes = None;
     max_bytes = None;
     max_tuning_seconds = None;
+    io_timeout_s = 30.;
+    net = Net_io.default;
   }
 
 type tune_outcome = { value : Plan_cache.value; evaluations : int }
@@ -64,7 +68,9 @@ type flight_result =
   | Fl_error of string
 
 type route = [ `Local | `Reply of Protocol.response | `Fallback of string ]
-type router = fingerprint:string -> Protocol.request -> route
+
+type router =
+  fingerprint:string -> deadline_ms:int option -> Protocol.request -> route
 
 type listener_kind = L_unix | L_tcp
 
@@ -101,8 +107,17 @@ type t = {
   mutable forwarded : int;
   mutable peer_hits : int;
   mutable peer_fallbacks : int;
+  mutable budget_fallbacks : int;
   mutable auth_rejections : int;
 }
+
+(* Deadline budgeting for the one fleet hop: the forward subtracts the
+   time this daemon already spent plus a fixed margin for the hop's own
+   framing, so the peer always observes a strictly smaller budget than
+   the client sent; a budget that cannot pay for the margin and a
+   minimum useful hop skips the fleet entirely and tunes locally. *)
+let forward_margin_ms = 5
+let min_forward_budget_ms = 25
 
 (* bound the spec ledger: a daemon fed unbounded distinct operators must
    not grow memory without limit *)
@@ -285,6 +300,7 @@ let create ?(tuner = default_tuner) ?clock ?router config =
     forwarded = 0;
     peer_hits = 0;
     peer_fallbacks = 0;
+    budget_fallbacks = 0;
     auth_rejections = 0;
   }
 
@@ -315,6 +331,7 @@ let stats t : Protocol.server_stats =
         forwarded = t.forwarded;
         peer_hits = t.peer_hits;
         peer_fallbacks = t.peer_fallbacks;
+        budget_fallbacks = t.budget_fallbacks;
         auth_rejections = t.auth_rejections;
       })
 
@@ -350,13 +367,40 @@ let migration_seeds t ~accel ~op ~budget =
    degrades to local work, never to a client-visible error.  A plan the
    owner served is re-admitted into the hot cache so the next request
    for it is local. *)
-let route_to_owner t ~from_peer ~fingerprint req =
+(* [deadline] is [(deadline_ms, arrival)] from the request envelope:
+   the budget the client sent and the clock reading when the frame was
+   decoded.  The hop may spend only what is left after this daemon's
+   own elapsed time and the forwarding margin. *)
+let remaining_budget t ~deadline =
+  match deadline with
+  | None -> `No_deadline
+  | Some (d, arrival) ->
+      let elapsed_ms =
+        int_of_float (Float.max 0. (Clock.now t.clock -. arrival) *. 1000.)
+      in
+      let remaining = d - elapsed_ms - forward_margin_ms in
+      if remaining < min_forward_budget_ms then `Exhausted
+      else `Remaining remaining
+
+let route_to_owner t ~from_peer ~deadline ~fingerprint req =
   if from_peer then None
   else
     match locked t.mu (fun () -> t.router) with
     | None -> None
     | Some route -> (
-        match route ~fingerprint req with
+        match remaining_budget t ~deadline with
+        | `Exhausted ->
+            locked t.mu (fun () ->
+                t.budget_fallbacks <- t.budget_fallbacks + 1);
+            Log.info (fun m ->
+                m "deadline budget too small to forward %s: serving locally"
+                  fingerprint);
+            None
+        | (`No_deadline | `Remaining _) as budget -> (
+        let deadline_ms =
+          match budget with `Remaining r -> Some r | `No_deadline -> None
+        in
+        match route ~fingerprint ~deadline_ms req with
         | `Local -> None
         | `Fallback reason ->
             locked t.mu (fun () -> t.peer_fallbacks <- t.peer_fallbacks + 1);
@@ -391,9 +435,10 @@ let route_to_owner t ~from_peer ~fingerprint req =
             Log.warn (fun m ->
                 m "fleet routing failed for %s: %s" fingerprint
                   (Printexc.to_string e));
-            None)
+            None))
 
-let handle_tune t ~from_peer ~migrate ~accel:accel_name ~op:op_spec ~budget =
+let handle_tune t ~from_peer ~deadline ~migrate ~accel:accel_name ~op:op_spec
+    ~budget =
   let accel = resolve_accel accel_name in
   let op = resolve_op op_spec in
   let fingerprint = Fingerprint.key ~accel ~op ~budget in
@@ -431,7 +476,7 @@ let handle_tune t ~from_peer ~migrate ~accel:accel_name ~op:op_spec ~budget =
                   { accel = accel_name; op = op_spec; budget }
               else Protocol.Tune { accel = accel_name; op = op_spec; budget }
             in
-            route_to_owner t ~from_peer ~fingerprint req
+            route_to_owner t ~from_peer ~deadline ~fingerprint req
           in
           (match forwarded with
           | Some (Protocol.Plan_r _ as r) -> r
@@ -497,7 +542,8 @@ let handle_tune t ~from_peer ~migrate ~accel:accel_name ~op:op_spec ~budget =
                   Protocol.Busy_r { retry_after_s = hint }
                 end)))
 
-let handle_lookup t ~from_peer ~accel:accel_name ~op:op_spec ~budget =
+let handle_lookup t ~from_peer ~deadline ~accel:accel_name ~op:op_spec ~budget
+    =
   let accel = resolve_accel accel_name in
   let op = resolve_op op_spec in
   let fingerprint = Fingerprint.key ~accel ~op ~budget in
@@ -534,7 +580,7 @@ let handle_lookup t ~from_peer ~accel:accel_name ~op:op_spec ~budget =
           let req =
             Protocol.Lookup { accel = accel_name; op = op_spec; budget }
           in
-          match route_to_owner t ~from_peer ~fingerprint req with
+          match route_to_owner t ~from_peer ~deadline ~fingerprint req with
           | Some (Protocol.Plan_r _ as r) -> r
           | Some _ | None -> Protocol.Not_found_r))
 
@@ -693,7 +739,13 @@ let dispatch t ~from_peer payload =
   locked t.mu (fun () -> t.requests <- t.requests + 1);
   match Protocol.decode_request payload with
   | Error msg -> (Protocol.Error_r msg, false)
-  | Ok req -> (
+  | Ok (req, deadline_ms) -> (
+      (* the envelope budget starts burning the moment the frame is
+         decoded: everything this daemon spends before a forward is
+         subtracted from what the peer hop may use *)
+      let deadline =
+        Option.map (fun d -> (d, Clock.now t.clock)) deadline_ms
+      in
       match req with
       | Protocol.Health ->
           (Protocol.Ok_r (Printf.sprintf "amosd protocol v%d" Protocol.version), false)
@@ -702,17 +754,23 @@ let dispatch t ~from_peer payload =
           drain_and_stop t;
           (Protocol.Ok_r "drained", true)
       | Protocol.Lookup { accel; op; budget } -> (
-          match handle_lookup t ~from_peer ~accel ~op ~budget with
+          match handle_lookup t ~from_peer ~deadline ~accel ~op ~budget with
           | r -> (r, false)
           | exception Failure msg -> (Protocol.Error_r msg, false)
           | exception e -> (Protocol.Error_r (Printexc.to_string e), false))
       | Protocol.Tune { accel; op; budget } -> (
-          match handle_tune t ~from_peer ~migrate:false ~accel ~op ~budget with
+          match
+            handle_tune t ~from_peer ~deadline ~migrate:false ~accel ~op
+              ~budget
+          with
           | r -> (r, false)
           | exception Failure msg -> (Protocol.Error_r msg, false)
           | exception e -> (Protocol.Error_r (Printexc.to_string e), false))
       | Protocol.Migrate_tune { accel; op; budget } -> (
-          match handle_tune t ~from_peer ~migrate:true ~accel ~op ~budget with
+          match
+            handle_tune t ~from_peer ~deadline ~migrate:true ~accel ~op
+              ~budget
+          with
           | r -> (r, false)
           | exception Failure msg -> (Protocol.Error_r msg, false)
           | exception e -> (Protocol.Error_r (Printexc.to_string e), false))
@@ -724,10 +782,12 @@ let dispatch t ~from_peer payload =
 
 (* --- connections ---------------------------------------------------- *)
 
-let send_response fd resp =
-  match Protocol.write_frame fd (Protocol.encode_response resp) with
+let send_response t fd resp =
+  match
+    Protocol.write_frame ~net:t.config.net fd (Protocol.encode_response resp)
+  with
   | () -> true
-  | exception (Unix.Unix_error _ | Sys_error _) -> false
+  | exception (Unix.Unix_error _ | Sys_error _ | Net_io.Injected _) -> false
 
 (* TCP connections must introduce themselves before the first request:
    the hello carries the protocol version and the shared token, and a
@@ -746,15 +806,15 @@ let handshake t fd =
     locked t.mu (fun () -> t.auth_rejections <- t.auth_rejections + 1);
     Log.info (fun m -> m "handshake denied: %s" reason);
     (try
-       Protocol.write_frame fd
+       Protocol.write_frame ~net:t.config.net fd
          (Protocol.encode_hello_reply (Protocol.Hello_denied reason))
-     with Unix.Unix_error _ | Sys_error _ -> ());
+     with Unix.Unix_error _ | Sys_error _ | Net_io.Injected _ -> ());
     None
   in
-  match Protocol.read_frame fd with
+  match Protocol.read_frame ~net:t.config.net fd with
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
       deny "handshake deadline exceeded"
-  | exception (Unix.Unix_error _ | Sys_error _) -> None
+  | exception (Unix.Unix_error _ | Sys_error _ | Net_io.Injected _) -> None
   | Error `Eof -> None
   | Error (`Bad msg) -> deny ("bad hello frame: " ^ msg)
   | Ok payload -> (
@@ -773,11 +833,13 @@ let handshake t fd =
           then deny "bad auth token"
           else (
             match
-              Protocol.write_frame fd
+              Protocol.write_frame ~net:t.config.net fd
                 (Protocol.encode_hello_reply Protocol.Hello_ok)
             with
             | () -> Some h.Protocol.peer
-            | exception (Unix.Unix_error _ | Sys_error _) -> None))
+            | exception (Unix.Unix_error _ | Sys_error _ | Net_io.Injected _)
+              ->
+                None))
 
 let handle_conn t kind fd =
   let admitted =
@@ -792,23 +854,33 @@ let handle_conn t kind fd =
   | None -> ( try Unix.close fd with Unix.Unix_error _ -> ())
   | Some from_peer ->
       (* the receive timeout turns an idle connection into a periodic
-         stopping-flag check, so shutdown never waits on a silent client *)
+         stopping-flag check, so shutdown never waits on a silent
+         client; the send timeout bounds how long a reply may block on
+         a client that stopped draining *)
       (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
        with Unix.Unix_error _ -> ());
+      (try
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO
+           (Float.max 0.05 t.config.io_timeout_s)
+       with Unix.Unix_error _ -> ());
       let rec loop () =
-        match Protocol.read_frame fd with
+        match Protocol.read_frame ~net:t.config.net fd with
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
           ->
             if locked t.mu (fun () -> t.stopped) then () else loop ()
         | exception (Unix.Unix_error _ | Sys_error _) -> ()
+        | exception Net_io.Injected _ ->
+            (* an injected connection fault ends this connection, like
+               the real reset it stands in for — never the daemon *)
+            ()
         | Error `Eof -> ()
         | Error (`Bad msg) ->
             (* framing is broken: answer once, then drop the connection —
                resynchronising on a corrupt stream is guesswork *)
-            ignore (send_response fd (Protocol.Error_r ("bad frame: " ^ msg)))
+            ignore (send_response t fd (Protocol.Error_r ("bad frame: " ^ msg)))
         | Ok payload ->
             let resp, close_after = dispatch t ~from_peer payload in
-            let sent = send_response fd resp in
+            let sent = send_response t fd resp in
             if sent && not close_after then loop ()
       in
       (try loop ()

@@ -61,12 +61,20 @@ type config = {
   max_bytes : int option;  (** persistent-cache byte budget *)
   max_tuning_seconds : float option;
       (** persistent-cache tuning-seconds budget *)
+  io_timeout_s : float;
+      (** per-connection [SO_SNDTIMEO]: how long a reply may block on a
+          client that stopped draining before the connection is dropped *)
+  net : Net_io.t;
+      (** mediates every byte the daemon reads or writes on accepted
+          connections, so network faults are injectable
+          ({!Net_io.of_env} wires the [AMOS_NET_*] environment in) *)
 }
 
 val default_config : socket_path:string -> config
 (** Unix socket only (no TCP, no token, 5 s handshake deadline),
     2 workers, queue capacity 8, 1 job per tune, 128 hot entries,
-    memory-only cache, unlimited byte / tuning-seconds budgets. *)
+    memory-only cache, unlimited byte / tuning-seconds budgets, 30 s
+    send timeout, pass-through {!Net_io.default}. *)
 
 type route = [ `Local | `Reply of Protocol.response | `Fallback of string ]
 (** What the fleet router decided for a locally-missed request:
@@ -76,13 +84,22 @@ type route = [ `Local | `Reply of Protocol.response | `Fallback of string ]
     the local path.  Structural, so [Amos_fleet] can implement it
     without a dependency cycle. *)
 
-type router = fingerprint:string -> Protocol.request -> route
+type router =
+  fingerprint:string -> deadline_ms:int option -> Protocol.request -> route
 (** Consulted after both the hot cache and the plan cache miss, and
     never for requests that already arrived from a peer (fleet routing
     is bounded to one hop).  A [`Reply (Plan_r _)] is re-admitted into
     the hot cache and served with source ["peer"]; any other peer
     answer degrades to the local path — an owner being down is never a
-    client-visible error. *)
+    client-visible error.
+
+    [deadline_ms] is the {e remaining} budget for the hop: when the
+    request envelope carried a deadline, the daemon has already
+    subtracted its own elapsed time plus a forwarding margin, so the
+    peer always observes strictly less budget than the client sent.  A
+    budget too small to pay for a useful hop never reaches the router —
+    the daemon falls back to local tuning and counts a
+    [budget_fallbacks]. *)
 
 type tune_outcome = {
   value : Amos_service.Plan_cache.value;

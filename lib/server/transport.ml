@@ -18,15 +18,27 @@ let parse_tcp s =
   | Some port -> Error (Printf.sprintf "port %d out of range" port)
   | None -> Error (Printf.sprintf "bad TCP address %S (want HOST:PORT)" s)
 
+(* numeric addresses (IPv4 and IPv6) skip the resolver entirely; names
+   go through getaddrinfo — gethostbyname is obsolete, IPv4-only, and
+   not thread-safe on some libcs *)
 let resolve_inet host port =
   match Unix.inet_addr_of_string host with
   | addr -> Unix.ADDR_INET (addr, port)
   | exception Failure _ -> (
-      match Unix.gethostbyname host with
-      | { Unix.h_addr_list = [||]; _ } ->
-          failwith ("no address for host " ^ host)
-      | h -> Unix.ADDR_INET (h.Unix.h_addr_list.(0), port)
-      | exception Not_found -> failwith ("unknown host " ^ host))
+      let addrs =
+        Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+      in
+      match
+        List.find_map
+          (fun ai ->
+            match ai.Unix.ai_addr with
+            | Unix.ADDR_INET (a, p) -> Some (Unix.ADDR_INET (a, p))
+            | Unix.ADDR_UNIX _ -> None)
+          addrs
+      with
+      | Some addr -> addr
+      | None -> failwith ("unknown host " ^ host))
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -58,35 +70,36 @@ let bound_port fd =
   | Unix.ADDR_INET (_, port) -> Some port
   | Unix.ADDR_UNIX _ -> None
 
-let connect ?(timeout_s = 5.) endpoint =
-  match endpoint with
-  | Unix_path path ->
-      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (match Unix.connect fd (Unix.ADDR_UNIX path) with
-      | () -> fd
-      | exception e ->
-          close_quiet fd;
-          raise e)
-  | Tcp { host; port } ->
-      let addr = resolve_inet host port in
-      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-      (* non-blocking connect bounded by select: a dead or unroutable
-         peer fails within [timeout_s], it can never hang the caller *)
-      let conn () =
-        Unix.set_nonblock fd;
-        (try Unix.connect fd addr
-         with Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
-         -> (
-           match Unix.select [] [ fd ] [] (Float.max 0.01 timeout_s) with
-           | _, _ :: _, _ -> (
-               match Unix.getsockopt_error fd with
-               | None -> ()
-               | Some err -> raise (Unix.Unix_error (err, "connect", "")))
-           | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))));
-        Unix.clear_nonblock fd
-      in
-      (match conn () with
-      | () -> fd
-      | exception e ->
-          close_quiet fd;
-          raise e)
+let connect ?(net = Net_io.default) ?(timeout_s = 5.) endpoint =
+  Net_io.connect net (fun () ->
+      match endpoint with
+      | Unix_path path ->
+          let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (match Unix.connect fd (Unix.ADDR_UNIX path) with
+          | () -> fd
+          | exception e ->
+              close_quiet fd;
+              raise e)
+      | Tcp { host; port } ->
+          let addr = resolve_inet host port in
+          let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (* non-blocking connect bounded by select: a dead or unroutable
+             peer fails within [timeout_s], it can never hang the caller *)
+          let conn () =
+            Unix.set_nonblock fd;
+            (try Unix.connect fd addr
+             with Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+             -> (
+               match Unix.select [] [ fd ] [] (Float.max 0.01 timeout_s) with
+               | _, _ :: _, _ -> (
+                   match Unix.getsockopt_error fd with
+                   | None -> ()
+                   | Some err -> raise (Unix.Unix_error (err, "connect", "")))
+               | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))));
+            Unix.clear_nonblock fd
+          in
+          (match conn () with
+          | () -> fd
+          | exception e ->
+              close_quiet fd;
+              raise e))

@@ -20,6 +20,11 @@ val parse_tcp : string -> (string * int, string) result
 (** Parse ["HOST:PORT"], [":PORT"] or ["PORT"] (host defaults to
     127.0.0.1).  The port must be in [0..65535]. *)
 
+val resolve_inet : string -> int -> Unix.sockaddr
+(** Resolve a host to an [ADDR_INET].  Numeric IPv4/IPv6 addresses
+    never touch the resolver; names go through [getaddrinfo].  Raises
+    [Failure] for unknown hosts. *)
+
 val listen : endpoint -> Unix.file_descr
 (** Bind and listen (backlog 64).  A stale Unix socket file is
     replaced; TCP listeners set [SO_REUSEADDR].  Raises
@@ -30,8 +35,10 @@ val bound_port : Unix.file_descr -> int option
 (** The actual port of a TCP listener ([Some] even when bound with
     port 0); [None] for Unix-domain sockets. *)
 
-val connect : ?timeout_s:float -> endpoint -> Unix.file_descr
+val connect :
+  ?net:Net_io.t -> ?timeout_s:float -> endpoint -> Unix.file_descr
 (** Connect to an endpoint.  TCP connects are non-blocking bounded by
     [timeout_s] (default 5): a dead peer surfaces as a
     [Unix.Unix_error] ([ETIMEDOUT], [ECONNREFUSED], ...) within the
-    bound, never as a hang. *)
+    bound, never as a hang.  [net] (default {!Net_io.default})
+    mediates the attempt, so connect faults are injectable. *)

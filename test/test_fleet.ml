@@ -1,10 +1,11 @@
 (* The plan fleet: consistent-hash ring properties (determinism across
-   member orderings, bounded churn on member removal), peer-badlist
-   backoff on a virtual clock, the TCP handshake's typed denials (bad
-   token, wrong protocol version, request-before-hello, silent-client
-   deadline), cross-daemon forwarding with hot-cache re-admission, the
-   owner-down local-tune fallback, and the journal format version
-   stamp. *)
+   member orderings, bounded churn on member removal), the per-peer
+   circuit breaker's state machine on a virtual clock (open backoff
+   growth, half-open single-probe claim, latency-EWMA tripping), the
+   TCP handshake's typed denials (bad token, wrong protocol version,
+   request-before-hello, silent-client deadline), cross-daemon
+   forwarding with hot-cache re-admission, the owner-down local-tune
+   fallback, and the journal format version stamp. *)
 
 open Amos
 module Fingerprint = Amos_service.Fingerprint
@@ -17,7 +18,7 @@ module Client = Amos_server.Client
 module Transport = Amos_server.Transport
 module Ring = Amos_fleet.Ring
 module Fleet = Amos_fleet.Fleet
-module Peer_badlist = Amos_fleet.Peer_badlist
+module Breaker = Amos_fleet.Breaker
 
 let qcheck_seed =
   match Sys.getenv_opt "QCHECK_SEED" with
@@ -112,50 +113,120 @@ let prop_ring_bounded_churn =
           | owner -> Ring.owner after k = owner)
         (keys 200))
 
-(* --- peer badlist --------------------------------------------------- *)
+(* --- circuit breaker ------------------------------------------------ *)
 
-let badlist_tests =
+let state_name = function
+  | Breaker.Closed -> "closed"
+  | Breaker.Open -> "open"
+  | Breaker.Half_open -> "half-open"
+
+let check_state name expected br peer =
+  Alcotest.(check string) name (state_name expected)
+    (state_name (Breaker.state br peer))
+
+let breaker_tests =
   [
-    Alcotest.test_case "failure-blocks-then-backoff-expires" `Quick (fun () ->
+    Alcotest.test_case "failure-opens-then-backoff-expires" `Quick (fun () ->
         let clock = Clock.virtual_ () in
-        let bad = Peer_badlist.create ~clock () in
+        let br = Breaker.create ~clock () in
         Alcotest.(check bool) "fresh peer available" true
-          (Peer_badlist.available bad "p");
-        Peer_badlist.failure bad "p";
+          (Breaker.available br "p");
+        check_state "fresh peer closed" Breaker.Closed br "p";
+        Breaker.failure br "p";
+        check_state "open right after failure" Breaker.Open br "p";
         Alcotest.(check bool) "blocked right after failure" false
-          (Peer_badlist.available bad "p");
+          (Breaker.available br "p");
         Clock.advance clock 1.;
+        (* the window expired: half-open, one probe admitted *)
+        check_state "half-open after base backoff" Breaker.Half_open br "p";
         Alcotest.(check bool) "base backoff expired" true
-          (Peer_badlist.available bad "p"));
+          (Breaker.available br "p"));
     Alcotest.test_case "backoff-doubles-and-caps" `Quick (fun () ->
         let clock = Clock.virtual_ () in
-        let bad = Peer_badlist.create ~clock () in
-        Peer_badlist.failure bad "p";
+        let br = Breaker.create ~clock () in
+        Breaker.failure br "p";
         Clock.advance clock 1.;
-        Peer_badlist.failure bad "p";
+        Breaker.failure br "p";
         (* second failure backs off 2s, not 1s *)
         Clock.advance clock 1.;
         Alcotest.(check bool) "still blocked after 1s" false
-          (Peer_badlist.available bad "p");
+          (Breaker.available br "p");
         Clock.advance clock 1.;
         Alcotest.(check bool) "unblocked after 2s" true
-          (Peer_badlist.available bad "p");
+          (Breaker.available br "p");
         (* a long outage saturates at the cap instead of overflowing *)
         for _ = 1 to 80 do
-          Peer_badlist.failure bad "p"
+          Breaker.failure br "p"
         done;
-        let until = Option.get (Peer_badlist.blocked_until bad "p") in
+        let until = Option.get (Breaker.blocked_until br "p") in
         Alcotest.(check bool) "capped at 30s" true
           (until -. Clock.now clock <= 30.));
-    Alcotest.test_case "success-forgets-the-history" `Quick (fun () ->
+    Alcotest.test_case "half-open-admits-exactly-one-probe" `Quick (fun () ->
         let clock = Clock.virtual_ () in
-        let bad = Peer_badlist.create ~clock () in
-        Peer_badlist.failure bad "p";
-        Peer_badlist.failure bad "p";
-        Peer_badlist.success bad "p";
-        Alcotest.(check int) "no failures" 0 (Peer_badlist.failures bad "p");
-        Alcotest.(check bool) "available again" true
-          (Peer_badlist.available bad "p"));
+        let br = Breaker.create ~clock () in
+        Breaker.failure br "p";
+        Clock.advance clock 1.;
+        Alcotest.(check bool) "first caller claims the probe" true
+          (Breaker.available br "p");
+        Alcotest.(check bool) "racing caller is refused" false
+          (Breaker.available br "p");
+        Alcotest.(check bool) "and stays refused until the probe resolves"
+          false
+          (Breaker.available br "p"));
+    Alcotest.test_case "healthy-probe-closes-and-forgets" `Quick (fun () ->
+        let clock = Clock.virtual_ () in
+        let br = Breaker.create ~clock () in
+        Breaker.failure br "p";
+        Breaker.failure br "p";
+        Clock.advance clock 2.;
+        Alcotest.(check bool) "probe admitted" true (Breaker.available br "p");
+        Breaker.success br "p" ~latency_s:0.01;
+        check_state "probe success closes" Breaker.Closed br "p";
+        Alcotest.(check int) "history forgotten" 0 (Breaker.failures br "p");
+        Alcotest.(check bool) "requests flow again" true
+          (Breaker.available br "p"));
+    Alcotest.test_case "failed-probe-reopens-with-doubled-window" `Quick
+      (fun () ->
+        let clock = Clock.virtual_ () in
+        let br = Breaker.create ~clock () in
+        Breaker.failure br "p";
+        Clock.advance clock 1.;
+        Alcotest.(check bool) "probe admitted" true (Breaker.available br "p");
+        Breaker.failure br "p";
+        check_state "probe failure reopens" Breaker.Open br "p";
+        let until = Option.get (Breaker.blocked_until br "p") in
+        (* second consecutive trip: the window doubled from 1s to 2s *)
+        Alcotest.(check (float 0.001)) "window doubled" 2.
+          (until -. Clock.now clock);
+        Clock.advance clock 1.;
+        Alcotest.(check bool) "still blocked inside the doubled window" false
+          (Breaker.available br "p"));
+    Alcotest.test_case "slow-but-alive-owner-trips-on-latency" `Quick
+      (fun () ->
+        let clock = Clock.virtual_ () in
+        let br = Breaker.create ~clock ~latency_threshold_s:0.5 () in
+        Breaker.success br "p" ~latency_s:0.01;
+        check_state "fast answers keep it closed" Breaker.Closed br "p";
+        (* a stalled owner's first slow answer seeds the EWMA above the
+           threshold: the breaker must trip within that one window *)
+        Breaker.success br "p" ~latency_s:8.;
+        check_state "slow answer trips" Breaker.Open br "p";
+        Alcotest.(check bool) "skipped while open" false
+          (Breaker.available br "p");
+        (* EWMA decays under fast probes until the peer counts healthy *)
+        Clock.advance clock 1.;
+        Alcotest.(check bool) "probe admitted" true (Breaker.available br "p");
+        let rec drain n =
+          if n > 0 && Breaker.state br "p" <> Breaker.Closed then begin
+            Breaker.success br "p" ~latency_s:0.01;
+            Clock.advance clock 30.;
+            ignore (Breaker.available br "p");
+            drain (n - 1)
+          end
+        in
+        Breaker.success br "p" ~latency_s:0.01;
+        drain 20;
+        check_state "fast probes eventually close it" Breaker.Closed br "p");
   ]
 
 (* --- TCP handshake --------------------------------------------------- *)
@@ -173,18 +244,14 @@ let start_tcp_server ?tuner ?router ?(token = "sesame")
   let server =
     Server.create ?tuner ?router
       {
+        (Server.default_config ~socket_path:"unused") with
         Server.socket_path = None;
         tcp = Some ("127.0.0.1", 0);
         auth_token = Some token;
         handshake_timeout_s;
-        cache_dir = None;
         workers = 1;
         queue_capacity = 4;
-        jobs = 1;
         hot_capacity = 16;
-        hot_max_bytes = None;
-        max_bytes = None;
-        max_tuning_seconds = None;
       }
   in
   let thread = Thread.create Server.serve server in
@@ -396,8 +463,8 @@ let daemon_tests =
         Alcotest.(check int) "B did the work" 1 (Atomic.get calls_b);
         Alcotest.(check bool) "fallback counted" true
           ((Server.stats server_b).Protocol.peer_fallbacks >= 1);
-        Alcotest.(check bool) "owner badlisted" true
-          (Peer_badlist.failures (Fleet.badlist fleet_b) addr_a >= 1);
+        Alcotest.(check bool) "owner breaker tripped" true
+          (Breaker.failures (Fleet.breaker fleet_b) addr_a >= 1);
         (* while the owner is backing off, the next foreign miss skips
            the connect and tunes locally right away *)
         let r2 =
@@ -472,7 +539,7 @@ let suites =
       ring_tests
       @ List.map to_alcotest [ prop_ring_deterministic; prop_ring_bounded_churn ]
     );
-    ("fleet.badlist", badlist_tests);
+    ("fleet.breaker", breaker_tests);
     ("fleet.handshake", handshake_tests);
     ("fleet.daemon", daemon_tests);
     ("fleet.journal", journal_tests);

@@ -410,6 +410,7 @@ let gen_response : Protocol.response QCheck.Gen.t =
       int_range 0 1000 >>= fun forwarded ->
       int_range 0 1000 >>= fun peer_hits ->
       int_range 0 1000 >>= fun peer_fallbacks ->
+      int_range 0 1000 >>= fun budget_fallbacks ->
       int_range 0 1000 >>= fun auth_rejections ->
       return
         (Protocol.Stats_r
@@ -430,6 +431,7 @@ let gen_response : Protocol.response QCheck.Gen.t =
              forwarded;
              peer_hits;
              peer_fallbacks;
+             budget_fallbacks;
              auth_rejections;
            })
   | 4 ->
@@ -472,7 +474,16 @@ let arb_response =
 let prop_request_roundtrip =
   QCheck.Test.make ~count:cases ~name:"request decode . encode = id"
     arb_request (fun r ->
-      Protocol.decode_request (Protocol.encode_request r) = Ok r)
+      Protocol.decode_request (Protocol.encode_request r) = Ok (r, None))
+
+(* the deadline rides the same envelope and survives the round trip;
+   its absence decodes as [None], so pre-deadline encoders interoperate *)
+let prop_request_deadline_roundtrip =
+  QCheck.Test.make ~count:cases ~name:"request deadline rides the envelope"
+    QCheck.(pair arb_request (int_range 1 1_000_000))
+    (fun (r, d) ->
+      Protocol.decode_request (Protocol.encode_request ~deadline_ms:d r)
+      = Ok (r, Some d))
 
 let prop_response_roundtrip =
   QCheck.Test.make ~count:cases ~name:"response decode . encode = id"
@@ -660,7 +671,12 @@ let suites =
     );
     ("props.migration", [ to_alcotest prop_migration ]);
     ( "props.protocol",
-      List.map to_alcotest [ prop_request_roundtrip; prop_response_roundtrip ]
+      List.map to_alcotest
+        [
+          prop_request_roundtrip;
+          prop_request_deadline_roundtrip;
+          prop_response_roundtrip;
+        ]
     );
     ( "props.economy",
       List.map to_alcotest

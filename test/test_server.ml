@@ -110,6 +110,7 @@ let sample_responses =
         forwarded = 2;
         peer_hits = 1;
         peer_fallbacks = 1;
+        budget_fallbacks = 1;
         auth_rejections = 3;
       };
     Protocol.Compiled_r
@@ -132,8 +133,22 @@ let codec_tests =
         List.iter
           (fun r ->
             match Protocol.decode_request (Protocol.encode_request r) with
-            | Ok r' ->
-                Alcotest.(check bool) "request round-trips" true (r = r')
+            | Ok (r', deadline) ->
+                Alcotest.(check bool) "request round-trips" true (r = r');
+                Alcotest.(check (option int)) "no deadline" None deadline
+            | Error msg -> Alcotest.fail msg)
+          sample_requests);
+    Alcotest.test_case "deadline-rides-the-envelope" `Quick (fun () ->
+        List.iter
+          (fun r ->
+            match
+              Protocol.decode_request
+                (Protocol.encode_request ~deadline_ms:750 r)
+            with
+            | Ok (r', deadline) ->
+                Alcotest.(check bool) "request round-trips" true (r = r');
+                Alcotest.(check (option int)) "deadline decoded" (Some 750)
+                  deadline
             | Error msg -> Alcotest.fail msg)
           sample_requests);
     Alcotest.test_case "every-response-round-trips" `Quick (fun () ->
@@ -370,18 +385,12 @@ let start_server ?tuner ?clock ?(workers = 1) ?(queue = 4) ?cache_dir
   let server =
     Server.create ?tuner ?clock
       {
-        Server.socket_path = Some socket_path;
-        tcp = None;
-        auth_token = None;
-        handshake_timeout_s = 5.;
+        (Server.default_config ~socket_path) with
         cache_dir;
         workers;
         queue_capacity = queue;
-        jobs = 1;
         hot_capacity;
         hot_max_bytes;
-        max_bytes = None;
-        max_tuning_seconds = None;
       }
   in
   let thread = Thread.create Server.serve server in

@@ -1346,6 +1346,158 @@ let chaos () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Tuner throughput: the ROADMAP item 3 gate.  One full [Explore.tune]
+   over the A100 mapping space of a ResNet layer, run both through the
+   allocation-lean fast path (memo on: packed Bin_matrix validation
+   memo, prepared lowering, summary-based prediction, precomputed
+   schedule space) and through the pre-change per-candidate path (memo
+   off).  The two must produce bit-identical results; the fast path must
+   clear a speedup multiple, an absolute evals/sec floor, and a peak-RSS
+   ceiling. *)
+
+let vm_hwm_kb () =
+  try
+    let ic = open_in "/proc/self/status" in
+    let rec go () =
+      match input_line ic with
+      | line -> (
+          match Scanf.sscanf_opt line "VmHWM: %d kB" (fun k -> k) with
+          | Some k ->
+              close_in ic;
+              Some k
+          | None -> go ())
+      | exception End_of_file ->
+          close_in ic;
+          None
+    in
+    go ()
+  with Sys_error _ -> None
+
+let tuner_throughput () =
+  header "Tuner throughput: word-parallel Algorithm 1 + allocation-lean loop";
+  let smoke = !smoke_flag in
+  let seed = !seed_ref in
+  let reps = if smoke then 2 else 5 in
+  let accel = Accelerator.a100 () in
+  let label = "C5" in
+  let op = Resnet.config (Resnet.by_label label) in
+  let mappings =
+    List.concat_map
+      (fun intr -> List.map Mapping.make (Mapping_gen.generate_op op intr))
+      accel.Accelerator.intrinsics
+  in
+  Printf.printf "(seed %d, %s on A100, %d mappings, best of %d%s)\n%!" seed
+    label (List.length mappings) reps
+    (if smoke then ", smoke" else "");
+  let run ~memo =
+    let rng = Rng.create seed in
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let r = Explore.tune ~memo ~rng ~accel ~mappings () in
+    let dt = Unix.gettimeofday () -. t0 in
+    let alloc = Gc.allocated_bytes () -. a0 in
+    (float_of_int r.Explore.evaluations /. dt,
+     alloc /. float_of_int r.Explore.evaluations,
+     r)
+  in
+  (* warm both paths so neither pays first-touch costs *)
+  ignore (run ~memo:true);
+  ignore (run ~memo:false);
+  let best_on = ref 0. and best_off = ref 0. in
+  let alloc_on = ref infinity and alloc_off = ref infinity in
+  let evals = ref 0 in
+  let identical = ref true in
+  for _ = 1 to reps do
+    let on, a_on, r_on = run ~memo:true in
+    let off, a_off, r_off = run ~memo:false in
+    if on > !best_on then best_on := on;
+    if off > !best_off then best_off := off;
+    if a_on < !alloc_on then alloc_on := a_on;
+    if a_off < !alloc_off then alloc_off := a_off;
+    evals := r_on.Explore.evaluations;
+    identical :=
+      !identical
+      && r_on.Explore.best.Explore.predicted
+         = r_off.Explore.best.Explore.predicted
+      && r_on.Explore.best.Explore.measured
+         = r_off.Explore.best.Explore.measured
+      && r_on.Explore.history = r_off.Explore.history
+      && r_on.Explore.evaluations = r_off.Explore.evaluations
+  done;
+  let speedup = !best_on /. !best_off in
+  let hwm = match vm_hwm_kb () with Some k -> k | None -> -1 in
+  (* smoke runs on shared CI boxes: same identity gate, softer ratio *)
+  let gate_speedup = if smoke then 2.0 else 3.0 in
+  let gate_floor = 25_000. in
+  let gate_hwm_kb = 524_288 in
+  Printf.printf
+    "memo on : %10.0f evals/s  (%5.0f B alloc/eval)\n\
+     memo off: %10.0f evals/s  (%5.0f B alloc/eval)\n\
+     speedup : %.2fx (gate: >= %.1fx)   peak RSS %d kB (gate: <= %d kB)\n\
+     bit-identical results: %b\n%!"
+    !best_on !alloc_on !best_off !alloc_off speedup gate_speedup hwm
+    gate_hwm_kb !identical;
+  Csv.write "tuner"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "evaluations"; string_of_int !evals ];
+      [ "evals_per_s_memo_on"; Csv.f !best_on ];
+      [ "evals_per_s_memo_off"; Csv.f !best_off ];
+      [ "speedup"; Csv.f speedup ];
+      [ "alloc_bytes_per_eval_on"; Csv.f !alloc_on ];
+      [ "alloc_bytes_per_eval_off"; Csv.f !alloc_off ];
+      [ "vm_hwm_kb"; string_of_int hwm ];
+      [ "identical"; string_of_bool !identical ];
+    ];
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"experiment\": \"tuner_throughput\",";
+        Printf.sprintf "  \"seed\": %d," seed;
+        Printf.sprintf "  \"smoke\": %b," smoke;
+        Printf.sprintf "  \"workload\": \"resnet-%s-a100\"," label;
+        Printf.sprintf "  \"mappings\": %d," (List.length mappings);
+        Printf.sprintf "  \"evaluations\": %d," !evals;
+        Printf.sprintf "  \"evals_per_s_memo_on\": %.6g," !best_on;
+        Printf.sprintf "  \"evals_per_s_memo_off\": %.6g," !best_off;
+        Printf.sprintf "  \"speedup\": %.6g," speedup;
+        Printf.sprintf "  \"alloc_bytes_per_eval_on\": %.6g," !alloc_on;
+        Printf.sprintf "  \"alloc_bytes_per_eval_off\": %.6g," !alloc_off;
+        Printf.sprintf "  \"vm_hwm_kb\": %d," hwm;
+        Printf.sprintf "  \"identical\": %b," !identical;
+        Printf.sprintf "  \"gate_min_speedup\": %.1f," gate_speedup;
+        Printf.sprintf "  \"gate_min_evals_per_s\": %.0f," gate_floor;
+        Printf.sprintf "  \"gate_max_vm_hwm_kb\": %d" gate_hwm_kb;
+        "}";
+      ]
+  in
+  let oc = open_out "BENCH_tuner.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf "[written BENCH_tuner.json]\n%!";
+  if not !identical then begin
+    Printf.printf
+      "FAIL: memo on/off tuner results must be bit-identical\n%!";
+    exit 1
+  end;
+  if speedup < gate_speedup then begin
+    Printf.printf "FAIL: tuner speedup %.2fx below the %.1fx gate\n%!" speedup
+      gate_speedup;
+    exit 1
+  end;
+  if !best_on < gate_floor then begin
+    Printf.printf "FAIL: %.0f evals/s below the %.0f floor\n%!" !best_on
+      gate_floor;
+    exit 1
+  end;
+  if hwm > gate_hwm_kb then begin
+    Printf.printf "FAIL: peak RSS %d kB above the %d kB ceiling\n%!" hwm
+      gate_hwm_kb;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler hot paths                  *)
 
 let micro () =
@@ -1424,7 +1576,7 @@ let experiments =
     ("service", service); ("robustness", robustness);
     ("migration", migration); ("serve", serve);
     ("cache_economy", cache_economy); ("fleet", fleet); ("chaos", chaos);
-    ("micro", micro);
+    ("tuner_throughput", tuner_throughput); ("micro", micro);
   ]
 
 let () =

@@ -17,7 +17,30 @@
 val lower :
   Accelerator.t -> Mapping.t -> Schedule.t -> Spatial_sim.Kernel.t
 (** Raises [Invalid_argument] when the schedule does not fit the mapping
-    ({!Schedule.validate}). *)
+    ({!Schedule.validate}).  Equivalent to
+    [lower_prepared (prepare accel m) sched]. *)
+
+type prepared
+(** The schedule-independent half of lowering: iteration roles, operand
+    slot positions, tile shapes, source kinds, memory-efficiency score.
+    A genetic search lowers hundreds of schedules against one mapping;
+    preparing once and calling {!lower_prepared} per schedule skips all of
+    that recomputation while producing bit-identical kernels. *)
+
+val prepare : Accelerator.t -> Mapping.t -> prepared
+
+val lower_prepared : prepared -> Schedule.t -> Spatial_sim.Kernel.t
+(** Raises [Invalid_argument] when the schedule does not fit the prepared
+    mapping. *)
+
+val summarize_prepared :
+  prepared -> Schedule.t -> Spatial_sim.Kernel.summary
+(** [Spatial_sim.Kernel.summarize (lower_prepared p sched)] without
+    building the kernel: the level parallelism products fold the split
+    factors directly and the timing metadata is shared with the real
+    lowering, so the summary is bit-identical field by field.  This is
+    what the tuner's model screening runs on.  Raises like
+    {!lower_prepared}. *)
 
 val emit_pseudo : Accelerator.t -> Mapping.t -> Schedule.t -> string
 (** Human-readable pseudo-kernel (CUDA-flavoured) for inspection. *)

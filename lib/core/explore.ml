@@ -78,14 +78,71 @@ let merge_seed_population ~mappings initial_population =
   let is_seeded m = Hashtbl.mem seed_tbl (mapping_key m) in
   (mappings @ extra, seeds_for, is_seeded)
 
-let schedule_search ?(seeds = []) ~population ~generations ~rng ~accel mapping
-    =
-  let score sched = (sched, predict accel { mapping; schedule = sched }) in
+(* The per-mapping evaluation engine.  With [memo] on it holds the
+   allocation-lean fast path of ROADMAP item 3: the schedule-independent
+   half of lowering is prepared once ({!Codegen.prepare}), the perf-model
+   config constants are hoisted once ({!Perf_model.context}), schedule
+   generation runs through a precomputed {!Schedule.space}, and predicted
+   seconds are memoized per schedule — converged genetic populations
+   re-propose the same schedules constantly.  With [memo] off every call
+   recomputes from scratch (the pre-change code path).  Both produce
+   bit-identical floats: the cached value is the recomputed value, the
+   [*_in] schedule functions draw the same RNG stream, and evaluation
+   counts are closed-form — the throughput suite checks full-tune
+   equivalence across seeds and accelerators. *)
+type engine = {
+  e_default : unit -> Schedule.t;
+  e_random : Rng.t -> Schedule.t;
+  e_mutate : Rng.t -> Schedule.t -> Schedule.t;
+  e_validate : Schedule.t -> bool;
+  e_predict : Schedule.t -> float;
+  e_measure : Schedule.t -> float;
+}
+
+let engine ~memo ~accel mapping =
+  if memo then
+    let space = Schedule.space mapping in
+    let prepared = Codegen.prepare accel mapping in
+    let ctx = Perf_model.context accel.Accelerator.config in
+    let cache : (Schedule.t, float) Hashtbl.t = Hashtbl.create 64 in
+    {
+      e_default = (fun () -> Schedule.default_in space);
+      e_random = (fun rng -> Schedule.random_in space rng);
+      e_mutate = (fun rng s -> Schedule.mutate_in space rng s);
+      e_validate = Schedule.validate_in space;
+      e_predict =
+        (fun s ->
+          match Hashtbl.find_opt cache s with
+          | Some v -> v
+          | None ->
+              let v =
+                Perf_model.predict_seconds_summary ctx
+                  (Codegen.summarize_prepared prepared s)
+              in
+              Hashtbl.add cache s v;
+              v);
+      e_measure =
+        (fun s ->
+          Spatial_sim.Machine.estimate_seconds accel.Accelerator.config
+            (Codegen.lower_prepared prepared s));
+    }
+  else
+    {
+      e_default = (fun () -> Schedule.default mapping);
+      e_random = (fun rng -> Schedule.random rng mapping);
+      e_mutate = (fun rng s -> Schedule.mutate rng mapping s);
+      e_validate = (fun s -> Schedule.validate mapping s);
+      e_predict = (fun s -> predict accel { mapping; schedule = s });
+      e_measure = (fun s -> measure accel { mapping; schedule = s });
+    }
+
+let schedule_search ?(seeds = []) ~population ~generations ~rng ~eng () =
+  let score sched = (sched, eng.e_predict sched) in
   (* seed schedules join the initial genetic population alongside the
      default and the random draws: they compete, they never replace *)
   let initial =
-    (score (Schedule.default mapping) :: List.map score seeds)
-    @ List.init population (fun _ -> score (Schedule.random rng mapping))
+    (score (eng.e_default ()) :: List.map score seeds)
+    @ List.init population (fun _ -> score (eng.e_random rng))
   in
   let sorted l = List.sort (fun (_, a) (_, b) -> Float.compare a b) l in
   let rec go gen pop =
@@ -101,7 +158,7 @@ let schedule_search ?(seeds = []) ~population ~generations ~rng ~accel mapping
               if Rng.bool rng then
                 Schedule.crossover rng a
                   parents.(Rng.int rng (Array.length parents))
-              else Schedule.mutate rng mapping a
+              else eng.e_mutate rng a
             in
             score sched)
       in
@@ -112,16 +169,13 @@ let schedule_search ?(seeds = []) ~population ~generations ~rng ~accel mapping
 (* phase 1 unit: screen one mapping with its default schedule and a few
    random ones.  Returns the best predicted time and the number of model
    evaluations spent; deterministic per mapping (see [mapping_seed]). *)
-let screen_mapping ~accel mapping =
+let screen_mapping ?(memo = true) ~accel mapping =
+  let eng = engine ~memo ~accel mapping in
   let rng = Rng.create (mapping_seed mapping) in
-  let quick =
-    Schedule.default mapping
-    :: List.init 6 (fun _ -> Schedule.random rng mapping)
-  in
+  let quick = eng.e_default () :: List.init 6 (fun _ -> eng.e_random rng) in
   let best =
     List.fold_left
-      (fun acc sched ->
-        Float.min acc (predict accel { mapping; schedule = sched }))
+      (fun acc sched -> Float.min acc (eng.e_predict sched))
       infinity quick
   in
   (best, List.length quick)
@@ -163,17 +217,16 @@ let select_survivors ?(must_keep = fun _ -> false) screened =
    independent RNG stream over the same mapping: shard [i] of a
    population split across workers passes [~salt:i], so the shards
    explore disjoint schedule sequences yet each remains reproducible. *)
-let search_mapping ?(salt = 0) ?(seeds = []) ~population ~generations
-    ~measure_top ~accel mapping =
+let search_mapping ?(salt = 0) ?(seeds = []) ?(memo = true) ~population
+    ~generations ~measure_top ~accel mapping =
+  let eng = engine ~memo ~accel mapping in
   let rng =
     Rng.create
       (if salt = 0 then mapping_seed mapping
        else Hashtbl.hash (mapping_seed mapping, salt))
   in
-  let seeds = List.filter (fun s -> Schedule.validate mapping s) seeds in
-  let ranked =
-    schedule_search ~seeds ~population ~generations ~rng ~accel mapping
-  in
+  let seeds = List.filter eng.e_validate seeds in
+  let ranked = schedule_search ~seeds ~population ~generations ~rng ~eng () in
   let chosen =
     let top = List.filteri (fun i _ -> i < measure_top) ranked in
     (* seed schedules are always measured, even when the model ranks them
@@ -183,14 +236,14 @@ let search_mapping ?(salt = 0) ?(seeds = []) ~population ~generations
     @ List.filter_map
         (fun s ->
           if List.exists (fun (t, _) -> t = s) top then None
-          else Some (s, predict accel { mapping; schedule = s }))
+          else Some (s, eng.e_predict s))
         seeds
   in
   let plans =
     List.map
       (fun (schedule, predicted) ->
         let c = { mapping; schedule } in
-        let measured = measure accel c in
+        let measured = eng.e_measure schedule in
         { candidate = c; predicted; measured })
       chosen
   in
@@ -225,7 +278,7 @@ let assemble ?(failures = []) plans ~evaluations =
    spend on its single hand-written mapping), and the best model-ranked
    plans are measured on the simulator. *)
 let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3)
-    ?(initial_population = []) ~rng ~accel ~mappings () =
+    ?(initial_population = []) ?(memo = true) ~rng ~accel ~mappings () =
   if mappings = [] && initial_population = [] then
     invalid_arg "Explore.tune: no mappings";
   (* historical draw, kept so callers sharing an rng see the same stream *)
@@ -243,7 +296,7 @@ let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3)
   let screened =
     List.filter_map
       (fun mapping ->
-        match screen_mapping ~accel mapping with
+        match screen_mapping ~memo ~accel mapping with
         | best, n ->
             evals := !evals + n;
             Some (mapping, best)
@@ -257,8 +310,8 @@ let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3)
     List.concat_map
       (fun (mapping, _) ->
         match
-          search_mapping ~seeds:(seeds_for mapping) ~population ~generations
-            ~measure_top ~accel mapping
+          search_mapping ~seeds:(seeds_for mapping) ~memo ~population
+            ~generations ~measure_top ~accel mapping
         with
         | plans, n ->
             evals := !evals + n;
@@ -270,16 +323,20 @@ let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3)
   in
   assemble ~failures:(List.rev !failures) plans ~evaluations:!evals
 
-let tune_op ?population ?generations ?measure_top ?filter ~rng ~accel op =
+let tune_op ?population ?generations ?measure_top ?filter ?memo ~rng ~accel op
+    =
   let mappings =
     List.concat_map
       (fun intr ->
-        List.map Mapping.make (Mapping_gen.generate_op ?filter op intr))
+        List.map Mapping.make (Mapping_gen.generate_op ?filter ?memo op intr))
       accel.Accelerator.intrinsics
   in
   match mappings with
   | [] -> None
-  | _ -> Some (tune ?population ?generations ?measure_top ~rng ~accel ~mappings ())
+  | _ ->
+      Some
+        (tune ?population ?generations ?measure_top ?memo ~rng ~accel ~mappings
+           ())
 
 let sample ~n ~rng ~accel ~mappings =
   if mappings = [] then invalid_arg "Explore.sample: no mappings";

@@ -38,6 +38,7 @@ val tune :
   ?generations:int ->
   ?measure_top:int ->
   ?initial_population:candidate list ->
+  ?memo:bool ->
   rng:Amos_tensor.Rng.t ->
   accel:Accelerator.t ->
   mappings:Mapping.t list ->
@@ -60,13 +61,24 @@ val tune :
     candidate from the budget.
 
     Raises [Invalid_argument] when both [mappings] and
-    [initial_population] are empty, or no candidate is feasible. *)
+    [initial_population] are empty, or no candidate is feasible.
+
+    [memo] (default [true]) turns on the allocation-lean fast path: the
+    schedule-independent half of lowering is prepared once per mapping
+    ({!Codegen.prepare}), predicted seconds are memoized per schedule,
+    perf-model config constants are hoisted ({!Perf_model.context}), and
+    schedule generation runs through a precomputed {!Schedule.space}.
+    [~memo:false] recomputes everything per candidate (the pre-change
+    code path).  Results are bit-identical either way — best plan,
+    history, evaluation counts — which the throughput test suite checks
+    across seeds and accelerators. *)
 
 val tune_op :
   ?population:int ->
   ?generations:int ->
   ?measure_top:int ->
   ?filter:bool ->
+  ?memo:bool ->
   rng:Amos_tensor.Rng.t ->
   accel:Accelerator.t ->
   Amos_ir.Operator.t ->
@@ -103,9 +115,11 @@ val merge_seed_population :
     schedules attached to [m], and [is_seeded m] says whether [m] must
     survive screening.  Shared by [tune] and [Amos_service.Par_tune]. *)
 
-val screen_mapping : accel:Accelerator.t -> Mapping.t -> float * int
+val screen_mapping :
+  ?memo:bool -> accel:Accelerator.t -> Mapping.t -> float * int
 (** Phase-1 unit: best predicted seconds of the default plus a few
-    random schedules, and the number of model evaluations spent. *)
+    random schedules, and the number of model evaluations spent.
+    [memo] as in {!tune}. *)
 
 val select_survivors :
   ?must_keep:(Mapping.t -> bool) ->
@@ -118,6 +132,7 @@ val select_survivors :
 val search_mapping :
   ?salt:int ->
   ?seeds:Schedule.t list ->
+  ?memo:bool ->
   population:int ->
   generations:int ->
   measure_top:int ->

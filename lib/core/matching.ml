@@ -55,19 +55,17 @@ let used_intrinsic_iters t =
     (fun k -> sw_iters_of t k <> [])
     t.intr.Intrinsic.compute.Compute_abs.iters
 
-let matrices t =
-  let m = mapped t in
-  let used = used_intrinsic_iters t in
-  let n_rows = 1 + List.length t.view.Mac_view.srcs in
+(* Fill pre-cleared matrices of the right shapes with the X / Y / Z
+   contents; shared by the allocating [matrices] and the scratch-backed
+   [validate_ws]. *)
+let fill_matrices t ~m ~used ~x ~y ~z =
   (* X: rows = operands (dst :: permuted srcs), cols = mapped sw iters *)
-  let x = Bin_matrix.create ~rows:n_rows ~cols:(List.length m) in
   List.iteri
     (fun c (s, _) ->
       let col = Mac_view.column t.view ~src_perm:t.src_perm s in
       Array.iteri (fun r v -> if v then Bin_matrix.set x r c true) col)
     m;
   (* Y: rows = used intrinsic iters, cols = mapped sw iters *)
-  let y = Bin_matrix.create ~rows:(List.length used) ~cols:(List.length m) in
   List.iteri
     (fun c (_, k) ->
       List.iteri
@@ -75,7 +73,6 @@ let matrices t =
         used)
     m;
   (* Z: rows = operands, cols = used intrinsic iters *)
-  let z = Bin_matrix.create ~rows:n_rows ~cols:(List.length used) in
   let operands =
     t.intr.Intrinsic.compute.Compute_abs.dst
     :: t.intr.Intrinsic.compute.Compute_abs.srcs
@@ -85,7 +82,16 @@ let matrices t =
       List.iteri
         (fun c k -> if Compute_abs.uses o k then Bin_matrix.set z r c true)
         used)
-    operands;
+    operands
+
+let matrices t =
+  let m = mapped t in
+  let used = used_intrinsic_iters t in
+  let n_rows = 1 + List.length t.view.Mac_view.srcs in
+  let x = Bin_matrix.create ~rows:n_rows ~cols:(List.length m) in
+  let y = Bin_matrix.create ~rows:(List.length used) ~cols:(List.length m) in
+  let z = Bin_matrix.create ~rows:n_rows ~cols:(List.length used) in
+  fill_matrices t ~m ~used ~x ~y ~z;
   (x, y, z)
 
 let validate t =
@@ -96,6 +102,75 @@ let validate t =
       let x' = Bin_matrix.mul z y in
       let z' = Bin_matrix.mul x (Bin_matrix.transpose y) in
       Bin_matrix.equal x' x && Bin_matrix.equal z' z
+
+type workspace = {
+  sx : Bin_matrix.Scratch.slot;
+  sy : Bin_matrix.Scratch.slot;
+  sz : Bin_matrix.Scratch.slot;
+  syt : Bin_matrix.Scratch.slot;
+  sxp : Bin_matrix.Scratch.slot;
+  szp : Bin_matrix.Scratch.slot;
+  memo : (string, bool) Hashtbl.t;
+  key : Buffer.t;
+}
+
+let workspace () =
+  {
+    sx = Bin_matrix.Scratch.slot ();
+    sy = Bin_matrix.Scratch.slot ();
+    sz = Bin_matrix.Scratch.slot ();
+    syt = Bin_matrix.Scratch.slot ();
+    sxp = Bin_matrix.Scratch.slot ();
+    szp = Bin_matrix.Scratch.slot ();
+    memo = Hashtbl.create 256;
+    key = Buffer.create 128;
+  }
+
+let validate_ws ws t =
+  match mapped t with
+  | [] -> false
+  | m ->
+      let used = used_intrinsic_iters t in
+      let n_rows = 1 + List.length t.view.Mac_view.srcs in
+      let n_mapped = List.length m and n_used = List.length used in
+      let x = Bin_matrix.Scratch.ensure ws.sx ~rows:n_rows ~cols:n_mapped in
+      let y = Bin_matrix.Scratch.ensure ws.sy ~rows:n_used ~cols:n_mapped in
+      let z = Bin_matrix.Scratch.ensure ws.sz ~rows:n_rows ~cols:n_used in
+      Bin_matrix.clear x;
+      Bin_matrix.clear y;
+      Bin_matrix.clear z;
+      fill_matrices t ~m ~used ~x ~y ~z;
+      (* Memo key: dimensions + the packed words of (X, Y, Z).  Candidates
+         across the generation loop share Y structure and frequently whole
+         triples, so repeats skip the products entirely.  Padding is zero
+         after [clear]+[set] and [fold_words] masks it anyway, so the key is
+         canonical. *)
+      Buffer.clear ws.key;
+      let add_int v = Buffer.add_int64_ne ws.key (Int64.of_int v) in
+      add_int n_rows;
+      add_int n_mapped;
+      add_int n_used;
+      List.iter (fun mat -> Bin_matrix.fold_words (fun () w -> add_int w) () mat)
+        [ x; y; z ];
+      let key = Buffer.contents ws.key in
+      match Hashtbl.find_opt ws.memo key with
+      | Some verdict -> verdict
+      | None ->
+          let yt =
+            Bin_matrix.Scratch.ensure ws.syt ~rows:n_mapped ~cols:n_used
+          in
+          Bin_matrix.transpose_into yt y;
+          let x' =
+            Bin_matrix.Scratch.ensure ws.sxp ~rows:n_rows ~cols:n_mapped
+          in
+          Bin_matrix.mul_into x' z y;
+          let z' =
+            Bin_matrix.Scratch.ensure ws.szp ~rows:n_rows ~cols:n_used
+          in
+          Bin_matrix.mul_into z' x yt;
+          let verdict = Bin_matrix.equal x' x && Bin_matrix.equal z' z in
+          Hashtbl.add ws.memo key verdict;
+          verdict
 
 let feasible t =
   List.for_all

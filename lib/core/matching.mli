@@ -47,6 +47,18 @@ val validate : t -> bool
 (** Algorithm 1 verbatim: [X' := Z # Y; Z' := X # transpose Y;
     return X' = X && Z' = Z] where [#] is the boolean matrix product. *)
 
+type workspace
+(** Preallocated scratch matrices plus a validation memo, reused across the
+    candidates of a generation loop so steady-state validation allocates
+    O(1) new words.  Not domain-safe: one workspace per search. *)
+
+val workspace : unit -> workspace
+
+val validate_ws : workspace -> t -> bool
+(** Same verdict as {!validate}, computed through the workspace's scratch
+    buffers and memoized on the packed (X, Y, Z) words — candidates sharing
+    Y structure and access pattern skip the boolean products entirely. *)
+
 val feasible : t -> bool
 (** The documented feasibility filter (DESIGN.md §5): every used reduction
     intrinsic dimension receives either at least two software iterations

@@ -26,3 +26,22 @@ val predict :
 val predict_seconds :
   Spatial_sim.Machine_config.t -> Spatial_sim.Kernel.t -> float
 (** [infinity] when the kernel violates capacity constraints. *)
+
+type ctx
+(** Per-config constants (clock, per-cycle bandwidths) hoisted out of the
+    per-kernel evaluation.  Predictions through a ctx are bit-identical to
+    the plain entry points — the derived floats are computed by the exact
+    same expressions, once. *)
+
+val context : Spatial_sim.Machine_config.t -> ctx
+val predict_ctx : ctx -> Spatial_sim.Kernel.t -> levels
+val predict_seconds_ctx : ctx -> Spatial_sim.Kernel.t -> float
+
+val predict_summary : ctx -> Spatial_sim.Kernel.summary -> levels
+(** The model proper: every other entry point is [predict_summary] of
+    {!Spatial_sim.Kernel.summarize}.  Feed it
+    {!Codegen.summarize_prepared} output to screen a schedule without
+    building the kernel at all. *)
+
+val predict_seconds_summary : ctx -> Spatial_sim.Kernel.summary -> float
+(** [infinity] when the summary violates capacity constraints. *)

@@ -121,16 +121,138 @@ let crossover rng a b =
     vectorize = (if Rng.bool rng then a.vectorize else b.vectorize);
   }
 
-let validate m t =
+let validate_dims ds t =
+  (* allocation-free walk: same predicate as zipping [ds] with the splits
+     and checking lengths match *)
+  let n = Array.length t.splits in
+  let rec go i = function
+    | [] -> i = n
+    | d :: rest ->
+        i < n
+        && (let s = t.splits.(i) in
+            s.block >= 1 && s.subcore >= 1 && s.serial >= 1
+            && s.block * s.subcore * s.serial >= d.extent
+            && (d.parallelizable || (s.block = 1 && s.subcore = 1)))
+        && go (i + 1) rest
+  in
+  go 0 ds && t.stage_depth >= 1 && t.unroll >= 1
+
+let validate m t = validate_dims (dims m) t
+
+(* Precomputed search space for one mapping: the dims list (recomputing it
+   per candidate walks the mapping every time) and memo tables for
+   [factor_choices], which rebuilds the same divisor lists for the same
+   extents thousands of times across a genetic search.  The [*_in]
+   functions below draw the exact same RNG stream as their mapping-taking
+   counterparts, so results are bit-identical. *)
+(* Per-dim split-choice tables, filled lazily: [s_dim_blocks.(i)] is the
+   block-factor menu of dim [i]; [s_dim_subs.(i).(bi)] the sub-core menu
+   left after drawing block choice [bi].  The empty array is the
+   not-yet-computed sentinel: every real menu contains 1 so it is never
+   empty, and empty arrays are all physically the shared atom, making
+   [!= [||]] a valid test. *)
+type space = {
+  s_dims : dim list;
+  s_dims_arr : dim array;
+  s_dim_blocks : int array array;
+  s_dim_subs : int array array array;
+}
+
+let space m =
   let ds = dims m in
-  List.length ds = Array.length t.splits
-  && List.for_all2
-       (fun d s ->
-         s.block >= 1 && s.subcore >= 1 && s.serial >= 1
-         && s.block * s.subcore * s.serial >= d.extent
-         && (d.parallelizable || (s.block = 1 && s.subcore = 1)))
-       ds (Array.to_list t.splits)
-  && t.stage_depth >= 1 && t.unroll >= 1
+  let n = List.length ds in
+  {
+    s_dims = ds;
+    s_dims_arr = Array.of_list ds;
+    s_dim_blocks = Array.make n [||];
+    s_dim_subs = Array.make n [||];
+  }
+
+let space_dims sp = sp.s_dims
+
+let unroll_choices = [| 1; 2; 4; 8 |]
+
+let dim_blocks sp i =
+  let b = sp.s_dim_blocks.(i) in
+  if b != [||] then b
+  else begin
+    let a = Array.of_list (factor_choices sp.s_dims_arr.(i).extent) in
+    sp.s_dim_blocks.(i) <- a;
+    sp.s_dim_subs.(i) <- Array.make (Array.length a) [||];
+    a
+  end
+
+let dim_subs sp i bi block =
+  let su = sp.s_dim_subs.(i).(bi) in
+  if su != [||] then su
+  else begin
+    let rest = ceil_div sp.s_dims_arr.(i).extent block in
+    let a =
+      Array.of_list (List.filter (fun f -> f <= 8) (factor_choices rest))
+    in
+    sp.s_dim_subs.(i).(bi) <- a;
+    a
+  end
+
+(* Draws exactly like {!Rng.pick} on the equivalent lists: one [Rng.int]
+   per choice with the same bound, indexing the same element order -- the
+   RNG stream is bit-identical, without the List.length/List.nth walks. *)
+let random_split_at sp rng i =
+  let d = sp.s_dims_arr.(i) in
+  if not d.parallelizable then serial_split d.extent
+  else
+    let blocks = dim_blocks sp i in
+    let bi = Rng.int rng (Array.length blocks) in
+    let block = blocks.(bi) in
+    let subs = dim_subs sp i bi block in
+    let subcore = subs.(Rng.int rng (Array.length subs)) in
+    let serial = ceil_div (ceil_div d.extent block) subcore in
+    { block; subcore; serial }
+
+let default_in sp =
+  {
+    splits =
+      Array.map
+        (fun d ->
+          if d.parallelizable then full_block_split d.extent
+          else serial_split d.extent)
+        sp.s_dims_arr;
+    stage_depth = 2;
+    unroll = 4;
+    vectorize = true;
+  }
+
+let random_in sp rng =
+  (* the splits loop must stay inside the field expression: record fields
+     evaluate in the same (unspecified, right-to-left in practice) order
+     as [random]'s literal, and stage/unroll/vectorize draw from the same
+     stream *)
+  {
+    splits =
+      (let n = Array.length sp.s_dims_arr in
+       let splits = Array.make n (serial_split 1) in
+       for i = 0 to n - 1 do
+         splits.(i) <- random_split_at sp rng i
+       done;
+       splits);
+    stage_depth = 1 + Rng.int rng 4;
+    unroll = unroll_choices.(Rng.int rng 4);
+    vectorize = Rng.bool rng;
+  }
+
+let mutate_in sp rng t =
+  let ds = sp.s_dims_arr in
+  let t = { t with splits = Array.copy t.splits } in
+  match Rng.int rng 4 with
+  | 0 when Array.length ds > 0 ->
+      let i = Rng.int rng (Array.length ds) in
+      t.splits.(i) <- random_split_at sp rng i;
+      t
+  | 1 -> { t with stage_depth = 1 + Rng.int rng 4 }
+  | 2 -> { t with unroll = unroll_choices.(Rng.int rng 4) }
+  | _ -> { t with vectorize = Rng.bool rng }
+
+let validate_in sp t = validate_dims sp.s_dims t
 
 let describe m t =
   let ds = dims m in

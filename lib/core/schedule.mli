@@ -46,4 +46,24 @@ val crossover : Amos_tensor.Rng.t -> t -> t -> t
 val validate : Mapping.t -> t -> bool
 (** Splits cover extents, reduction dims are serial, factors positive. *)
 
+val validate_dims : dim list -> t -> bool
+(** {!validate} against an already-computed {!dims} list, for callers that
+    hold the dims of a mapping and validate many schedules against it. *)
+
 val describe : Mapping.t -> t -> string
+
+type space
+(** Precomputed search space for one mapping: its {!dims} plus memoized
+    split-factor tables, so the genetic loop stops recomputing divisor
+    lists per candidate.  Not domain-safe: one space per search. *)
+
+val space : Mapping.t -> space
+val space_dims : space -> dim list
+
+val default_in : space -> t
+val random_in : space -> Amos_tensor.Rng.t -> t
+val mutate_in : space -> Amos_tensor.Rng.t -> t -> t
+val validate_in : space -> t -> bool
+(** Each [*_in] draws the same RNG stream and returns the same result as
+    its [Mapping.t]-taking counterpart on the space's mapping — the memo
+    layer is observationally invisible (checked by the throughput suite). *)

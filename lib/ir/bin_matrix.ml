@@ -1,12 +1,30 @@
+(* Bitset-packed boolean matrices.  Each row is a run of [wpr] native int
+   words; bit [j mod bits] of word [j / bits] holds cell (i, j).  The word
+   array may be longer than [rows * wpr] (scratch reuse), and the bits of
+   the last word of a row at positions >= cols are padding with unspecified
+   contents — every observer masks them. *)
+
+let bits = Sys.int_size
+let bits_per_word = bits
+
 type t = {
   rows : int;
   cols : int;
-  data : bool array;
+  wpr : int;  (* words per row *)
+  data : int array;
 }
+
+let words_for cols = (cols + bits - 1) / bits
+
+(* Mask selecting the valid bits of a row's last word. *)
+let tail_mask cols =
+  let r = cols mod bits in
+  if r = 0 then -1 else (1 lsl r) - 1
 
 let create ~rows ~cols =
   if rows < 0 || cols < 0 then invalid_arg "Bin_matrix.create";
-  { rows; cols; data = Array.make (rows * cols) false }
+  let wpr = words_for cols in
+  { rows; cols; wpr; data = Array.make (rows * wpr) 0 }
 
 let rows t = t.rows
 let cols t = t.cols
@@ -18,11 +36,16 @@ let check t i j =
 
 let get t i j =
   check t i j;
-  t.data.((i * t.cols) + j)
+  t.data.((i * t.wpr) + (j / bits)) land (1 lsl (j mod bits)) <> 0
 
 let set t i j v =
   check t i j;
-  t.data.((i * t.cols) + j) <- v
+  let w = (i * t.wpr) + (j / bits) and b = 1 lsl (j mod bits) in
+  if v then t.data.(w) <- t.data.(w) lor b
+  else t.data.(w) <- t.data.(w) land lnot b
+
+let clear t =
+  Array.fill t.data 0 (t.rows * t.wpr) 0
 
 let of_lists rows_l =
   match rows_l with
@@ -38,36 +61,119 @@ let of_lists rows_l =
 let of_int_lists rows_l =
   of_lists (List.map (List.map (fun x -> x <> 0)) rows_l)
 
-let mul a b =
-  if a.cols <> b.rows then
+(* Number of trailing zeros of a word with at least one bit set. *)
+let ntz x =
+  let n = ref 0 and x = ref x in
+  if !x land 0xFFFFFFFF = 0 then (n := !n + 32; x := !x lsr 32);
+  if !x land 0xFFFF = 0 then (n := !n + 16; x := !x lsr 16);
+  if !x land 0xFF = 0 then (n := !n + 8; x := !x lsr 8);
+  if !x land 0xF = 0 then (n := !n + 4; x := !x lsr 4);
+  if !x land 0x3 = 0 then (n := !n + 2; x := !x lsr 2);
+  if !x land 0x1 = 0 then incr n;
+  !n
+
+let dim_mismatch what a b =
+  invalid_arg
+    (Printf.sprintf "Bin_matrix.%s: %dx%d * %dx%d" what a.rows a.cols b.rows
+       b.cols)
+
+(* c <- a ★ b.  Fully overwrites the used region of [c], so scratch-backed
+   destinations need no prior clear.  For each set bit k of row i of [a]
+   (padding masked off so stale bits never index rows of [b]), OR row k of
+   [b] into row i of [c] word by word; finally mask c's padding. *)
+let mul_into c a b =
+  if a.cols <> b.rows then dim_mismatch "mul_into" a b;
+  if c.rows <> a.rows || c.cols <> b.cols then
     invalid_arg
-      (Printf.sprintf "Bin_matrix.mul: %dx%d * %dx%d" a.rows a.cols b.rows b.cols);
-  let c = create ~rows:a.rows ~cols:b.cols in
+      (Printf.sprintf "Bin_matrix.mul_into: dst %dx%d for %dx%d * %dx%d"
+         c.rows c.cols a.rows a.cols b.rows b.cols);
+  Array.fill c.data 0 (c.rows * c.wpr) 0;
+  let am = tail_mask a.cols in
   for i = 0 to a.rows - 1 do
-    for k = 0 to a.cols - 1 do
-      if a.data.((i * a.cols) + k) then
-        for j = 0 to b.cols - 1 do
-          if b.data.((k * b.cols) + j) then c.data.((i * b.cols) + j) <- true
+    let base_a = i * a.wpr and base_c = i * c.wpr in
+    for kw = 0 to a.wpr - 1 do
+      let word = a.data.(base_a + kw) in
+      let word = if kw = a.wpr - 1 then word land am else word in
+      let w = ref word in
+      while !w <> 0 do
+        let lsb = !w land (- !w) in
+        w := !w lxor lsb;
+        let k = (kw * bits) + ntz lsb in
+        let base_b = k * b.wpr in
+        for jw = 0 to b.wpr - 1 do
+          c.data.(base_c + jw) <- c.data.(base_c + jw) lor b.data.(base_b + jw)
         done
+      done
     done
   done;
+  if c.wpr > 0 then begin
+    let cm = tail_mask c.cols in
+    for i = 0 to c.rows - 1 do
+      let last = (i * c.wpr) + c.wpr - 1 in
+      c.data.(last) <- c.data.(last) land cm
+    done
+  end
+
+let mul a b =
+  if a.cols <> b.rows then dim_mismatch "mul" a b;
+  let c = create ~rows:a.rows ~cols:b.cols in
+  mul_into c a b;
   c
+
+(* d <- transpose a.  Fully overwrites the used region of [d]. *)
+let transpose_into d a =
+  if d.rows <> a.cols || d.cols <> a.rows then
+    invalid_arg
+      (Printf.sprintf "Bin_matrix.transpose_into: dst %dx%d for %dx%d" d.rows
+         d.cols a.rows a.cols);
+  Array.fill d.data 0 (d.rows * d.wpr) 0;
+  let am = tail_mask a.cols in
+  for i = 0 to a.rows - 1 do
+    let base_a = i * a.wpr in
+    let iw = i / bits and ib = 1 lsl (i mod bits) in
+    for kw = 0 to a.wpr - 1 do
+      let word = a.data.(base_a + kw) in
+      let word = if kw = a.wpr - 1 then word land am else word in
+      let w = ref word in
+      while !w <> 0 do
+        let lsb = !w land (- !w) in
+        w := !w lxor lsb;
+        let j = (kw * bits) + ntz lsb in
+        let dst = (j * d.wpr) + iw in
+        d.data.(dst) <- d.data.(dst) lor ib
+      done
+    done
+  done
 
 let transpose a =
   let t = create ~rows:a.cols ~cols:a.rows in
-  for i = 0 to a.rows - 1 do
-    for j = 0 to a.cols - 1 do
-      if a.data.((i * a.cols) + j) then t.data.((j * a.rows) + i) <- true
-    done
-  done;
+  transpose_into t a;
   t
 
-let equal a b = a.rows = b.rows && a.cols = b.cols && a.data = b.data
-let copy a = { a with data = Array.copy a.data }
+(* Word-wise compare; the last word of each row is compared under the tail
+   mask so padding garbage never affects equality. *)
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let m = tail_mask a.cols in
+  let wpr = a.wpr in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < a.rows do
+    let base_a = !i * wpr and base_b = !i * b.wpr in
+    for w = 0 to wpr - 1 do
+      let x = a.data.(base_a + w) and y = b.data.(base_b + w) in
+      let x, y = if w = wpr - 1 then (x land m, y land m) else (x, y) in
+      if x <> y then ok := false
+    done;
+    incr i
+  done;
+  !ok
 
-let column t j =
-  Array.init t.rows (fun i -> get t i j)
+let copy a =
+  { a with data = Array.sub a.data 0 (a.rows * a.wpr) }
 
+let column t j = Array.init t.rows (fun i -> get t i j)
 let row t i = Array.init t.cols (fun j -> get t i j)
 
 let pp ppf t =
@@ -78,3 +184,123 @@ let pp ppf t =
     done;
     if i < t.rows - 1 then Format.pp_print_newline ppf ()
   done
+
+(* Test helper: set every padding bit of every row, so differential and
+   regression tests can prove padding never leaks into results. *)
+let poison_padding t =
+  let r = t.cols mod bits in
+  if r <> 0 && t.wpr > 0 then begin
+    let poison = lnot ((1 lsl r) - 1) in
+    for i = 0 to t.rows - 1 do
+      let last = (i * t.wpr) + t.wpr - 1 in
+      t.data.(last) <- t.data.(last) lor poison
+    done
+  end
+
+let fold_words f acc t =
+  let acc = ref acc in
+  let m = tail_mask t.cols in
+  for i = 0 to t.rows - 1 do
+    let base = i * t.wpr in
+    for w = 0 to t.wpr - 1 do
+      let x = t.data.(base + w) in
+      let x = if w = t.wpr - 1 then x land m else x in
+      acc := f !acc x
+    done
+  done;
+  !acc
+
+module Scratch = struct
+  type slot = { mutable buf : int array }
+
+  let slot () = { buf = [||] }
+
+  (* Matrices returned here share [buf]; contents are unspecified until the
+     caller clears or fully overwrites (mul_into / transpose_into do). *)
+  let ensure s ~rows ~cols =
+    if rows < 0 || cols < 0 then invalid_arg "Bin_matrix.Scratch.ensure";
+    let wpr = words_for cols in
+    let need = rows * wpr in
+    if Array.length s.buf < need then
+      s.buf <- Array.make (max need (2 * Array.length s.buf)) 0;
+    { rows; cols; wpr; data = s.buf }
+end
+
+module Naive = struct
+  (* The original per-cell implementation, kept as the differential-testing
+     oracle for the packed representation above. *)
+  type t = {
+    rows : int;
+    cols : int;
+    data : bool array;
+  }
+
+  let create ~rows ~cols =
+    if rows < 0 || cols < 0 then invalid_arg "Bin_matrix.Naive.create";
+    { rows; cols; data = Array.make (rows * cols) false }
+
+  let rows t = t.rows
+  let cols t = t.cols
+
+  let check t i j =
+    if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+      invalid_arg
+        (Printf.sprintf "Bin_matrix.Naive: index (%d,%d) out of %dx%d" i j
+           t.rows t.cols)
+
+  let get t i j =
+    check t i j;
+    t.data.((i * t.cols) + j)
+
+  let set t i j v =
+    check t i j;
+    t.data.((i * t.cols) + j) <- v
+
+  let mul a b =
+    if a.cols <> b.rows then
+      invalid_arg
+        (Printf.sprintf "Bin_matrix.Naive.mul: %dx%d * %dx%d" a.rows a.cols
+           b.rows b.cols);
+    let c = create ~rows:a.rows ~cols:b.cols in
+    for i = 0 to a.rows - 1 do
+      for k = 0 to a.cols - 1 do
+        if a.data.((i * a.cols) + k) then
+          for j = 0 to b.cols - 1 do
+            if b.data.((k * b.cols) + j) then c.data.((i * b.cols) + j) <- true
+          done
+      done
+    done;
+    c
+
+  let transpose a =
+    let t = create ~rows:a.cols ~cols:a.rows in
+    for i = 0 to a.rows - 1 do
+      for j = 0 to a.cols - 1 do
+        if a.data.((i * a.cols) + j) then t.data.((j * a.rows) + i) <- true
+      done
+    done;
+    t
+
+  let equal a b = a.rows = b.rows && a.cols = b.cols && a.data = b.data
+  let copy a = { a with data = Array.copy a.data }
+  let column t j = Array.init t.rows (fun i -> get t i j)
+  let row t i = Array.init t.cols (fun j -> get t i j)
+end
+
+let to_naive t =
+  let n = Naive.create ~rows:t.rows ~cols:t.cols in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      if get t i j then Naive.set n i j true
+    done
+  done;
+  n
+
+let of_naive n =
+  let t = create ~rows:(Naive.rows n) ~cols:(Naive.cols n) in
+  for i = 0 to rows t - 1 do
+    for j = 0 to cols t - 1 do
+      if Naive.get n i j then set t i j true
+    done
+  done;
+  t

@@ -1,7 +1,15 @@
 (** Binary (boolean) matrices and the boolean matrix product used by the
     mapping-validation algorithm (Algorithm 1 of the paper).
 
-    [(a ★ b).(i).(j) = OR_k (a.(i).(k) AND b.(k).(j))] *)
+    [(a ★ b).(i).(j) = OR_k (a.(i).(k) AND b.(k).(j))]
+
+    The representation packs each row into native [int] words so [mul],
+    [transpose] and [equal] run word-parallel (AND/OR over 63 cells at a
+    time).  Bits past [cols] in a row's last word are padding: their
+    contents are unspecified and every operation masks them, so two
+    matrices that differ only in padding are [equal].  The per-cell
+    implementation this replaced is preserved as {!Naive} and serves as the
+    differential-testing oracle. *)
 
 type t
 
@@ -18,13 +26,75 @@ val rows : t -> int
 val cols : t -> int
 val get : t -> int -> int -> bool
 val set : t -> int -> int -> bool -> unit
+
 val mul : t -> t -> t
 (** Boolean matrix product ★.  Raises [Invalid_argument] on dimension
     mismatch. *)
 
 val transpose : t -> t
+
 val equal : t -> t -> bool
+(** Word-wise comparison masking trailing padding bits, so matrices with
+    different garbage past [cols] in their last words still compare
+    equal. *)
+
 val copy : t -> t
 val column : t -> int -> bool array
 val row : t -> int -> bool array
 val pp : Format.formatter -> t -> unit
+
+val bits_per_word : int
+(** Cells packed per word ([Sys.int_size]). *)
+
+val clear : t -> unit
+(** Set every cell to false (padding included). *)
+
+val mul_into : t -> t -> t -> unit
+(** [mul_into c a b] computes [a ★ b] into [c], fully overwriting it.
+    [c] must be [rows a × cols b]; typically a {!Scratch} matrix.  Raises
+    [Invalid_argument] on dimension mismatch. *)
+
+val transpose_into : t -> t -> unit
+(** [transpose_into d a] computes [transpose a] into [d], fully
+    overwriting it.  [d] must be [cols a × rows a]. *)
+
+val poison_padding : t -> unit
+(** Test helper: set every padding bit (positions >= [cols] in each row's
+    last word).  Results of all operations must be unaffected. *)
+
+val fold_words : ('a -> int -> 'a) -> 'a -> t -> 'a
+(** Fold over the packed words row by row with padding masked off — a
+    canonical serialization of the contents, used for memo keys. *)
+
+(** Preallocated word buffers for allocation-lean inner loops.  A slot
+    grows to the largest shape ever requested and is then reused; matrices
+    returned by [ensure] alias the slot's buffer, so at most one live
+    matrix per slot.  Contents are unspecified until cleared or fully
+    overwritten ([mul_into] / [transpose_into] overwrite). *)
+module Scratch : sig
+  type slot
+
+  val slot : unit -> slot
+  val ensure : slot -> rows:int -> cols:int -> t
+end
+
+(** The original per-cell [bool array] implementation, preserved as the
+    oracle for differential tests of the packed representation. *)
+module Naive : sig
+  type t
+
+  val create : rows:int -> cols:int -> t
+  val rows : t -> int
+  val cols : t -> int
+  val get : t -> int -> int -> bool
+  val set : t -> int -> int -> bool -> unit
+  val mul : t -> t -> t
+  val transpose : t -> t
+  val equal : t -> t -> bool
+  val copy : t -> t
+  val column : t -> int -> bool array
+  val row : t -> int -> bool array
+end
+
+val to_naive : t -> Naive.t
+val of_naive : Naive.t -> t

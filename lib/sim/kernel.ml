@@ -59,3 +59,26 @@ let blocks t = prod_where t 0
 let subcore_parallelism t = prod_where t 1
 let serial_steps t = prod_where t 2
 let total_calls t = Array.fold_left ( * ) 1 t.outer_extents
+
+type summary = {
+  s_issue_cycles : float;
+  s_blocks : int;
+  s_subcore_parallelism : int;
+  s_serial_steps : int;
+  s_max_load_elems : int;
+  s_timing : timing;
+}
+
+let summarize t =
+  let elems a = Array.fold_left ( * ) 1 a in
+  {
+    s_issue_cycles = t.sem.issue_cycles;
+    s_blocks = blocks t;
+    s_subcore_parallelism = subcore_parallelism t;
+    s_serial_steps = serial_steps t;
+    s_max_load_elems =
+      List.fold_left
+        (fun acc (l : load) -> max acc (elems l.slot_extents))
+        min_int t.loads;
+    s_timing = t.timing;
+  }

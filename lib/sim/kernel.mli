@@ -73,3 +73,19 @@ val blocks : t -> int
 val subcore_parallelism : t -> int
 val serial_steps : t -> int
 val total_calls : t -> int
+
+(** Everything the analytical model reads from a kernel: issue interval,
+    level parallelism products, the largest register tile, and the timing
+    metadata.  A summary can be produced without building the kernel's
+    fetch/store closures ({!Amos.Codegen.summarize_prepared}), which is
+    what makes model-only evaluation allocation-lean. *)
+type summary = {
+  s_issue_cycles : float;
+  s_blocks : int;
+  s_subcore_parallelism : int;
+  s_serial_steps : int;
+  s_max_load_elems : int;  (** [min_int] when the kernel has no loads *)
+  s_timing : timing;
+}
+
+val summarize : t -> summary

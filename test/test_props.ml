@@ -663,6 +663,176 @@ let prop_score_translation_invariant =
       Retain.score ~now item
       = Retain.score ~now:(float_of_int (last + age + delta)) shifted)
 
+(* --- packed Bin_matrix vs per-cell Naive oracle ---------------------- *)
+
+(* Differential tests of the word-packed binary-matrix kernel against the
+   preserved per-cell implementation ({!Bin_matrix.Naive}).  Dimensions
+   deliberately bracket the word boundary (bits_per_word = Sys.int_size,
+   63 on 64-bit): 62/63/64/65 exercise the last-word mask with 0, 1 and
+   many padding bits; 0-row/0-col shapes exercise the degenerate cases.
+   The packed inputs get their padding bits poisoned, so any operation
+   that forgets to mask trailing bits diverges from the oracle. *)
+
+let bm_dims = [ 0; 1; 2; 5; 31; 32; 33; 62; 63; 64; 65; 100 ]
+
+(* Build the same random matrix in both representations independently
+   (never through the converters, so these tests don't assume them). *)
+let bm_fill_both ?(poison = true) ~rows ~cols rng =
+  let p = Bin_matrix.create ~rows ~cols in
+  let n = Bin_matrix.Naive.create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if Rng.int rng 3 = 0 then begin
+        Bin_matrix.set p i j true;
+        Bin_matrix.Naive.set n i j true
+      end
+    done
+  done;
+  if poison then Bin_matrix.poison_padding p;
+  (p, n)
+
+let bm_agrees p n =
+  Bin_matrix.rows p = Bin_matrix.Naive.rows n
+  && Bin_matrix.cols p = Bin_matrix.Naive.cols n
+  &&
+  let ok = ref true in
+  for i = 0 to Bin_matrix.rows p - 1 do
+    for j = 0 to Bin_matrix.cols p - 1 do
+      if Bin_matrix.get p i j <> Bin_matrix.Naive.get n i j then ok := false
+    done
+  done;
+  !ok
+
+let prop_bm_mul =
+  QCheck.Test.make ~count:cases
+    ~name:"packed mul = naive mul (inputs padding-poisoned)"
+    (QCheck.make
+       QCheck.Gen.(
+         quad (oneofl bm_dims) (oneofl bm_dims) (oneofl bm_dims)
+           (int_bound 1_000_000)))
+    (fun (m, k, n, seed) ->
+      let rng = Rng.create seed in
+      let a, na = bm_fill_both ~rows:m ~cols:k rng in
+      let b, nb = bm_fill_both ~rows:k ~cols:n rng in
+      let c = Bin_matrix.mul a b in
+      let nc = Bin_matrix.Naive.mul na nb in
+      (* mul_into must fully overwrite, including a poisoned destination *)
+      let c' = Bin_matrix.create ~rows:m ~cols:n in
+      Bin_matrix.poison_padding c';
+      Bin_matrix.mul_into c' a b;
+      bm_agrees c nc
+      && Bin_matrix.equal c c'
+      && Bin_matrix.equal c (Bin_matrix.of_naive nc)
+      && Bin_matrix.Naive.equal (Bin_matrix.to_naive c) nc)
+
+let prop_bm_transpose =
+  QCheck.Test.make ~count:cases ~name:"packed transpose = naive transpose"
+    (QCheck.make
+       QCheck.Gen.(triple (oneofl bm_dims) (oneofl bm_dims) (int_bound 1_000_000)))
+    (fun (m, k, seed) ->
+      let rng = Rng.create seed in
+      let a, na = bm_fill_both ~rows:m ~cols:k rng in
+      let t = Bin_matrix.transpose a in
+      let nt = Bin_matrix.Naive.transpose na in
+      let t' = Bin_matrix.create ~rows:k ~cols:m in
+      Bin_matrix.poison_padding t';
+      Bin_matrix.transpose_into t' a;
+      bm_agrees t nt
+      && Bin_matrix.equal t t'
+      && Bin_matrix.equal a (Bin_matrix.transpose t))
+
+let prop_bm_equal =
+  QCheck.Test.make ~count:cases
+    ~name:"equal masks padding and agrees with naive"
+    (QCheck.make
+       QCheck.Gen.(triple (oneofl bm_dims) (oneofl bm_dims) (int_bound 1_000_000)))
+    (fun (m, k, seed) ->
+      (* same stream twice -> same contents; only one side poisoned *)
+      let a, na = bm_fill_both ~poison:true ~rows:m ~cols:k (Rng.create seed) in
+      let b, nb = bm_fill_both ~poison:false ~rows:m ~cols:k (Rng.create seed) in
+      let c = Bin_matrix.copy a in
+      Bin_matrix.poison_padding c;
+      let same =
+        Bin_matrix.equal a b && Bin_matrix.Naive.equal na nb
+        && Bin_matrix.equal a c
+      in
+      let flip_detected =
+        m = 0 || k = 0
+        ||
+        let rng = Rng.create (seed + 1) in
+        let i = Rng.int rng m and j = Rng.int rng k in
+        let d = Bin_matrix.copy a in
+        Bin_matrix.set d i j (not (Bin_matrix.get d i j));
+        (not (Bin_matrix.equal a d)) && not (Bin_matrix.equal d a)
+      in
+      same && flip_detected)
+
+let prop_bm_row_col =
+  QCheck.Test.make ~count:cases ~name:"packed row/column = naive row/column"
+    (QCheck.make
+       QCheck.Gen.(triple (oneofl bm_dims) (oneofl bm_dims) (int_bound 1_000_000)))
+    (fun (m, k, seed) ->
+      let a, na = bm_fill_both ~rows:m ~cols:k (Rng.create seed) in
+      let rows_ok = ref true and cols_ok = ref true in
+      for i = 0 to m - 1 do
+        if Bin_matrix.row a i <> Bin_matrix.Naive.row na i then rows_ok := false
+      done;
+      for j = 0 to k - 1 do
+        if Bin_matrix.column a j <> Bin_matrix.Naive.column na j then
+          cols_ok := false
+      done;
+      !rows_ok && !cols_ok)
+
+(* Scratch slots grow to the largest shape ever requested and alias their
+   buffer across [ensure] calls: a chain of [mul_into]/[transpose_into]
+   through two shared slots over varying shapes must still equal the
+   fresh-allocation results — stale words from a previous, larger use of
+   the slot must never leak into a smaller matrix. *)
+let prop_bm_scratch_alias =
+  QCheck.Test.make ~count:100 ~name:"scratch slot reuse = fresh allocation"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 6)
+              (triple (oneofl bm_dims) (oneofl bm_dims) (oneofl bm_dims)))
+           (int_bound 1_000_000)))
+    (fun (shapes, seed) ->
+      let rng = Rng.create seed in
+      let s1 = Bin_matrix.Scratch.slot () in
+      let s2 = Bin_matrix.Scratch.slot () in
+      List.for_all
+        (fun (m, k, n) ->
+          let a, _ = bm_fill_both ~rows:m ~cols:k rng in
+          let b, _ = bm_fill_both ~rows:k ~cols:n rng in
+          let c = Bin_matrix.Scratch.ensure s1 ~rows:m ~cols:n in
+          Bin_matrix.mul_into c a b;
+          let t = Bin_matrix.Scratch.ensure s2 ~rows:n ~cols:m in
+          Bin_matrix.transpose_into t c;
+          (* compare before the next iteration reuses the slots *)
+          let fresh = Bin_matrix.mul a b in
+          Bin_matrix.equal c fresh
+          && Bin_matrix.equal t (Bin_matrix.transpose fresh))
+        shapes)
+
+(* Regression for the padding bug fixed alongside the packed rewrite:
+   [equal] must compare word-wise under the last-word column mask, so a
+   copy with poisoned padding is still equal to the original. *)
+let bm_equal_padding_regression =
+  Alcotest.test_case "equal ignores last-word padding bits" `Quick (fun () ->
+      List.iter
+        (fun cols ->
+          let a = Bin_matrix.create ~rows:3 ~cols in
+          for j = 0 to cols - 1 do
+            Bin_matrix.set a 1 j (j mod 3 = 0)
+          done;
+          let b = Bin_matrix.copy a in
+          Bin_matrix.poison_padding b;
+          Alcotest.(check bool)
+            (Printf.sprintf "cols=%d copy+poison = original" cols)
+            true
+            (Bin_matrix.equal a b && Bin_matrix.equal b a))
+        [ 1; 5; 62; 63; 64; 65; 127 ])
+
 let suites =
   [
     ( "props.algorithm1",
@@ -678,6 +848,16 @@ let suites =
           prop_response_roundtrip;
         ]
     );
+    ( "props.bin_matrix",
+      bm_equal_padding_regression
+      :: List.map to_alcotest
+           [
+             prop_bm_mul;
+             prop_bm_transpose;
+             prop_bm_equal;
+             prop_bm_row_col;
+             prop_bm_scratch_alias;
+           ] );
     ( "props.economy",
       List.map to_alcotest
         [

@@ -1,0 +1,103 @@
+(* Memoization-equivalence tests for the allocation-lean tuner inner
+   loop.
+
+   [Explore.tune ~memo:true] (the default) runs the fast path: lowering
+   prepared once per mapping, predicted seconds memoized per schedule
+   key, perf-model constants hoisted, schedule generation through a
+   precomputed [Schedule.space], and the model screening on
+   [Codegen.summarize_prepared] instead of building kernels.
+   [~memo:false] recomputes everything per candidate — the pre-change
+   code path.  The contract is that the two are *bit-identical*: same
+   best plan, same (predicted, measured) history in the same order, same
+   evaluation counts, across seeds and accelerators.  These tests pin
+   that contract; the `tuner_throughput` bench gates the speed side. *)
+
+open Amos
+module Rng = Amos_tensor.Rng
+module Resnet = Amos_workloads.Resnet
+module Ops = Amos_workloads.Ops
+
+let tune_pair ~accel ~mappings ~seed =
+  let run memo =
+    Explore.tune ~population:6 ~generations:3 ~measure_top:2 ~memo
+      ~rng:(Rng.create seed) ~accel ~mappings ()
+  in
+  (run true, run false)
+
+let check_identical name (a : Explore.result) (b : Explore.result) =
+  let open Alcotest in
+  check (float 0.) (name ^ ": best predicted") a.best.predicted
+    b.best.predicted;
+  check (float 0.) (name ^ ": best measured") a.best.measured b.best.measured;
+  check bool
+    (name ^ ": best schedule")
+    true
+    (a.best.candidate.schedule = b.best.candidate.schedule);
+  check (pair string string)
+    (name ^ ": best mapping")
+    (Explore.mapping_key a.best.candidate.mapping)
+    (Explore.mapping_key b.best.candidate.mapping);
+  check int (name ^ ": evaluations") a.evaluations b.evaluations;
+  check int (name ^ ": history length") (List.length a.history)
+    (List.length b.history);
+  check bool (name ^ ": history") true (a.history = b.history);
+  check bool (name ^ ": failures") true (a.failures = b.failures)
+
+let seeds = [ 1; 7; 2022 ]
+
+(* One matrix row per accelerator: the full two-phase tune over every
+   mapping of a real workload, memo on vs off, across three seeds. *)
+let tune_case label mk_accel op =
+  Alcotest.test_case (label ^ "-memo-on=off") `Quick (fun () ->
+      let accel = mk_accel () in
+      let mappings = Compiler.mappings accel op in
+      Alcotest.(check bool) (label ^ ": has mappings") true (mappings <> []);
+      List.iter
+        (fun seed ->
+          let on, off = tune_pair ~accel ~mappings ~seed in
+          check_identical (Printf.sprintf "%s seed=%d" label seed) on off)
+        seeds)
+
+let tune_tests =
+  [
+    tune_case "a100-resnet-c5" Accelerator.a100
+      (Resnet.config (Resnet.by_label "C5"));
+    tune_case "v100-resnet-c5" Accelerator.v100
+      (Resnet.config (Resnet.by_label "C5"));
+    tune_case "avx512-gemm" Accelerator.avx512_cpu
+      (Ops.gemm ~m:64 ~n:48 ~k:32 ());
+  ]
+
+(* The Algorithm-1 enumeration itself: the packed-word memo in
+   [Mapping_gen.generate_op] must emit exactly the matchings the
+   memo-free enumeration emits, in the same order. *)
+let generate_tests =
+  [
+    Alcotest.test_case "generate-memo-on=off" `Quick (fun () ->
+        let op = Resnet.config (Resnet.by_label "C5") in
+        List.iter
+          (fun (intr : Intrinsic.t) ->
+            let on = Mapping_gen.generate_op ~memo:true op intr in
+            let off = Mapping_gen.generate_op ~memo:false op intr in
+            Alcotest.(check int)
+              (intr.Intrinsic.name ^ ": count")
+              (List.length off) (List.length on);
+            List.iter2
+              (fun m m' ->
+                let x, y, z = Matching.matrices m in
+                let x', y', z' = Matching.matrices m' in
+                Alcotest.(check bool)
+                  (intr.Intrinsic.name ^ ": matrices")
+                  true
+                  (Amos_ir.Bin_matrix.equal x x'
+                  && Amos_ir.Bin_matrix.equal y y'
+                  && Amos_ir.Bin_matrix.equal z z'))
+              on off)
+          (Accelerator.a100 ()).Accelerator.intrinsics);
+  ]
+
+let suites =
+  [
+    ("throughput.tune", tune_tests);
+    ("throughput.generate", generate_tests);
+  ]

@@ -18,6 +18,40 @@ type result = {
   failures : (string * string) list;
 }
 
+(* A calibrated screen model (see [Amos_learn]): a correction applied to
+   every analytic prediction during screening and ranking, plus optional
+   pruning ratios that let a trusted model spend strictly fewer simulator
+   measurements.  The hook lives here (not in the learn library) so the
+   core tuner stays free of a dependency on the calibration layer; the
+   identity hook — correction that returns its input bit-for-bit, both
+   cuts [None] — reproduces the default path exactly. *)
+type screen_model = {
+  sm_correct : Spatial_sim.Kernel.summary -> float -> float;
+      (* [sm_correct summary predicted] -> corrected predicted seconds *)
+  sm_measure_cut : float option;
+      (* per mapping, measure the best-ranked candidate plus one
+         representative per corrected-prediction band of this relative
+         width (>= 1.), never beyond the ratio of the best; candidates
+         inside an already-measured band are model-indistinguishable
+         from its representative *)
+  sm_survivor_cut : float option;
+      (* drop full-search mappings whose corrected screen score exceeds
+         this ratio of the best survivor's (>= 1.; seeded mappings and
+         the best survivor always stay) *)
+}
+
+(* One measured data point, reported through [?observe]: the kernel-free
+   summary the model screened with, the {e uncorrected} analytic
+   prediction (calibration always fits against the raw model, never
+   against its own output), and the simulator measurement.  The callback
+   is a side channel: it sees every simulator measurement in exploration
+   order and cannot perturb the search. *)
+type observation = {
+  ob_summary : Spatial_sim.Kernel.summary;
+  ob_predicted : float;
+  ob_measured : float;
+}
+
 let predict accel c =
   let k = Codegen.lower accel c.mapping c.schedule in
   Perf_model.predict_seconds accel.Accelerator.config k
@@ -35,10 +69,23 @@ let measure accel c =
    derives its RNG stream from the mapping itself, so any partition of
    the mappings over workers produces identical results. *)
 let mapping_seed (m : Mapping.t) =
-  Hashtbl.hash
-    ( Mapping.describe m,
-      m.Mapping.matching.Matching.intr.Intrinsic.name,
-      0x5eed )
+  (* the description hash is cached on the mapping itself: a genetic
+     search calls this once but parallel front-ends re-derive shard
+     streams from it repeatedly, and [Mapping.describe] rebuilds the
+     description string on every call.  [Hashtbl.hash] is non-negative,
+     so -1 is a safe "not yet computed" sentinel; racing domains can
+     only write the same deterministic value. *)
+  if m.Mapping.seed_memo >= 0 then m.Mapping.seed_memo
+  else begin
+    let h =
+      Hashtbl.hash
+        ( Mapping.describe m,
+          m.Mapping.matching.Matching.intr.Intrinsic.name,
+          0x5eed )
+    in
+    m.Mapping.seed_memo <- h;
+    h
+  end
 
 (* Structural identity of a mapping: iteration ids are globally unique, so
    two mappings built at different times can only be compared through
@@ -96,10 +143,19 @@ type engine = {
   e_mutate : Rng.t -> Schedule.t -> Schedule.t;
   e_validate : Schedule.t -> bool;
   e_predict : Schedule.t -> float;
+      (* corrected by the screen model when one is active *)
   e_measure : Schedule.t -> float;
+  e_summary : Schedule.t -> Spatial_sim.Kernel.summary;
+  e_raw_predict : Spatial_sim.Kernel.summary -> float;
+      (* the uncorrected analytic prediction, for [?observe] records *)
 }
 
-let engine ~memo ~accel mapping =
+let engine ~memo ?model ~accel mapping =
+  (* with no model the correction is the identity function and the code
+     path below computes exactly what it did before the hook existed *)
+  let correct =
+    match model with None -> fun _ p -> p | Some m -> m.sm_correct
+  in
   if memo then
     let space = Schedule.space mapping in
     let prepared = Codegen.prepare accel mapping in
@@ -115,9 +171,9 @@ let engine ~memo ~accel mapping =
           match Hashtbl.find_opt cache s with
           | Some v -> v
           | None ->
+              let summary = Codegen.summarize_prepared prepared s in
               let v =
-                Perf_model.predict_seconds_summary ctx
-                  (Codegen.summarize_prepared prepared s)
+                correct summary (Perf_model.predict_seconds_summary ctx summary)
               in
               Hashtbl.add cache s v;
               v);
@@ -125,6 +181,8 @@ let engine ~memo ~accel mapping =
         (fun s ->
           Spatial_sim.Machine.estimate_seconds accel.Accelerator.config
             (Codegen.lower_prepared prepared s));
+      e_summary = Codegen.summarize_prepared prepared;
+      e_raw_predict = Perf_model.predict_seconds_summary ctx;
     }
   else
     {
@@ -132,8 +190,24 @@ let engine ~memo ~accel mapping =
       e_random = (fun rng -> Schedule.random rng mapping);
       e_mutate = (fun rng s -> Schedule.mutate rng mapping s);
       e_validate = (fun s -> Schedule.validate mapping s);
-      e_predict = (fun s -> predict accel { mapping; schedule = s });
+      e_predict =
+        (fun s ->
+          match model with
+          | None -> predict accel { mapping; schedule = s }
+          | Some m ->
+              let k = Codegen.lower accel mapping s in
+              m.sm_correct
+                (Spatial_sim.Kernel.summarize k)
+                (Perf_model.predict_seconds accel.Accelerator.config k));
       e_measure = (fun s -> measure accel { mapping; schedule = s });
+      e_summary =
+        (fun s ->
+          Spatial_sim.Kernel.summarize (Codegen.lower accel mapping s));
+      e_raw_predict =
+        (fun summary ->
+          Perf_model.predict_seconds_summary
+            (Perf_model.context accel.Accelerator.config)
+            summary);
     }
 
 let schedule_search ?(seeds = []) ~population ~generations ~rng ~eng () =
@@ -169,8 +243,8 @@ let schedule_search ?(seeds = []) ~population ~generations ~rng ~eng () =
 (* phase 1 unit: screen one mapping with its default schedule and a few
    random ones.  Returns the best predicted time and the number of model
    evaluations spent; deterministic per mapping (see [mapping_seed]). *)
-let screen_mapping ?(memo = true) ~accel mapping =
-  let eng = engine ~memo ~accel mapping in
+let screen_mapping ?(memo = true) ?model ~accel mapping =
+  let eng = engine ~memo ?model ~accel mapping in
   let rng = Rng.create (mapping_seed mapping) in
   let quick = eng.e_default () :: List.init 6 (fun _ -> eng.e_random rng) in
   let best =
@@ -180,7 +254,7 @@ let screen_mapping ?(memo = true) ~accel mapping =
   in
   (best, List.length quick)
 
-let select_survivors ?(must_keep = fun _ -> false) screened =
+let select_survivors ?(must_keep = fun _ -> false) ?cut screened =
   let by_screen =
     List.filteri
       (fun i _ -> i < 12)
@@ -207,9 +281,35 @@ let select_survivors ?(must_keep = fun _ -> false) screened =
   in
   (* seeded (migrated) mappings always earn a full search: they compete
      with the screen winners instead of replacing them *)
-  dedup_append
-    (dedup_append by_screen by_utilization)
-    (List.filter (fun (m, _) -> must_keep m) screened)
+  let survivors =
+    dedup_append
+      (dedup_append by_screen by_utilization)
+      (List.filter (fun (m, _) -> must_keep m) screened)
+  in
+  (* a calibrated screen earns the right to prune: mappings whose
+     corrected score trails the best survivor by more than [cut] never
+     reach the genetic search.  The best survivor always stays (it is
+     within any cut >= 1 of itself) and seeded mappings are exempt, so
+     the search result can still never be worse than its seeds. *)
+  match cut with
+  | None -> survivors
+  | Some c ->
+      let best =
+        List.fold_left (fun acc (_, p) -> Float.min acc p) infinity survivors
+      in
+      List.filter (fun (m, p) -> p <= c *. best || must_keep m) survivors
+
+(* The best-screened survivor escapes the measure band: the winning plan
+   most often lives in the top-ranked mapping, and a screen that spares
+   the simulator right there risks trading the best plan away for a
+   handful of measurements.  Ties with the best score all stay
+   unbanded; the identity model has no band, so it passes through
+   untouched. *)
+let unband ?model ~best score =
+  match model with
+  | Some ({ sm_measure_cut = Some _; _ } as m) when score <= best ->
+      Some { m with sm_measure_cut = None }
+  | _ -> model
 
 (* phase 2 unit: full genetic schedule search for one mapping, measuring
    the [measure_top] best model-ranked schedules on the simulator.
@@ -217,9 +317,9 @@ let select_survivors ?(must_keep = fun _ -> false) screened =
    independent RNG stream over the same mapping: shard [i] of a
    population split across workers passes [~salt:i], so the shards
    explore disjoint schedule sequences yet each remains reproducible. *)
-let search_mapping ?(salt = 0) ?(seeds = []) ?(memo = true) ~population
-    ~generations ~measure_top ~accel mapping =
-  let eng = engine ~memo ~accel mapping in
+let search_mapping ?(salt = 0) ?(seeds = []) ?(memo = true) ?model ?observe
+    ~population ~generations ~measure_top ~accel mapping =
+  let eng = engine ~memo ?model ~accel mapping in
   let rng =
     Rng.create
       (if salt = 0 then mapping_seed mapping
@@ -227,26 +327,96 @@ let search_mapping ?(salt = 0) ?(seeds = []) ?(memo = true) ~population
   in
   let seeds = List.filter eng.e_validate seeds in
   let ranked = schedule_search ~seeds ~population ~generations ~rng ~eng () in
-  let chosen =
-    let top = List.filteri (fun i _ -> i < measure_top) ranked in
-    (* seed schedules are always measured, even when the model ranks them
-       out of the top: the search result can then never be worse than the
-       seeds it was given *)
-    top
-    @ List.filter_map
-        (fun s ->
-          if List.exists (fun (t, _) -> t = s) top then None
-          else Some (s, eng.e_predict s))
-        seeds
+  let top_all = List.filteri (fun i _ -> i < measure_top) ranked in
+  (* a calibrated model prunes the measured set two ways.  Runners-up
+     whose corrected prediction trails the best by more than the cut are
+     not worth a simulator run.  And a converged population re-proposes
+     near-identical schedules: a runner-up whose corrected prediction
+     sits within the cut band of an already-kept candidate is
+     model-indistinguishable from it, so the kept one serves as the
+     band's measurement representative.  [ranked] is sorted, so the head
+     is the best and always measured; with no model (or no cut) the
+     measured set is exactly the [measure_top] prefix, as before. *)
+  let banded, dropped =
+    match model with
+    | Some { sm_measure_cut = Some cut; _ } -> (
+        match top_all with
+        | [] -> ([], [])
+        | (_, best) :: _ as all ->
+            let kept = ref [] and rest = ref [] in
+            let last = ref neg_infinity in
+            List.iter
+              (fun (s, p) ->
+                if !kept = [] || (p <= cut *. best && p > cut *. !last) then begin
+                  kept := (s, p) :: !kept;
+                  last := p
+                end
+                else rest := (s, p) :: !rest)
+              all;
+            (List.rev !kept, List.rev !rest))
+    | Some { sm_measure_cut = None; _ } | None -> (top_all, [])
   in
-  let plans =
-    List.map
-      (fun (schedule, predicted) ->
-        let c = { mapping; schedule } in
-        let measured = eng.e_measure schedule in
-        { candidate = c; predicted; measured })
-      chosen
+  let measure_plan (schedule, predicted) =
+    let c = { mapping; schedule } in
+    let measured = eng.e_measure schedule in
+    (match observe with
+    | None -> ()
+    | Some f ->
+        (* side channel: raw analytic prediction, never the
+           model-corrected one — calibration fits the gap between the
+           analytic model and the simulator *)
+        let summary = eng.e_summary schedule in
+        f
+          {
+            ob_summary = summary;
+            ob_predicted = eng.e_raw_predict summary;
+            ob_measured = measured;
+          });
+    { candidate = c; predicted; measured }
   in
+  let banded_plans = List.map measure_plan banded in
+  (* escalation: a measurement that lands more than three quarters of
+     the band away from its own prediction (in log space: [cut ** 0.75],
+     about 1.5 sigma of the fitted residual) proves the model is
+     misranking this mapping — schedules it called indistinguishable
+     differ by more than its claimed noise.  The model then forfeits its
+     pruning privilege one candidate at a time: each dropped runner-up
+     is measured in rank order for as long as the latest measurement is
+     itself surprising, so a locally-bad fit costs a few extra
+     simulator runs instead of the best plan, and a single borderline
+     wobble costs exactly one. *)
+  let escalated_plans =
+    match model with
+    | Some { sm_measure_cut = Some cut; _ } when dropped <> [] ->
+        let thr = Float.pow cut 0.75 in
+        let surprising p =
+          p.measured > thr *. p.predicted || p.predicted > thr *. p.measured
+        in
+        let rec widen acc trigger = function
+          | [] -> List.rev acc
+          | sp :: rest ->
+              if not trigger then List.rev acc
+              else
+                let pl = measure_plan sp in
+                widen (pl :: acc) (surprising pl) rest
+        in
+        widen [] (List.exists surprising banded_plans) dropped
+    | _ -> []
+  in
+  (* seed schedules are always measured, even when the model ranks them
+     out of the top: the search result can then never be worse than the
+     seeds it was given *)
+  let already =
+    List.map (fun (s, _) -> s) banded
+    @ List.map (fun p -> p.candidate.schedule) escalated_plans
+  in
+  let seed_extras =
+    List.filter_map
+      (fun s ->
+        if List.mem s already then None else Some (s, eng.e_predict s))
+      seeds
+  in
+  let plans = banded_plans @ escalated_plans @ List.map measure_plan seed_extras in
   (plans, population * (generations + 1) + List.length seeds)
 
 let assemble ?(failures = []) plans ~evaluations =
@@ -278,7 +448,8 @@ let assemble ?(failures = []) plans ~evaluations =
    spend on its single hand-written mapping), and the best model-ranked
    plans are measured on the simulator. *)
 let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3)
-    ?(initial_population = []) ?(memo = true) ~rng ~accel ~mappings () =
+    ?(initial_population = []) ?(memo = true) ?model ?observe ~rng ~accel
+    ~mappings () =
   if mappings = [] && initial_population = [] then
     invalid_arg "Explore.tune: no mappings";
   (* historical draw, kept so callers sharing an rng see the same stream *)
@@ -296,7 +467,7 @@ let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3)
   let screened =
     List.filter_map
       (fun mapping ->
-        match screen_mapping ~memo ~accel mapping with
+        match screen_mapping ~memo ?model ~accel mapping with
         | best, n ->
             evals := !evals + n;
             Some (mapping, best)
@@ -305,13 +476,18 @@ let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3)
             None)
       mappings
   in
-  let survivors = select_survivors ~must_keep:is_seeded screened in
+  let cut = Option.bind model (fun m -> m.sm_survivor_cut) in
+  let survivors = select_survivors ~must_keep:is_seeded ?cut screened in
+  let best_score =
+    List.fold_left (fun acc (_, s) -> Float.min acc s) infinity survivors
+  in
   let plans =
     List.concat_map
-      (fun (mapping, _) ->
+      (fun (mapping, score) ->
         match
-          search_mapping ~seeds:(seeds_for mapping) ~memo ~population
-            ~generations ~measure_top ~accel mapping
+          search_mapping ~seeds:(seeds_for mapping) ~memo
+            ?model:(unband ?model ~best:best_score score)
+            ?observe ~population ~generations ~measure_top ~accel mapping
         with
         | plans, n ->
             evals := !evals + n;
@@ -323,8 +499,8 @@ let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3)
   in
   assemble ~failures:(List.rev !failures) plans ~evaluations:!evals
 
-let tune_op ?population ?generations ?measure_top ?filter ?memo ~rng ~accel op
-    =
+let tune_op ?population ?generations ?measure_top ?filter ?memo ?model
+    ?observe ~rng ~accel op =
   let mappings =
     List.concat_map
       (fun intr ->
@@ -335,8 +511,8 @@ let tune_op ?population ?generations ?measure_top ?filter ?memo ~rng ~accel op
   | [] -> None
   | _ ->
       Some
-        (tune ?population ?generations ?measure_top ?memo ~rng ~accel ~mappings
-           ())
+        (tune ?population ?generations ?measure_top ?memo ?model ?observe ~rng
+           ~accel ~mappings ())
 
 let sample ~n ~rng ~accel ~mappings =
   if mappings = [] then invalid_arg "Explore.sample: no mappings";

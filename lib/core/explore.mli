@@ -33,12 +33,52 @@ type result = {
           the siblings' plans still compete for [best] *)
 }
 
+type screen_model = {
+  sm_correct : Spatial_sim.Kernel.summary -> float -> float;
+      (** [sm_correct summary predicted] returns the corrected predicted
+          seconds; applied to every model evaluation during screening
+          and genetic ranking.  The identity correction must return its
+          input bit-for-bit (see [Amos_learn.Calibrate.identity]). *)
+  sm_measure_cut : float option;
+      (** when set (>= 1.), each mapping's measured set keeps the
+          best-ranked schedule plus one representative per
+          corrected-prediction band of this relative width, never beyond
+          the ratio of the mapping's best: a converged population
+          re-proposes schedules the model cannot distinguish, and one
+          simulator run per band is enough.  The best schedule and every
+          seed are always measured.  [None] measures the full
+          [measure_top]. *)
+  sm_survivor_cut : float option;
+      (** when set (>= 1.), mappings whose corrected screen score
+          exceeds this ratio of the best survivor's skip the genetic
+          search entirely — the best survivor and seeded mappings always
+          stay.  [None] keeps the default survivor set. *)
+}
+(** A calibrated screen (see [Amos_learn]): corrects the analytic
+    model's predictions and optionally prunes the simulator-measured
+    sets.  With the identity correction and both cuts [None], every
+    result field is bit-identical to running without a model. *)
+
+type observation = {
+  ob_summary : Spatial_sim.Kernel.summary;  (** what the model screened *)
+  ob_predicted : float;
+      (** {e uncorrected} analytic prediction (seconds) — calibration
+          fits the model-vs-simulator gap, never its own output *)
+  ob_measured : float;  (** simulator seconds *)
+}
+(** One simulator measurement, reported through [?observe] as it
+    happens.  The callback is a pure side channel: it cannot perturb
+    the RNG streams, rankings or results, which is what lets every
+    tuning run feed the observation log for free. *)
+
 val tune :
   ?population:int ->
   ?generations:int ->
   ?measure_top:int ->
   ?initial_population:candidate list ->
   ?memo:bool ->
+  ?model:screen_model ->
+  ?observe:(observation -> unit) ->
   rng:Amos_tensor.Rng.t ->
   accel:Accelerator.t ->
   mappings:Mapping.t list ->
@@ -71,7 +111,12 @@ val tune :
     [~memo:false] recomputes everything per candidate (the pre-change
     code path).  Results are bit-identical either way — best plan,
     history, evaluation counts — which the throughput test suite checks
-    across seeds and accelerators. *)
+    across seeds and accelerators.
+
+    [model] installs a calibrated screen ({!screen_model}): every
+    analytic prediction is corrected before ranking, and the optional
+    cuts prune the simulator-measured sets.  [observe] is called once
+    per simulator measurement with the {!observation} it produced. *)
 
 val tune_op :
   ?population:int ->
@@ -79,6 +124,8 @@ val tune_op :
   ?measure_top:int ->
   ?filter:bool ->
   ?memo:bool ->
+  ?model:screen_model ->
+  ?observe:(observation -> unit) ->
   rng:Amos_tensor.Rng.t ->
   accel:Accelerator.t ->
   Amos_ir.Operator.t ->
@@ -116,23 +163,46 @@ val merge_seed_population :
     survive screening.  Shared by [tune] and [Amos_service.Par_tune]. *)
 
 val screen_mapping :
-  ?memo:bool -> accel:Accelerator.t -> Mapping.t -> float * int
+  ?memo:bool ->
+  ?model:screen_model ->
+  accel:Accelerator.t ->
+  Mapping.t ->
+  float * int
 (** Phase-1 unit: best predicted seconds of the default plus a few
     random schedules, and the number of model evaluations spent.
-    [memo] as in {!tune}. *)
+    [memo] and [model] as in {!tune} (the returned score is corrected
+    when a model is given). *)
 
 val select_survivors :
   ?must_keep:(Mapping.t -> bool) ->
+  ?cut:float ->
   (Mapping.t * float) list ->
   (Mapping.t * float) list
 (** The mappings that earn a full schedule search: the best dozen by
     screen score plus the highest-utilization fusions, plus every
-    screened mapping satisfying [must_keep] (seeded mappings). *)
+    screened mapping satisfying [must_keep] (seeded mappings).  [cut]
+    (a {!screen_model}'s [sm_survivor_cut]) then drops survivors whose
+    score exceeds [cut] x the best survivor's, keeping the best and
+    every [must_keep] mapping. *)
+
+val unband :
+  ?model:screen_model -> best:float -> float -> screen_model option
+(** [unband ?model ~best score] — the screen model a survivor with
+    screen score [score] should search under, given the best survivor
+    score [best]: the best-scored survivor(s) (ties included) lose the
+    [sm_measure_cut] band and measure their full [measure_top], because
+    the winning plan most often lives in the top-ranked mapping and the
+    simulator must not be spared right there.  Every other survivor,
+    and any model without a band, passes through unchanged.  Both
+    {!tune} and [Amos_service.Par_tune] apply this to keep the two
+    front-ends' pruning identical. *)
 
 val search_mapping :
   ?salt:int ->
   ?seeds:Schedule.t list ->
   ?memo:bool ->
+  ?model:screen_model ->
+  ?observe:(observation -> unit) ->
   population:int ->
   generations:int ->
   measure_top:int ->
@@ -146,7 +216,10 @@ val search_mapping :
     additionally always measured.  [salt] (default 0) selects an
     independent deterministic RNG stream over the same mapping — shard
     [i] of a genetic population split across parallel workers passes
-    [~salt:i]; salt 0 is bit-identical to the pre-salt behaviour. *)
+    [~salt:i]; salt 0 is bit-identical to the pre-salt behaviour.
+    [model] / [observe] as in {!tune}: the model corrects the genetic
+    ranking and its [sm_measure_cut] prunes the measured set; [observe]
+    fires once per simulator measurement. *)
 
 val assemble :
   ?failures:(string * string) list -> plan list -> evaluations:int -> result

@@ -13,6 +13,10 @@ type t = {
   fused : fused_dim array;
   outer_sw : Iter.t list;
   utilization : float;
+  mutable seed_memo : int;
+      (* [Explore.mapping_seed]'s cached hash; -1 until first computed.
+         Not part of the structural identity: nothing in this library
+         compares or hashes whole [t] values. *)
 }
 
 let make (m : Matching.t) =
@@ -38,7 +42,8 @@ let make (m : Matching.t) =
            /. float_of_int (fd.tiles * fd.intr_iter.Iter.extent)))
       1. fused
   in
-  { matching = m; fused; outer_sw = Matching.outer m; utilization }
+  { matching = m; fused; outer_sw = Matching.outer m; utilization;
+    seed_memo = -1 }
 
 let intrinsic_calls t =
   let tile_prod = Array.fold_left (fun acc fd -> acc * fd.tiles) 1 t.fused in

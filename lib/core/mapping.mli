@@ -24,6 +24,10 @@ type t = {
   utilization : float;
       (** useful fraction of intrinsic compute: padding and unused-dim
           waste combined *)
+  mutable seed_memo : int;
+      (** cache slot for [Explore.mapping_seed]'s description hash
+          (-1 = not yet computed).  Write-once with a deterministic
+          value; never part of the mapping's structural identity. *)
 }
 
 val make : Matching.t -> t

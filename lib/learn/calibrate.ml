@@ -1,0 +1,336 @@
+module Fs_io = Amos_service.Fs_io
+
+type model = {
+  weights : float array;
+  measure_cut : float option;
+  survivor_cut : float option;
+  rms_before : float;
+  rms_after : float;
+  n_obs : int;
+}
+
+let version = 1
+let version_line = Printf.sprintf "amos-model %d" version
+let file_name = "model.amos"
+
+exception Unsupported_model of { path : string; version : string }
+
+let () =
+  Printexc.register_printer (function
+    | Unsupported_model { path; version = v } ->
+        Some
+          (Printf.sprintf
+             "Calibrate.Unsupported_model { path = %S; version = %S } (this \
+              build speaks version %d)"
+             path v version)
+    | _ -> None)
+
+let identity =
+  {
+    weights = Array.make Features.dim 0.;
+    measure_cut = None;
+    survivor_cut = None;
+    rms_before = 0.;
+    rms_after = 0.;
+    n_obs = 0;
+  }
+
+let is_identity m =
+  Array.for_all (fun w -> w = 0.) m.weights
+  && m.measure_cut = None && m.survivor_cut = None
+
+let dot w x =
+  let n = min (Array.length w) (Array.length x) in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (w.(i) *. x.(i))
+  done;
+  !acc
+
+(* The identity invariant rests on this expression: all-zero weights
+   give [dot = 0.], [exp 0. = 1.], and [p *. 1.] is bit-identical to
+   [p] for every float the model meets (positive reals and infinity —
+   the capacity-violation marker, which stays infinite under any
+   positive factor). *)
+let apply m x p = p *. exp (dot m.weights x)
+
+let corrector m cfg =
+  fun summary p -> apply m (Features.of_summary cfg summary) p
+
+let residual m x ~predicted ~measured =
+  log (measured /. apply m x predicted)
+
+let usable (x, p, meas) =
+  Array.length x = Features.dim
+  && Float.is_finite p && p > 0. && Float.is_finite meas && meas > 0.
+
+(* Gaussian elimination with partial pivoting over the (dim x dim)
+   normal equations: small, dense, deterministic. *)
+let solve a b =
+  let n = Array.length b in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!pivot).(col) then pivot := r
+    done;
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    let d = a.(col).(col) in
+    if Float.abs d > 0. then
+      for r = col + 1 to n - 1 do
+        let f = a.(r).(col) /. d in
+        if f <> 0. then begin
+          for c = col to n - 1 do
+            a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+          done;
+          b.(r) <- b.(r) -. (f *. b.(col))
+        end
+      done
+  done;
+  let w = Array.make n 0. in
+  for row = n - 1 downto 0 do
+    let s = ref b.(row) in
+    for c = row + 1 to n - 1 do
+      s := !s -. (a.(row).(c) *. w.(c))
+    done;
+    w.(row) <- (if Float.abs a.(row).(row) > 0. then !s /. a.(row).(row) else 0.)
+  done;
+  w
+
+let clamp_cut c = Float.max 1. c
+
+(* Normal equations over a subset of the observations.  The penalty is
+   relative to the mean diagonal of X^T X, so a given [ridge]
+   coefficient shrinks a small homogeneous training set (one workload,
+   colinear features) as firmly as a large diverse one. *)
+let solve_ridged ~ridge obs =
+  let n = Features.dim in
+  let xtx = Array.init n (fun _ -> Array.make n 0.) in
+  let xty = Array.make n 0. in
+  List.iter
+    (fun (x, _, y) ->
+      for i = 0 to n - 1 do
+        xty.(i) <- xty.(i) +. (x.(i) *. y);
+        for j = 0 to n - 1 do
+          xtx.(i).(j) <- xtx.(i).(j) +. (x.(i) *. x.(j))
+        done
+      done)
+    obs;
+  let trace = ref 0. in
+  for i = 0 to n - 1 do
+    trace := !trace +. xtx.(i).(i)
+  done;
+  let penalty = ridge *. Float.max 1. (!trace /. float_of_int n) in
+  for i = 0 to n - 1 do
+    xtx.(i).(i) <- xtx.(i).(i) +. penalty
+  done;
+  solve xtx xty
+
+(* The regularisation strength is picked by deterministic k-fold
+   cross-validation over a fixed grid (folds assigned by observation
+   index, no randomness): a diverse, well-conditioned observation set
+   earns a near-unregularised fit, while a degenerate one — a single
+   workload logged twice, every feature colinear — is shrunk hard
+   toward the identity instead of exploding into huge cancelling
+   weights that misrank everything off the training set.  Ties prefer
+   the stronger ridge: when the data cannot tell, shrink. *)
+let ridge_grid = [ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1 ]
+
+let cross_validated_ridge obs =
+  let arr = Array.of_list obs in
+  let count = Array.length arr in
+  let folds = min 5 count in
+  if folds < 2 then List.hd (List.rev ridge_grid)
+  else
+    let score ridge =
+      let err = ref 0. in
+      for f = 0 to folds - 1 do
+        let train = ref [] in
+        Array.iteri (fun i o -> if i mod folds <> f then train := o :: !train) arr;
+        let w = solve_ridged ~ridge !train in
+        Array.iteri
+          (fun i (x, _, y) ->
+            if i mod folds = f then
+              let r = y -. dot w x in
+              err := !err +. (r *. r))
+          arr
+      done;
+      !err
+    in
+    fst
+      (List.fold_left
+         (fun (best_r, best_e) r ->
+           let e = score r in
+           if e <= best_e then (r, e) else (best_r, best_e))
+         (nan, infinity) ridge_grid)
+
+let fit ?ridge ?measure_cut ?survivor_cut obs =
+  let obs = List.filter usable obs in
+  match obs with
+  | [] -> identity
+  | _ ->
+      (* precompute the log-ratio target once; downstream only needs
+         (features, target) but the triple shape keeps one code path *)
+      let obs_y = List.map (fun (x, p, meas) -> (x, p, log (meas /. p))) obs in
+      let sq_before =
+        List.fold_left (fun acc (_, _, y) -> acc +. (y *. y)) 0. obs_y
+      in
+      let count = List.length obs in
+      let ridge =
+        match ridge with Some r -> r | None -> cross_validated_ridge obs_y
+      in
+      let weights = solve_ridged ~ridge obs_y in
+      let fitted = { identity with weights } in
+      let sq_after =
+        List.fold_left
+          (fun acc (x, p, meas) ->
+            let r = residual fitted x ~predicted:p ~measured:meas in
+            acc +. (r *. r))
+          0. obs
+      in
+      let rms sq = sqrt (sq /. float_of_int count) in
+      let rms_before = rms sq_before and rms_after = rms sq_after in
+      (* residual-derived pruning: a model that explains the gap well
+         (small sigma) earns tight cuts; a poor fit keeps the screen
+         permissive.  The schedule-level cut is a within-mapping
+         indistinguishability band (~2 sigma of the log residual: the
+         model cannot order candidates closer than its own noise, so one
+         measurement per band suffices); the mapping-level cut drops
+         survivors whose corrected screen score trails by more than ~4
+         sigma — the screen score is itself a best-of-few sample of the
+         mapping's potential, so the mapping-level margin must absorb
+         that sampling noise on top of the model's own. *)
+      let derived k lo hi =
+        Float.min hi (Float.max lo (exp (k *. rms_after)))
+      in
+      let measure_cut =
+        match measure_cut with
+        | Some c -> Some (clamp_cut c)
+        | None -> Some (derived 2. 1.02 1.5)
+      in
+      let survivor_cut =
+        match survivor_cut with
+        | Some c -> Some (clamp_cut c)
+        | None -> Some (derived 4. 1.25 2.5)
+      in
+      { weights; measure_cut; survivor_cut; rms_before; rms_after;
+        n_obs = count }
+
+(* --- versioned model file ------------------------------------------- *)
+
+let float_field = Printf.sprintf "%h"
+
+let opt_field = function None -> "none" | Some f -> float_field f
+
+let parse_float s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> failwith ("Calibrate.load: bad float " ^ s)
+
+let parse_opt = function
+  | "none" -> None
+  | s -> Some (parse_float s)
+
+let save ?fs ~path m =
+  let fs = match fs with Some fs -> fs | None -> Fs_io.real () in
+  let text =
+    String.concat "\n"
+      ([
+         version_line;
+         "weights "
+         ^ String.concat " "
+             (List.map float_field (Array.to_list m.weights));
+         "measure_cut " ^ opt_field m.measure_cut;
+         "survivor_cut " ^ opt_field m.survivor_cut;
+         "rms_before " ^ float_field m.rms_before;
+         "rms_after " ^ float_field m.rms_after;
+         "n_obs " ^ string_of_int m.n_obs;
+       ]
+      @ [ "" ])
+  in
+  let dir = Filename.dirname path in
+  if dir <> "" && dir <> "." then Fs_io.mkdir_p fs dir;
+  let tmp = Fs_io.fresh_tmp path in
+  Fs_io.write_file fs tmp text;
+  Fs_io.rename fs tmp path
+
+let load ?fs ~path () =
+  let fs = match fs with Some fs -> fs | None -> Fs_io.real () in
+  let text = Fs_io.read_file fs path in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+  in
+  (match lines with
+  | first :: _ when first = version_line -> ()
+  | first :: _ when String.length first >= 10
+                    && String.sub first 0 10 = "amos-model" ->
+      raise
+        (Unsupported_model
+           { path; version = String.trim (String.sub first 10
+                                            (String.length first - 10)) })
+  | _ -> raise (Unsupported_model { path; version = "(unstamped)" }));
+  let field name =
+    let prefix = name ^ " " in
+    let plen = String.length prefix in
+    match
+      List.find_opt
+        (fun l -> String.length l >= plen && String.sub l 0 plen = prefix)
+        lines
+    with
+    | Some l -> String.sub l plen (String.length l - plen)
+    | None -> failwith ("Calibrate.load: missing field " ^ name)
+  in
+  let weights =
+    Array.of_list
+      (List.map parse_float
+         (List.filter (fun s -> s <> "")
+            (String.split_on_char ' ' (field "weights"))))
+  in
+  if Array.length weights <> Features.dim then
+    failwith
+      (Printf.sprintf "Calibrate.load: %d weights, expected %d"
+         (Array.length weights) Features.dim);
+  {
+    weights;
+    measure_cut = parse_opt (field "measure_cut");
+    survivor_cut = parse_opt (field "survivor_cut");
+    rms_before = parse_float (field "rms_before");
+    rms_after = parse_float (field "rms_after");
+    n_obs =
+      (match int_of_string_opt (field "n_obs") with
+      | Some n -> n
+      | None -> failwith "Calibrate.load: bad n_obs");
+  }
+
+let describe m =
+  let cuts =
+    Printf.sprintf "measure_cut %s, survivor_cut %s"
+      (match m.measure_cut with None -> "off" | Some c -> Printf.sprintf "%.3f" c)
+      (match m.survivor_cut with None -> "off" | Some c -> Printf.sprintf "%.3f" c)
+  in
+  let top =
+    let named =
+      List.mapi (fun i n -> (n, m.weights.(i))) Features.names
+    in
+    let ranked =
+      List.sort
+        (fun (_, a) (_, b) -> Float.compare (Float.abs b) (Float.abs a))
+        named
+    in
+    List.filteri (fun i _ -> i < 5) ranked
+    |> List.map (fun (n, w) -> Printf.sprintf "%s=%+.4f" n w)
+    |> String.concat "  "
+  in
+  Printf.sprintf
+    "calibration over %d observations\n\
+     rms log-residual : %.4f -> %.4f\n\
+     screen cuts      : %s\n\
+     top weights      : %s\n"
+    m.n_obs m.rms_before m.rms_after cuts
+    (if is_identity m then "(identity)" else top)

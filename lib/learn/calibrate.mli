@@ -1,0 +1,103 @@
+(** The calibration layer: a multiplicative correction over the analytic
+    model, fitted from logged observations.
+
+    The analytic model of Sec 5.3 is deliberately coarse — no wave
+    quantization, occupancy limits or launch overhead — and the gap to
+    the simulator is systematic, not noise.  A {!model} corrects each
+    prediction multiplicatively:
+
+    {[ corrected = predicted * exp (w . x) ]}
+
+    where [x] is the {!Features} vector of the candidate's summary.
+    Fitting is ordinary ridge-regularised least squares on
+    [log (measured / predicted)] — pure OCaml, normal equations plus
+    Gaussian elimination, no external dependencies, bit-deterministic
+    for a given observation list.
+
+    Because every feature is nonnegative, the corrected prediction is
+    monotone non-decreasing in every weight; and the {!identity} model
+    (all-zero weights) multiplies by [exp 0. = 1.], which is
+    bit-identical to not correcting at all — the invariant that lets the
+    tuner install the hook unconditionally. *)
+
+type model = {
+  weights : float array;  (** length {!Features.dim} *)
+  measure_cut : float option;
+      (** {!Amos.Explore.screen_model}[.sm_measure_cut] (>= 1.) *)
+  survivor_cut : float option;
+      (** {!Amos.Explore.screen_model}[.sm_survivor_cut] (>= 1.) *)
+  rms_before : float;
+      (** rms of [log (measured/predicted)] over the fit set, unfitted *)
+  rms_after : float;  (** same residual after correction *)
+  n_obs : int;  (** observations the fit used *)
+}
+
+val version : int
+(** Format version stamped as the first line of every model file this
+    code writes (["amos-model 1"]). *)
+
+val file_name : string
+(** ["model.amos"] — the conventional model file name under a cache
+    directory; the daemon and [amos model fit] default to
+    [cache_dir/model.amos]. *)
+
+exception Unsupported_model of { path : string; version : string }
+(** Raised by {!load} on a model file claiming any other version: a
+    model this build does not speak must fail loudly and typed, never
+    be misread into nonsense weights. *)
+
+val identity : model
+(** All-zero weights, no cuts: corrections are bit-identical to the raw
+    analytic predictions and the tuner path is bit-identical to running
+    with no model at all. *)
+
+val is_identity : model -> bool
+
+val apply : model -> float array -> float -> float
+(** [apply m features predicted] — the correction proper. *)
+
+val corrector :
+  model ->
+  Spatial_sim.Machine_config.t ->
+  Spatial_sim.Kernel.summary ->
+  float ->
+  float
+(** {!apply} over {!Features.of_summary}: the function a
+    {!Amos.Explore.screen_model} carries. *)
+
+val fit :
+  ?ridge:float ->
+  ?measure_cut:float ->
+  ?survivor_cut:float ->
+  (float array * float * float) list ->
+  model
+(** [fit obs] over [(features, predicted, measured)] triples.
+    Observations with nonpositive or non-finite predicted/measured
+    values, or a feature vector of the wrong length, are skipped; with
+    no usable observation the result is {!identity}.  [ridge]
+    regularises the normal equations, scaled by the mean diagonal of
+    the Gram matrix so its strength is independent of the observation
+    count and feature magnitudes; when omitted it is selected by
+    deterministic 5-fold cross-validation over a fixed grid — a
+    degenerate observation set (one workload, colinear features) is
+    shrunk hard toward the identity, a diverse one fitted nearly
+    unregularised.  The cuts default to
+    residual-derived ratios (tight when the fit is good, loose when it
+    is not); pass them explicitly to override — values are clamped to
+    [>= 1.].  Deterministic: equal inputs give bit-equal models. *)
+
+val residual : model -> float array -> predicted:float -> measured:float -> float
+(** [log (measured / corrected)] — what a fitted model leaves
+    unexplained on one observation. *)
+
+val save : ?fs:Amos_service.Fs_io.t -> path:string -> model -> unit
+(** Versioned text file, written atomically (unique temp + rename);
+    floats are serialized in hex so {!load} round-trips bit-exactly. *)
+
+val load : ?fs:Amos_service.Fs_io.t -> path:string -> unit -> model
+(** Raises {!Unsupported_model} on a version mismatch and [Failure] on
+    a file that does not parse. *)
+
+val describe : model -> string
+(** Human-readable summary: observation count, residuals, cuts, and the
+    largest-magnitude weights by name. *)

@@ -1,0 +1,61 @@
+module Kernel = Spatial_sim.Kernel
+module Machine_config = Spatial_sim.Machine_config
+
+let names =
+  [
+    "intercept";
+    "log1p_issue_cycles";
+    "log1p_blocks";  (* level-3 prod S *)
+    "log1p_subcore_parallelism";  (* level-2 prod S *)
+    "log1p_serial_steps";  (* level-1 prod S *)
+    "log1p_max_load_elems";
+    "log1p_flops_per_call";
+    "log1p_shared_bytes_per_block";
+    "log1p_global_load_bytes_per_block";
+    "log1p_global_store_bytes_per_block";
+    "log1p_reg_load_bytes_per_call";
+    "log1p_reg_store_bytes_per_call";
+    "mem_efficiency";
+    "log1p_block_occupancy";  (* blocks / device block slots *)
+    "log1p_subcore_occupancy";  (* sub-core parallelism / sub-cores *)
+    "log1p_shared_pressure";  (* shared bytes / shared capacity *)
+    "log1p_reg_pressure";  (* largest register tile / reg capacity *)
+  ]
+
+let dim = List.length names
+
+let of_summary (cfg : Machine_config.t) (s : Kernel.summary) =
+  let t = s.Kernel.s_timing in
+  (* [s_max_load_elems] is [min_int] for kernels with no loads: clamp to
+     zero so every component stays nonnegative *)
+  let load_elems = float_of_int (max 0 s.Kernel.s_max_load_elems) in
+  let blocks = float_of_int s.Kernel.s_blocks in
+  let subcore = float_of_int s.Kernel.s_subcore_parallelism in
+  let ratio num den = if den > 0. then num /. den else 0. in
+  [|
+    1.0;
+    log1p s.Kernel.s_issue_cycles;
+    log1p blocks;
+    log1p subcore;
+    log1p (float_of_int s.Kernel.s_serial_steps);
+    log1p load_elems;
+    log1p t.Kernel.flops_per_call;
+    log1p (float_of_int t.Kernel.shared_bytes_per_block);
+    log1p t.Kernel.global_load_bytes_per_block;
+    log1p t.Kernel.global_store_bytes_per_block;
+    log1p t.Kernel.reg_load_bytes_per_call;
+    log1p t.Kernel.reg_store_bytes_per_call;
+    t.Kernel.mem_efficiency;
+    log1p
+      (ratio blocks
+         (float_of_int
+            (cfg.Machine_config.num_cores
+            * cfg.Machine_config.max_blocks_per_core)));
+    log1p (ratio subcore (float_of_int cfg.Machine_config.subcores_per_core));
+    log1p
+      (ratio
+         (float_of_int t.Kernel.shared_bytes_per_block)
+         (float_of_int cfg.Machine_config.shared_capacity_bytes));
+    log1p
+      (ratio load_elems (float_of_int cfg.Machine_config.reg_capacity_elems));
+  |]

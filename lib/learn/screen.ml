@@ -1,0 +1,9 @@
+let of_model ~accel (m : Calibrate.model) =
+  {
+    Amos.Explore.sm_correct =
+      Calibrate.corrector m accel.Amos.Accelerator.config;
+    sm_measure_cut = m.Calibrate.measure_cut;
+    sm_survivor_cut = m.Calibrate.survivor_cut;
+  }
+
+let identity ~accel = of_model ~accel Calibrate.identity

@@ -1,0 +1,19 @@
+(** Bridge from a fitted {!Calibrate.model} to the tuner's
+    {!Amos.Explore.screen_model} hook.
+
+    The hook type lives in the core tuner (which knows nothing of this
+    library); this module closes a model over an accelerator's machine
+    configuration so the correction can extract {!Features} from each
+    candidate's summary. *)
+
+val of_model :
+  accel:Amos.Accelerator.t -> Calibrate.model -> Amos.Explore.screen_model
+(** Correction = {!Calibrate.corrector}; the cuts are copied from the
+    model. *)
+
+val identity : accel:Amos.Accelerator.t -> Amos.Explore.screen_model
+(** [of_model ~accel Calibrate.identity]: runs the full correction
+    machinery (feature extraction, zero-weight dot product, [exp 0.]
+    multiply) yet is bit-identical to passing no model at all — the
+    invariant the bench and the QCheck suite pin across seeds and
+    accelerators. *)

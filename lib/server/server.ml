@@ -132,7 +132,9 @@ let locked mu f =
 (* mirror [Batch_compile.tune_fresh]: explore, then race the winner
    against the scalar roofline so a wire plan is never worse than not
    mapping the operator at all *)
-let default_tuner ~jobs ~accel ~op ~budget ~seeds =
+(* [model] / [observe] arrive as plain options (not optional arguments)
+   so the fully-labelled [tuner] shape stays erasure-free *)
+let default_tuner_with ~model ~observe ~jobs ~accel ~op ~budget ~seeds =
   let rng = Rng.create budget.Fingerprint.seed in
   let mappings =
     List.concat_map
@@ -145,7 +147,7 @@ let default_tuner ~jobs ~accel ~op ~budget ~seeds =
       Par_tune.tune ~jobs ~population:budget.Fingerprint.population
         ~generations:budget.Fingerprint.generations
         ~measure_top:budget.Fingerprint.measure_top ~initial_population:seeds
-        ~rng ~accel ~mappings ()
+        ?model ?observe ~rng ~accel ~mappings ()
     in
     let best = result.Explore.best in
     if
@@ -158,6 +160,9 @@ let default_tuner ~jobs ~accel ~op ~budget ~seeds =
         evaluations = result.Explore.evaluations;
       }
     else { value = Plan_cache.Scalar; evaluations = result.Explore.evaluations }
+
+let default_tuner ~jobs ~accel ~op ~budget ~seeds =
+  default_tuner_with ~model:None ~observe:None ~jobs ~accel ~op ~budget ~seeds
 
 (* --- request resolution -------------------------------------------- *)
 
@@ -228,8 +233,52 @@ let record_spec t fingerprint ~accel_name ~op ~budget =
 
 (* --- creation ------------------------------------------------------- *)
 
-let create ?(tuner = default_tuner) ?clock ?router config =
+let create ?tuner ?clock ?router config =
   let clock = match clock with Some c -> c | None -> Clock.real () in
+  let tuner =
+    match tuner with
+    | Some t -> t
+    | None -> (
+        match config.cache_dir with
+        | None -> default_tuner
+        | Some dir -> (
+            (* a persistent daemon feeds the learned cost model: every
+               simulator measurement lands in the observation log next
+               to the plans, and a fitted model file (if present) turns
+               on the calibrated screen *)
+            match Amos_learn.Obs_log.create ~clock ~dir () with
+            | exception e ->
+                Log.warn (fun m ->
+                    m "observation log unavailable (%s); tuning without it"
+                      (Printexc.to_string e));
+                default_tuner
+            | obs_log ->
+                let model_path =
+                  Filename.concat dir Amos_learn.Calibrate.file_name
+                in
+                fun ~jobs ~accel ~op ~budget ~seeds ->
+                  let fingerprint = Fingerprint.key ~accel ~op ~budget in
+                  let observe =
+                    Some
+                      (Amos_learn.Obs_log.observer obs_log
+                         ~config:accel.Accelerator.config ~fingerprint
+                         ~accel:accel.Accelerator.name)
+                  in
+                  let model =
+                    if Fs_io.exists (Fs_io.real ()) model_path then
+                      match Amos_learn.Calibrate.load ~path:model_path () with
+                      | m -> Some (Amos_learn.Screen.of_model ~accel m)
+                      | exception e ->
+                          Log.warn (fun m ->
+                              m "model file %s unusable (%s); screening \
+                                 uncalibrated"
+                                model_path (Printexc.to_string e));
+                          None
+                    else None
+                  in
+                  default_tuner_with ~model ~observe ~jobs ~accel ~op ~budget
+                    ~seeds))
+  in
   (* a client dying mid-reply must surface as EPIPE on the write, not
      kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore

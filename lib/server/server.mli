@@ -117,7 +117,15 @@ type tuner =
     scheduling behaviour (count invocations, block on a latch) without
     paying for real tuning; the default races
     [Amos_service.Par_tune.tune] against the scalar roofline exactly
-    like [Batch_compile]. *)
+    like [Batch_compile].
+
+    With a persistent cache directory and no custom tuner, the default
+    additionally feeds the learned cost model: every simulator
+    measurement is appended to [Amos_learn.Obs_log] (the
+    [observations.log] next to the plans), and when a fitted
+    [model.amos] file is present in the directory — written by
+    [amos model fit] — its calibrated screen is applied to every tune
+    (loaded per tune, so refitting takes effect without a restart). *)
 
 type t
 

@@ -48,12 +48,13 @@ let scalar_seconds accel op =
   Spatial_sim.Scalar_backend.estimate_seconds ~efficiency:0.5
     ~memory_efficiency:0.9 accel.Accelerator.config op
 
-let tune_fresh ~jobs ~(budget : Fingerprint.budget) accel op =
+let tune_fresh ?model ?observe ~jobs ~(budget : Fingerprint.budget) accel op =
   let rng = Rng.create budget.Fingerprint.seed in
   match
     Par_tune.tune_op ?jobs ~population:budget.Fingerprint.population
       ~generations:budget.Fingerprint.generations
-      ~measure_top:budget.Fingerprint.measure_top ~rng ~accel op
+      ~measure_top:budget.Fingerprint.measure_top ?model ?observe ~rng ~accel
+      op
   with
   | Some result
     when result.Explore.best.Explore.measured < infinity
@@ -69,6 +70,8 @@ type ctx = {
   cache : Plan_cache.t;
   budget : Fingerprint.budget;
   jobs : int option;
+  model : Explore.screen_model option;
+  observe : (fingerprint:string -> Explore.observation -> unit) option;
   memo : (string, Plan_cache.value) Hashtbl.t;
   badlist : Badlist.t option;
       (** persistent known-bad markers; [None] for memory-only caches,
@@ -81,7 +84,8 @@ type ctx = {
   mutable known_bad : int;
 }
 
-let make_ctx ?jobs ?(budget = Fingerprint.default_budget) cache =
+let make_ctx ?jobs ?(budget = Fingerprint.default_budget) ?model ?observe
+    cache =
   let badlist =
     match Plan_cache.dir cache with
     | None -> None
@@ -94,6 +98,8 @@ let make_ctx ?jobs ?(budget = Fingerprint.default_budget) cache =
     cache;
     budget;
     jobs;
+    model;
+    observe;
     memo = Hashtbl.create 16;
     badlist;
     hits = 0;
@@ -151,7 +157,12 @@ let tune_cached ctx accel op =
             ctx.misses <- ctx.misses + 1;
             let t0 = Unix.gettimeofday () in
             let outcome =
-              match tune_fresh ~jobs:ctx.jobs ~budget:ctx.budget accel op with
+              match
+                tune_fresh ?model:ctx.model
+                  ?observe:
+                    (Option.map (fun f -> f ~fingerprint) ctx.observe)
+                  ~jobs:ctx.jobs ~budget:ctx.budget accel op
+              with
               | v, evals -> Ok (v, evals)
               | exception (Fs_io.Crashed _ as e) -> raise e
               | exception e -> Error e
@@ -204,13 +215,13 @@ let report_of ctx ~tensor_stages =
     known_bad_stages = ctx.known_bad;
   }
 
-let tune_op ?jobs ?budget ~cache accel op =
-  let ctx = make_ctx ?jobs ?budget cache in
+let tune_op ?jobs ?budget ?model ?observe ~cache accel op =
+  let ctx = make_ctx ?jobs ?budget ?model ?observe cache in
   let _, value, source = tune_cached ctx accel op in
   (value, source)
 
-let compile ?jobs ?budget ~cache accel pipeline =
-  let ctx = make_ctx ?jobs ?budget cache in
+let compile ?jobs ?budget ?model ?observe ~cache accel pipeline =
+  let ctx = make_ctx ?jobs ?budget ?model ?observe cache in
   let plans =
     List.map
       (fun (stage_index, op) ->
@@ -235,8 +246,9 @@ let run t ~input ~weights =
    with dedup + caching.  Spatial layer times are re-derived from the plan
    (the structural estimate the tuner measured), so a warm compile needs
    no tuner at all. *)
-let compile_network ?jobs ?budget ~cache accel (net : Networks.t) =
-  let ctx = make_ctx ?jobs ?budget cache in
+let compile_network ?jobs ?budget ?model ?observe ~cache accel
+    (net : Networks.t) =
+  let ctx = make_ctx ?jobs ?budget ?model ?observe cache in
   let tensor_layers = ref 0 in
   let layers =
     List.map

@@ -69,10 +69,17 @@ type t = {
 val compile :
   ?jobs:int ->
   ?budget:Fingerprint.budget ->
+  ?model:Explore.screen_model ->
+  ?observe:(fingerprint:string -> Explore.observation -> unit) ->
   cache:Plan_cache.t ->
   Accelerator.t ->
   Pipeline.t ->
   t
+(** [model] installs a calibrated screen ([Explore.tune]'s contract) in
+    every fresh tune this compile performs; cached stages never touch
+    it.  [observe] receives each simulator measurement of a fresh tune,
+    labelled with the stage's fingerprint — the hook the learned cost
+    model's observation log hangs off. *)
 
 val scalar_seconds : Accelerator.t -> Amos_ir.Operator.t -> float
 (** The tuned-scalar roofline spatial plans must beat (the same one
@@ -81,6 +88,8 @@ val scalar_seconds : Accelerator.t -> Amos_ir.Operator.t -> float
 val tune_op :
   ?jobs:int ->
   ?budget:Fingerprint.budget ->
+  ?model:Explore.screen_model ->
+  ?observe:(fingerprint:string -> Explore.observation -> unit) ->
   cache:Plan_cache.t ->
   Accelerator.t ->
   Amos_ir.Operator.t ->
@@ -92,6 +101,8 @@ val tune_op :
 val compile_network :
   ?jobs:int ->
   ?budget:Fingerprint.budget ->
+  ?model:Explore.screen_model ->
+  ?observe:(fingerprint:string -> Explore.observation -> unit) ->
   cache:Plan_cache.t ->
   Accelerator.t ->
   Amos_workloads.Networks.t ->

@@ -54,8 +54,8 @@ let parallel_map_result ~jobs f arr =
       results
   end
 
-let tune_with ?jobs ?(must_keep = fun _ -> false) ~screen ~search ~mappings ()
-    =
+let tune_with ?jobs ?(must_keep = fun _ -> false) ?cut ~screen ~search
+    ~mappings () =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   if mappings = [] then invalid_arg "Par_tune.tune: no mappings";
   let failures = ref [] in
@@ -75,9 +75,18 @@ let tune_with ?jobs ?(must_keep = fun _ -> false) ~screen ~search ~mappings ()
           screened := (marr.(i), best) :: !screened
       | Error e -> record marr.(i) e)
     screened_r;
-  let survivors = Explore.select_survivors ~must_keep (List.rev !screened) in
+  let survivors =
+    Explore.select_survivors ~must_keep ?cut (List.rev !screened)
+  in
+  let best_score =
+    List.fold_left (fun acc (_, s) -> Float.min acc s) infinity survivors
+  in
   let sarr = Array.of_list survivors in
-  let searched_r = parallel_map_result ~jobs (fun (m, _) -> search m) sarr in
+  let searched_r =
+    parallel_map_result ~jobs
+      (fun (m, s) -> search m ~score:s ~best_score)
+      sarr
+  in
   let evaluations = ref !screen_evals in
   let plans = ref [] in
   Array.iteri
@@ -102,8 +111,8 @@ let tune_with ?jobs ?(must_keep = fun _ -> false) ~screen ~search ~mappings ()
    in (survivor, shard) order.  The outcome is deterministic for a
    fixed (seed, jobs) pair; a different [jobs] changes the sharding and
    may surface a different (equally valid) winner. *)
-let tune_split ~jobs ~population ~generations ~measure_top ~must_keep
-    ~seeds_for ~accel ~mappings =
+let tune_split ?model ?observe ~jobs ~population ~generations ~measure_top
+    ~must_keep ~seeds_for ~accel ~mappings () =
   let failures = ref [] in
   let record m e =
     failures := (Mapping.describe m, Printexc.to_string e) :: !failures
@@ -111,7 +120,9 @@ let tune_split ~jobs ~population ~generations ~measure_top ~must_keep
   let marr = Array.of_list mappings in
   let evaluations = ref 0 in
   let screened_r =
-    parallel_map_result ~jobs (fun m -> Explore.screen_mapping ~accel m) marr
+    parallel_map_result ~jobs
+      (fun m -> Explore.screen_mapping ?model ~accel m)
+      marr
   in
   let screened = ref [] in
   Array.iteri
@@ -122,7 +133,15 @@ let tune_split ~jobs ~population ~generations ~measure_top ~must_keep
           screened := (marr.(i), best) :: !screened
       | Error e -> record marr.(i) e)
     screened_r;
-  let survivors = Explore.select_survivors ~must_keep (List.rev !screened) in
+  let cut =
+    Option.bind model (fun m -> m.Explore.sm_survivor_cut)
+  in
+  let survivors =
+    Explore.select_survivors ~must_keep ?cut (List.rev !screened)
+  in
+  let best_score =
+    List.fold_left (fun acc (_, s) -> Float.min acc s) infinity survivors
+  in
   let shards = max 1 (jobs / max 1 (List.length survivors)) in
   (* shard sizes partition the population budget: they differ by at most
      one and every shard holds at least one candidate *)
@@ -132,17 +151,18 @@ let tune_split ~jobs ~population ~generations ~measure_top ~must_keep
   let tasks =
     Array.of_list
       (List.concat_map
-         (fun (m, _) -> List.init shards (fun i -> (m, i)))
+         (fun (m, s) -> List.init shards (fun i -> (m, s, i)))
          survivors)
   in
   let searched_r =
     parallel_map_result ~jobs
-      (fun (m, shard) ->
+      (fun (m, score, shard) ->
         (* seeds attach to shard 0 only, so a seed is measured once *)
         let seeds = if shard = 0 then seeds_for m else [] in
         Explore.search_mapping ~salt:shard ~seeds
-          ~population:(shard_population shard) ~generations ~measure_top
-          ~accel m)
+          ?model:(Explore.unband ?model ~best:best_score score)
+          ?observe ~population:(shard_population shard) ~generations
+          ~measure_top ~accel m)
       tasks
   in
   let plans = ref [] in
@@ -152,7 +172,9 @@ let tune_split ~jobs ~population ~generations ~measure_top ~must_keep
       | Ok (ps, n) ->
           evaluations := !evaluations + n;
           plans := ps :: !plans
-      | Error e -> record (fst tasks.(i)) e)
+      | Error e ->
+          let m, _, _ = tasks.(i) in
+          record m e)
     searched_r;
   Explore.assemble
     ~failures:(List.rev !failures)
@@ -160,9 +182,22 @@ let tune_split ~jobs ~population ~generations ~measure_top ~must_keep
     ~evaluations:!evaluations
 
 let tune ?jobs ?(population = 16) ?(generations = 8) ?(measure_top = 3)
-    ?(initial_population = []) ~rng ~accel ~mappings () =
+    ?(initial_population = []) ?model ?observe ~rng ~accel ~mappings () =
   if mappings = [] && initial_population = [] then
     invalid_arg "Par_tune.tune: no mappings";
+  (* observation callbacks are caller-supplied and fire from worker
+     domains; serialize them so a plain (append to a log, push on a
+     list) observer never needs its own locking *)
+  let observe =
+    match observe with
+    | None -> None
+    | Some f ->
+        let mu = Mutex.create () in
+        Some
+          (fun ob ->
+            Mutex.lock mu;
+            Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> f ob))
+  in
   (* same historical draw as [Explore.tune], so a shared rng advances
      identically whichever front-end the caller picks *)
   let _base_seed = Rng.int rng 1_000_000_000 in
@@ -173,18 +208,20 @@ let tune ?jobs ?(population = 16) ?(generations = 8) ?(measure_top = 3)
   in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   if jobs > 1 && List.length mappings < jobs then
-    tune_split ~jobs ~population ~generations ~measure_top
-      ~must_keep:is_seeded ~seeds_for ~accel ~mappings
+    tune_split ?model ?observe ~jobs ~population ~generations ~measure_top
+      ~must_keep:is_seeded ~seeds_for ~accel ~mappings ()
   else
     tune_with ~jobs ~must_keep:is_seeded
-      ~screen:(fun m -> Explore.screen_mapping ~accel m)
-      ~search:(fun m ->
-        Explore.search_mapping ~seeds:(seeds_for m) ~population ~generations
-          ~measure_top ~accel m)
+      ?cut:(Option.bind model (fun m -> m.Explore.sm_survivor_cut))
+      ~screen:(fun m -> Explore.screen_mapping ?model ~accel m)
+      ~search:(fun m ~score ~best_score ->
+        Explore.search_mapping ~seeds:(seeds_for m)
+          ?model:(Explore.unband ?model ~best:best_score score)
+          ?observe ~population ~generations ~measure_top ~accel m)
       ~mappings ()
 
-let tune_op ?jobs ?population ?generations ?measure_top ?filter ~rng ~accel op
-    =
+let tune_op ?jobs ?population ?generations ?measure_top ?filter ?model
+    ?observe ~rng ~accel op =
   let mappings =
     List.concat_map
       (fun intr ->
@@ -195,8 +232,8 @@ let tune_op ?jobs ?population ?generations ?measure_top ?filter ~rng ~accel op
   | [] -> None
   | _ ->
       Some
-        (tune ?jobs ?population ?generations ?measure_top ~rng ~accel
-           ~mappings ())
+        (tune ?jobs ?population ?generations ?measure_top ?model ?observe
+           ~rng ~accel ~mappings ())
 
 (* Persistent bounded worker pool: long-lived domains pulling thunks
    from a capacity-bounded queue.  Unlike [parallel_map_result] (which

@@ -42,6 +42,8 @@ val tune :
   ?generations:int ->
   ?measure_top:int ->
   ?initial_population:Explore.candidate list ->
+  ?model:Explore.screen_model ->
+  ?observe:(Explore.observation -> unit) ->
   rng:Amos_tensor.Rng.t ->
   accel:Accelerator.t ->
   mappings:Mapping.t list ->
@@ -54,22 +56,35 @@ val tune :
     dropped and reported in [failures]; raises [Failure] only when
     {e every} mapping failed, and [Invalid_argument] — immediately, never
     via the retry path — when both [mappings] and [initial_population]
-    are empty. *)
+    are empty.
+
+    [model] and [observe] follow [Explore.tune]'s contract; both reach
+    every worker domain.  [observe] callbacks are serialized behind a
+    mutex before the fan-out, so a single-threaded observer (appending
+    to [Amos_learn.Obs_log], pushing on a list) is safe as-is — though
+    the {e order} of observations across domains remains
+    scheduling-dependent. *)
 
 val tune_with :
   ?jobs:int ->
   ?must_keep:(Mapping.t -> bool) ->
+  ?cut:float ->
   screen:(Mapping.t -> float * int) ->
-  search:(Mapping.t -> Explore.plan list * int) ->
+  search:
+    (Mapping.t -> score:float -> best_score:float -> Explore.plan list * int) ->
   mappings:Mapping.t list ->
   unit ->
   Explore.result
 (** The fan-out skeleton of {!tune} with the two per-mapping work units
     supplied by the caller — [tune] passes [Explore.screen_mapping] and
-    [Explore.search_mapping].  [must_keep] is forwarded to
-    [Explore.select_survivors] (seeded mappings always earn a search).
-    Exposed so the failure-isolation contract is directly testable with
-    units that raise on demand. *)
+    [Explore.search_mapping].  [must_keep] and [cut] are forwarded to
+    [Explore.select_survivors] (seeded mappings always earn a search;
+    [cut] is the screen model's survivor ratio).  Each search call
+    receives the survivor's own screen [score] and the [best_score]
+    among all survivors, so a calibrated caller can treat top-ranked
+    mappings differently (see [Explore.unband]).  Exposed so the
+    failure-isolation contract is directly testable with units that
+    raise on demand. *)
 
 val tune_op :
   ?jobs:int ->
@@ -77,11 +92,14 @@ val tune_op :
   ?generations:int ->
   ?measure_top:int ->
   ?filter:bool ->
+  ?model:Explore.screen_model ->
+  ?observe:(Explore.observation -> unit) ->
   rng:Amos_tensor.Rng.t ->
   accel:Accelerator.t ->
   Operator.t ->
   Explore.result option
-(** Same contract as [Explore.tune_op]. *)
+(** Same contract as [Explore.tune_op]; [model] and [observe] as in
+    {!tune}. *)
 
 (** Persistent bounded worker pool over OCaml 5 domains.
 

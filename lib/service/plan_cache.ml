@@ -715,7 +715,55 @@ type fsck_report = {
   torn_repaired : bool;
   quarantine_reclaimed : int;
   known_bad : int;
+  obs_records : int;
+  obs_skipped : int;
+  obs_torn_repaired : bool;
 }
+
+(* the learned-model observation log living next to the plans
+   ([Amos_learn.Obs_log.file_name] — the agreement is pinned by a test;
+   the dependency can't point that way, learn sits above service).
+   fsck only needs line-level integrity: count records, count junk,
+   terminate a torn trailing fragment. *)
+let obs_file_name = "observations.log"
+
+let obs_line_is_record line =
+  match String.split_on_char ' ' line with
+  | "obs" :: _fp :: _accel :: (_ :: _ :: _ :: _ as numbers) ->
+      List.for_all
+        (fun s -> s = "" || float_of_string_opt s <> None)
+        numbers
+  | _ -> false
+
+(* (records, skipped, torn) over the log text; the version stamp (an
+   ["amos-obs"] first line, any version — fsck repairs, it does not
+   enforce) counts as neither *)
+let obs_scan_text text =
+  let len = String.length text in
+  let torn = len > 0 && text.[len - 1] <> '\n' in
+  let upto =
+    if not torn then len
+    else match String.rindex_opt text '\n' with Some i -> i + 1 | None -> 0
+  in
+  let lines =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n' (String.sub text 0 upto))
+  in
+  let body =
+    match lines with
+    | first :: rest
+      when String.length first >= 8 && String.sub first 0 8 = "amos-obs" ->
+        rest
+    | l -> l
+  in
+  let records, skipped =
+    List.fold_left
+      (fun (r, s) line ->
+        if obs_line_is_record line then (r + 1, s) else (r, s + 1))
+      (0, 0) body
+  in
+  (records, skipped, torn)
 
 let fsck ?fs ?clock ?quarantine_ttl ~dir () =
   let fs = match fs with Some fs -> fs | None -> Fs_io.real () in
@@ -731,6 +779,9 @@ let fsck ?fs ?clock ?quarantine_ttl ~dir () =
       torn_repaired = false;
       quarantine_reclaimed = 0;
       known_bad = 0;
+      obs_records = 0;
+      obs_skipped = 0;
+      obs_torn_repaired = false;
     }
   else
     Fs_io.with_lock fs (lock_path dir) (fun () ->
@@ -820,6 +871,22 @@ let fsck ?fs ?clock ?quarantine_ttl ~dir () =
           (Hashtbl.copy index);
         (* the rewrite repairs torn lines and compacts in one stroke *)
         write_journal fs dir (index_entries index);
+        let obs_records, obs_skipped, obs_torn =
+          let path = Filename.concat dir obs_file_name in
+          if not (Fs_io.exists fs path) then (0, 0, false)
+          else
+            match Fs_io.read_file fs path with
+            | exception (Sys_error _ | Fs_io.Injected _) -> (0, 0, false)
+            | text ->
+                let records, skipped, torn = obs_scan_text text in
+                if torn then
+                  (* terminate the fragment so later appends land on a
+                     fresh line; a failing append leaves it for the
+                     next fsck (readers skip it either way) *)
+                  (try Fs_io.append_line fs path ""
+                   with Sys_error _ | Fs_io.Injected _ -> ());
+                (records, skipped, torn)
+        in
         {
           live = Hashtbl.length index;
           bytes =
@@ -831,6 +898,9 @@ let fsck ?fs ?clock ?quarantine_ttl ~dir () =
           torn_repaired = torn;
           quarantine_reclaimed = !reclaimed;
           known_bad = List.length (Badlist.list ~fs ~dir ());
+          obs_records;
+          obs_skipped;
+          obs_torn_repaired = obs_torn;
         })
 
 let describe_fsck r =
@@ -843,9 +913,11 @@ let describe_fsck r =
      tmp files swept  : %d\n\
      torn journal     : %s\n\
      quarantine swept : %d\n\
-     known-bad marks  : %d\n"
+     known-bad marks  : %d\n\
+     observations     : %d (%d skipped, torn %s)\n"
     r.live r.bytes r.adopted r.quarantined r.dropped r.tmp_removed
     (if r.torn_repaired then "repaired" else "no")
-    r.quarantine_reclaimed r.known_bad
+    r.quarantine_reclaimed r.known_bad r.obs_records r.obs_skipped
+    (if r.obs_torn_repaired then "repaired" else "no")
 
 let fsck_clean r = r.quarantined = 0 && r.dropped = 0

@@ -208,6 +208,14 @@ type fsck_report = {
   quarantine_reclaimed : int;
       (** quarantine files older than the TTL that were removed *)
   known_bad : int;  (** {!Badlist} markers next to the cache *)
+  obs_records : int;
+      (** well-formed lines in the learned-model observation log
+          ([observations.log]) living next to the plans *)
+  obs_skipped : int;
+      (** malformed observation lines (excluding the version stamp) *)
+  obs_torn_repaired : bool;
+      (** the observation log had a torn trailing fragment, now
+          newline-terminated *)
 }
 
 val fsck :
@@ -225,7 +233,11 @@ val fsck :
     quarantine files whose mtime is older than the TTL, judged against
     [clock] (default {!Clock.real}).  The report also counts the
     {!Badlist} known-bad markers living next to the cache
-    (informational: they never affect {!fsck_clean}). *)
+    (informational: they never affect {!fsck_clean}), and checks the
+    learned-model observation log ([observations.log]) at the line
+    level — counting records and junk, and terminating a torn trailing
+    fragment so later appends land cleanly.  Observation-log figures
+    are informational too. *)
 
 val fsck_clean : fsck_report -> bool
 (** No quarantined entries and no dropped journal lines. *)

@@ -372,7 +372,7 @@ let degradation_tests =
         let result =
           Par_tune.tune_with ~jobs:4
             ~screen:(fun m -> Explore.screen_mapping ~accel m)
-            ~search:(fun m ->
+            ~search:(fun m ~score:_ ~best_score:_ ->
               if Mapping.describe m = victim then raise boom
               else
                 Explore.search_mapping ~population:4 ~generations:2

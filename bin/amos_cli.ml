@@ -1082,6 +1082,8 @@ let print_response ~show_plan = function
       Printf.printf "hot hits        %d\n" s.Protocol.hot_hits;
       Printf.printf "cache hits      %d\n" s.Protocol.cache_hits;
       Printf.printf "busy rejections %d\n" s.Protocol.busy_rejections;
+      Printf.printf "deadline rejected %d\n" s.Protocol.deadline_rejections;
+      Printf.printf "cancels         %d\n" s.Protocol.cancels;
       Printf.printf "in flight       %d\n" s.Protocol.in_flight;
       Printf.printf "queue load      %d\n" s.Protocol.queue_load;
       Printf.printf "hot bytes       %d\n" s.Protocol.hot_bytes;
@@ -1103,9 +1105,33 @@ let print_response ~show_plan = function
   | Protocol.Busy_r { retry_after_s } ->
       Printf.printf "busy (retry after %.2fs)\n" retry_after_s;
       exit 3
+  | Protocol.Progress_r p ->
+      (* only ever terminal on a decoding mismatch; streamed frames go
+         through [print_progress] *)
+      Printf.printf "progress (gen %d, %d evaluations)\n" p.Protocol.pg_generation
+        p.Protocol.pg_evaluations
+  | Protocol.Cancelled_r ->
+      print_endline "cancelled";
+      exit 4
+  | Protocol.Deadline_hint_r { projected_wait_s } ->
+      Printf.printf "deadline unmeetable (projected wait %.2fs)\n"
+        projected_wait_s;
+      exit 5
   | Protocol.Error_r msg ->
       Printf.eprintf "server error: %s\n" msg;
       exit 1
+
+let print_progress (p : Protocol.progress_body) =
+  let lat = function
+    | Some s -> Printf.sprintf "%.3f ms" (1e3 *. s)
+    | None -> "-"
+  in
+  Printf.printf "gen %-4d best predicted %-12s measured %-12s (%d evaluations)\n"
+    p.Protocol.pg_generation
+    (lat p.Protocol.pg_best_predicted)
+    (lat p.Protocol.pg_best_measured)
+    p.Protocol.pg_evaluations;
+  flush stdout
 
 let tcp_client_arg =
   let doc =
@@ -1178,19 +1204,113 @@ let deadline_ms_arg =
   in
   Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
 
+(* Streaming variant of [client_run]: the request rides with
+   [accept_stream] set and a request id, per-generation progress frames
+   render live, and both Ctrl-C and [--cancel-after N] turn into a
+   protocol [Cancel] sent on its own short-lived connection (the
+   streaming connection is mid-exchange and cannot carry it). *)
+let client_stream_run ~socket ~tcp ~token ?deadline_ms ~request_id
+    ~cancel_after req ~show_plan =
+  let endpoint = endpoint_of ~socket ~tcp in
+  let token = Option.value token ~default:"" in
+  let request_id =
+    match request_id with
+    | Some id -> id
+    | None ->
+        (* pid x time keeps concurrent CLI invocations apart without
+           coordination; collisions only mis-route a cancel *)
+        (Unix.getpid () * 1_000_003)
+        lxor int_of_float (Unix.gettimeofday () *. 1e6)
+        land 0x3FFF_FFFF
+  in
+  let send_cancel () =
+    try
+      Sclient.with_endpoint ~token endpoint (fun c ->
+          ignore (Sclient.cancel c ~request_id))
+    with _ -> ()
+  in
+  let previous_sigint =
+    (* run the cancel off-thread: a signal handler must not block on a
+       fresh connection *)
+    try
+      Some
+        (Sys.signal Sys.sigint
+           (Sys.Signal_handle
+              (fun _ -> ignore (Thread.create send_cancel ()))))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let restore () =
+    match previous_sigint with
+    | Some b -> ( try Sys.set_signal Sys.sigint b with _ -> ())
+    | None -> ()
+  in
+  let frames = ref 0 in
+  let on_progress p =
+    incr frames;
+    print_progress p;
+    match cancel_after with
+    | Some n when !frames = n -> ignore (Thread.create send_cancel ())
+    | _ -> ()
+  in
+  Fun.protect ~finally:restore (fun () ->
+      match
+        Sclient.with_endpoint ~attempts:20 ~token endpoint (fun conn ->
+            match
+              Sclient.request_stream ?deadline_ms ~request_id ~on_progress
+                conn req
+            with
+            | Ok resp -> print_response ~show_plan resp
+            | Error msg ->
+                Printf.eprintf "client error: %s\n" msg;
+                exit 1)
+      with
+      | () -> ()
+      | exception Sclient.Denied reason ->
+          Printf.eprintf "client error: handshake denied: %s\n" reason;
+          exit 1)
+
+let stream_arg =
+  let doc =
+    "Stream per-generation tuning progress: the daemon interleaves \
+     progress frames (best predicted/measured latency, evaluation count) \
+     before the final reply.  Ctrl-C cancels the request on the server \
+     instead of abandoning it."
+  in
+  Arg.(value & flag & info [ "stream" ] ~doc)
+
+let cancel_after_arg =
+  let doc =
+    "With --stream: send a cancel after N progress frames (exercises \
+     server-side cancellation; the exit code is 4 when the server \
+     confirms)."
+  in
+  Arg.(value & opt (some int) None & info [ "cancel-after" ] ~docv:"N" ~doc)
+
+let request_id_arg =
+  let doc =
+    "With --stream: explicit request id to register the stream under \
+     (so another invocation can cancel it); default is derived from \
+     pid and time."
+  in
+  Arg.(value & opt (some int) None & info [ "request-id" ] ~docv:"ID" ~doc)
+
 let client_op_cmd name ~doc make_req =
   let run socket tcp token accel layer kind batch index seed dsl show_plan
-      deadline_ms =
+      deadline_ms stream cancel_after request_id =
     let op = op_spec_of ?dsl ~layer ~kind ~batch ~index () in
     let budget = budget_with seed in
-    client_run ~socket ~tcp ~token ?deadline_ms
-      (make_req ~accel ~op ~budget)
-      ~retry:true ~show_plan
+    let req = make_req ~accel ~op ~budget in
+    if stream then
+      client_stream_run ~socket ~tcp ~token ?deadline_ms ~request_id
+        ~cancel_after req ~show_plan
+    else
+      client_run ~socket ~tcp ~token ?deadline_ms req ~retry:true ~show_plan
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(const run $ socket_arg $ tcp_client_arg $ token_arg $ accel_arg
           $ layer_arg $ kind_arg $ batch_arg $ index_arg $ seed_arg
-          $ dsl_arg $ show_plan_arg $ deadline_ms_arg)
+          $ dsl_arg $ show_plan_arg $ deadline_ms_arg $ stream_arg
+          $ cancel_after_arg $ request_id_arg)
 
 let client_tune_cmd =
   client_op_cmd "tune"
@@ -1210,6 +1330,26 @@ let client_migrate_cmd =
       "Tune warm-started from cross-accelerator plans already in the \
        daemon's cache."
     (fun ~accel ~op ~budget -> Protocol.Migrate_tune { accel; op; budget })
+
+let client_cancel_cmd =
+  let run socket tcp token request_id =
+    client_run ~socket ~tcp ~token
+      (Protocol.Cancel { request_id })
+      ~retry:false ~show_plan:false
+  in
+  let id_arg =
+    let doc = "Request id of the streaming request to cancel." in
+    Arg.(required & opt (some int) None
+         & info [ "request-id" ] ~docv:"ID" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:
+         "Cancel a streaming request by id: its waiter detaches and its \
+          stream ends with a cancelled frame; a tune shared with other \
+          clients keeps running for them (exit 2 when no such stream \
+          exists).")
+    Term.(const run $ socket_arg $ tcp_client_arg $ token_arg $ id_arg)
 
 let client_compile_cmd =
   let run socket tcp token accel network batch seed jobs =
@@ -1233,7 +1373,8 @@ let client_cmd =
     (Cmd.info "client" ~doc:"Talk to a running plan-serving daemon")
     [
       client_health_cmd; client_stats_cmd; client_tune_cmd; client_lookup_cmd;
-      client_migrate_cmd; client_compile_cmd; client_shutdown_cmd;
+      client_migrate_cmd; client_compile_cmd; client_cancel_cmd;
+      client_shutdown_cmd;
     ]
 
 (* --- fleet -------------------------------------------------------- *)

@@ -52,6 +52,24 @@ type observation = {
   ob_measured : float;
 }
 
+(* Cooperative abort: an [?abort] poll returning [true] raises this at
+   the next generation boundary of the genetic search.  The exception
+   deliberately escapes [tune]'s per-mapping failure containment — an
+   aborted exploration has no result, partial or otherwise. *)
+exception Aborted
+
+(* One per-generation snapshot of an in-flight exploration, reported
+   through [?progress].  Latencies use [infinity] for "nothing yet":
+   the wire layer renders unknowns as absent fields.  Like [?observe],
+   the callback is a side channel — it cannot perturb RNG streams,
+   rankings or results. *)
+type progress = {
+  pr_generation : int;
+  pr_best_predicted : float;
+  pr_best_measured : float;
+  pr_evaluations : int;
+}
+
 let predict accel c =
   let k = Codegen.lower accel c.mapping c.schedule in
   Perf_model.predict_seconds accel.Accelerator.config k
@@ -210,7 +228,8 @@ let engine ~memo ?model ~accel mapping =
             summary);
     }
 
-let schedule_search ?(seeds = []) ~population ~generations ~rng ~eng () =
+let schedule_search ?tick ?abort ?(seeds = []) ~population ~generations ~rng
+    ~eng () =
   let score sched = (sched, eng.e_predict sched) in
   (* seed schedules join the initial genetic population alongside the
      default and the random draws: they compete, they never replace *)
@@ -219,10 +238,17 @@ let schedule_search ?(seeds = []) ~population ~generations ~rng ~eng () =
     @ List.init population (fun _ -> score (eng.e_random rng))
   in
   let sorted l = List.sort (fun (_, a) (_, b) -> Float.compare a b) l in
+  let aborted () = match abort with None -> false | Some f -> f () in
   let rec go gen pop =
     if gen = 0 then sorted pop
-    else
+    else begin
+      (* the abort flag is polled exactly here — the generation boundary
+         of the tentpole's "last waiter detached" semantics *)
+      if aborted () then raise Aborted;
       let ranked = sorted pop in
+      (match (tick, ranked) with
+      | Some f, (_, best) :: _ -> f best
+      | _ -> ());
       let survivors = List.filteri (fun i _ -> i < max 2 (population / 2)) ranked in
       let parents = Array.of_list (List.map fst survivors) in
       let children =
@@ -237,6 +263,7 @@ let schedule_search ?(seeds = []) ~population ~generations ~rng ~eng () =
             score sched)
       in
       go (gen - 1) (survivors @ children)
+    end
   in
   go generations initial
 
@@ -318,7 +345,7 @@ let unband ?model ~best score =
    population split across workers passes [~salt:i], so the shards
    explore disjoint schedule sequences yet each remains reproducible. *)
 let search_mapping ?(salt = 0) ?(seeds = []) ?(memo = true) ?model ?observe
-    ~population ~generations ~measure_top ~accel mapping =
+    ?tick ?abort ~population ~generations ~measure_top ~accel mapping =
   let eng = engine ~memo ?model ~accel mapping in
   let rng =
     Rng.create
@@ -326,7 +353,9 @@ let search_mapping ?(salt = 0) ?(seeds = []) ?(memo = true) ?model ?observe
        else Hashtbl.hash (mapping_seed mapping, salt))
   in
   let seeds = List.filter eng.e_validate seeds in
-  let ranked = schedule_search ~seeds ~population ~generations ~rng ~eng () in
+  let ranked =
+    schedule_search ?tick ?abort ~seeds ~population ~generations ~rng ~eng ()
+  in
   let top_all = List.filteri (fun i _ -> i < measure_top) ranked in
   (* a calibrated model prunes the measured set two ways.  Runners-up
      whose corrected prediction trails the best by more than the cut are
@@ -448,8 +477,8 @@ let assemble ?(failures = []) plans ~evaluations =
    spend on its single hand-written mapping), and the best model-ranked
    plans are measured on the simulator. *)
 let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3)
-    ?(initial_population = []) ?(memo = true) ?model ?observe ~rng ~accel
-    ~mappings () =
+    ?(initial_population = []) ?(memo = true) ?model ?observe ?progress ?abort
+    ~rng ~accel ~mappings () =
   if mappings = [] && initial_population = [] then
     invalid_arg "Explore.tune: no mappings";
   (* historical draw, kept so callers sharing an rng see the same stream *)
@@ -461,6 +490,46 @@ let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3)
   let failures = ref [] in
   let record mapping e =
     failures := (Mapping.describe mapping, Printexc.to_string e) :: !failures
+  in
+  (* progress aggregation across the whole exploration: generation count,
+     best model score and best measurement so far, plus a live evaluation
+     estimate ([population] per generation, folded into the exact
+     per-mapping total once that mapping's search returns) *)
+  let gens = ref 0 in
+  let best_pred = ref infinity in
+  let best_meas = ref infinity in
+  let live_evals = ref 0 in
+  let fire () =
+    match progress with
+    | None -> ()
+    | Some f ->
+        f
+          {
+            pr_generation = !gens;
+            pr_best_predicted = !best_pred;
+            pr_best_measured = !best_meas;
+            pr_evaluations = !evals + !live_evals;
+          }
+  in
+  let tick =
+    match progress with
+    | None -> None
+    | Some _ ->
+        Some
+          (fun best ->
+            incr gens;
+            live_evals := !live_evals + population;
+            if best < !best_pred then best_pred := best;
+            fire ())
+  in
+  let observe =
+    match progress with
+    | None -> observe
+    | Some _ ->
+        Some
+          (fun ob ->
+            if ob.ob_measured < !best_meas then best_meas := ob.ob_measured;
+            match observe with None -> () | Some f -> f ob)
   in
   (* a raising per-mapping unit loses that mapping, not the search: the
      siblings' results survive and the failure is reported by name *)
@@ -487,11 +556,16 @@ let tune ?(population = 16) ?(generations = 8) ?(measure_top = 3)
         match
           search_mapping ~seeds:(seeds_for mapping) ~memo
             ?model:(unband ?model ~best:best_score score)
-            ?observe ~population ~generations ~measure_top ~accel mapping
+            ?observe ?tick ?abort ~population ~generations ~measure_top ~accel
+            mapping
         with
         | plans, n ->
             evals := !evals + n;
+            live_evals := 0;
             plans
+        (* an abort is not a per-mapping failure — the whole exploration
+           is being torn down, so nothing may be swallowed *)
+        | exception (Aborted as e) -> raise e
         | exception e ->
             record mapping e;
             [])

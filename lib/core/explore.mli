@@ -71,6 +71,27 @@ type observation = {
     the RNG streams, rankings or results, which is what lets every
     tuning run feed the observation log for free. *)
 
+exception Aborted
+(** Raised (out of {!tune} / {!search_mapping}) when the [?abort] poll
+    returns [true] at a generation boundary of the genetic search.  It
+    escapes the per-mapping failure containment: an aborted exploration
+    has no result at all. *)
+
+type progress = {
+  pr_generation : int;  (** genetic generations completed so far *)
+  pr_best_predicted : float;
+      (** best (model-corrected) predicted seconds so far; [infinity]
+          before the first generation ranks *)
+  pr_best_measured : float;
+      (** best simulator seconds so far; [infinity] before the first
+          measurement *)
+  pr_evaluations : int;
+      (** model evaluations spent so far (live estimate: [population]
+          per completed generation on top of the finished exact counts) *)
+}
+(** One per-generation snapshot of an in-flight exploration, reported
+    through [?progress].  Like {!observation}, a pure side channel. *)
+
 val tune :
   ?population:int ->
   ?generations:int ->
@@ -79,6 +100,8 @@ val tune :
   ?memo:bool ->
   ?model:screen_model ->
   ?observe:(observation -> unit) ->
+  ?progress:(progress -> unit) ->
+  ?abort:(unit -> bool) ->
   rng:Amos_tensor.Rng.t ->
   accel:Accelerator.t ->
   mappings:Mapping.t list ->
@@ -116,7 +139,12 @@ val tune :
     [model] installs a calibrated screen ({!screen_model}): every
     analytic prediction is corrected before ranking, and the optional
     cuts prune the simulator-measured sets.  [observe] is called once
-    per simulator measurement with the {!observation} it produced. *)
+    per simulator measurement with the {!observation} it produced.
+
+    [progress] is called once per completed genetic generation with the
+    aggregated {!progress} snapshot; [abort] is polled at every
+    generation boundary, and returning [true] raises {!Aborted} out of
+    the whole exploration.  Neither affects results when unused. *)
 
 val tune_op :
   ?population:int ->
@@ -203,6 +231,8 @@ val search_mapping :
   ?memo:bool ->
   ?model:screen_model ->
   ?observe:(observation -> unit) ->
+  ?tick:(float -> unit) ->
+  ?abort:(unit -> bool) ->
   population:int ->
   generations:int ->
   measure_top:int ->
@@ -219,7 +249,10 @@ val search_mapping :
     [~salt:i]; salt 0 is bit-identical to the pre-salt behaviour.
     [model] / [observe] as in {!tune}: the model corrects the genetic
     ranking and its [sm_measure_cut] prunes the measured set; [observe]
-    fires once per simulator measurement. *)
+    fires once per simulator measurement.  [tick] fires once per
+    completed generation with that generation's best predicted seconds;
+    [abort] is polled at each generation boundary and raises {!Aborted}
+    when it returns [true]. *)
 
 val assemble :
   ?failures:(string * string) list -> plan list -> evaluations:int -> result

@@ -1,0 +1,211 @@
+module Clock = Amos_service.Clock
+
+(* One client's backlog.  [deficit] is the DRR credit in tasks (unit
+   cost: every tune is one task); [in_round] says whether the client
+   currently holds a slot in the round queue — a client appears there
+   at most once. *)
+type client_q = {
+  ck_key : string;
+  ck_weight : int;
+  ck_queue : (unit -> unit) Queue.t;
+  mutable ck_deficit : int;
+  mutable ck_in_round : bool;
+}
+
+type t = {
+  mutex : Mutex.t;
+  clock : Clock.t;
+  workers : int;
+  capacity : int;
+  alpha : float;
+  weight_of : string -> int;
+  clients : (string, client_q) Hashtbl.t;
+  round : client_q Queue.t;
+  mutable queued : int;
+  mutable running : int;
+  mutable ewma : float option;  (* seconds per completed task *)
+  mutable closed : bool;
+}
+
+let create ?(alpha = 0.3) ?(weight_of = fun _ -> 1) ~clock ~workers ~capacity
+    () =
+  {
+    mutex = Mutex.create ();
+    clock;
+    workers = max 1 workers;
+    capacity = max 1 capacity;
+    alpha;
+    weight_of;
+    clients = Hashtbl.create 16;
+    round = Queue.create ();
+    queued = 0;
+    running = 0;
+    ewma = None;
+    closed = false;
+  }
+
+(* Projected time a freshly admitted task waits before completing:
+   every task ahead of it (queued plus running) costs one EWMA'd tune,
+   spread over the worker slots.  Before the first completion there is
+   no evidence, and the queue admits on depth alone. *)
+let projected_wait_locked t =
+  match t.ewma with
+  | None -> 0.
+  | Some e -> e *. float_of_int (t.queued + t.running) /. float_of_int t.workers
+
+let projected_wait t =
+  Mutex.lock t.mutex;
+  let w = projected_wait_locked t in
+  Mutex.unlock t.mutex;
+  w
+
+let submit t ~client ?deadline_ms task =
+  Mutex.lock t.mutex;
+  let r =
+    if t.closed || t.queued >= t.capacity then `Busy
+    else begin
+      let projected = projected_wait_locked t in
+      match deadline_ms with
+      | Some d when projected > float_of_int d /. 1000. ->
+          (* the request would already be dead by the time a worker
+             reached it: refuse *before* enqueueing, with the evidence *)
+          `Deadline projected
+      | _ ->
+          let c =
+            match Hashtbl.find_opt t.clients client with
+            | Some c -> c
+            | None ->
+                let c =
+                  {
+                    ck_key = client;
+                    ck_weight = max 1 (t.weight_of client);
+                    ck_queue = Queue.create ();
+                    ck_deficit = 0;
+                    ck_in_round = false;
+                  }
+                in
+                Hashtbl.replace t.clients client c;
+                c
+          in
+          Queue.push task c.ck_queue;
+          if not c.ck_in_round then begin
+            c.ck_in_round <- true;
+            Queue.push c t.round
+          end;
+          t.queued <- t.queued + 1;
+          `Admitted
+    end
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let note_locked t dt =
+  t.ewma <-
+    Some
+      (match t.ewma with
+      | None -> dt
+      | Some e -> (t.alpha *. dt) +. ((1. -. t.alpha) *. e))
+
+(* Classic deficit round robin, one task per call.  The head client
+   receives a fresh quantum of [max 1 weight] credits when it arrives
+   at the head with none, and stays at the head until its quantum is
+   spent (or its backlog drains) before rotating to the tail — so every
+   full round serves each backlogged client exactly its weight, and no
+   visit is ever consumed by bookkeeping alone (rotating on recharge
+   would silently tax every client one visit per round, skewing the
+   share towards w/(w+1)).  The scan is bounded by the round length:
+   each recursive step removes one drained client from the round. *)
+let rec pick_locked t guard =
+  if guard <= 0 then None
+  else
+    match Queue.peek_opt t.round with
+    | None -> None
+    | Some c ->
+        if Queue.is_empty c.ck_queue then begin
+          (* emptied since it was queued in the round *)
+          ignore (Queue.pop t.round);
+          c.ck_in_round <- false;
+          c.ck_deficit <- 0;
+          pick_locked t (guard - 1)
+        end
+        else begin
+          if c.ck_deficit <= 0 then c.ck_deficit <- max 1 c.ck_weight;
+          c.ck_deficit <- c.ck_deficit - 1;
+          let task = Queue.pop c.ck_queue in
+          t.queued <- t.queued - 1;
+          if Queue.is_empty c.ck_queue then begin
+            ignore (Queue.pop t.round);
+            c.ck_in_round <- false;
+            c.ck_deficit <- 0
+          end
+          else if c.ck_deficit <= 0 then begin
+            (* quantum spent: to the back of the round *)
+            ignore (Queue.pop t.round);
+            Queue.push c t.round
+          end;
+          Some task
+        end
+
+let take t =
+  Mutex.lock t.mutex;
+  let r =
+    if t.running >= t.workers then None
+    else
+      match pick_locked t (1 + Queue.length t.round) with
+      | None -> None
+      | Some task ->
+          t.running <- t.running + 1;
+          let started = Clock.now t.clock in
+          Some
+            (fun () ->
+              Fun.protect
+                ~finally:(fun () ->
+                  let dt = Clock.now t.clock -. started in
+                  Mutex.lock t.mutex;
+                  t.running <- t.running - 1;
+                  note_locked t dt;
+                  Mutex.unlock t.mutex)
+                task)
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let depth t =
+  Mutex.lock t.mutex;
+  let d = t.queued in
+  Mutex.unlock t.mutex;
+  d
+
+let running t =
+  Mutex.lock t.mutex;
+  let r = t.running in
+  Mutex.unlock t.mutex;
+  r
+
+let load t =
+  Mutex.lock t.mutex;
+  let l = t.queued + t.running in
+  Mutex.unlock t.mutex;
+  l
+
+let ewma t =
+  Mutex.lock t.mutex;
+  let e = t.ewma in
+  Mutex.unlock t.mutex;
+  e
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  let stranded = ref [] in
+  Queue.iter
+    (fun c ->
+      Queue.iter (fun task -> stranded := task :: !stranded) c.ck_queue;
+      Queue.clear c.ck_queue;
+      c.ck_in_round <- false;
+      c.ck_deficit <- 0)
+    t.round;
+  Queue.clear t.round;
+  t.queued <- 0;
+  Mutex.unlock t.mutex;
+  List.rev !stranded

@@ -99,6 +99,56 @@ let request ?deadline_ms t req =
         | exception Net_io.Injected msg ->
             poison t ("transport error: " ^ msg))
 
+(* Streaming is the same exchange with interleaved [Progress_r] frames
+   before the final reply; the final frame is whatever a non-streaming
+   request would have returned (plus [Cancelled_r]).  The same poison
+   discipline applies: any desync mid-stream condemns the connection. *)
+let request_stream ?deadline_ms ?request_id ~on_progress t req =
+  if t.closed then Error "connection closed"
+  else
+    match t.poisoned with
+    | Some reason -> Error ("connection poisoned: " ^ reason)
+    | None -> (
+        let rec drain () =
+          match Protocol.read_frame ~net:t.net t.fd with
+          | Ok payload -> (
+              match Protocol.decode_response payload with
+              | Ok (Protocol.Progress_r p) ->
+                  on_progress p;
+                  drain ()
+              | r -> r)
+          | Error `Eof -> poison t "server closed the connection"
+          | Error (`Bad msg) -> poison t ("bad response frame: " ^ msg)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              (* a signal (e.g. Ctrl-C whose handler just sent a cancel)
+                 interrupted the read between frames: keep draining — the
+                 terminal frame is still coming.  An interrupt *inside* a
+                 frame resurfaces as a bad-frame poison on the retry. *)
+              drain ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              poison t "request timed out"
+          | exception Unix.Unix_error (e, _, _) ->
+              poison t ("transport error: " ^ Unix.error_message e)
+          | exception Net_io.Injected msg ->
+              poison t ("transport error: " ^ msg)
+        in
+        match
+          Protocol.write_frame ~net:t.net t.fd
+            (Protocol.encode_request ?deadline_ms ?request_id
+               ~accept_stream:true req)
+        with
+        | () -> drain ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            poison t "request timed out"
+        | exception Unix.Unix_error (e, _, _) ->
+            poison t ("transport error: " ^ Unix.error_message e)
+        | exception Net_io.Injected msg -> poison t ("transport error: " ^ msg)
+        )
+
+let cancel t ~request_id = request t (Protocol.Cancel { request_id })
+
 let poisoned t = t.poisoned
 
 let request_retry ?(attempts = 5) ?deadline_ms t req =

@@ -71,6 +71,31 @@ val request :
     risking a reply that belongs to an earlier question.  Recovery is
     a fresh connection. *)
 
+val request_stream :
+  ?deadline_ms:int ->
+  ?request_id:int ->
+  on_progress:(Protocol.progress_body -> unit) ->
+  t ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** Like {!request}, with the envelope's [accept_stream] flag set: the
+    server may interleave per-generation progress frames before the
+    final reply, each delivered to [on_progress] in order on the
+    calling thread.  The returned response is the stream's terminal
+    frame — anything {!request} could return, plus [Cancelled_r] when a
+    {!cancel} (from another connection) named this [request_id].
+    Requests the server answers from cache stream nothing and return
+    immediately.  [on_progress] must not raise: an escape mid-stream
+    desyncs and poisons the connection. *)
+
+val cancel : t -> request_id:int -> (Protocol.response, string) result
+(** Ask the server to cancel the streaming request registered under
+    [request_id] (usually in flight on a {e different} connection).
+    [Ok_r] when a waiter was detached — its stream terminates with
+    [Cancelled_r]; the shared exploration keeps running for any
+    co-waiters — [Not_found_r] when no such stream exists (already
+    finished, or never streamed). *)
+
 val poisoned : t -> string option
 (** Why this connection refuses further requests, if it does. *)
 

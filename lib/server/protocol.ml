@@ -26,6 +26,20 @@ type request =
       budget : Fingerprint.budget;
       jobs : int;
     }
+  | Cancel of { request_id : int }
+
+(* What a sender attached to the request beyond the request itself.
+   Every field is optional on the wire and absent by default, so a
+   pre-streaming decoder (which looks fields up by name) never sees
+   them and a pre-streaming encoder produces byte-identical frames. *)
+type envelope = {
+  env_deadline_ms : int option;
+  env_request_id : int option;
+  env_accept_stream : bool;
+}
+
+let empty_envelope =
+  { env_deadline_ms = None; env_request_id = None; env_accept_stream = false }
 
 type hello = { hello_version : int; token : string; peer : bool }
 type hello_reply = Hello_ok | Hello_denied of string
@@ -59,6 +73,8 @@ type server_stats = {
   peer_fallbacks : int;
   budget_fallbacks : int;
   auth_rejections : int;
+  deadline_rejections : int;
+  cancels : int;
 }
 
 type compile_reply = {
@@ -71,6 +87,16 @@ type compile_reply = {
   comp_tuned : int;
 }
 
+(* One streamed progress frame: the state of an in-flight exploration.
+   Latencies are [None] until the search has anything to report (the
+   wire cannot carry an IEEE infinity). *)
+type progress_body = {
+  pg_generation : int;
+  pg_best_predicted : float option;
+  pg_best_measured : float option;
+  pg_evaluations : int;
+}
+
 type response =
   | Ok_r of string
   | Plan_r of tune_reply
@@ -79,6 +105,9 @@ type response =
   | Compiled_r of compile_reply
   | Busy_r of { retry_after_s : float }
   | Error_r of string
+  | Progress_r of progress_body
+  | Cancelled_r
+  | Deadline_hint_r of { projected_wait_s : float }
 
 (* --- JSON encoding ------------------------------------------------- *)
 
@@ -143,6 +172,11 @@ let json_of_request = function
           ("budget", json_of_budget budget);
           ("jobs", Json.Int jobs);
         ]
+  | Cancel { request_id } ->
+      (* the wire key is "id", not "request_id": the latter is an
+         envelope field (the id a streaming request registers under) and
+         the flat frame object cannot carry both meanings at once *)
+      versioned "cancel" [ ("id", Json.Int request_id) ]
 
 let json_of_plan = function
   | Wire_scalar -> Json.Obj [ ("kind", Json.String "scalar") ]
@@ -182,6 +216,8 @@ let json_of_response = function
           ("peer_fallbacks", Json.Int s.peer_fallbacks);
           ("budget_fallbacks", Json.Int s.budget_fallbacks);
           ("auth_rejections", Json.Int s.auth_rejections);
+          ("deadline_rejections", Json.Int s.deadline_rejections);
+          ("cancels", Json.Int s.cancels);
         ]
   | Compiled_r c ->
       versioned "compiled"
@@ -197,6 +233,22 @@ let json_of_response = function
   | Busy_r { retry_after_s } ->
       versioned "busy" [ ("retry_after_s", Json.Float retry_after_s) ]
   | Error_r msg -> versioned "error" [ ("message", Json.String msg) ]
+  | Progress_r p ->
+      (* unknown latencies are omitted, not encoded: the JSON writer
+         would turn an infinity into [null] and the decoder would
+         reject the frame *)
+      let latency name v =
+        match v with None -> [] | Some f -> [ (name, Json.Float f) ]
+      in
+      versioned "progress"
+        ([ ("generation", Json.Int p.pg_generation) ]
+        @ latency "best_predicted_s" p.pg_best_predicted
+        @ latency "best_measured_s" p.pg_best_measured
+        @ [ ("evaluations", Json.Int p.pg_evaluations) ])
+  | Cancelled_r -> versioned "cancelled" []
+  | Deadline_hint_r { projected_wait_s } ->
+      versioned "deadline_hint"
+        [ ("projected_wait_s", Json.Float projected_wait_s) ]
 
 (* --- JSON decoding ------------------------------------------------- *)
 
@@ -299,6 +351,9 @@ let request_of_json j =
       let* budget = budget_of_json bj in
       let* jobs = int_field "jobs" j in
       Ok (Compile { accel; network; batch; budget; jobs })
+  | "cancel" ->
+      let* request_id = int_field "id" j in
+      Ok (Cancel { request_id })
   | s -> Error (Printf.sprintf "unknown request type %S" s)
 
 let plan_of_json j =
@@ -351,6 +406,10 @@ let response_of_json j =
         int_field_default "budget_fallbacks" ~default:0 j
       in
       let* auth_rejections = int_field_default "auth_rejections" ~default:0 j in
+      let* deadline_rejections =
+        int_field_default "deadline_rejections" ~default:0 j
+      in
+      let* cancels = int_field_default "cancels" ~default:0 j in
       Ok
         (Stats_r
            {
@@ -372,6 +431,8 @@ let response_of_json j =
              peer_fallbacks;
              budget_fallbacks;
              auth_rejections;
+             deadline_rejections;
+             cancels;
            })
   | "compiled" ->
       let* network = str_field "network" j in
@@ -398,6 +459,25 @@ let response_of_json j =
   | "error" ->
       let* message = str_field "message" j in
       Ok (Error_r message)
+  | "progress" ->
+      let latency name =
+        match field name j with
+        | Error _ -> Ok None
+        | Ok v ->
+            let* f = as_float v in
+            Ok (Some f)
+      in
+      let* pg_generation = int_field "generation" j in
+      let* pg_best_predicted = latency "best_predicted_s" in
+      let* pg_best_measured = latency "best_measured_s" in
+      let* pg_evaluations = int_field "evaluations" j in
+      Ok
+        (Progress_r
+           { pg_generation; pg_best_predicted; pg_best_measured; pg_evaluations })
+  | "cancelled" -> Ok Cancelled_r
+  | "deadline_hint" ->
+      let* projected_wait_s = float_field "projected_wait_s" j in
+      Ok (Deadline_hint_r { projected_wait_s })
   | s -> Error (Printf.sprintf "unknown response type %S" s)
 
 (* --- handshake ------------------------------------------------------ *)
@@ -450,34 +530,56 @@ let decode_hello_reply s =
       Ok (Hello_denied reason)
   | s -> Error (Printf.sprintf "unknown hello reply type %S" s)
 
-(* The deadline rides the envelope, not the request constructors: it is
-   transport metadata ("how long is this answer still worth sending"),
-   not part of what is being asked.  Decoders that predate it look up
-   fields by name and simply never see it. *)
-let encode_request ?deadline_ms r =
+(* The deadline, request id and streaming opt-in ride the envelope, not
+   the request constructors: they are transport metadata ("how long is
+   this answer still worth sending", "call this exchange N", "I can
+   read interleaved progress frames"), not part of what is being asked.
+   Decoders that predate a field look fields up by name and simply
+   never see it; encoders that never set one produce byte-identical
+   frames to the pre-streaming protocol. *)
+let encode_request ?deadline_ms ?request_id ?(accept_stream = false) r =
+  let extras =
+    (match deadline_ms with
+    | None -> []
+    | Some d -> [ ("deadline_ms", Json.Int d) ])
+    @ (match request_id with
+      | None -> []
+      | Some id -> [ ("request_id", Json.Int id) ])
+    @ if accept_stream then [ ("accept_stream", Json.Bool true) ] else []
+  in
   let j =
-    match (json_of_request r, deadline_ms) with
-    | j, None -> j
-    | Json.Obj fields, Some d ->
-        Json.Obj (fields @ [ ("deadline_ms", Json.Int d) ])
-    | j, Some _ -> j
+    match (json_of_request r, extras) with
+    | j, [] -> j
+    | Json.Obj fields, extras -> Json.Obj (fields @ extras)
+    | j, _ -> j
   in
   Json.to_string j
 
 let encode_response r = Json.to_string (json_of_response r)
 
-let deadline_of_json j =
-  match field "deadline_ms" j with
-  | Error _ -> Ok None
-  | Ok v ->
-      let* d = as_int v in
-      Ok (Some d)
+let envelope_of_json j =
+  let opt_int name =
+    match field name j with
+    | Error _ -> Ok None
+    | Ok v ->
+        let* d = as_int v in
+        Ok (Some d)
+  in
+  let* env_deadline_ms = opt_int "deadline_ms" in
+  let* env_request_id = opt_int "request_id" in
+  let* env_accept_stream =
+    match field "accept_stream" j with
+    | Error _ -> Ok false
+    | Ok (Json.Bool b) -> Ok b
+    | Ok _ -> Error "expected a boolean accept_stream"
+  in
+  Ok { env_deadline_ms; env_request_id; env_accept_stream }
 
 let decode_request s =
   let* j = Json.of_string s in
   let* req = request_of_json j in
-  let* deadline_ms = deadline_of_json j in
-  Ok (req, deadline_ms)
+  let* env = envelope_of_json j in
+  Ok (req, env)
 
 let decode_response s =
   let* j = Json.of_string s in

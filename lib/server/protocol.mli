@@ -51,6 +51,31 @@ type request =
       budget : Amos_service.Fingerprint.budget;
       jobs : int;
     }  (** whole-network compile through the plan service *)
+  | Cancel of { request_id : int }
+      (** detach the waiter that registered [request_id] (the envelope
+          field of an earlier streaming request, usually sent on a
+          second connection while the first is reading frames): that
+          waiter's stream ends with {!Cancelled_r}, the shared
+          single-flight exploration keeps running for its co-waiters,
+          and the {e last} waiter detaching aborts it at the next
+          generation boundary *)
+
+type envelope = {
+  env_deadline_ms : int option;
+      (** remaining time budget (see {!encode_request}) *)
+  env_request_id : int option;
+      (** sender-chosen id naming this exchange, so a {!Cancel} from
+          another connection can find it *)
+  env_accept_stream : bool;
+      (** the sender can read {!Progress_r} frames interleaved before
+          the final reply; senders that never set it get exactly the
+          one-frame exchange of the pre-streaming protocol *)
+}
+(** Transport metadata riding the request object.  Every field is
+    absent on the wire by default — a pre-streaming peer neither sends
+    nor sees any of them, so none of this is a version bump. *)
+
+val empty_envelope : envelope
 
 type hello = {
   hello_version : int;  (** protocol version the connector speaks *)
@@ -107,6 +132,10 @@ type server_stats = {
       (** forwards skipped because the request's remaining deadline
           budget was too small to pay for a fleet hop *)
   auth_rejections : int;  (** TCP handshakes denied *)
+  deadline_rejections : int;
+      (** tunes refused with {!Deadline_hint_r}: the queue's projected
+          wait already exceeded the request's deadline budget *)
+  cancels : int;  (** streaming waiters detached by {!Cancel} *)
 }
 
 type compile_reply = {
@@ -119,6 +148,19 @@ type compile_reply = {
   comp_tuned : int;
 }
 
+type progress_body = {
+  pg_generation : int;
+      (** genetic generations completed so far across the exploration *)
+  pg_best_predicted : float option;
+      (** best model-predicted latency so far (seconds); [None] before
+          the first generation completes *)
+  pg_best_measured : float option;
+      (** best simulator-measured latency so far (seconds); [None]
+          before the first measurement *)
+  pg_evaluations : int;  (** model evaluations spent so far *)
+}
+(** One streamed snapshot of an in-flight exploration. *)
+
 type response =
   | Ok_r of string  (** health / shutdown acknowledgement *)
   | Plan_r of tune_reply
@@ -129,6 +171,17 @@ type response =
       (** admission control: the tuning queue is full; retry after the
           hinted delay *)
   | Error_r of string
+  | Progress_r of progress_body
+      (** interleaved before the final reply, only on exchanges whose
+          request envelope set [accept_stream]; any number may arrive,
+          including zero (a cache hit streams nothing) *)
+  | Cancelled_r
+      (** terminal reply of a streaming exchange detached by {!Cancel} *)
+  | Deadline_hint_r of { projected_wait_s : float }
+      (** deadline-aware admission: the queue's projected wait already
+          exceeds the request's [deadline_ms], so the request was
+          refused {e before} enqueueing; the hint carries the projected
+          wait so the client can re-budget or go elsewhere *)
 
 (** {2 Codec} *)
 
@@ -144,15 +197,20 @@ val decode_hello : string -> (hello, string) result
 val encode_hello_reply : hello_reply -> string
 val decode_hello_reply : string -> (hello_reply, string) result
 
-val encode_request : ?deadline_ms:int -> request -> string
+val encode_request :
+  ?deadline_ms:int -> ?request_id:int -> ?accept_stream:bool -> request -> string
 (** [deadline_ms] is the request's {e remaining time budget}: how many
-    milliseconds the sender still considers an answer useful.  It
-    travels in the envelope, not the request — decoders from before
-    the field existed ignore it, so it is not a version bump. *)
+    milliseconds the sender still considers an answer useful.
+    [request_id] names the exchange so a later {!Cancel} can find it;
+    [accept_stream] (default [false]) declares the sender reads
+    {!Progress_r} frames.  All three travel in the envelope, not the
+    request — decoders from before a field existed ignore it, and with
+    none of them set the frame is byte-identical to the pre-streaming
+    encoding, so none is a version bump. *)
 
-val decode_request : string -> (request * int option, string) result
-(** The decoded request plus its deadline budget, [None] when the
-    sender did not carry one (every pre-deadline client). *)
+val decode_request : string -> (request * envelope, string) result
+(** The decoded request plus its {!envelope}; a request from a
+    pre-streaming client decodes with {!empty_envelope}. *)
 
 val encode_response : response -> string
 val decode_response : string -> (response, string) result

@@ -53,12 +53,18 @@ let default_config ~socket_path =
 
 type tune_outcome = { value : Plan_cache.value; evaluations : int }
 
+(* [progress] / [abort] arrive as plain options (not optional arguments)
+   so the fully-labelled [tuner] shape stays erasure-free: progress
+   feeds the per-generation streaming frames, abort is the
+   last-waiter-detached flag polled at generation boundaries *)
 type tuner =
   jobs:int ->
   accel:Accelerator.t ->
   op:Amos_ir.Operator.t ->
   budget:Fingerprint.budget ->
   seeds:Explore.candidate list ->
+  progress:(Explore.progress -> unit) option ->
+  abort:(unit -> bool) option ->
   tune_outcome
 
 (* what a flight resolves to: every joiner (and the leader) gets one *)
@@ -83,7 +89,9 @@ type t = {
   cache : Plan_cache.t;  (* guarded by cache_mu: one domain at a time *)
   cache_mu : Mutex.t;
   pool : Par_tune.Pool.t;
-  flights : flight_result Single_flight.t;
+  admission : Admission.t;
+      (* per-client DRR + deadline-aware admission in front of the pool *)
+  flights : (flight_result, Protocol.progress_body) Single_flight.t;
   started_at : float;
   mu : Mutex.t;  (* guards everything below *)
   hot : Protocol.plan_wire Hot_cache.t;
@@ -94,6 +102,12 @@ type t = {
   mutable router : router option;
       (* installed after [create] (the fleet needs the bound TCP port
          to build its ring), consulted after both local layers miss *)
+  streams :
+    (int, (flight_result, Protocol.progress_body) Single_flight.waiter)
+    Hashtbl.t;
+      (* request_id -> live waiter, so a Cancel frame (usually from a
+         second connection) can find the exchange it names *)
+  mutable conn_counter : int;  (* distinct admission keys per connection *)
   mutable threads : Thread.t list;
   mutable stopping : bool;  (* no new tuning admitted *)
   mutable stopped : bool;  (* accept loop must exit *)
@@ -109,6 +123,8 @@ type t = {
   mutable peer_fallbacks : int;
   mutable budget_fallbacks : int;
   mutable auth_rejections : int;
+  mutable deadline_rejections : int;
+  mutable cancels : int;
 }
 
 (* Deadline budgeting for the one fleet hop: the forward subtracts the
@@ -123,6 +139,11 @@ let min_forward_budget_ms = 25
    not grow memory without limit *)
 let spec_ledger_capacity = 512
 
+(* DRR weight of the shared "peer" admission key: a forwarding daemon
+   aggregates many end clients behind one connection, so it earns a
+   larger service share than a single direct client *)
+let peer_weight = 2
+
 let locked mu f =
   Mutex.lock mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
@@ -134,7 +155,8 @@ let locked mu f =
    mapping the operator at all *)
 (* [model] / [observe] arrive as plain options (not optional arguments)
    so the fully-labelled [tuner] shape stays erasure-free *)
-let default_tuner_with ~model ~observe ~jobs ~accel ~op ~budget ~seeds =
+let default_tuner_with ~model ~observe ~jobs ~accel ~op ~budget ~seeds
+    ~progress ~abort =
   let rng = Rng.create budget.Fingerprint.seed in
   let mappings =
     List.concat_map
@@ -147,7 +169,7 @@ let default_tuner_with ~model ~observe ~jobs ~accel ~op ~budget ~seeds =
       Par_tune.tune ~jobs ~population:budget.Fingerprint.population
         ~generations:budget.Fingerprint.generations
         ~measure_top:budget.Fingerprint.measure_top ~initial_population:seeds
-        ?model ?observe ~rng ~accel ~mappings ()
+        ?model ?observe ?progress ?abort ~rng ~accel ~mappings ()
     in
     let best = result.Explore.best in
     if
@@ -161,8 +183,9 @@ let default_tuner_with ~model ~observe ~jobs ~accel ~op ~budget ~seeds =
       }
     else { value = Plan_cache.Scalar; evaluations = result.Explore.evaluations }
 
-let default_tuner ~jobs ~accel ~op ~budget ~seeds =
+let default_tuner ~jobs ~accel ~op ~budget ~seeds ~progress ~abort =
   default_tuner_with ~model:None ~observe:None ~jobs ~accel ~op ~budget ~seeds
+    ~progress ~abort
 
 (* --- request resolution -------------------------------------------- *)
 
@@ -256,7 +279,7 @@ let create ?tuner ?clock ?router config =
                 let model_path =
                   Filename.concat dir Amos_learn.Calibrate.file_name
                 in
-                fun ~jobs ~accel ~op ~budget ~seeds ->
+                fun ~jobs ~accel ~op ~budget ~seeds ~progress ~abort ->
                   let fingerprint = Fingerprint.key ~accel ~op ~budget in
                   let observe =
                     Some
@@ -277,7 +300,7 @@ let create ?tuner ?clock ?router config =
                     else None
                   in
                   default_tuner_with ~model ~observe ~jobs ~accel ~op ~budget
-                    ~seeds))
+                    ~seeds ~progress ~abort))
   in
   (* a client dying mid-reply must surface as EPIPE on the write, not
      kill the daemon *)
@@ -325,9 +348,17 @@ let create ?tuner ?clock ?router config =
     bound_tcp_port;
     cache;
     cache_mu = Mutex.create ();
+    (* the admission queue feeds the pool only while a worker slot is
+       free, so the pool's own queue never holds more than [workers]
+       tasks — [queue_capacity] now bounds the admission backlog *)
     pool =
       Par_tune.Pool.create ~workers:(max 1 config.workers)
-        ~capacity:(max 1 config.queue_capacity);
+        ~capacity:(max 1 config.workers);
+    admission =
+      Admission.create ~clock
+        ~weight_of:(fun key -> if key = "peer" then peer_weight else 1)
+        ~workers:(max 1 config.workers)
+        ~capacity:(max 1 config.queue_capacity) ();
     flights = Single_flight.create ();
     started_at = Clock.now clock;
     mu = Mutex.create ();
@@ -336,6 +367,8 @@ let create ?tuner ?clock ?router config =
         ~capacity:config.hot_capacity ~clock ();
     specs = Hashtbl.create 64;
     router;
+    streams = Hashtbl.create 16;
+    conn_counter = 0;
     threads = [];
     stopping = false;
     stopped = false;
@@ -351,13 +384,15 @@ let create ?tuner ?clock ?router config =
     peer_fallbacks = 0;
     budget_fallbacks = 0;
     auth_rejections = 0;
+    deadline_rejections = 0;
+    cancels = 0;
   }
 
 let set_router t router = locked t.mu (fun () -> t.router <- Some router)
 let tcp_port t = t.bound_tcp_port
 
 let stats t : Protocol.server_stats =
-  let queue_load = Par_tune.Pool.load t.pool in
+  let queue_load = Par_tune.Pool.load t.pool + Admission.depth t.admission in
   let in_flight = Single_flight.in_flight t.flights in
   let cache_bytes =
     locked t.cache_mu (fun () -> Plan_cache.disk_bytes t.cache)
@@ -382,17 +417,85 @@ let stats t : Protocol.server_stats =
         peer_fallbacks = t.peer_fallbacks;
         budget_fallbacks = t.budget_fallbacks;
         auth_rejections = t.auth_rejections;
+        deadline_rejections = t.deadline_rejections;
+        cancels = t.cancels;
       })
 
 (* --- tuning flow ---------------------------------------------------- *)
 
-let retry_hint t = 0.1 +. (0.05 *. float_of_int (Par_tune.Pool.load t.pool))
+let retry_hint t =
+  0.1
+  +. 0.05
+     *. float_of_int (Par_tune.Pool.load t.pool + Admission.load t.admission)
 
 let response_of_flight ~deduped = function
   | Fl_plan r ->
       Protocol.Plan_r (if deduped then { r with Protocol.source = "deduped" } else r)
   | Fl_busy retry_after_s -> Protocol.Busy_r { retry_after_s }
   | Fl_error msg -> Protocol.Error_r msg
+
+(* Keep the admission backlog flowing into the pool: hand out tasks
+   while a worker slot is free.  Every pool task re-pumps when it
+   finishes, so one submit's pump keeps the chain alive for the whole
+   backlog. *)
+let rec pump t =
+  match Admission.take t.admission with
+  | None -> ()
+  | Some task ->
+      let run () =
+        task ();
+        pump t
+      in
+      if not (Par_tune.Pool.try_submit t.pool run) then
+        (* only reachable when the pool is shutting down under a racing
+           submit: run inline rather than strand the flight *)
+        run ()
+
+let progress_body (p : Explore.progress) : Protocol.progress_body =
+  let known v = if Float.is_finite v then Some v else None in
+  {
+    Protocol.pg_generation = p.Explore.pr_generation;
+    pg_best_predicted = known p.Explore.pr_best_predicted;
+    pg_best_measured = known p.Explore.pr_best_measured;
+    pg_evaluations = p.Explore.pr_evaluations;
+  }
+
+let register_stream t ~request_id w =
+  match request_id with
+  | None -> ()
+  | Some id -> locked t.mu (fun () -> Hashtbl.replace t.streams id w)
+
+let unregister_stream t ~request_id =
+  match request_id with
+  | None -> ()
+  | Some id -> locked t.mu (fun () -> Hashtbl.remove t.streams id)
+
+(* Collect a waiter's outcome.  A streaming waiter drains its progress
+   queue through [emit] — one [Progress_r] frame per snapshot, written
+   from this connection's own thread, so a dead or slow socket stalls
+   only itself; an emit failure detaches the waiter and returns [None],
+   which closes the connection without a final reply.  Either way the
+   shared flight is untouched: co-waiters keep streaming, and only the
+   {e last} detach raises the exploration's abort flag. *)
+let await_flight t ~streaming ~emit ~deduped ~request_id w =
+  let finish resp =
+    unregister_stream t ~request_id;
+    ignore (Single_flight.detach t.flights w);
+    resp
+  in
+  if streaming then
+    let rec loop () =
+      match Single_flight.next t.flights w with
+      | `Progress p ->
+          if emit (Protocol.Progress_r p) then loop () else finish None
+      | `Done r -> finish (Some (response_of_flight ~deduped r))
+      | `Cancelled -> finish (Some Protocol.Cancelled_r)
+    in
+    loop ()
+  else
+    match Single_flight.wait t.flights w with
+    | `Done r -> finish (Some (response_of_flight ~deduped r))
+    | `Cancelled -> finish (Some Protocol.Cancelled_r)
 
 let cache_lookup t ~accel ~op ~budget =
   locked t.cache_mu (fun () ->
@@ -486,22 +589,24 @@ let route_to_owner t ~from_peer ~deadline ~fingerprint req =
                   (Printexc.to_string e));
             None))
 
-let handle_tune t ~from_peer ~deadline ~migrate ~accel:accel_name ~op:op_spec
-    ~budget =
+let handle_tune t ~from_peer ~client ~env ~emit ~deadline ~migrate
+    ~accel:accel_name ~op:op_spec ~budget =
   let accel = resolve_accel accel_name in
   let op = resolve_op op_spec in
   let fingerprint = Fingerprint.key ~accel ~op ~budget in
   record_spec t fingerprint ~accel_name ~op ~budget;
   match hot_lookup t fingerprint with
   | Some plan ->
-      Protocol.Plan_r
-        {
-          Protocol.fingerprint;
-          plan;
-          source = "hot";
-          evaluations = 0;
-          tuning_seconds = 0.;
-        }
+      (* a hot hit streams nothing: the final reply is the only frame *)
+      Some
+        (Protocol.Plan_r
+           {
+             Protocol.fingerprint;
+             plan;
+             source = "hot";
+             evaluations = 0;
+             tuning_seconds = 0.;
+           })
   | None -> (
       match cache_lookup t ~accel ~op ~budget with
       | Some value ->
@@ -509,14 +614,15 @@ let handle_tune t ~from_peer ~deadline ~migrate ~accel:accel_name ~op:op_spec
           locked t.mu (fun () -> t.cache_hits <- t.cache_hits + 1);
           hot_put t fingerprint plan
             ~tuning_seconds:(cached_tuning_seconds t fingerprint);
-          Protocol.Plan_r
-            {
-              Protocol.fingerprint;
-              plan;
-              source = "cache";
-              evaluations = 0;
-              tuning_seconds = 0.;
-            }
+          Some
+            (Protocol.Plan_r
+               {
+                 Protocol.fingerprint;
+                 plan;
+                 source = "cache";
+                 evaluations = 0;
+                 tuning_seconds = 0.;
+               })
       | None ->
           let forwarded =
             let req =
@@ -528,16 +634,20 @@ let handle_tune t ~from_peer ~deadline ~migrate ~accel:accel_name ~op:op_spec
             route_to_owner t ~from_peer ~deadline ~fingerprint req
           in
           (match forwarded with
-          | Some (Protocol.Plan_r _ as r) -> r
+          | Some (Protocol.Plan_r _ as r) -> Some r
           | Some _ | None ->
           if locked t.mu (fun () -> t.stopping) then
-            Protocol.Busy_r { retry_after_s = retry_hint t }
-          else (
-            match Single_flight.acquire t.flights fingerprint with
-            | `Join f ->
+            Some (Protocol.Busy_r { retry_after_s = retry_hint t })
+          else
+            let streaming = env.Protocol.env_accept_stream in
+            let request_id = env.Protocol.env_request_id in
+            match Single_flight.acquire ~streaming t.flights fingerprint with
+            | `Join w ->
                 locked t.mu (fun () -> t.deduped <- t.deduped + 1);
-                response_of_flight ~deduped:true (Single_flight.wait t.flights f)
-            | `Lead f ->
+                register_stream t ~request_id w;
+                await_flight t ~streaming ~emit ~deduped:true ~request_id w
+            | `Lead w ->
+                let fl = Single_flight.flight w in
                 (* seeds are gathered before the task is queued so the
                    pool task touches the shared cache only for the final
                    store *)
@@ -545,15 +655,30 @@ let handle_tune t ~from_peer ~deadline ~migrate ~accel:accel_name ~op:op_spec
                   if migrate then migration_seeds t ~accel ~op ~budget else []
                 in
                 let task () =
-                  let t0 = Unix.gettimeofday () in
-                  let outcome =
-                    match t.tuner ~jobs:t.config.jobs ~accel ~op ~budget ~seeds with
-                    | o -> Ok o
-                    | exception e -> Error (Printexc.to_string e)
+                  let t0 = Clock.now t.clock in
+                  (* per-generation snapshots fan out to every attached
+                     streaming waiter; the abort flag rises when the
+                     last of them detaches *)
+                  let progress =
+                    Some
+                      (fun p ->
+                        Single_flight.publish t.flights fl (progress_body p))
                   in
-                  let dt = Unix.gettimeofday () -. t0 in
+                  let abort =
+                    Some (fun () -> Single_flight.abort_requested fl)
+                  in
+                  let outcome =
+                    match
+                      t.tuner ~jobs:t.config.jobs ~accel ~op ~budget ~seeds
+                        ~progress ~abort
+                    with
+                    | o -> `Ok o
+                    | exception Explore.Aborted -> `Aborted
+                    | exception e -> `Error (Printexc.to_string e)
+                  in
+                  let dt = Clock.now t.clock -. t0 in
                   match outcome with
-                  | Ok { value; evaluations } ->
+                  | `Ok { value; evaluations } ->
                       locked t.cache_mu (fun () ->
                           try
                             Plan_cache.store t.cache ~accel ~op ~budget
@@ -565,7 +690,7 @@ let handle_tune t ~from_peer ~deadline ~migrate ~accel:accel_name ~op:op_spec
                       let plan = wire_of_value value in
                       hot_put t fingerprint plan ~tuning_seconds:dt;
                       locked t.mu (fun () -> t.tunes <- t.tunes + 1);
-                      Single_flight.complete t.flights f
+                      Single_flight.complete t.flights fl
                         (Fl_plan
                            {
                              Protocol.fingerprint;
@@ -574,22 +699,55 @@ let handle_tune t ~from_peer ~deadline ~migrate ~accel:accel_name ~op:op_spec
                              evaluations;
                              tuning_seconds = dt;
                            })
-                  | Error msg ->
-                      Single_flight.complete t.flights f
+                  | `Aborted ->
+                      (* every waiter walked away and the exploration
+                         tore itself down at a generation boundary; a
+                         racing joiner resolves busy and retries fresh *)
+                      Single_flight.complete t.flights fl
+                        (Fl_busy (retry_hint t))
+                  | `Error msg ->
+                      Single_flight.complete t.flights fl
                         (Fl_error ("tuning failed: " ^ msg))
                 in
-                if Par_tune.Pool.try_submit t.pool task then
-                  response_of_flight ~deduped:false
-                    (Single_flight.wait t.flights f)
-                else begin
-                  (* admission control: refuse, and resolve the flight
-                     as busy so racing joiners are not stranded *)
-                  let hint = retry_hint t in
-                  locked t.mu (fun () ->
-                      t.busy_rejections <- t.busy_rejections + 1);
-                  Single_flight.complete t.flights f (Fl_busy hint);
-                  Protocol.Busy_r { retry_after_s = hint }
-                end)))
+                let admission_deadline =
+                  match deadline with
+                  | None -> None
+                  | Some (d, arrival) ->
+                      let elapsed_ms =
+                        int_of_float
+                          (Float.max 0. (Clock.now t.clock -. arrival)
+                          *. 1000.)
+                      in
+                      Some (max 0 (d - elapsed_ms))
+                in
+                (match
+                   Admission.submit t.admission ~client
+                     ?deadline_ms:admission_deadline task
+                 with
+                | `Admitted ->
+                    register_stream t ~request_id w;
+                    pump t;
+                    await_flight t ~streaming ~emit ~deduped:false ~request_id
+                      w
+                | `Busy ->
+                    (* admission control: refuse, and resolve the flight
+                       as busy so racing joiners are not stranded *)
+                    let hint = retry_hint t in
+                    locked t.mu (fun () ->
+                        t.busy_rejections <- t.busy_rejections + 1);
+                    Single_flight.complete t.flights fl (Fl_busy hint);
+                    ignore (Single_flight.detach t.flights w);
+                    Some (Protocol.Busy_r { retry_after_s = hint })
+                | `Deadline projected_wait_s ->
+                    (* the queue's projected wait already exceeds the
+                       request's budget: refused before enqueueing, with
+                       the evidence — never camped *)
+                    locked t.mu (fun () ->
+                        t.deadline_rejections <- t.deadline_rejections + 1);
+                    Single_flight.complete t.flights fl
+                      (Fl_busy (retry_hint t));
+                    ignore (Single_flight.detach t.flights w);
+                    Some (Protocol.Deadline_hint_r { projected_wait_s }))))
 
 let handle_lookup t ~from_peer ~deadline ~accel:accel_name ~op:op_spec ~budget
     =
@@ -678,12 +836,22 @@ let quarantine_suffix = ".plan.quarantined"
    pool is busy or another flight already owns the fingerprint *)
 let retune_quarantined t ~fp ~qpath ~accel ~op ~budget =
   match Single_flight.acquire t.flights fp with
-  | `Join _ -> false (* a client-driven tune is already producing it *)
-  | `Lead f ->
+  | `Join w ->
+      (* a client-driven tune is already producing it; withdraw the
+         interest this probe just registered *)
+      ignore (Single_flight.detach t.flights w);
+      false
+  | `Lead w ->
+      let f = Single_flight.flight w in
+      (* the drain's own waiter stays attached (never detached) so the
+         abort flag cannot rise under a retune nobody is watching *)
       let task () =
         let t0 = Clock.now t.clock in
         let outcome =
-          match t.tuner ~jobs:t.config.jobs ~accel ~op ~budget ~seeds:[] with
+          match
+            t.tuner ~jobs:t.config.jobs ~accel ~op ~budget ~seeds:[]
+              ~progress:None ~abort:None
+          with
           | o -> Ok o
           | exception e -> Error (Printexc.to_string e)
         in
@@ -720,11 +888,13 @@ let retune_quarantined t ~fp ~qpath ~accel ~op ~budget =
             Single_flight.complete t.flights f
               (Fl_error ("retune failed: " ^ msg))
       in
-      if Par_tune.Pool.try_submit t.pool task then true
-      else begin
-        Single_flight.complete t.flights f (Fl_busy (retry_hint t));
-        false
-      end
+      (match Admission.submit t.admission ~client:"retune" task with
+      | `Admitted ->
+          pump t;
+          true
+      | `Busy | `Deadline _ ->
+          Single_flight.complete t.flights f (Fl_busy (retry_hint t));
+          false)
 
 (* One low-priority step of the background drain: only when the tuning
    pool is idle, pick the first quarantined fingerprint whose
@@ -736,7 +906,8 @@ let drain_quarantined_once t =
   | None -> false
   | Some dir ->
       if locked t.mu (fun () -> t.stopping) then false
-      else if Par_tune.Pool.load t.pool > 0 then false
+      else if Par_tune.Pool.load t.pool > 0 || Admission.load t.admission > 0
+      then false
       else begin
         let fs = Plan_cache.fs_handle t.cache in
         let quarantined =
@@ -777,6 +948,17 @@ let drain_and_stop t =
   in
   if not already then
     Log.info (fun m -> m "draining: waiting for in-flight tuning to finish");
+  (* every admitted task still completes: the pump chain keeps feeding
+     the pool as worker slots free up, so wait for the admission
+     backlog to empty before draining the pool itself *)
+  let rec wait_admission () =
+    if Admission.load t.admission > 0 then begin
+      pump t;
+      Thread.delay 0.01;
+      wait_admission ()
+    end
+  in
+  wait_admission ();
   Par_tune.Pool.shutdown ~drain:true t.pool;
   locked t.mu (fun () -> t.stopped <- true)
 
@@ -784,50 +966,75 @@ let stop t = drain_and_stop t
 
 (* --- dispatch ------------------------------------------------------- *)
 
-let dispatch t ~from_peer payload =
+(* [emit] writes one interleaved response frame on the requesting
+   connection, returning [false] when the socket is gone.  A [None]
+   final response means the connection desynced mid-stream and must be
+   dropped without another frame. *)
+let dispatch t ~from_peer ~client ~emit payload =
   locked t.mu (fun () -> t.requests <- t.requests + 1);
   match Protocol.decode_request payload with
-  | Error msg -> (Protocol.Error_r msg, false)
-  | Ok (req, deadline_ms) -> (
+  | Error msg -> (Some (Protocol.Error_r msg), false)
+  | Ok (req, env) -> (
       (* the envelope budget starts burning the moment the frame is
          decoded: everything this daemon spends before a forward is
          subtracted from what the peer hop may use *)
       let deadline =
-        Option.map (fun d -> (d, Clock.now t.clock)) deadline_ms
+        Option.map
+          (fun d -> (d, Clock.now t.clock))
+          env.Protocol.env_deadline_ms
       in
       match req with
       | Protocol.Health ->
-          (Protocol.Ok_r (Printf.sprintf "amosd protocol v%d" Protocol.version), false)
-      | Protocol.Stats -> (Protocol.Stats_r (stats t), false)
+          ( Some
+              (Protocol.Ok_r
+                 (Printf.sprintf "amosd protocol v%d" Protocol.version)),
+            false )
+      | Protocol.Stats -> (Some (Protocol.Stats_r (stats t)), false)
       | Protocol.Shutdown ->
           drain_and_stop t;
-          (Protocol.Ok_r "drained", true)
+          (Some (Protocol.Ok_r "drained"), true)
+      | Protocol.Cancel { request_id } -> (
+          (* detach the named waiter (usually on another connection):
+             its stream terminates with [Cancelled_r]; the shared
+             flight keeps running for its co-waiters *)
+          match
+            locked t.mu (fun () -> Hashtbl.find_opt t.streams request_id)
+          with
+          | Some w ->
+              Single_flight.cancel t.flights w;
+              locked t.mu (fun () -> t.cancels <- t.cancels + 1);
+              (Some (Protocol.Ok_r "cancelled"), false)
+          | None -> (Some Protocol.Not_found_r, false))
       | Protocol.Lookup { accel; op; budget } -> (
           match handle_lookup t ~from_peer ~deadline ~accel ~op ~budget with
-          | r -> (r, false)
-          | exception Failure msg -> (Protocol.Error_r msg, false)
-          | exception e -> (Protocol.Error_r (Printexc.to_string e), false))
+          | r -> (Some r, false)
+          | exception Failure msg -> (Some (Protocol.Error_r msg), false)
+          | exception e ->
+              (Some (Protocol.Error_r (Printexc.to_string e)), false))
       | Protocol.Tune { accel; op; budget } -> (
           match
-            handle_tune t ~from_peer ~deadline ~migrate:false ~accel ~op
-              ~budget
+            handle_tune t ~from_peer ~client ~env ~emit ~deadline
+              ~migrate:false ~accel ~op ~budget
           with
           | r -> (r, false)
-          | exception Failure msg -> (Protocol.Error_r msg, false)
-          | exception e -> (Protocol.Error_r (Printexc.to_string e), false))
+          | exception Failure msg -> (Some (Protocol.Error_r msg), false)
+          | exception e ->
+              (Some (Protocol.Error_r (Printexc.to_string e)), false))
       | Protocol.Migrate_tune { accel; op; budget } -> (
           match
-            handle_tune t ~from_peer ~deadline ~migrate:true ~accel ~op
-              ~budget
+            handle_tune t ~from_peer ~client ~env ~emit ~deadline
+              ~migrate:true ~accel ~op ~budget
           with
           | r -> (r, false)
-          | exception Failure msg -> (Protocol.Error_r msg, false)
-          | exception e -> (Protocol.Error_r (Printexc.to_string e), false))
+          | exception Failure msg -> (Some (Protocol.Error_r msg), false)
+          | exception e ->
+              (Some (Protocol.Error_r (Printexc.to_string e)), false))
       | Protocol.Compile { accel; network; batch; budget; jobs } -> (
           match handle_compile t ~accel ~network ~batch ~budget ~jobs with
-          | r -> (r, false)
-          | exception Failure msg -> (Protocol.Error_r msg, false)
-          | exception e -> (Protocol.Error_r (Printexc.to_string e), false)))
+          | r -> (Some r, false)
+          | exception Failure msg -> (Some (Protocol.Error_r msg), false)
+          | exception e ->
+              (Some (Protocol.Error_r (Printexc.to_string e)), false)))
 
 (* --- connections ---------------------------------------------------- *)
 
@@ -912,6 +1119,17 @@ let handle_conn t kind fd =
          Unix.setsockopt_float fd Unix.SO_SNDTIMEO
            (Float.max 0.05 t.config.io_timeout_s)
        with Unix.Unix_error _ -> ());
+      (* the admission key: peers pool under one weighted backlog;
+         every local connection gets its own, so DRR fairness is
+         per-connection *)
+      let client =
+        if from_peer then "peer"
+        else
+          locked t.mu (fun () ->
+              t.conn_counter <- t.conn_counter + 1;
+              Printf.sprintf "c%d" t.conn_counter)
+      in
+      let emit resp = send_response t fd resp in
       let rec loop () =
         match Protocol.read_frame ~net:t.config.net fd with
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
@@ -927,10 +1145,15 @@ let handle_conn t kind fd =
             (* framing is broken: answer once, then drop the connection —
                resynchronising on a corrupt stream is guesswork *)
             ignore (send_response t fd (Protocol.Error_r ("bad frame: " ^ msg)))
-        | Ok payload ->
-            let resp, close_after = dispatch t ~from_peer payload in
-            let sent = send_response t fd resp in
-            if sent && not close_after then loop ()
+        | Ok payload -> (
+            match dispatch t ~from_peer ~client ~emit payload with
+            | None, _ ->
+                (* the stream desynced mid-flight (emit failed): the
+                   connection is poisoned, drop it without a final frame *)
+                ()
+            | Some resp, close_after ->
+                let sent = send_response t fd resp in
+                if sent && not close_after then loop ())
       in
       (try loop ()
        with e ->

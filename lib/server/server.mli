@@ -17,14 +17,28 @@
       fingerprint share one exploration ({!Single_flight}), so a herd
       of identical cold requests costs one tune.
 
-    Admission control: when the pool queue is full, new tuning work is
-    refused with a typed [Busy] response carrying a retry hint — the
-    daemon never queues unboundedly and never hangs a client.
+    Admission control ({!Admission}): tuning work queues under
+    per-client deficit-round-robin backlogs (peers share one weighted
+    key, each local connection gets its own), so one flooding client
+    delays itself, not everyone.  When the backlog is at capacity the
+    request is refused with a typed [Busy] carrying a retry hint; when
+    its [deadline_ms] is below the projected queue wait it is refused
+    with a typed [Deadline_hint] {e before} being enqueued.  The daemon
+    never queues unboundedly and never hangs a client.
+
+    Streaming: a request whose envelope sets [accept_stream] receives
+    interleaved [Progress_r] frames (one per exploration generation)
+    before the final reply; clients that never opt in see byte-for-byte
+    the old exchange.  A [Cancel] naming the request id detaches that
+    one waiter (its stream ends with [Cancelled_r]); the shared flight
+    keeps running for co-waiters, and only when the {e last} waiter
+    detaches does the exploration abort at its next generation
+    boundary.
 
     Shutdown (the [Shutdown] request, or {!stop}) is graceful: the
-    daemon stops admitting tuning work, drains the pool (every
-    in-flight exploration completes and its waiters get real answers),
-    acknowledges, and only then releases the socket.
+    daemon stops admitting tuning work, drains the admission queue and
+    the pool (every admitted exploration completes and its waiters get
+    real answers), acknowledges, and only then releases the socket.
 
     [Compile] requests run on the connection thread with their own
     cache handle over the same directory (handles observe each other
@@ -112,12 +126,22 @@ type tuner =
   op:Amos_ir.Operator.t ->
   budget:Amos_service.Fingerprint.budget ->
   seeds:Amos.Explore.candidate list ->
+  progress:(Amos.Explore.progress -> unit) option ->
+  abort:(unit -> bool) option ->
   tune_outcome
 (** The exploration a pool task runs.  Injectable so tests can observe
     scheduling behaviour (count invocations, block on a latch) without
     paying for real tuning; the default races
     [Amos_service.Par_tune.tune] against the scalar roofline exactly
     like [Batch_compile].
+
+    [progress] (when [Some]) must be invoked once per exploration
+    generation with the aggregated best-so-far — the daemon fans it out
+    to streaming waiters.  [abort] (when [Some]) should be polled at
+    generation boundaries; a [true] means every waiter has walked away
+    and the tuner may raise [Amos.Explore.Aborted] instead of finishing
+    (the daemon then resolves the flight as busy).  Custom test tuners
+    are free to ignore both.
 
     With a persistent cache directory and no custom tuner, the default
     additionally feeds the learned cost model: every simulator

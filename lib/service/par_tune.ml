@@ -8,11 +8,14 @@ let default_jobs () = min 8 (Domain.recommended_domain_count ())
    identically twice and is reported once.  [Invalid_argument] is a
    contract violation (e.g. an empty input reaching [Explore.tune]) that
    no retry can repair — it is captured on the first raise, never
-   retried. *)
+   retried.  [Explore.Aborted] is a deliberate teardown, not a failure:
+   retrying would restart the very search being cancelled, so it too is
+   captured immediately (the merge loops re-raise it). *)
 let attempt f x =
   match f x with
   | v -> Ok v
   | exception (Invalid_argument _ as e) -> Error e
+  | exception (Explore.Aborted as e) -> Error e
   | exception _first -> ( match f x with v -> Ok v | exception e -> Error e)
 
 (* Order-preserving parallel map: [jobs - 1] spawned domains plus the
@@ -59,9 +62,14 @@ let tune_with ?jobs ?(must_keep = fun _ -> false) ?cut ~screen ~search
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   if mappings = [] then invalid_arg "Par_tune.tune: no mappings";
   let failures = ref [] in
-  (* mutated on the calling domain only, after all workers joined *)
+  (* mutated on the calling domain only, after all workers joined; an
+     abort is the whole exploration tearing down, never a per-mapping
+     failure — it re-raises out of the merge instead of being recorded *)
   let record m e =
-    failures := (Mapping.describe m, Printexc.to_string e) :: !failures
+    match e with
+    | Explore.Aborted -> raise Explore.Aborted
+    | e ->
+        failures := (Mapping.describe m, Printexc.to_string e) :: !failures
   in
   let marr = Array.of_list mappings in
   let screened_r = parallel_map_result ~jobs (fun m -> screen m) marr in
@@ -111,11 +119,14 @@ let tune_with ?jobs ?(must_keep = fun _ -> false) ?cut ~screen ~search
    in (survivor, shard) order.  The outcome is deterministic for a
    fixed (seed, jobs) pair; a different [jobs] changes the sharding and
    may surface a different (equally valid) winner. *)
-let tune_split ?model ?observe ~jobs ~population ~generations ~measure_top
-    ~must_keep ~seeds_for ~accel ~mappings () =
+let tune_split ?model ?observe ?tick ?abort ~jobs ~population ~generations
+    ~measure_top ~must_keep ~seeds_for ~accel ~mappings () =
   let failures = ref [] in
   let record m e =
-    failures := (Mapping.describe m, Printexc.to_string e) :: !failures
+    match e with
+    | Explore.Aborted -> raise Explore.Aborted
+    | e ->
+        failures := (Mapping.describe m, Printexc.to_string e) :: !failures
   in
   let marr = Array.of_list mappings in
   let evaluations = ref 0 in
@@ -159,10 +170,12 @@ let tune_split ?model ?observe ~jobs ~population ~generations ~measure_top
       (fun (m, score, shard) ->
         (* seeds attach to shard 0 only, so a seed is measured once *)
         let seeds = if shard = 0 then seeds_for m else [] in
+        let pop = shard_population shard in
         Explore.search_mapping ~salt:shard ~seeds
           ?model:(Explore.unband ?model ~best:best_score score)
-          ?observe ~population:(shard_population shard) ~generations
-          ~measure_top ~accel m)
+          ?observe
+          ?tick:(Option.map (fun f best -> f pop best) tick)
+          ?abort ~population:pop ~generations ~measure_top ~accel m)
       tasks
   in
   let plans = ref [] in
@@ -182,9 +195,54 @@ let tune_split ?model ?observe ~jobs ~population ~generations ~measure_top
     ~evaluations:!evaluations
 
 let tune ?jobs ?(population = 16) ?(generations = 8) ?(measure_top = 3)
-    ?(initial_population = []) ?model ?observe ~rng ~accel ~mappings () =
+    ?(initial_population = []) ?model ?observe ?progress ?abort ~rng ~accel
+    ~mappings () =
   if mappings = [] && initial_population = [] then
     invalid_arg "Par_tune.tune: no mappings";
+  (* progress aggregation shared across worker domains: one mutex guards
+     the counters, and the caller's [progress] callback fires inside it,
+     so — like [observe] below — a single-threaded consumer is safe
+     as-is.  Generations count globally across mappings and shards. *)
+  let hooks =
+    match progress with
+    | None -> None
+    | Some f ->
+        let mu = Mutex.create () in
+        Some (mu, ref 0, ref infinity, ref infinity, ref 0, f)
+  in
+  let tick_for pop =
+    match hooks with
+    | None -> None
+    | Some (mu, gens, best_pred, best_meas, evals, f) ->
+        Some
+          (fun best ->
+            Mutex.lock mu;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock mu)
+              (fun () ->
+                incr gens;
+                evals := !evals + pop;
+                if best < !best_pred then best_pred := best;
+                f
+                  {
+                    Explore.pr_generation = !gens;
+                    pr_best_predicted = !best_pred;
+                    pr_best_measured = !best_meas;
+                    pr_evaluations = !evals;
+                  }))
+  in
+  let observe =
+    match hooks with
+    | None -> observe
+    | Some (mu, _, _, best_meas, _, _) ->
+        Some
+          (fun ob ->
+            Mutex.lock mu;
+            if ob.Explore.ob_measured < !best_meas then
+              best_meas := ob.Explore.ob_measured;
+            Mutex.unlock mu;
+            match observe with None -> () | Some f -> f ob)
+  in
   (* observation callbacks are caller-supplied and fire from worker
      domains; serialize them so a plain (append to a log, push on a
      list) observer never needs its own locking *)
@@ -208,8 +266,13 @@ let tune ?jobs ?(population = 16) ?(generations = 8) ?(measure_top = 3)
   in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   if jobs > 1 && List.length mappings < jobs then
-    tune_split ?model ?observe ~jobs ~population ~generations ~measure_top
-      ~must_keep:is_seeded ~seeds_for ~accel ~mappings ()
+    let tick =
+      match hooks with
+      | None -> None
+      | Some _ -> Some (fun pop best -> Option.iter (fun f -> f best) (tick_for pop))
+    in
+    tune_split ?model ?observe ?tick ?abort ~jobs ~population ~generations
+      ~measure_top ~must_keep:is_seeded ~seeds_for ~accel ~mappings ()
   else
     tune_with ~jobs ~must_keep:is_seeded
       ?cut:(Option.bind model (fun m -> m.Explore.sm_survivor_cut))
@@ -217,11 +280,13 @@ let tune ?jobs ?(population = 16) ?(generations = 8) ?(measure_top = 3)
       ~search:(fun m ~score ~best_score ->
         Explore.search_mapping ~seeds:(seeds_for m)
           ?model:(Explore.unband ?model ~best:best_score score)
-          ?observe ~population ~generations ~measure_top ~accel m)
+          ?observe
+          ?tick:(tick_for population)
+          ?abort ~population ~generations ~measure_top ~accel m)
       ~mappings ()
 
 let tune_op ?jobs ?population ?generations ?measure_top ?filter ?model
-    ?observe ~rng ~accel op =
+    ?observe ?progress ?abort ~rng ~accel op =
   let mappings =
     List.concat_map
       (fun intr ->
@@ -233,7 +298,7 @@ let tune_op ?jobs ?population ?generations ?measure_top ?filter ?model
   | _ ->
       Some
         (tune ?jobs ?population ?generations ?measure_top ?model ?observe
-           ~rng ~accel ~mappings ())
+           ?progress ?abort ~rng ~accel ~mappings ())
 
 (* Persistent bounded worker pool: long-lived domains pulling thunks
    from a capacity-bounded queue.  Unlike [parallel_map_result] (which

@@ -44,6 +44,8 @@ val tune :
   ?initial_population:Explore.candidate list ->
   ?model:Explore.screen_model ->
   ?observe:(Explore.observation -> unit) ->
+  ?progress:(Explore.progress -> unit) ->
+  ?abort:(unit -> bool) ->
   rng:Amos_tensor.Rng.t ->
   accel:Accelerator.t ->
   mappings:Mapping.t list ->
@@ -63,7 +65,16 @@ val tune :
     mutex before the fan-out, so a single-threaded observer (appending
     to [Amos_learn.Obs_log], pushing on a list) is safe as-is — though
     the {e order} of observations across domains remains
-    scheduling-dependent. *)
+    scheduling-dependent.
+
+    [progress] and [abort] follow [Explore.tune]'s contract across the
+    fan-out: generation ticks from all worker domains aggregate under
+    one mutex (the callback fires inside it, so a single-threaded
+    consumer is safe as-is, and [pr_generation] counts globally across
+    mappings and shards), and [abort] is polled by every worker at its
+    own generation boundaries — the first worker to observe [true]
+    raises [Explore.Aborted], which the merge re-raises out of [tune]
+    after all domains joined, never as a per-mapping failure. *)
 
 val tune_with :
   ?jobs:int ->
@@ -82,9 +93,11 @@ val tune_with :
     [cut] is the screen model's survivor ratio).  Each search call
     receives the survivor's own screen [score] and the [best_score]
     among all survivors, so a calibrated caller can treat top-ranked
-    mappings differently (see [Explore.unband]).  Exposed so the
-    failure-isolation contract is directly testable with units that
-    raise on demand. *)
+    mappings differently (see [Explore.unband]).  A work unit failing
+    with [Explore.Aborted] re-raises out of the merge (after all
+    domains joined) instead of being recorded — an abort tears the
+    whole exploration down.  Exposed so the failure-isolation contract
+    is directly testable with units that raise on demand. *)
 
 val tune_op :
   ?jobs:int ->
@@ -94,12 +107,14 @@ val tune_op :
   ?filter:bool ->
   ?model:Explore.screen_model ->
   ?observe:(Explore.observation -> unit) ->
+  ?progress:(Explore.progress -> unit) ->
+  ?abort:(unit -> bool) ->
   rng:Amos_tensor.Rng.t ->
   accel:Accelerator.t ->
   Operator.t ->
   Explore.result option
-(** Same contract as [Explore.tune_op]; [model] and [observe] as in
-    {!tune}. *)
+(** Same contract as [Explore.tune_op]; [model], [observe], [progress]
+    and [abort] as in {!tune}. *)
 
 (** Persistent bounded worker pool over OCaml 5 domains.
 

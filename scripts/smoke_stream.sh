@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Streaming-tune smoke test.
+#
+# Starts `amos_cli serve` on a Unix-domain socket, then exercises the
+# streaming surface end to end: a `client tune --stream` must render at
+# least one per-generation progress frame before its final plan; a
+# second streaming client cancelled mid-tune (--cancel-after sends the
+# protocol Cancel on its own connection after the first frame) must
+# exit with the cancelled status while the daemon stays healthy; and
+# `client shutdown` must still drain cleanly.  Any failure exits
+# non-zero.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+dune build bin/amos_cli.exe
+CLI=_build/default/bin/amos_cli.exe
+
+DIR="$(mktemp -d "${TMPDIR:-/tmp}/amos-stream.XXXXXX")"
+SOCK="$DIR/amosd.sock"
+CACHE="$DIR/cache"
+daemon_pid=""
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+# a conv heavy enough that one exploration spans several generations of
+# visible wall time: the cancel in step 2 needs a live tune to land on
+OP="$DIR/conv.dsl"
+cat > "$OP" <<'EOF'
+for {n:4, k:32, p:16, q:16} for {c:16r, r:3r, s:3r}: out[n,k,p,q] += a[n,c,p+r,q+s] * b[k,c,r,s]
+EOF
+
+"$CLI" serve --socket "$SOCK" --cache-dir "$CACHE" --workers 2 \
+  > "$DIR/serve.log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 50); do
+  if "$CLI" client health --socket "$SOCK" > /dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "FAIL: daemon exited during startup"
+    sed 's/^/  serve| /' "$DIR/serve.log"
+    exit 1
+  fi
+  sleep 0.1
+done
+"$CLI" client health --socket "$SOCK" > /dev/null
+
+# 1. a streaming tune renders progress frames, then the plan
+"$CLI" client tune --socket "$SOCK" --accel v100 --dsl "$OP" --seed 7 \
+  --stream > "$DIR/stream.log" 2>&1 \
+  || { echo "FAIL: streaming tune exited non-zero"
+       sed 's/^/  stream| /' "$DIR/stream.log"; exit 1; }
+frames=$(grep -c '^gen ' "$DIR/stream.log" || true)
+if [ "$frames" -lt 1 ]; then
+  echo "FAIL: streaming tune rendered no progress frames"
+  sed 's/^/  stream| /' "$DIR/stream.log"
+  exit 1
+fi
+grep -q '^fingerprint' "$DIR/stream.log" \
+  || { echo "FAIL: streaming tune printed no final plan"
+       sed 's/^/  stream| /' "$DIR/stream.log"; exit 1; }
+
+# 2. a second streaming client, cancelled mid-tune after its first
+# frame: the server confirms with the cancelled terminal (exit 4)
+rc=0
+"$CLI" client tune --socket "$SOCK" --accel v100 --dsl "$OP" --seed 8 \
+  --stream --cancel-after 1 --request-id 4242 \
+  > "$DIR/cancel.log" 2>&1 || rc=$?
+if [ "$rc" -ne 4 ]; then
+  echo "FAIL: cancelled stream exited $rc (want 4)"
+  sed 's/^/  cancel| /' "$DIR/cancel.log"
+  exit 1
+fi
+grep -q '^cancelled$' "$DIR/cancel.log" \
+  || { echo "FAIL: cancelled stream did not print the cancel terminal"
+       sed 's/^/  cancel| /' "$DIR/cancel.log"; exit 1; }
+
+# 3. the daemon survived the cancel and accounts for it
+"$CLI" client health --socket "$SOCK" > /dev/null \
+  || { echo "FAIL: daemon unhealthy after the cancel"; exit 1; }
+"$CLI" client stats --socket "$SOCK" | tee "$DIR/stats.log"
+cancels=$(awk '/^cancels/ { print $2 }' "$DIR/stats.log")
+if [ -z "$cancels" ] || [ "$cancels" -lt 1 ]; then
+  echo "FAIL: stats report no cancels after a confirmed cancel ('$cancels')"
+  exit 1
+fi
+
+# 4. clean drain: the cancelled exploration must not wedge shutdown
+"$CLI" client shutdown --socket "$SOCK" | grep -q "drained" \
+  || { echo "FAIL: shutdown did not report a drain"; exit 1; }
+wait "$daemon_pid" \
+  || { echo "FAIL: daemon exited non-zero after shutdown"; exit 1; }
+daemon_pid=""
+if [ -e "$SOCK" ]; then
+  echo "FAIL: daemon left its socket behind"
+  exit 1
+fi
+
+echo "stream smoke test: OK ($frames progress frames, mid-tune cancel, clean drain)"

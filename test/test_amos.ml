@@ -6,5 +6,5 @@ let () =
     @ Test_baselines.suites @ Test_compiler.suites @ Test_memory_map.suites @ Test_pipeline.suites @ Test_workloads2.suites @ Test_codegen2.suites @ Test_mapping2.suites @ Test_sim2.suites @ Test_plan_io.suites @ Test_graph.suites @ Test_dsl.suites @ Test_misc.suites
     @ Test_service.suites @ Test_faults.suites @ Test_migrate.suites
     @ Test_economy.suites @ Test_props.suites @ Test_server.suites
-    @ Test_fleet.suites @ Test_chaos.suites @ Test_throughput.suites
-    @ Test_learn.suites)
+    @ Test_admission.suites @ Test_fleet.suites @ Test_chaos.suites
+    @ Test_throughput.suites @ Test_learn.suites)

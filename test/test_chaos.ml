@@ -38,7 +38,7 @@ let tune_req ?(m = 4) () =
 
 let instant_tuner () =
   let calls = Atomic.make 0 in
-  let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+  let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ ~progress:_ ~abort:_ =
     Atomic.incr calls;
     { Server.value = Plan_cache.Scalar; evaluations = 1 }
   in
@@ -533,6 +533,189 @@ let peer_tests =
         stop_server server_b thread_b);
   ]
 
+(* --- streaming under faults ------------------------------------------ *)
+
+let wait_for ?(timeout = 10.) msg pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      Alcotest.fail ("timed out waiting for " ^ msg)
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* a tuner that streams three generations then parks on a gate: the
+   fault lands mid-stream while the flight is provably still running *)
+let start_gated_stream_server () =
+  let gate = Semaphore.Counting.make 0 in
+  let calls = Atomic.make 0 in
+  let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ ~progress ~abort:_ =
+    Atomic.incr calls;
+    Option.iter
+      (fun f ->
+        List.iter
+          (fun g ->
+            f
+              {
+                Amos.Explore.pr_generation = g;
+                pr_best_predicted = 0.001 *. float_of_int g;
+                pr_best_measured = infinity;
+                pr_evaluations = 4 * g;
+              })
+          [ 1; 2; 3 ])
+      progress;
+    Semaphore.Counting.acquire gate;
+    { Server.value = Plan_cache.Scalar; evaluations = 12 }
+  in
+  let socket_path = temp_name "amos-chaos-stream" ^ ".sock" in
+  let server = Server.create ~tuner (Server.default_config ~socket_path) in
+  let thread = Thread.create Server.serve server in
+  (server, thread, socket_path, gate, calls)
+
+(* stream [tune_req ()] on its own connection; the caller inspects the
+   result, the progress frames, and the connection's poison reason *)
+let stream_in_thread ?net socket_path ~request_id =
+  let result = ref None and frames = ref [] and poison = ref None in
+  let t =
+    Thread.create
+      (fun () ->
+        result :=
+          Some
+            (Client.with_endpoint ?net ~attempts:50
+               (Transport.Unix_path socket_path)
+               (fun c ->
+                 let r =
+                   Client.request_stream ~request_id
+                     ~on_progress:(fun p -> frames := p :: !frames)
+                     c (tune_req ())
+                 in
+                 poison := Client.poisoned c;
+                 r)))
+      ()
+  in
+  (t, result, frames, poison)
+
+(* each progress frame costs at least six mediated reads (four header
+   bytes, payload, terminator), so a read fault armed at [after = 8]
+   always fires inside the second frame: after the first progress
+   frame, before the stream could possibly finish *)
+let mid_second_frame mode =
+  Net_io.faulty [ { Net_io.op = Net_io.Read; after = 8; mode } ]
+
+let stream_poison_case name mode expect =
+  Alcotest.test_case name `Quick (fun () ->
+      let server, thread, socket_path, gate, calls =
+        start_gated_stream_server ()
+      in
+      let ta, ra, fa, pa =
+        stream_in_thread ~net:(mid_second_frame mode) socket_path
+          ~request_id:42
+      in
+      wait_for "leader in flight" (fun () ->
+          (Server.stats server).Protocol.in_flight = 1);
+      (* a co-waiter on a clean connection coalesces onto the flight *)
+      let tb, rb, fb, _ = stream_in_thread socket_path ~request_id:43 in
+      wait_for "joiner deduped" (fun () ->
+          (Server.stats server).Protocol.deduped = 1);
+      (* the injected fault kills only the leader's connection *)
+      Thread.join ta;
+      (match !ra with
+      | Some (Error msg) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "typed %s failure (got: %s)" expect msg)
+            true (contains expect msg)
+      | Some (Ok _) -> Alcotest.fail "fault must surface as an error"
+      | None -> Alcotest.fail "leader never finished");
+      Alcotest.(check bool) "leader connection poisoned" true (!pa <> None);
+      Alcotest.(check bool) "leader streamed before the fault" true
+        (List.length !fa >= 1);
+      (* the shared flight never noticed: still running, one tuner call *)
+      Alcotest.(check int) "flight still running" 1
+        (Server.stats server).Protocol.in_flight;
+      Alcotest.(check int) "single exploration" 1 (Atomic.get calls);
+      Semaphore.Counting.release gate;
+      Thread.join tb;
+      (match !rb with
+      | Some (Ok (Protocol.Plan_r r)) ->
+          Alcotest.(check string) "co-waiter served from the shared flight"
+            "deduped" r.Protocol.source
+      | Some (Ok _) -> Alcotest.fail "co-waiter: expected Plan_r"
+      | Some (Error msg) -> Alcotest.fail ("co-waiter: " ^ msg)
+      | None -> Alcotest.fail "co-waiter never finished");
+      (* frames published before the join are not replayed: the late
+         co-waiter may legitimately see none *)
+      ignore !fb;
+      wait_for "flight drained" (fun () ->
+          (Server.stats server).Protocol.in_flight = 0);
+      stop_server server thread)
+
+let stream_chaos_tests =
+  [
+    stream_poison_case "mid-stream-reset-poisons-client-not-flight"
+      Net_io.Reset "transport error";
+    stream_poison_case "mid-stream-stall-timeout-poisons-client-not-flight"
+      Net_io.Timeout "timed out";
+    Alcotest.test_case "cancel-racing-a-fault-resolves-exactly-once" `Quick
+      (fun () ->
+        let server, thread, socket_path, gate, calls =
+          start_gated_stream_server ()
+        in
+        let ta, ra, _, _ =
+          stream_in_thread ~net:(mid_second_frame Net_io.Reset) socket_path
+            ~request_id:77
+        in
+        wait_for "leader in flight" (fun () ->
+            (Server.stats server).Protocol.in_flight = 1);
+        (* race the cancel against the injected reset: whichever side
+           wins, the outcome is typed — detached, or already gone *)
+        (match
+           Client.with_conn ~attempts:50 socket_path (fun c ->
+               Client.cancel c ~request_id:77)
+         with
+        | Ok (Protocol.Ok_r _) | Ok Protocol.Not_found_r -> ()
+        | Ok _ -> Alcotest.fail "cancel: expected Ok_r or Not_found_r"
+        | Error msg -> Alcotest.fail ("cancel: " ^ msg));
+        Thread.join ta;
+        (* the leader saw exactly one terminal outcome, never two *)
+        (match !ra with
+        | Some (Ok Protocol.Cancelled_r) -> ()
+        | Some (Error msg) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "poisoned, not crashed (got: %s)" msg)
+              true
+              (contains "transport error" msg
+              || contains "connection poisoned" msg
+              || contains "server closed" msg)
+        | Some (Ok _) -> Alcotest.fail "leader: unexpected clean terminal"
+        | None -> Alcotest.fail "leader never finished");
+        Alcotest.(check int) "single exploration" 1 (Atomic.get calls);
+        Semaphore.Counting.release gate;
+        wait_for "flight drained" (fun () ->
+            (Server.stats server).Protocol.in_flight = 0);
+        (* the waiter resolved exactly once: a second cancel finds
+           nothing, and the detach counter moved at most one notch *)
+        (match
+           Client.with_conn ~attempts:50 socket_path (fun c ->
+               Client.cancel c ~request_id:77)
+         with
+        | Ok Protocol.Not_found_r -> ()
+        | Ok _ -> Alcotest.fail "stale cancel must miss"
+        | Error msg -> Alcotest.fail ("stale cancel: " ^ msg));
+        Alcotest.(check bool) "at most one detach counted" true
+          ((Server.stats server).Protocol.cancels <= 1);
+        (match
+           Client.with_conn ~attempts:50 socket_path (fun c ->
+               Client.request c Protocol.Health)
+         with
+        | Ok (Protocol.Ok_r _) -> ()
+        | _ -> Alcotest.fail "daemon unhealthy after the race");
+        stop_server server thread);
+  ]
+
 (* --- end-to-end chaos ------------------------------------------------- *)
 
 (* the bench gate in miniature: a daemon whose every socket operation
@@ -587,5 +770,6 @@ let suites =
     ("chaos.poison", poison_tests);
     ("chaos.flows", flow_tests);
     ("chaos.peer", peer_tests);
+    ("chaos.stream", stream_chaos_tests);
     ("chaos.e2e", chaos_e2e_tests);
   ]

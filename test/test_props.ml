@@ -342,11 +342,14 @@ let gen_op_spec : Protocol.op_spec QCheck.Gen.t =
 
 let gen_request : Protocol.request QCheck.Gen.t =
   let open QCheck.Gen in
-  int_range 0 6 >>= fun which ->
+  int_range 0 7 >>= fun which ->
   match which with
   | 0 -> return Protocol.Health
   | 1 -> return Protocol.Stats
   | 2 -> return Protocol.Shutdown
+  | 7 ->
+      int_range 0 (1 lsl 30) >>= fun request_id ->
+      return (Protocol.Cancel { request_id })
   | 3 ->
       gen_wire_string >>= fun accel ->
       gen_op_spec >>= fun op ->
@@ -377,7 +380,7 @@ let gen_finite_float : float QCheck.Gen.t =
 
 let gen_response : Protocol.response QCheck.Gen.t =
   let open QCheck.Gen in
-  int_range 0 6 >>= fun which ->
+  int_range 0 9 >>= fun which ->
   match which with
   | 0 -> gen_wire_string >>= fun s -> return (Protocol.Ok_r s)
   | 1 ->
@@ -401,6 +404,8 @@ let gen_response : Protocol.response QCheck.Gen.t =
       int_range 0 1000 >>= fun hot_hits ->
       int_range 0 1000 >>= fun cache_hits ->
       int_range 0 1000 >>= fun busy_rejections ->
+      int_range 0 1000 >>= fun deadline_rejections ->
+      int_range 0 1000 >>= fun cancels ->
       int_range 0 64 >>= fun in_flight ->
       int_range 0 64 >>= fun queue_load ->
       int_range 0 1_000_000 >>= fun hot_bytes ->
@@ -422,6 +427,8 @@ let gen_response : Protocol.response QCheck.Gen.t =
              hot_hits;
              cache_hits;
              busy_rejections;
+             deadline_rejections;
+             cancels;
              in_flight;
              queue_load;
              hot_bytes;
@@ -456,6 +463,23 @@ let gen_response : Protocol.response QCheck.Gen.t =
   | 5 ->
       gen_finite_float >>= fun retry_after_s ->
       return (Protocol.Busy_r { retry_after_s = Float.abs retry_after_s })
+  | 6 ->
+      int_range 0 100_000 >>= fun pg_generation ->
+      option gen_finite_float >>= fun pg_best_predicted ->
+      option gen_finite_float >>= fun pg_best_measured ->
+      int_range 0 10_000_000 >>= fun pg_evaluations ->
+      return
+        (Protocol.Progress_r
+           {
+             Protocol.pg_generation;
+             pg_best_predicted;
+             pg_best_measured;
+             pg_evaluations;
+           })
+  | 7 -> return Protocol.Cancelled_r
+  | 8 ->
+      gen_finite_float >>= fun w ->
+      return (Protocol.Deadline_hint_r { projected_wait_s = Float.abs w })
   | _ -> gen_wire_string >>= fun s -> return (Protocol.Error_r s)
 
 let arb_request =
@@ -474,7 +498,8 @@ let arb_response =
 let prop_request_roundtrip =
   QCheck.Test.make ~count:cases ~name:"request decode . encode = id"
     arb_request (fun r ->
-      Protocol.decode_request (Protocol.encode_request r) = Ok (r, None))
+      Protocol.decode_request (Protocol.encode_request r)
+      = Ok (r, Protocol.empty_envelope))
 
 (* the deadline rides the same envelope and survives the round trip;
    its absence decodes as [None], so pre-deadline encoders interoperate *)
@@ -482,8 +507,38 @@ let prop_request_deadline_roundtrip =
   QCheck.Test.make ~count:cases ~name:"request deadline rides the envelope"
     QCheck.(pair arb_request (int_range 1 1_000_000))
     (fun (r, d) ->
-      Protocol.decode_request (Protocol.encode_request ~deadline_ms:d r)
-      = Ok (r, Some d))
+      match
+        Protocol.decode_request (Protocol.encode_request ~deadline_ms:d r)
+      with
+      | Ok (r', env) ->
+          r' = r
+          && env.Protocol.env_deadline_ms = Some d
+          && env.Protocol.env_request_id = None
+          && not env.Protocol.env_accept_stream
+      | Error _ -> false)
+
+(* the streaming opt-in and request id ride the same envelope; a client
+   that never sets them encodes byte-identically to a pre-stream client *)
+let prop_request_stream_envelope_roundtrip =
+  QCheck.Test.make ~count:cases ~name:"stream fields ride the envelope"
+    QCheck.(pair arb_request (int_range 0 (1 lsl 30)))
+    (fun (r, id) ->
+      match
+        Protocol.decode_request
+          (Protocol.encode_request ~request_id:id ~accept_stream:true r)
+      with
+      | Ok (r', env) ->
+          r' = r
+          && env.Protocol.env_request_id = Some id
+          && env.Protocol.env_accept_stream
+      | Error _ -> false)
+
+let prop_request_streamless_bytes_identical =
+  QCheck.Test.make ~count:cases
+    ~name:"streamless encoding is byte-identical to pre-stream" arb_request
+    (fun r ->
+      Protocol.encode_request ~accept_stream:false r
+      = Protocol.encode_request r)
 
 let prop_response_roundtrip =
   QCheck.Test.make ~count:cases ~name:"response decode . encode = id"
@@ -845,6 +900,8 @@ let suites =
         [
           prop_request_roundtrip;
           prop_request_deadline_roundtrip;
+          prop_request_stream_envelope_roundtrip;
+          prop_request_streamless_bytes_identical;
           prop_response_roundtrip;
         ]
     );

@@ -70,6 +70,7 @@ let sample_requests =
         budget = a_budget;
         jobs = 4;
       };
+    Protocol.Cancel { request_id = 90125 };
   ]
 
 let sample_responses =
@@ -101,6 +102,8 @@ let sample_responses =
         hot_hits = 1;
         cache_hits = 2;
         busy_rejections = 1;
+        deadline_rejections = 2;
+        cancels = 1;
         in_flight = 1;
         queue_load = 2;
         hot_bytes = 4096;
@@ -124,6 +127,23 @@ let sample_responses =
         comp_tuned = 2;
       };
     Protocol.Busy_r { retry_after_s = 0.25 };
+    Protocol.Progress_r
+      {
+        Protocol.pg_generation = 3;
+        pg_best_predicted = Some 0.0025;
+        pg_best_measured = Some 0.0031;
+        pg_evaluations = 48;
+      };
+    Protocol.Progress_r
+      {
+        (* unknown-yet latencies are absent on the wire, not NaN *)
+        Protocol.pg_generation = 1;
+        pg_best_predicted = None;
+        pg_best_measured = None;
+        pg_evaluations = 0;
+      };
+    Protocol.Cancelled_r;
+    Protocol.Deadline_hint_r { projected_wait_s = 1.75 };
     Protocol.Error_r "unknown accelerator warp9";
   ]
 
@@ -133,9 +153,11 @@ let codec_tests =
         List.iter
           (fun r ->
             match Protocol.decode_request (Protocol.encode_request r) with
-            | Ok (r', deadline) ->
+            | Ok (r', env) ->
                 Alcotest.(check bool) "request round-trips" true (r = r');
-                Alcotest.(check (option int)) "no deadline" None deadline
+                Alcotest.(check bool)
+                  "empty envelope" true
+                  (env = Protocol.empty_envelope)
             | Error msg -> Alcotest.fail msg)
           sample_requests);
     Alcotest.test_case "deadline-rides-the-envelope" `Quick (fun () ->
@@ -145,11 +167,45 @@ let codec_tests =
               Protocol.decode_request
                 (Protocol.encode_request ~deadline_ms:750 r)
             with
-            | Ok (r', deadline) ->
+            | Ok (r', env) ->
                 Alcotest.(check bool) "request round-trips" true (r = r');
                 Alcotest.(check (option int)) "deadline decoded" (Some 750)
-                  deadline
+                  env.Protocol.env_deadline_ms
             | Error msg -> Alcotest.fail msg)
+          sample_requests);
+    Alcotest.test_case "stream-envelope-round-trips" `Quick (fun () ->
+        List.iter
+          (fun r ->
+            match
+              Protocol.decode_request
+                (Protocol.encode_request ~request_id:77 ~accept_stream:true r)
+            with
+            | Ok (r', env) ->
+                Alcotest.(check bool) "request round-trips" true (r = r');
+                Alcotest.(check (option int)) "request id decoded" (Some 77)
+                  env.Protocol.env_request_id;
+                Alcotest.(check bool) "accept_stream decoded" true
+                  env.Protocol.env_accept_stream
+            | Error msg -> Alcotest.fail msg)
+          sample_requests);
+    Alcotest.test_case "streamless-encoding-unchanged" `Quick (fun () ->
+        (* a client that never opts into streaming must emit exactly the
+           bytes a PR-9 client emitted — old daemons keep decoding it *)
+        List.iter
+          (fun r ->
+            let plain = Protocol.encode_request r in
+            let explicit = Protocol.encode_request ~accept_stream:false r in
+            Alcotest.(check string) "accept_stream:false adds nothing" plain
+              explicit;
+            let mentions needle =
+              let n = String.length needle and h = String.length plain in
+              let rec go i =
+                i + n <= h && (String.sub plain i n = needle || go (i + 1))
+              in
+              go 0
+            in
+            Alcotest.(check bool) "no stream fields on the wire" false
+              (mentions "accept_stream" || mentions "request_id"))
           sample_requests);
     Alcotest.test_case "every-response-round-trips" `Quick (fun () ->
         List.iter
@@ -308,26 +364,151 @@ let primitive_tests =
         let sf = Single_flight.create () in
         let lead =
           match Single_flight.acquire sf "k" with
-          | `Lead f -> f
+          | `Lead w -> w
           | `Join _ -> Alcotest.fail "first acquire must lead"
         in
         let join =
           match Single_flight.acquire sf "k" with
-          | `Join f -> f
+          | `Join w -> w
           | `Lead _ -> Alcotest.fail "second acquire must join"
         in
+        let got name w =
+          match Single_flight.wait sf w with
+          | `Done v -> v
+          | `Cancelled -> Alcotest.fail (name ^ ": unexpectedly cancelled")
+        in
         Alcotest.(check int) "one in flight" 1 (Single_flight.in_flight sf);
-        Single_flight.complete sf lead 42;
-        Alcotest.(check int) "leader's value" 42 (Single_flight.wait sf lead);
-        Alcotest.(check int) "joiner's value" 42 (Single_flight.wait sf join);
+        Single_flight.complete sf (Single_flight.flight lead) 42;
+        Alcotest.(check int) "leader's value" 42 (got "leader" lead);
+        Alcotest.(check int) "joiner's value" 42 (got "joiner" join);
         Alcotest.(check int) "retired" 0 (Single_flight.in_flight sf);
         (match Single_flight.acquire sf "k" with
-        | `Lead f -> Single_flight.complete sf f 7
+        | `Lead w -> Single_flight.complete sf (Single_flight.flight w) 7
         | `Join _ -> Alcotest.fail "completed key must start fresh");
         (* double-complete is a no-op, not a corruption *)
-        Single_flight.complete sf lead 99;
-        Alcotest.(check int) "first completion wins" 42
-          (Single_flight.wait sf lead));
+        Single_flight.complete sf (Single_flight.flight lead) 99;
+        Alcotest.(check int) "first completion wins" 42 (got "leader" lead));
+    Alcotest.test_case "single-flight-progress-streams-per-waiter" `Quick
+      (fun () ->
+        let sf = Single_flight.create () in
+        let lead =
+          match Single_flight.acquire sf "k" with
+          | `Lead w -> w
+          | `Join _ -> Alcotest.fail "must lead"
+        in
+        let streamer =
+          match Single_flight.acquire ~streaming:true sf "k" with
+          | `Join w -> w
+          | `Lead _ -> Alcotest.fail "must join"
+        in
+        let plain =
+          match Single_flight.acquire sf "k" with
+          | `Join w -> w
+          | `Lead _ -> Alcotest.fail "must join"
+        in
+        let f = Single_flight.flight lead in
+        Single_flight.publish sf f "gen1";
+        Single_flight.publish sf f "gen2";
+        Single_flight.complete sf f 5;
+        (* streaming waiter drains every snapshot in publish order,
+           then the result; the plain waiter skips straight to it *)
+        (match Single_flight.next sf streamer with
+        | `Progress p -> Alcotest.(check string) "first snapshot" "gen1" p
+        | _ -> Alcotest.fail "expected first snapshot");
+        (match Single_flight.next sf streamer with
+        | `Progress p -> Alcotest.(check string) "second snapshot" "gen2" p
+        | _ -> Alcotest.fail "expected second snapshot");
+        (match Single_flight.next sf streamer with
+        | `Done v -> Alcotest.(check int) "streamer result" 5 v
+        | _ -> Alcotest.fail "expected result");
+        match Single_flight.next sf plain with
+        | `Done v -> Alcotest.(check int) "plain waiter result" 5 v
+        | _ -> Alcotest.fail "non-streaming waiter must queue no progress");
+    Alcotest.test_case "single-flight-cancel-is-per-waiter" `Quick (fun () ->
+        let sf = Single_flight.create () in
+        let lead =
+          match Single_flight.acquire sf "k" with
+          | `Lead w -> w
+          | `Join _ -> Alcotest.fail "must lead"
+        in
+        let join =
+          match Single_flight.acquire ~streaming:true sf "k" with
+          | `Join w -> w
+          | `Lead _ -> Alcotest.fail "must join"
+        in
+        let f = Single_flight.flight lead in
+        Single_flight.publish sf f "stale";
+        Single_flight.cancel sf join;
+        (* cancellation preempts queued progress and the co-waiter sees
+           nothing: the flight is still live and completable *)
+        (match Single_flight.next sf join with
+        | `Cancelled -> ()
+        | _ -> Alcotest.fail "cancelled waiter must observe `Cancelled");
+        Alcotest.(check bool) "flight not aborted" false
+          (Single_flight.abort_requested f);
+        Single_flight.complete sf f 11;
+        match Single_flight.wait sf lead with
+        | `Done v -> Alcotest.(check int) "co-waiter unaffected" 11 v
+        | `Cancelled -> Alcotest.fail "co-waiter must not be cancelled");
+    Alcotest.test_case "single-flight-last-detach-requests-abort" `Quick
+      (fun () ->
+        let sf = Single_flight.create () in
+        let lead =
+          match Single_flight.acquire sf "k" with
+          | `Lead w -> w
+          | `Join _ -> Alcotest.fail "must lead"
+        in
+        let join =
+          match Single_flight.acquire sf "k" with
+          | `Join w -> w
+          | `Lead _ -> Alcotest.fail "must join"
+        in
+        let f = Single_flight.flight lead in
+        Alcotest.(check int) "one waiter left" 1
+          (Single_flight.detach sf join);
+        Alcotest.(check bool) "abort not yet requested" false
+          (Single_flight.abort_requested f);
+        (* detach is idempotent: repeating it must not double-decrement *)
+        Alcotest.(check int) "repeat detach is a no-op" 1
+          (Single_flight.detach sf join);
+        Alcotest.(check int) "no waiters left" 0
+          (Single_flight.detach sf lead);
+        Alcotest.(check bool) "last detach raises abort" true
+          (Single_flight.abort_requested f);
+        (* fresh interest withdraws the abort request *)
+        (match Single_flight.acquire sf "k" with
+        | `Join w ->
+            Alcotest.(check bool) "join withdraws abort" false
+              (Single_flight.abort_requested f);
+            ignore (Single_flight.detach sf w)
+        | `Lead _ -> Alcotest.fail "unresolved flight must be joinable");
+        Single_flight.complete sf f 0);
+    Alcotest.test_case "single-flight-detached-socket-cannot-block" `Quick
+      (fun () ->
+        (* regression: a waiter that walked away (dead socket) must not
+           stall delivery — publish is enqueue-only and completion never
+           waits on any waiter draining its queue *)
+        let sf = Single_flight.create () in
+        let lead =
+          match Single_flight.acquire sf "k" with
+          | `Lead w -> w
+          | `Join _ -> Alcotest.fail "must lead"
+        in
+        let dead =
+          match Single_flight.acquire ~streaming:true sf "k" with
+          | `Join w -> w
+          | `Lead _ -> Alcotest.fail "must join"
+        in
+        let f = Single_flight.flight lead in
+        (* the dead client never drains; it detaches (connection reaped)
+           with snapshots still queued *)
+        Single_flight.publish sf f "gen1";
+        ignore (Single_flight.detach sf dead);
+        Single_flight.publish sf f "gen2";
+        Single_flight.complete sf f 9;
+        match Single_flight.wait sf lead with
+        | `Done v -> Alcotest.(check int) "flight resolved" 9 v
+        | `Cancelled -> Alcotest.fail "must resolve");
     Alcotest.test_case "pool-bounded-admission-and-drain" `Quick (fun () ->
         let pool = Par_tune.Pool.create ~workers:1 ~capacity:1 in
         let gate = Semaphore.Counting.make 0 in
@@ -372,7 +553,7 @@ let tune_req text =
 let gated_tuner () =
   let gate = Semaphore.Counting.make 0 in
   let calls = Atomic.make 0 in
-  let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+  let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ ~progress:_ ~abort:_ =
     Atomic.incr calls;
     Semaphore.Counting.acquire gate;
     { Server.value = Plan_cache.Scalar; evaluations = 1 }
@@ -503,7 +684,7 @@ let daemon_tests =
         Alcotest.(check bool) "socket released" false (Sys.file_exists socket));
     Alcotest.test_case "hot-and-cache-layers-serve-repeats" `Quick (fun () ->
         let calls = Atomic.make 0 in
-        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ ~progress:_ ~abort:_ =
           Atomic.incr calls;
           { Server.value = Plan_cache.Scalar; evaluations = 5 }
         in
@@ -553,7 +734,7 @@ let daemon_tests =
         let dir = temp_name "amosd-cache" in
         Sys.mkdir dir 0o755;
         let calls = Atomic.make 0 in
-        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ ~progress:_ ~abort:_ =
           Atomic.incr calls;
           { Server.value = Plan_cache.Scalar; evaluations = 5 }
         in
@@ -589,7 +770,7 @@ let daemon_tests =
     Alcotest.test_case "stats-report-hot-and-cache-economy" `Quick (fun () ->
         let dir = temp_name "amosd-eco-stats" in
         Sys.mkdir dir 0o755;
-        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ ~progress:_ ~abort:_ =
           { Server.value = Plan_cache.Scalar; evaluations = 1 }
         in
         let server, thread, socket = start_server ~tuner ~cache_dir:dir () in
@@ -637,7 +818,7 @@ let daemon_tests =
            an accumulating series of them *)
         let dir = temp_name "amosd-eco-readmit" in
         Sys.mkdir dir 0o755;
-        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ ~progress:_ ~abort:_ =
           { Server.value = Plan_cache.Scalar; evaluations = 1 }
         in
         let server1, thread1, socket1 =
@@ -680,7 +861,7 @@ let daemon_tests =
         let dir = temp_name "amosd-eco-retune" in
         Sys.mkdir dir 0o755;
         let calls = Atomic.make 0 in
-        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ =
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ ~progress:_ ~abort:_ =
           Atomic.incr calls;
           { Server.value = Plan_cache.Scalar; evaluations = 1 }
         in
@@ -792,10 +973,262 @@ let daemon_tests =
         Thread.join thread);
   ]
 
+(* --- streaming, cancellation, deadline admission ---------------------- *)
+
+module Clock = Amos_service.Clock
+
+let stream_req ?(text = gemm_text) () = tune_req text
+
+(* collect a stream on its own thread: (thread, frames-so-far, result) *)
+let stream_in_thread socket ~request_id req =
+  let frames = ref [] in
+  let result = ref (Error "never ran") in
+  let thread =
+    Thread.create
+      (fun () ->
+        result :=
+          Client.with_conn ~attempts:50 socket (fun c ->
+              Client.request_stream ~request_id
+                ~on_progress:(fun p -> frames := p :: !frames)
+                c req))
+      ()
+  in
+  (thread, frames, result)
+
+let stream_tests =
+  [
+    Alcotest.test_case "streaming-tune-interleaves-progress" `Quick (fun () ->
+        (* a tuner that reports three generations: the streaming client
+           must see all three frames, in order, before the final plan *)
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ ~progress
+            ~abort:_ =
+          (match progress with
+          | Some f ->
+              List.iter
+                (fun g ->
+                  f
+                    {
+                      Explore.pr_generation = g;
+                      pr_best_predicted = 0.001 *. float_of_int g;
+                      pr_best_measured = infinity;
+                      pr_evaluations = 4 * g;
+                    })
+                [ 1; 2; 3 ]
+          | None -> ());
+          { Server.value = Plan_cache.Scalar; evaluations = 12 }
+        in
+        let server, thread, socket = start_server ~tuner () in
+        let t, frames, result = stream_in_thread socket ~request_id:1 (stream_req ()) in
+        Thread.join t;
+        (match !result with
+        | Ok (Protocol.Plan_r r) ->
+            Alcotest.(check string) "fresh tune" "tuned" r.Protocol.source
+        | Ok _ -> Alcotest.fail "expected Plan_r terminal frame"
+        | Error msg -> Alcotest.fail msg);
+        let seen = List.rev !frames in
+        Alcotest.(check (list int))
+          "every generation streamed, in order" [ 1; 2; 3 ]
+          (List.map (fun p -> p.Protocol.pg_generation) seen);
+        List.iter
+          (fun p ->
+            Alcotest.(check bool) "predicted latency present" true
+              (p.Protocol.pg_best_predicted <> None);
+            (* infinity = no measurement yet: absent on the wire *)
+            Alcotest.(check (option (float 1e-9))) "unknown measured absent"
+              None p.Protocol.pg_best_measured)
+          seen;
+        Server.stop server;
+        Thread.join thread);
+    Alcotest.test_case "hot-hit-streams-nothing" `Quick (fun () ->
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ ~progress ~abort:_ =
+          Option.iter
+            (fun f ->
+              f
+                {
+                  Explore.pr_generation = 1;
+                  pr_best_predicted = 0.002;
+                  pr_best_measured = 0.002;
+                  pr_evaluations = 2;
+                })
+            progress;
+          { Server.value = Plan_cache.Scalar; evaluations = 2 }
+        in
+        let server, thread, socket = start_server ~tuner () in
+        (* warm the hot cache, then stream the identical request *)
+        (match
+           Client.with_conn ~attempts:50 socket (fun c ->
+               Client.request c (stream_req ()))
+         with
+        | Ok (Protocol.Plan_r _) -> ()
+        | _ -> Alcotest.fail "warmup tune must serve a plan");
+        let t, frames, result = stream_in_thread socket ~request_id:2 (stream_req ()) in
+        Thread.join t;
+        (match !result with
+        | Ok (Protocol.Plan_r r) ->
+            Alcotest.(check string) "served hot" "hot" r.Protocol.source
+        | Ok _ -> Alcotest.fail "expected Plan_r"
+        | Error msg -> Alcotest.fail msg);
+        Alcotest.(check int) "a cache hit streams no frames" 0
+          (List.length !frames);
+        Server.stop server;
+        Thread.join thread);
+    Alcotest.test_case "cancel-detaches-waiter-not-flight" `Quick (fun () ->
+        let tuner, gate, calls = gated_tuner () in
+        let server, thread, socket = start_server ~tuner () in
+        (* A streams and leads; the tuner parks on the gate *)
+        let ta, _, ra = stream_in_thread socket ~request_id:42 (stream_req ()) in
+        wait_for "leader in flight" (fun () ->
+            (Server.stats server).Protocol.in_flight = 1);
+        (* B joins the same fingerprint without streaming *)
+        let tb, rb = request_in_thread socket (stream_req ()) in
+        wait_for "joiner deduped" (fun () ->
+            (Server.stats server).Protocol.deduped = 1);
+        (* a third connection cancels A's stream by id *)
+        (match
+           Client.with_conn ~attempts:50 socket (fun c ->
+               Client.cancel c ~request_id:42)
+         with
+        | Ok (Protocol.Ok_r _) -> ()
+        | Ok _ -> Alcotest.fail "cancel of a live stream must be Ok_r"
+        | Error msg -> Alcotest.fail msg);
+        Thread.join ta;
+        (match !ra with
+        | Ok Protocol.Cancelled_r -> ()
+        | Ok _ -> Alcotest.fail "cancelled stream must end with Cancelled_r"
+        | Error msg -> Alcotest.fail msg);
+        (* the shared flight is still running for B — releasing the gate
+           resolves it with a real plan, not an error *)
+        Alcotest.(check int) "flight survives the cancel" 1
+          (Server.stats server).Protocol.in_flight;
+        Semaphore.Counting.release gate;
+        Thread.join tb;
+        let b = plan_of rb "co-waiter" in
+        Alcotest.(check string) "co-waiter still served" "deduped"
+          b.Protocol.source;
+        Alcotest.(check int) "tuner ran once" 1 (Atomic.get calls);
+        let s = Server.stats server in
+        Alcotest.(check int) "stats counts the cancel" 1 s.Protocol.cancels;
+        (* cancelling a finished (unregistered) stream is a typed miss *)
+        (match
+           Client.with_conn ~attempts:50 socket (fun c ->
+               Client.cancel c ~request_id:42)
+         with
+        | Ok Protocol.Not_found_r -> ()
+        | Ok _ -> Alcotest.fail "stale cancel must be Not_found_r"
+        | Error msg -> Alcotest.fail msg);
+        Server.stop server;
+        Thread.join thread);
+    Alcotest.test_case "last-waiter-cancel-aborts-exploration" `Quick
+      (fun () ->
+        let observed_abort = Atomic.make false in
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ ~progress:_
+            ~abort =
+          (* poll the abort flag like [Explore.schedule_search] does at
+             generation boundaries, bounded so a missed cancel cannot
+             hang the suite *)
+          let rec poll n =
+            if n <= 0 then ()
+            else
+              match abort with
+              | Some f when f () ->
+                  Atomic.set observed_abort true;
+                  raise Explore.Aborted
+              | _ ->
+                  Thread.delay 0.01;
+                  poll (n - 1)
+          in
+          poll 500;
+          { Server.value = Plan_cache.Scalar; evaluations = 1 }
+        in
+        let server, thread, socket = start_server ~tuner () in
+        let ta, _, ra = stream_in_thread socket ~request_id:7 (stream_req ()) in
+        wait_for "tune in flight" (fun () ->
+            (Server.stats server).Protocol.in_flight = 1);
+        (match
+           Client.with_conn ~attempts:50 socket (fun c ->
+               Client.cancel c ~request_id:7)
+         with
+        | Ok (Protocol.Ok_r _) -> ()
+        | _ -> Alcotest.fail "cancel must land");
+        Thread.join ta;
+        (match !ra with
+        | Ok Protocol.Cancelled_r -> ()
+        | Ok _ -> Alcotest.fail "expected Cancelled_r"
+        | Error msg -> Alcotest.fail msg);
+        (* the sole waiter walked away: the exploration must notice and
+           abort instead of tuning for nobody *)
+        wait_for "exploration aborted" (fun () -> Atomic.get observed_abort);
+        wait_for "flight resolved" (fun () ->
+            (Server.stats server).Protocol.in_flight = 0);
+        (* the daemon is healthy afterwards *)
+        (match
+           Client.with_conn ~attempts:50 socket (fun c ->
+               Client.request c Protocol.Health)
+         with
+        | Ok (Protocol.Ok_r _) -> ()
+        | _ -> Alcotest.fail "daemon must stay healthy after an abort");
+        Server.stop server;
+        Thread.join thread);
+    Alcotest.test_case "doomed-deadline-typed-hint-never-enqueued" `Quick
+      (fun () ->
+        (* virtual clock: the tuner "takes" 5 virtual seconds, so after
+           one completion the admission EWMA projects 5s of wait per
+           queued task — with zero real sleeping anywhere *)
+        let clock = Clock.virtual_ () in
+        let gate = Semaphore.Counting.make 0 in
+        let tuner ~jobs:_ ~accel:_ ~op:_ ~budget:_ ~seeds:_ ~progress:_
+            ~abort:_ =
+          Semaphore.Counting.acquire gate;
+          Clock.advance clock 5.0;
+          { Server.value = Plan_cache.Scalar; evaluations = 1 }
+        in
+        let server, thread, socket =
+          start_server ~tuner ~clock ~workers:1 ()
+        in
+        (* first tune completes instantly (in real time) and seeds the
+           EWMA with its 5 virtual seconds *)
+        Semaphore.Counting.release gate;
+        (match
+           Client.with_conn ~attempts:50 socket (fun c ->
+               Client.request c (stream_req ()))
+         with
+        | Ok (Protocol.Plan_r _) -> ()
+        | _ -> Alcotest.fail "seeding tune must serve a plan");
+        (* occupy the only worker *)
+        let tb, rb = request_in_thread socket (stream_req ~text:gemm2_text ()) in
+        wait_for "worker occupied" (fun () ->
+            (Server.stats server).Protocol.in_flight = 1);
+        (* a 100 ms budget against a 5 s projection: typed hint, and the
+           request never touches the queue *)
+        (match
+           Client.with_conn ~attempts:50 socket (fun c ->
+               Client.request ~deadline_ms:100 c
+                 (stream_req ~text:gemm3_text ()))
+         with
+        | Ok (Protocol.Deadline_hint_r { projected_wait_s }) ->
+            Alcotest.(check (float 1e-6)) "hint carries the projection" 5.0
+              projected_wait_s
+        | Ok r ->
+            Alcotest.fail
+              ("expected Deadline_hint_r, got " ^ Protocol.encode_response r)
+        | Error msg -> Alcotest.fail msg);
+        let s = Server.stats server in
+        Alcotest.(check int) "stats counts the rejection" 1
+          s.Protocol.deadline_rejections;
+        Alcotest.(check int) "nothing was enqueued" 1 s.Protocol.in_flight;
+        (* an ample budget is admitted and eventually served *)
+        Semaphore.Counting.release gate;
+        Thread.join tb;
+        ignore (plan_of rb "occupant");
+        Server.stop server;
+        Thread.join thread);
+  ]
+
 let suites =
   [
     ("server.protocol", codec_tests);
     ("server.framing", framing_tests);
     ("server.primitives", primitive_tests);
     ("server.daemon", daemon_tests);
+    ("server.stream", stream_tests);
   ]
